@@ -1,0 +1,138 @@
+//! Register def-use dataflow over straight-line program order.
+//!
+//! The tool needs two facts per instruction: which earlier instruction
+//! produced each source register (def-use edges = the attack graph's data
+//! dependencies), and whether a value *derived from a load* flows into a
+//! later memory address (the access→use→send chain).
+
+use isa::{Instruction, Program, Reg};
+use std::collections::HashMap;
+
+/// Def-use and taint information for one program.
+///
+/// The analysis is a single forward pass in program order. Branches are
+/// treated as non-killing (both paths continue with the same definitions):
+/// this over-approximates flows, which is the safe direction for a
+/// vulnerability finder.
+#[derive(Debug, Clone)]
+pub struct ValueFlow {
+    /// `defs[pc]` = for each source register of `pc`, the defining pc.
+    defs: Vec<Vec<(Reg, Option<usize>)>>,
+    /// `loaded[pc]` = pcs of loads whose values (transitively) feed `pc`.
+    loaded: Vec<Vec<usize>>,
+}
+
+impl ValueFlow {
+    /// Computes dataflow for `program`.
+    #[must_use]
+    pub fn compute(program: &Program) -> Self {
+        let n = program.len();
+        let mut last_def: HashMap<Reg, usize> = HashMap::new();
+        // taint[r] = set of load pcs whose result feeds r.
+        let mut taint: HashMap<Reg, Vec<usize>> = HashMap::new();
+        let mut defs = Vec::with_capacity(n);
+        let mut loaded = Vec::with_capacity(n);
+
+        for (pc, inst) in program.iter() {
+            let srcs: Vec<(Reg, Option<usize>)> = inst
+                .sources()
+                .into_iter()
+                .map(|r| (r, last_def.get(&r).copied()))
+                .collect();
+            // The load-derived values feeding this instruction.
+            let mut feed: Vec<usize> = srcs
+                .iter()
+                .flat_map(|(r, _)| taint.get(r).cloned().unwrap_or_default())
+                .collect();
+            feed.sort_unstable();
+            feed.dedup();
+            defs.push(srcs);
+            loaded.push(feed.clone());
+
+            if let Some(dst) = inst.destination() {
+                if !dst.is_zero() {
+                    last_def.insert(dst, pc);
+                    let mut t = feed;
+                    if matches!(
+                        inst,
+                        Instruction::Load { .. }
+                            | Instruction::ReadMsr { .. }
+                            | Instruction::FpMove { .. }
+                    ) {
+                        t.push(pc);
+                    }
+                    taint.insert(dst, t);
+                }
+            }
+        }
+        ValueFlow { defs, loaded }
+    }
+
+    /// The defining pc of each source register of `pc`.
+    #[must_use]
+    pub fn sources_of(&self, pc: usize) -> &[(Reg, Option<usize>)] {
+        &self.defs[pc]
+    }
+
+    /// The load/MSR/FP-read pcs whose values transitively feed `pc`'s
+    /// operands.
+    #[must_use]
+    pub fn load_roots(&self, pc: usize) -> &[usize] {
+        &self.loaded[pc]
+    }
+
+    /// Whether `pc`'s *address* operands derive from the value loaded at
+    /// `load_pc` — the access→send pattern.
+    #[must_use]
+    pub fn address_depends_on_load(&self, pc: usize, load_pc: usize) -> bool {
+        self.loaded[pc].contains(&load_pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa::asm;
+
+    #[test]
+    fn def_use_chains() {
+        let p = asm::assemble(
+            "imm r0, 1\nadd r1, r0, 2\nadd r2, r1, r0\nhalt",
+        )
+        .unwrap();
+        let vf = ValueFlow::compute(&p);
+        assert_eq!(vf.sources_of(1), &[(isa::Reg::R0, Some(0))]);
+        let s2 = vf.sources_of(2);
+        assert_eq!(s2[0], (isa::Reg::R1, Some(1)));
+        assert_eq!(s2[1], (isa::Reg::R0, Some(0)));
+    }
+
+    #[test]
+    fn load_taint_propagates_through_arithmetic() {
+        let p = asm::assemble(
+            "load r6, [r5]\nshl r7, r6, 12\nadd r7, r7, r3\nload r8, [r7]\nhalt",
+        )
+        .unwrap();
+        let vf = ValueFlow::compute(&p);
+        assert!(vf.load_roots(0).is_empty());
+        assert_eq!(vf.load_roots(1), &[0]);
+        assert_eq!(vf.load_roots(2), &[0]);
+        assert!(vf.address_depends_on_load(3, 0), "send depends on the load");
+    }
+
+    #[test]
+    fn taint_killed_by_overwrite() {
+        let p = asm::assemble("load r6, [r5]\nimm r6, 0\nload r8, [r6]\nhalt").unwrap();
+        let vf = ValueFlow::compute(&p);
+        assert!(!vf.address_depends_on_load(2, 0));
+    }
+
+    #[test]
+    fn msr_and_fp_reads_taint_like_loads() {
+        let p = asm::assemble("rdmsr r6, 0x10\nload r8, [r6]\nfpmov r1, f0\nload r9, [r1]\nhalt")
+            .unwrap();
+        let vf = ValueFlow::compute(&p);
+        assert!(vf.address_depends_on_load(1, 0));
+        assert!(vf.address_depends_on_load(3, 2));
+    }
+}

@@ -1,0 +1,58 @@
+//! Analyzer error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the analyzer pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AnalyzerError {
+    /// Attack-graph construction failed.
+    Graph(tsg::TsgError),
+    /// Program reconstruction (patching) failed.
+    Program(isa::IsaError),
+}
+
+impl fmt::Display for AnalyzerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzerError::Graph(e) => write!(f, "graph construction failed: {e}"),
+            AnalyzerError::Program(e) => write!(f, "program patching failed: {e}"),
+        }
+    }
+}
+
+impl Error for AnalyzerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AnalyzerError::Graph(e) => Some(e),
+            AnalyzerError::Program(e) => Some(e),
+        }
+    }
+}
+
+impl From<tsg::TsgError> for AnalyzerError {
+    fn from(e: tsg::TsgError) -> Self {
+        AnalyzerError::Graph(e)
+    }
+}
+
+impl From<isa::IsaError> for AnalyzerError {
+    fn from(e: isa::IsaError) -> Self {
+        AnalyzerError::Program(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = AnalyzerError::from(tsg::TsgError::UnknownNode(tsg::NodeId::from_index(0)));
+        assert!(e.to_string().contains("graph"));
+        assert!(e.source().is_some());
+        let e = AnalyzerError::from(isa::IsaError::UndefinedLabel("x".into()));
+        assert!(e.to_string().contains("patching"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Gadget detection: authorization → access → use → send chains.
+
+use crate::dataflow::ValueFlow;
+use crate::AnalysisConfig;
+use isa::{Instruction, Program};
+use std::fmt;
+
+/// Whether the gadget's authorization is a separate instruction or a
+/// micro-op of the access itself (the paper's Insight 6 split, which
+/// decides the modeling level in Figure 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GadgetClass {
+    /// Authorization is a prior branch/indirect-jump/return.
+    SpectreType,
+    /// Authorization is the access instruction's own permission check.
+    MeltdownType,
+}
+
+impl fmt::Display for GadgetClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GadgetClass::SpectreType => "Spectre-type",
+            GadgetClass::MeltdownType => "Meltdown-type",
+        })
+    }
+}
+
+/// One detected speculation gadget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gadget {
+    /// Inter- or intra-instruction authorization.
+    pub class: GadgetClass,
+    /// The authorization instruction (equals `access_pc` for
+    /// Meltdown-type).
+    pub auth_pc: usize,
+    /// The potential secret access.
+    pub access_pc: usize,
+    /// Instructions transforming the accessed value en route to the send.
+    pub use_pcs: Vec<usize>,
+    /// The covert send: a memory operation whose address derives from the
+    /// accessed value.
+    pub send_pc: usize,
+}
+
+impl fmt::Display for Gadget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} gadget: auth@{} access@{} send@{}",
+            self.class, self.auth_pc, self.access_pc, self.send_pc
+        )
+    }
+}
+
+fn is_secret_read(inst: &Instruction) -> bool {
+    matches!(
+        inst,
+        Instruction::Load { .. } | Instruction::ReadMsr { .. } | Instruction::FpMove { .. }
+    )
+}
+
+fn is_software_authorization(inst: &Instruction) -> bool {
+    matches!(
+        inst,
+        Instruction::BranchIf { .. } | Instruction::JumpIndirect { .. } | Instruction::Ret
+    )
+}
+
+/// Finds, for access `access_pc`, the earliest later memory operation whose
+/// address derives from the accessed value, plus the intermediate uses.
+fn find_send(
+    program: &Program,
+    vf: &ValueFlow,
+    access_pc: usize,
+) -> Option<(Vec<usize>, usize)> {
+    let mut uses = Vec::new();
+    for (pc, inst) in program.iter().skip(access_pc + 1) {
+        if inst.is_memory() && vf.address_depends_on_load(pc, access_pc) {
+            return Some((uses, pc));
+        }
+        if !inst.is_memory()
+            && inst.destination().is_some()
+            && vf.load_roots(pc).contains(&access_pc)
+        {
+            uses.push(pc);
+        }
+    }
+    None
+}
+
+/// The Figure-9 node-finding steps: authorization instructions, secret
+/// accesses, covert sends.
+#[must_use]
+pub fn find_gadgets(program: &Program, config: &AnalysisConfig) -> Vec<Gadget> {
+    let vf = ValueFlow::compute(program);
+    let mut gadgets = Vec::new();
+
+    for (pc, inst) in program.iter() {
+        if !is_secret_read(inst) {
+            continue;
+        }
+        let Some((use_pcs, send_pc)) = find_send(program, &vf, pc) else {
+            continue;
+        };
+        // Meltdown-type: the access itself can fault (user mode, or
+        // explicitly marked protected).
+        let may_fault = (config.user_mode
+            && matches!(
+                inst,
+                Instruction::Load { .. } | Instruction::ReadMsr { .. } | Instruction::FpMove { .. }
+            ))
+            || config.protected_accesses.contains(&pc);
+        if may_fault {
+            gadgets.push(Gadget {
+                class: GadgetClass::MeltdownType,
+                auth_pc: pc,
+                access_pc: pc,
+                use_pcs: use_pcs.clone(),
+                send_pc,
+            });
+        }
+        // Spectre-type: the closest preceding software authorization.
+        let auth = (0..pc)
+            .rev()
+            .find(|&a| is_software_authorization(&program[a]));
+        if let Some(auth_pc) = auth {
+            gadgets.push(Gadget {
+                class: GadgetClass::SpectreType,
+                auth_pc,
+                access_pc: pc,
+                use_pcs,
+                send_pc,
+            });
+        }
+    }
+    gadgets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa::asm;
+
+    #[test]
+    fn spectre_v1_shape_detected() {
+        let p = asm::assemble(
+            r"
+            load r4, [r2]
+            bge  r0, r4, out
+            shl  r5, r0, 3
+            add  r5, r5, r1
+            load r6, [r5]
+            mul  r7, r6, 0x1040
+            add  r7, r7, r3
+            load r8, [r7]
+        out:
+            halt",
+        )
+        .unwrap();
+        let g = find_gadgets(&p, &AnalysisConfig::default());
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].class, GadgetClass::SpectreType);
+        assert_eq!(g[0].auth_pc, 1);
+        assert_eq!(g[0].access_pc, 4);
+        assert_eq!(g[0].use_pcs, vec![5, 6]);
+        assert_eq!(g[0].send_pc, 7);
+        assert!(g[0].to_string().contains("auth@1"));
+    }
+
+    #[test]
+    fn meltdown_shape_detected_in_user_mode() {
+        let p = asm::assemble(
+            "load r6, [r5]\nmul r7, r6, 0x1040\nadd r7, r7, r3\nload r8, [r7]\nhalt",
+        )
+        .unwrap();
+        let cfg = AnalysisConfig {
+            user_mode: true,
+            ..AnalysisConfig::default()
+        };
+        let g = find_gadgets(&p, &cfg);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].class, GadgetClass::MeltdownType);
+        assert_eq!(g[0].auth_pc, g[0].access_pc);
+        // The same program in kernel mode has no authorization to bypass.
+        assert!(find_gadgets(&p, &AnalysisConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn protected_marking_forces_meltdown_type() {
+        let p = asm::assemble("load r6, [r5]\nload r8, [r6]\nhalt").unwrap();
+        let cfg = AnalysisConfig {
+            user_mode: false,
+            protected_accesses: vec![0],
+        };
+        let g = find_gadgets(&p, &cfg);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].class, GadgetClass::MeltdownType);
+    }
+
+    #[test]
+    fn load_without_dependent_send_is_not_a_gadget() {
+        let p = asm::assemble("bge r0, r4, out\nload r6, [r5]\nadd r7, r6, 1\nout: halt").unwrap();
+        assert!(find_gadgets(&p, &AnalysisConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn both_classes_reported_for_branch_plus_fault() {
+        // A user-mode load behind a branch races with *two* authorizations:
+        // the branch resolution and its own permission check.
+        let p = asm::assemble(
+            "bge r0, r4, out\nload r6, [r5]\nload r8, [r6]\nout: halt",
+        )
+        .unwrap();
+        let cfg = AnalysisConfig {
+            user_mode: true,
+            ..AnalysisConfig::default()
+        };
+        let g = find_gadgets(&p, &cfg);
+        assert_eq!(g.len(), 2);
+        assert!(g.iter().any(|x| x.class == GadgetClass::MeltdownType));
+        assert!(g.iter().any(|x| x.class == GadgetClass::SpectreType));
+    }
+
+    #[test]
+    fn indirect_jump_and_ret_are_authorizations() {
+        let p = asm::assemble("jmpi r1\nload r6, [r5]\nload r8, [r6]\nhalt").unwrap();
+        let g = find_gadgets(&p, &AnalysisConfig::default());
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].auth_pc, 0);
+
+        let p = asm::assemble("ret\nload r6, [r5]\nload r8, [r6]\nhalt").unwrap();
+        let g = find_gadgets(&p, &AnalysisConfig::default());
+        assert_eq!(g.len(), 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! Attack-graph construction from programs (the middle boxes of Figure 9).
+//!
+//! Spectre-type gadgets are modeled at the **instruction level** (nodes are
+//! instructions, edges are data dependencies and fences); Meltdown-type
+//! gadget accesses are **decomposed into micro-ops** — a permission-check
+//! node and a data-read node that race with each other — exactly the
+//! "Faulty access?" branch of Figure 9.
+
+use crate::dataflow::ValueFlow;
+use crate::gadget::{Gadget, GadgetClass};
+use crate::{AnalysisConfig, AnalyzerError};
+use isa::{FenceKind, Instruction, Program};
+use std::collections::HashMap;
+use tsg::{EdgeKind, NodeId, NodeKind, SecretSource, SecurityAnalysis};
+
+fn source_of(inst: &Instruction) -> SecretSource {
+    match inst {
+        Instruction::ReadMsr { .. } => SecretSource::SpecialRegister,
+        Instruction::FpMove { .. } => SecretSource::Fpu,
+        _ => SecretSource::ArchitecturalMemory,
+    }
+}
+
+/// Builds the attack graph for `program` given the detected gadgets, and
+/// declares the authorization→{access,use,send} requirements.
+///
+/// # Errors
+///
+/// [`AnalyzerError::Graph`] if edge insertion fails (cannot happen for the
+/// acyclic structures produced here; kept for robustness).
+pub fn build_graph(
+    program: &Program,
+    gadgets: &[Gadget],
+    _config: &AnalysisConfig,
+) -> Result<SecurityAnalysis, AnalyzerError> {
+    let vf = ValueFlow::compute(program);
+    let mut sa = SecurityAnalysis::new();
+
+    // Role assignment per pc, derived from the gadgets.
+    let mut access_pcs: HashMap<usize, SecretSource> = HashMap::new();
+    let mut use_pcs: Vec<usize> = Vec::new();
+    let mut send_pcs: Vec<usize> = Vec::new();
+    let mut meltdown_pcs: Vec<usize> = Vec::new();
+    for g in gadgets {
+        access_pcs.insert(g.access_pc, source_of(&program[g.access_pc]));
+        use_pcs.extend(&g.use_pcs);
+        send_pcs.push(g.send_pc);
+        if g.class == GadgetClass::MeltdownType {
+            meltdown_pcs.push(g.access_pc);
+        }
+    }
+
+    // Node creation. A Meltdown-type access becomes two micro-op nodes:
+    // in-node = the permission check (authorization), out-node = the read.
+    let mut in_node: Vec<NodeId> = Vec::with_capacity(program.len());
+    let mut out_node: Vec<NodeId> = Vec::with_capacity(program.len());
+    for (pc, inst) in program.iter() {
+        if meltdown_pcs.contains(&pc) {
+            let check = sa.graph_mut().add_node(
+                format!("{pc}: permission check of '{inst}'"),
+                NodeKind::Authorization,
+            );
+            let read = sa.graph_mut().add_node(
+                format!("{pc}: data read of '{inst}'"),
+                NodeKind::SecretAccess(access_pcs[&pc]),
+            );
+            in_node.push(check);
+            out_node.push(read);
+        } else {
+            let kind = if matches!(
+                inst,
+                Instruction::BranchIf { .. } | Instruction::JumpIndirect { .. } | Instruction::Ret
+            ) {
+                NodeKind::Authorization
+            } else if let Some(&src) = access_pcs.get(&pc) {
+                NodeKind::SecretAccess(src)
+            } else if send_pcs.contains(&pc) {
+                NodeKind::Send
+            } else if use_pcs.contains(&pc) {
+                NodeKind::UseSecret
+            } else {
+                NodeKind::Compute
+            };
+            let id = sa.graph_mut().add_node(format!("{pc}: {inst}"), kind);
+            in_node.push(id);
+            out_node.push(id);
+        }
+    }
+
+    // Data-dependency edges from the def-use chains. A Meltdown-type
+    // access's inputs feed both micro-ops; its output leaves the read node.
+    for (pc, _) in program.iter() {
+        for &(_, def) in vf.sources_of(pc) {
+            if let Some(def_pc) = def {
+                sa.graph_mut()
+                    .add_edge(out_node[def_pc], in_node[pc], EdgeKind::Data)?;
+                if in_node[pc] != out_node[pc] {
+                    sa.graph_mut()
+                        .add_edge(out_node[def_pc], out_node[pc], EdgeKind::Data)?;
+                }
+            }
+        }
+    }
+
+    // Fence edges: an LFENCE orders everything across it; an MFENCE orders
+    // memory operations across it.
+    for (pc, inst) in program.iter() {
+        let Instruction::Fence(kind) = inst else {
+            continue;
+        };
+        for (other, oi) in program.iter() {
+            let applies = match kind {
+                FenceKind::LFence => !matches!(oi, Instruction::Fence(_)) || other != pc,
+                FenceKind::MFence | FenceKind::Ssbb => oi.is_memory(),
+            };
+            if !applies || other == pc {
+                continue;
+            }
+            if other < pc {
+                sa.graph_mut()
+                    .add_edge(out_node[other], in_node[pc], EdgeKind::Fence)?;
+            } else {
+                sa.graph_mut()
+                    .add_edge(out_node[pc], in_node[other], EdgeKind::Fence)?;
+            }
+        }
+    }
+
+    // Requirements: each gadget's authorization must precede its access,
+    // uses and send.
+    for g in gadgets {
+        let auth = match g.class {
+            GadgetClass::SpectreType => out_node[g.auth_pc],
+            GadgetClass::MeltdownType => in_node[g.access_pc],
+        };
+        sa.require(auth, out_node[g.access_pc])?;
+        for &u in &g.use_pcs {
+            sa.require(auth, out_node[u])?;
+        }
+        sa.require(auth, out_node[g.send_pc])?;
+    }
+    Ok(sa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadget::find_gadgets;
+    use isa::asm;
+
+    fn analyze(src: &str, cfg: &AnalysisConfig) -> SecurityAnalysis {
+        let p = asm::assemble(src).unwrap();
+        let g = find_gadgets(&p, cfg);
+        build_graph(&p, &g, cfg).unwrap()
+    }
+
+    #[test]
+    fn spectre_graph_has_instruction_level_race() {
+        let sa = analyze(
+            "load r4, [r2]\nbge r0, r4, out\nload r6, [r5]\nadd r7, r6, r3\nload r8, [r7]\nout: halt",
+            &AnalysisConfig::default(),
+        );
+        let v = sa.vulnerabilities().unwrap();
+        // Access, use and send all race with the branch.
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn meltdown_graph_decomposes_the_access() {
+        let sa = analyze(
+            "load r6, [r5]\nload r8, [r6]\nhalt",
+            &AnalysisConfig {
+                user_mode: true,
+                ..AnalysisConfig::default()
+            },
+        );
+        // The faulting load became two nodes: check + read.
+        let labels: Vec<String> = sa.graph().nodes().map(|n| n.label().to_owned()).collect();
+        assert!(labels.iter().any(|l| l.contains("permission check")));
+        assert!(labels.iter().any(|l| l.contains("data read")));
+        // The check and the read race — the intra-instruction hole.
+        let check = sa
+            .graph()
+            .nodes()
+            .find(|n| n.label().contains("permission check"))
+            .unwrap()
+            .id();
+        let read = sa
+            .graph()
+            .nodes()
+            .find(|n| n.label().contains("data read"))
+            .unwrap()
+            .id();
+        assert!(sa.graph().has_race(check, read).unwrap());
+    }
+
+    #[test]
+    fn fence_edges_remove_the_race() {
+        let sa = analyze(
+            "load r4, [r2]\nbge r0, r4, out\nlfence\nload r6, [r5]\nadd r7, r6, r3\nload r8, [r7]\nout: halt",
+            &AnalysisConfig::default(),
+        );
+        assert!(sa.is_secure().unwrap());
+    }
+
+    #[test]
+    fn graph_exports_dot() {
+        let sa = analyze(
+            "load r4, [r2]\nbge r0, r4, out\nload r6, [r5]\nload r8, [r6]\nout: halt",
+            &AnalysisConfig::default(),
+        );
+        let dot = sa.graph().to_dot("generated");
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("bge"));
+    }
+}

@@ -1,0 +1,261 @@
+//! Program patching: the "add security dependency" box of Figure 9.
+//!
+//! Two software patches are provided:
+//!
+//! * [`patch_with_fences`]: insert an `LFENCE` after each Spectre-type
+//!   gadget's authorization (defense strategy ①, the LFENCE row of
+//!   Table II);
+//! * [`mask_index`]: coarse address masking — constrain the index register
+//!   after the bounds check (the V8/Linux mitigation of Table II).
+
+use crate::gadget::{Gadget, GadgetClass};
+use crate::AnalyzerError;
+use isa::{AluOp, Instruction, Operand, Program, Reg};
+
+/// Inserts `inst` at position `pos`, shifting later instructions and
+/// remapping every control-flow target and label.
+///
+/// # Errors
+///
+/// [`AnalyzerError::Program`] if the rebuilt program fails validation.
+pub fn insert_at(program: &Program, pos: usize, inst: Instruction) -> Result<Program, AnalyzerError> {
+    let remap = |t: usize| if t >= pos { t + 1 } else { t };
+    let mut insts: Vec<Instruction> = Vec::with_capacity(program.len() + 1);
+    for (pc, old) in program.iter() {
+        if pc == pos {
+            insts.push(inst);
+        }
+        let new = match *old {
+            Instruction::BranchIf { cond, a, b, target } => Instruction::BranchIf {
+                cond,
+                a,
+                b,
+                target: remap(target),
+            },
+            Instruction::Jump { target } => Instruction::Jump { target: remap(target) },
+            Instruction::Call { target } => Instruction::Call { target: remap(target) },
+            other => other,
+        };
+        insts.push(new);
+    }
+    if pos == program.len() {
+        insts.push(inst);
+    }
+    Program::from_instructions(insts).map_err(AnalyzerError::Program)
+}
+
+/// Inserts an `LFENCE` immediately after each Spectre-type gadget's
+/// authorization. Meltdown-type gadgets are left untouched: their race is
+/// *inside* one instruction, where no software fence can reach — the
+/// paper's argument that they need hardware (eager-check) fixes.
+///
+/// # Errors
+///
+/// [`AnalyzerError::Program`] if reconstruction fails.
+pub fn patch_with_fences(program: &Program, gadgets: &[Gadget]) -> Result<Program, AnalyzerError> {
+    let mut positions: Vec<usize> = gadgets
+        .iter()
+        .filter(|g| g.class == GadgetClass::SpectreType)
+        .map(|g| g.auth_pc + 1)
+        .collect();
+    positions.sort_unstable();
+    positions.dedup();
+    let mut p = program.clone();
+    // Insert from the back so earlier positions stay valid.
+    for &pos in positions.iter().rev() {
+        p = insert_at(&p, pos, Instruction::Fence(isa::FenceKind::LFence))?;
+    }
+    Ok(p)
+}
+
+/// SABC-style serialization ("Secure Automatic Bounds Checking", §V-B):
+/// inserts, at `pos` (right after the bounds check), two arithmetic
+/// instructions that tie the gadget's index register to the *slow* bound
+/// value without changing any architectural result:
+///
+/// ```text
+/// sub scratch, slow, slow   ; always 0, but data-depends on `slow`
+/// or  tie, tie, scratch     ; `tie` unchanged, now waits for `slow`
+/// ```
+///
+/// The transient access's address now cannot be computed before the bound
+/// arrives — and by then the branch has resolved. Prevention by data
+/// dependency instead of a fence: cheaper, same ordering effect.
+///
+/// Note the sound over-approximation at the graph level: the generated
+/// attack graph still reports the branch/access race (the inserted
+/// ordering runs through the bound's *producer*, not the branch node);
+/// the executable verification shows the leak is gone.
+///
+/// # Errors
+///
+/// [`AnalyzerError::Program`] if reconstruction fails.
+pub fn sabc_serialize(
+    program: &Program,
+    pos: usize,
+    tie: Reg,
+    slow: Reg,
+    scratch: Reg,
+) -> Result<Program, AnalyzerError> {
+    let p = insert_at(
+        program,
+        pos,
+        Instruction::Alu {
+            op: AluOp::Sub,
+            dst: scratch,
+            a: slow,
+            b: Operand::Reg(slow),
+        },
+    )?;
+    insert_at(
+        &p,
+        pos + 1,
+        Instruction::Alu {
+            op: AluOp::Or,
+            dst: tie,
+            a: tie,
+            b: Operand::Reg(scratch),
+        },
+    )
+}
+
+/// Coarse address masking: inserts `and index, index, mask` at `pos`
+/// (typically right after the bounds check), so out-of-bounds indices are
+/// unrepresentable even transiently.
+///
+/// # Errors
+///
+/// [`AnalyzerError::Program`] if reconstruction fails.
+pub fn mask_index(
+    program: &Program,
+    pos: usize,
+    index: Reg,
+    mask: u64,
+) -> Result<Program, AnalyzerError> {
+    insert_at(
+        program,
+        pos,
+        Instruction::Alu {
+            op: AluOp::And,
+            dst: index,
+            a: index,
+            b: Operand::Imm(mask),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnalysisConfig, Analyzer};
+    use isa::asm;
+
+    #[test]
+    fn insert_remaps_targets() {
+        let p = asm::assemble("bge r0, r4, out\nnop\nout: halt").unwrap();
+        let p2 = insert_at(&p, 1, Instruction::Nop).unwrap();
+        assert_eq!(p2.len(), 4);
+        match p2[0] {
+            Instruction::BranchIf { target, .. } => assert_eq!(target, 3),
+            ref other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn insert_before_target_keeps_earlier_targets() {
+        let p = asm::assemble("top: nop\nbge r0, r4, top\nhalt").unwrap();
+        let p2 = insert_at(&p, 2, Instruction::Nop).unwrap();
+        match p2[1] {
+            Instruction::BranchIf { target, .. } => assert_eq!(target, 0),
+            ref other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn insert_at_end() {
+        let p = asm::assemble("nop\nhalt").unwrap();
+        let p2 = insert_at(&p, 2, Instruction::Nop).unwrap();
+        assert_eq!(p2.len(), 3);
+        assert_eq!(p2[2], Instruction::Nop);
+    }
+
+    #[test]
+    fn fence_patch_secures_spectre_gadget() {
+        let p = asm::assemble(
+            "load r4, [r2]\nbge r0, r4, out\nload r6, [r5]\nadd r7, r6, r3\nload r8, [r7]\nout: halt",
+        )
+        .unwrap();
+        let a = Analyzer::new(AnalysisConfig::default());
+        let report = a.analyze(&p).unwrap();
+        assert!(!report.vulnerabilities.is_empty());
+        let patched = report.patch_with_fences(&p).unwrap();
+        assert_eq!(patched.len(), p.len() + 1);
+        assert_eq!(patched[2], Instruction::Fence(isa::FenceKind::LFence));
+        let report2 = a.analyze(&patched).unwrap();
+        assert!(report2.vulnerabilities.is_empty());
+    }
+
+    #[test]
+    fn meltdown_gadget_not_fence_patchable() {
+        let p = asm::assemble("load r6, [r5]\nload r8, [r6]\nhalt").unwrap();
+        let a = Analyzer::new(AnalysisConfig {
+            user_mode: true,
+            ..AnalysisConfig::default()
+        });
+        let report = a.analyze(&p).unwrap();
+        assert!(!report.vulnerabilities.is_empty());
+        let patched = report.patch_with_fences(&p).unwrap();
+        // Unchanged: software fences cannot order micro-ops of one
+        // instruction.
+        assert_eq!(patched.len(), p.len());
+        let report2 = a.analyze(&patched).unwrap();
+        assert!(!report2.vulnerabilities.is_empty());
+    }
+
+    #[test]
+    fn sabc_inserts_dependency_chain() {
+        let p = asm::assemble("bge r0, r4, out
+load r6, [r5]
+out: halt").unwrap();
+        let p2 = sabc_serialize(&p, 1, Reg::R5, Reg::R4, Reg::R13).unwrap();
+        assert_eq!(p2.len(), p.len() + 2);
+        assert_eq!(
+            p2[1],
+            Instruction::Alu {
+                op: AluOp::Sub,
+                dst: Reg::R13,
+                a: Reg::R4,
+                b: Operand::Reg(Reg::R4)
+            }
+        );
+        assert_eq!(
+            p2[2],
+            Instruction::Alu {
+                op: AluOp::Or,
+                dst: Reg::R5,
+                a: Reg::R5,
+                b: Operand::Reg(Reg::R13)
+            }
+        );
+        // The branch target was remapped past both insertions.
+        match p2[0] {
+            Instruction::BranchIf { target, .. } => assert_eq!(target, 4),
+            ref other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn mask_insertion() {
+        let p = asm::assemble("bge r0, r4, out\nload r6, [r5]\nout: halt").unwrap();
+        let p2 = mask_index(&p, 1, Reg::R0, 0x7).unwrap();
+        assert_eq!(
+            p2[1],
+            Instruction::Alu {
+                op: AluOp::And,
+                dst: Reg::R0,
+                a: Reg::R0,
+                b: Operand::Imm(7)
+            }
+        );
+    }
+}

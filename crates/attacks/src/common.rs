@@ -1,0 +1,123 @@
+//! Shared plumbing for the attack PoCs: memory layout, the covert-channel
+//! receiver harness, and event accounting.
+
+use crate::{AttackError, AttackOutcome};
+use channels::flush_reload::{FlushReload, SLOT_STRIDE};
+use uarch::{Machine, TraceEvent, UarchConfig};
+
+/// Probe array base for the Flush+Reload channel (step 1a).
+pub const PROBE_BASE: u64 = 0x100_0000;
+
+/// Number of probe slots: one byte of secret per pass.
+pub const PROBE_SLOTS: usize = 256;
+
+/// Victim in-bounds array (Spectre v1 family).
+pub const VICTIM_ARRAY: u64 = 0x1000;
+
+/// Two-level pointer chain that delays the bounds check: `BOUND_PTR`
+/// holds the address of `BOUND_CELL`, which holds the array length.
+/// Flushing both lines makes the *authorization* ~2 misses slow — the
+/// speculation window.
+pub const BOUND_PTR: u64 = 0x2000;
+
+/// Second hop of the bound pointer chain.
+pub const BOUND_CELL: u64 = 0x2100;
+
+/// Kernel page holding the Meltdown/Foreshadow secret.
+pub const KERNEL_SECRET: u64 = 0x20_0000;
+
+/// A scratch user page various PoCs use.
+pub const USER_SCRATCH: u64 = 0x30_0000;
+
+/// An *unmapped* virtual page used by MDS PoCs for their faulting loads.
+pub const UNMAPPED: u64 = 0x66_0000;
+
+/// The byte value planted as the secret in every PoC (non-zero so the
+/// architectural re-execution guard `beq r, zero` can filter dead paths).
+pub const SECRET: u64 = 0xA7;
+
+/// The Flush+Reload channel every PoC uses by default.
+#[must_use]
+pub fn probe_channel() -> FlushReload {
+    FlushReload::new(PROBE_BASE, PROBE_SLOTS)
+}
+
+/// The slot stride as an immediate for attack programs
+/// (`send_addr = PROBE_BASE + secret * PROBE_STRIDE`).
+pub const PROBE_STRIDE: u64 = SLOT_STRIDE;
+
+/// Builds the outcome from the machine's event log and the channel verdict.
+///
+/// # Errors
+///
+/// Propagates [`AttackError`] from the receive pass.
+pub fn finish(
+    m: &mut Machine,
+    secret: u64,
+    start_cycle: u64,
+) -> Result<AttackOutcome, AttackError> {
+    let reading = probe_channel().receive(m)?;
+    let recovered = reading.recovered.map(|s| s as u64);
+    let mut transient_forwards = 0;
+    let mut squashes = 0;
+    let mut defense_blocks = 0;
+    for e in m.events() {
+        match e {
+            TraceEvent::TransientForward { .. } => transient_forwards += 1,
+            TraceEvent::Squash { .. } => squashes += 1,
+            TraceEvent::DefenseBlocked { .. } => defense_blocks += 1,
+            _ => {}
+        }
+    }
+    Ok(AttackOutcome {
+        secret,
+        recovered,
+        leaked: recovered == Some(secret),
+        transient_forwards,
+        squashes,
+        defense_blocks,
+        cycles: m.cycle() - start_cycle,
+    })
+}
+
+/// Creates a machine with the probe channel prepared (mapped + flushed) and
+/// the event log cleared — the common step-1 setup.
+///
+/// # Errors
+///
+/// Propagates [`AttackError`] from channel preparation.
+pub fn machine_with_channel(cfg: &UarchConfig) -> Result<Machine, AttackError> {
+    let mut m = Machine::new(cfg.clone());
+    probe_channel().prepare(&mut m)?;
+    m.clear_events();
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_setup_is_clean() {
+        let mut m = machine_with_channel(&UarchConfig::default()).unwrap();
+        let ch = probe_channel();
+        assert!(ch.resident_slots(&m).unwrap().is_empty());
+        assert!(m.events().is_empty());
+        // A send then finish() recovers it.
+        m.touch(ch.slot_address(SECRET as usize)).unwrap();
+        let start = m.cycle();
+        let out = finish(&mut m, SECRET, start).unwrap();
+        assert!(out.leaked);
+        assert_eq!(out.recovered, Some(SECRET));
+        assert!(out.cycles > 0);
+    }
+
+    #[test]
+    fn finish_reports_miss_when_nothing_sent() {
+        let mut m = machine_with_channel(&UarchConfig::default()).unwrap();
+        let start = m.cycle();
+        let out = finish(&mut m, SECRET, start).unwrap();
+        assert!(!out.leaked);
+        assert_eq!(out.recovered, None);
+    }
+}

@@ -1,0 +1,350 @@
+//! Attack-graph builders reproducing Figures 1 and 3–7 of the paper.
+//!
+//! Every builder returns the **vulnerable baseline** graph: the nodes and
+//! the dependencies the hardware actually enforces (program order into the
+//! speculation trigger, data/address dependencies among the transient
+//! instructions, and the squash-or-commit resolution) — but *no* edge from
+//! the delayed authorization to the secret access / use / send nodes. Those
+//! orderings are declared as [`SecurityAnalysis`] *requirements*, so
+//! Theorem 1 reports them as races, and patching them reproduces the
+//! paper's red dashed defense arrows (Figure 8 strategies ①–③).
+
+use tsg::{EdgeKind, NodeKind, SecretSource, SecurityAnalysis};
+
+/// Figure 1: the Spectre v1/v2 attack graph (also v1.1, v1.2 and
+/// Spectre-RSB with relabeled authorization/access nodes).
+///
+/// Node labels follow the figure: "Mistrain predictor", "Flush Array_A",
+/// the branch instruction issuing the delayed authorization,
+/// "Load S" (access), "Compute load address R" (use), "Load R to Cache"
+/// (send), "Reload Array_A / Measure time" (receive), and the
+/// "Branch resolution" / "Squash or commit" pair.
+#[must_use]
+pub fn fig1_branch_attack(
+    authorization: &str,
+    access: &str,
+    access_source: SecretSource,
+) -> SecurityAnalysis {
+    let mut sa = SecurityAnalysis::new();
+    let g = sa.graph_mut();
+    let flush = g.add_node("Flush Array_A", NodeKind::Setup);
+    let mistrain = g.add_node("Mistrain predictor", NodeKind::Setup);
+    let branch = g.add_node("Conditional/Indirect Branch Instruction", NodeKind::Compute);
+    let resolution = g.add_node(authorization, NodeKind::Authorization);
+    let access_n = g.add_node(access, NodeKind::SecretAccess(access_source));
+    let use_n = g.add_node("Compute load address R", NodeKind::UseSecret);
+    let send = g.add_node("Load R to Cache", NodeKind::Send);
+    let squash = g.add_node("Squash or commit", NodeKind::Resolution);
+    let reload = g.add_node("Reload Array_A", NodeKind::Receive);
+    let measure = g.add_node("Measure time", NodeKind::Receive);
+
+    let edges = [
+        (flush, branch, EdgeKind::Program),
+        (mistrain, branch, EdgeKind::Program), // setup precedes the victim
+        (branch, resolution, EdgeKind::Data),  // the branch initiates its own resolution
+        (branch, access_n, EdgeKind::Control), // speculative fetch of the transient path
+        (access_n, use_n, EdgeKind::Data),
+        (use_n, send, EdgeKind::Address),
+        (resolution, squash, EdgeKind::Data),
+        (squash, reload, EdgeKind::Program), // receiver runs after the window closes
+        (reload, measure, EdgeKind::Data),
+    ];
+    for (u, v, k) in edges {
+        g.add_edge(u, v, k).expect("figure 1 is acyclic");
+    }
+    sa.require(resolution, access_n).expect("nodes exist");
+    sa.require(resolution, use_n).expect("nodes exist");
+    sa.require(resolution, send).expect("nodes exist");
+    sa
+}
+
+/// Figures 3 and 4: the Meltdown / Foreshadow / MDS attack graph, where the
+/// authorization ("Load Permission Check") and the access ("Read S from
+/// <source>") are micro-ops of the *same* load instruction.
+#[must_use]
+pub fn fig4_faulting_load(authorization: &str, access: &str, source: SecretSource) -> SecurityAnalysis {
+    let mut sa = SecurityAnalysis::new();
+    let g = sa.graph_mut();
+    let flush = g.add_node("Flush Array_A", NodeKind::Setup);
+    let load = g.add_node("Load instruction", NodeKind::Compute);
+    let check = g.add_node(authorization, NodeKind::Authorization);
+    let read = g.add_node(access, NodeKind::SecretAccess(source));
+    let use_n = g.add_node("Compute load address R", NodeKind::UseSecret);
+    let send = g.add_node("Load R to Cache", NodeKind::Send);
+    let squash = g.add_node("Load exception: Squash pipe", NodeKind::Resolution);
+    let reload = g.add_node("Reload Array_A", NodeKind::Receive);
+    let measure = g.add_node("Measure time", NodeKind::Receive);
+
+    let edges = [
+        (flush, load, EdgeKind::Program),
+        (load, check, EdgeKind::Data), // the load issues its own permission check…
+        (load, read, EdgeKind::Data),  // …and its own data read: the intra-instruction race
+        (read, use_n, EdgeKind::Data),
+        (use_n, send, EdgeKind::Address),
+        (check, squash, EdgeKind::Data),
+        (squash, reload, EdgeKind::Program),
+        (reload, measure, EdgeKind::Data),
+    ];
+    for (u, v, k) in edges {
+        g.add_edge(u, v, k).expect("figure 4 is acyclic");
+    }
+    sa.require(check, read).expect("nodes exist");
+    sa.require(check, use_n).expect("nodes exist");
+    sa.require(check, send).expect("nodes exist");
+    sa
+}
+
+/// The **unified** Figure 4 graph exactly as the paper draws it: one load
+/// instruction whose permission check races with *five* alternative secret
+/// sources — memory (Meltdown), cache (Foreshadow), load port (RIDL), line
+/// fill buffer (RIDL/ZombieLoad) and store buffer (Fallout) — all feeding
+/// the same use→send→receive chain. The paper's red dashed arrows ①–④ are
+/// the security dependencies this graph *requires* but does not contain.
+#[must_use]
+pub fn fig4_unified() -> SecurityAnalysis {
+    let mut sa = SecurityAnalysis::new();
+    let g = sa.graph_mut();
+    let flush = g.add_node("Flush Array_A", NodeKind::Setup);
+    let load = g.add_node("Load instruction", NodeKind::Compute);
+    let check = g.add_node("Load Permission Check", NodeKind::Authorization);
+    let sources = [
+        ("Read from Memory", SecretSource::Memory),
+        ("Read from Cache", SecretSource::Cache),
+        ("Read from load port", SecretSource::LoadPort),
+        ("Read from line fill buffer", SecretSource::LineFillBuffer),
+        ("Read from store buffer", SecretSource::StoreBuffer),
+    ];
+    let reads: Vec<_> = sources
+        .iter()
+        .map(|&(label, src)| g.add_node(label, NodeKind::SecretAccess(src)))
+        .collect();
+    let use_n = g.add_node("Compute load address R", NodeKind::UseSecret);
+    let send = g.add_node("Load R to Cache", NodeKind::Send);
+    let squash = g.add_node("Load exception: Squash pipe", NodeKind::Resolution);
+    let reload = g.add_node("Reload Array_A", NodeKind::Receive);
+    let measure = g.add_node("Measure time", NodeKind::Receive);
+
+    g.add_edge(flush, load, EdgeKind::Program).expect("acyclic");
+    g.add_edge(load, check, EdgeKind::Data).expect("acyclic");
+    for &r in &reads {
+        g.add_edge(load, r, EdgeKind::Data).expect("acyclic");
+        g.add_edge(r, use_n, EdgeKind::Data).expect("acyclic");
+    }
+    g.add_edge(use_n, send, EdgeKind::Address).expect("acyclic");
+    g.add_edge(check, squash, EdgeKind::Data).expect("acyclic");
+    g.add_edge(squash, reload, EdgeKind::Program).expect("acyclic");
+    g.add_edge(reload, measure, EdgeKind::Data).expect("acyclic");
+
+    for &r in &reads {
+        sa.require(check, r).expect("nodes exist");
+    }
+    sa.require(check, use_n).expect("nodes exist");
+    sa.require(check, send).expect("nodes exist");
+    sa
+}
+
+/// Figure 5: special-register attacks (Spectre v3a, Lazy FP): the illegal
+/// access reads a special register or stale FPU state instead of memory.
+#[must_use]
+pub fn fig5_special_register(authorization: &str, access: &str, source: SecretSource) -> SecurityAnalysis {
+    let mut sa = SecurityAnalysis::new();
+    let g = sa.graph_mut();
+    let flush = g.add_node("Flush Array_A", NodeKind::Setup);
+    let reg_access = g.add_node("Register Access", NodeKind::Compute);
+    let check = g.add_node(authorization, NodeKind::Authorization);
+    let read = g.add_node(access, NodeKind::SecretAccess(source));
+    let use_n = g.add_node("Compute load address R", NodeKind::UseSecret);
+    let send = g.add_node("Load R to Cache", NodeKind::Send);
+    let squash = g.add_node("(Illegal Access) Squash", NodeKind::Resolution);
+    let reload = g.add_node("Reload Array_A", NodeKind::Receive);
+    let measure = g.add_node("Measure time", NodeKind::Receive);
+
+    let edges = [
+        (flush, reg_access, EdgeKind::Program),
+        (reg_access, check, EdgeKind::Data),
+        (reg_access, read, EdgeKind::Data),
+        (read, use_n, EdgeKind::Data),
+        (use_n, send, EdgeKind::Address),
+        (check, squash, EdgeKind::Data),
+        (squash, reload, EdgeKind::Program),
+        (reload, measure, EdgeKind::Data),
+    ];
+    for (u, v, k) in edges {
+        g.add_edge(u, v, k).expect("figure 5 is acyclic");
+    }
+    sa.require(check, read).expect("nodes exist");
+    sa.require(check, use_n).expect("nodes exist");
+    sa.require(check, send).expect("nodes exist");
+    sa
+}
+
+/// Figure 6: the memory-disambiguation attack (Spectre v4): the
+/// authorization is the store-load address disambiguation; the illegal
+/// access reads stale data the pending store should have overwritten.
+#[must_use]
+pub fn fig6_disambiguation() -> SecurityAnalysis {
+    let mut sa = SecurityAnalysis::new();
+    let g = sa.graph_mut();
+    let flush = g.add_node("Flush Array_A", NodeKind::Setup);
+    let store = g.add_node("Store S", NodeKind::Compute);
+    let load = g.add_node("Load instruction", NodeKind::Compute);
+    let disamb = g.add_node("Memory address disambiguation", NodeKind::Authorization);
+    let read = g.add_node(
+        "Read S (stale)",
+        NodeKind::SecretAccess(SecretSource::ArchitecturalMemory),
+    );
+    let use_n = g.add_node("Compute load address R", NodeKind::UseSecret);
+    let send = g.add_node("Load R to Cache", NodeKind::Send);
+    let squash = g.add_node("(Illegal Access) Squash", NodeKind::Resolution);
+    let reload = g.add_node("Reload Array_A", NodeKind::Receive);
+    let measure = g.add_node("Measure time", NodeKind::Receive);
+
+    let edges = [
+        (flush, store, EdgeKind::Program),
+        (store, load, EdgeKind::Program),
+        (store, disamb, EdgeKind::Data), // the pending store's address feeds disambiguation
+        (load, disamb, EdgeKind::Data),
+        (load, read, EdgeKind::Data),
+        (read, use_n, EdgeKind::Data),
+        (use_n, send, EdgeKind::Address),
+        (disamb, squash, EdgeKind::Data),
+        (squash, reload, EdgeKind::Program),
+        (reload, measure, EdgeKind::Data),
+    ];
+    for (u, v, k) in edges {
+        g.add_edge(u, v, k).expect("figure 6 is acyclic");
+    }
+    sa.require(disamb, read).expect("nodes exist");
+    sa.require(disamb, use_n).expect("nodes exist");
+    sa.require(disamb, send).expect("nodes exist");
+    sa
+}
+
+/// Figure 7: Load Value Injection — the attacker *plants* a malicious value
+/// M in the leaky buffers; the victim's faulting load consumes it and the
+/// victim's own code becomes the confused-deputy sender.
+#[must_use]
+pub fn fig7_lvi() -> SecurityAnalysis {
+    let mut sa = SecurityAnalysis::new();
+    let g = sa.graph_mut();
+    let plant = g.add_node("Place a malicious value M in hardware buffers", NodeKind::Setup);
+    let flush = g.add_node("Flush Array_A", NodeKind::Setup);
+    let load = g.add_node("Load instruction", NodeKind::Compute);
+    let check = g.add_node("Load permission check", NodeKind::Authorization);
+    let read_m = g.add_node(
+        "Read M from store buffer",
+        NodeKind::SecretAccess(SecretSource::StoreBuffer),
+    );
+    let divert = g.add_node("Victim's control or data flow diverted by M", NodeKind::UseSecret);
+    let access_s = g.add_node("Load S", NodeKind::UseSecret);
+    let send = g.add_node("Load R to cache", NodeKind::Send);
+    let squash = g.add_node("(Illegal Access) Squash", NodeKind::Resolution);
+    let reload = g.add_node("Reload Array_A", NodeKind::Receive);
+    let measure = g.add_node("Measure time", NodeKind::Receive);
+
+    let edges = [
+        (plant, load, EdgeKind::Program),
+        (flush, load, EdgeKind::Program),
+        (load, check, EdgeKind::Data),
+        (load, read_m, EdgeKind::Data),
+        (read_m, divert, EdgeKind::Data),
+        (divert, access_s, EdgeKind::Address),
+        (access_s, send, EdgeKind::Address),
+        (check, squash, EdgeKind::Data),
+        (squash, reload, EdgeKind::Program),
+        (reload, measure, EdgeKind::Data),
+    ];
+    for (u, v, k) in edges {
+        g.add_edge(u, v, k).expect("figure 7 is acyclic");
+    }
+    sa.require(check, read_m).expect("nodes exist");
+    sa.require(check, divert).expect("nodes exist");
+    sa.require(check, send).expect("nodes exist");
+    sa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_baseline_races(sa: &SecurityAnalysis, expected_vulns: usize) {
+        let v = sa.vulnerabilities().unwrap();
+        assert_eq!(v.len(), expected_vulns, "baseline must race: {v:?}");
+        // Patching the *access* edge alone fixes the downstream chain.
+        let mut patched = sa.clone();
+        patched.patch(v[0].dependency).unwrap();
+        assert!(patched.is_secure().unwrap());
+    }
+
+    #[test]
+    fn fig1_has_three_missing_dependencies() {
+        let sa = fig1_branch_attack(
+            "Branch resolution: correct flow",
+            "Load S",
+            SecretSource::ArchitecturalMemory,
+        );
+        check_baseline_races(&sa, 3);
+        assert_eq!(sa.graph().node_count(), 10);
+    }
+
+    #[test]
+    fn fig4_models_intra_instruction_race() {
+        let sa = fig4_faulting_load("Load Permission Check", "Read from Memory", SecretSource::Memory);
+        check_baseline_races(&sa, 3);
+        // The load instruction issues *both* the check and the read — the
+        // same-instruction decomposition of Insight 6.
+        let g = sa.graph();
+        let load = g.find_by_label("Load instruction").unwrap();
+        let check = g.find_by_label("Load Permission Check").unwrap();
+        let read = g.find_by_label("Read from Memory").unwrap();
+        assert!(g.has_path(load, check).unwrap());
+        assert!(g.has_path(load, read).unwrap());
+        assert!(g.has_race(check, read).unwrap());
+    }
+
+    #[test]
+    fn fig5_fig6_fig7_race() {
+        check_baseline_races(
+            &fig5_special_register("Permission Check", "Read from FPU", SecretSource::Fpu),
+            3,
+        );
+        check_baseline_races(&fig6_disambiguation(), 3);
+        check_baseline_races(&fig7_lvi(), 3);
+    }
+
+    #[test]
+    fn fig4_unified_has_five_source_races() {
+        let sa = fig4_unified();
+        // 5 sources + use + send = 7 missing dependencies.
+        assert_eq!(sa.vulnerabilities().unwrap().len(), 7);
+        // Patching only the memory read leaves the other four sources
+        // racing — the §V-B insufficiency argument on the real figure.
+        let mut partial = sa.clone();
+        let check = partial.graph().find_by_label("Load Permission Check").unwrap();
+        let mem = partial.graph().find_by_label("Read from Memory").unwrap();
+        partial
+            .graph_mut()
+            .add_edge(check, mem, EdgeKind::Security)
+            .unwrap();
+        let left = partial.vulnerabilities().unwrap();
+        assert_eq!(left.len(), 4, "four alternative sources still race");
+        // Patching *every* datapath (or equivalently, the use node) fixes it.
+        let mut full = sa.clone();
+        full.patch_all().unwrap();
+        assert!(full.is_secure().unwrap());
+    }
+
+    #[test]
+    fn dot_export_works_for_every_figure() {
+        for sa in [
+            fig1_branch_attack("auth", "acc", SecretSource::ArchitecturalMemory),
+            fig4_faulting_load("auth", "acc", SecretSource::Memory),
+            fig5_special_register("auth", "acc", SecretSource::SpecialRegister),
+            fig6_disambiguation(),
+            fig7_lvi(),
+        ] {
+            let dot = sa.graph().to_dot("figure");
+            assert!(dot.contains("digraph"));
+        }
+    }
+}

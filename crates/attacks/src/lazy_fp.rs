@@ -1,0 +1,117 @@
+//! Lazy FP — stale floating-point register leakage (Figure 5): on a lazy
+//! FPU context switch, the first FP instruction of the new context faults
+//! ("FPU owner check"), but transiently reads the *previous* context's
+//! physical FP registers.
+
+use crate::common::{finish, machine_with_channel, PROBE_BASE, PROBE_STRIDE, SECRET};
+use crate::graphs::fig5_special_register;
+use crate::{Attack, AttackClass, AttackError, AttackInfo, AttackOutcome};
+use isa::{AluOp, Cond, FReg, ProgramBuilder, Reg};
+use tsg::{SecretSource, SecurityAnalysis};
+use uarch::{ExceptionBehavior, Privilege, UarchConfig};
+
+/// Lazy FP state leakage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LazyFp;
+
+impl Attack for LazyFp {
+    fn info(&self) -> AttackInfo {
+        AttackInfo {
+            name: "Lazy FP",
+            cve: Some("CVE-2018-3665"),
+            impact: "Leak of FPU state",
+            authorization: "FPU owner check",
+            illegal_access: "Read stale FPU state",
+            class: AttackClass::Meltdown,
+        }
+    }
+
+    fn graph(&self) -> SecurityAnalysis {
+        fig5_special_register("Permission Check", "Read from FPU", SecretSource::Fpu)
+    }
+
+    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
+        let mut m = machine_with_channel(cfg)?;
+        // The victim computes with the secret in f0…
+        let victim = m.current_context();
+        m.set_fpu_reg(victim, 0, SECRET);
+        // …then the OS switches to the attacker. Under lazy switching the
+        // physical FPU still holds the victim's registers.
+        let attacker = m.add_context(Privilege::User, ExceptionBehavior::Halt);
+        m.switch_context(attacker)?;
+
+        let program = ProgramBuilder::new()
+            .fpmov(Reg::R6, FReg::new(0)) // FPU owner check races with read
+            .branch_if(Cond::Eq, Reg::R6, Reg::ZERO, "done")
+            .alu_imm(AluOp::Mul, Reg::R7, Reg::R6, PROBE_STRIDE)
+            .alu(AluOp::Add, Reg::R7, Reg::R7, Reg::R3)
+            .load(Reg::R8, Reg::R7, 0)
+            .label("done")
+            .map_err(AttackError::Isa)?
+            .halt()
+            .build()
+            .map_err(AttackError::Isa)?;
+        m.set_reg(Reg::R3, PROBE_BASE);
+        m.clear_events();
+        let start = m.cycle();
+        m.run(&program)?;
+        finish(&mut m, SECRET, start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lazy_fp_leaks_on_baseline() {
+        let out = LazyFp.run(&UarchConfig::default()).unwrap();
+        assert!(out.leaked, "{out}");
+        assert_eq!(out.recovered, Some(SECRET));
+        assert!(out.transient_forwards >= 1);
+    }
+
+    #[test]
+    fn blocked_by_eager_fpu_switch() {
+        // The industry fix: save/restore FP state eagerly on every context
+        // switch — there is no stale state to read.
+        let out = LazyFp
+            .run(&UarchConfig::builder().lazy_fpu(false).build())
+            .unwrap();
+        assert!(!out.leaked, "{out}");
+    }
+
+    #[test]
+    fn blocked_by_no_transient_forwarding() {
+        let out = LazyFp
+            .run(&UarchConfig::builder().transient_forwarding(false).build())
+            .unwrap();
+        assert!(!out.leaked, "{out}");
+    }
+
+    #[test]
+    fn blocked_by_nda() {
+        let out = LazyFp
+            .run(&UarchConfig::builder().nda(true).build())
+            .unwrap();
+        assert!(!out.leaked, "{out}");
+    }
+
+    #[test]
+    fn architectural_read_after_switch_sees_zero() {
+        // After the #NM-style fault the FPU is switched eagerly and the
+        // attacker's own (zero) registers are read architecturally.
+        let mut m = machine_with_channel(&UarchConfig::default()).unwrap();
+        let victim = m.current_context();
+        m.set_fpu_reg(victim, 0, SECRET);
+        let attacker = m.add_context(Privilege::User, ExceptionBehavior::Halt);
+        m.switch_context(attacker).unwrap();
+        let p = ProgramBuilder::new()
+            .fpmov(Reg::R6, FReg::new(0))
+            .halt()
+            .build()
+            .unwrap();
+        m.run(&p).unwrap();
+        assert_eq!(m.reg(Reg::R6), 0);
+    }
+}

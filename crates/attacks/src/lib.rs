@@ -1,0 +1,307 @@
+//! # `attacks` — executable speculative-execution attack variants
+//!
+//! Every attack of Table III of "New Models for Understanding and Reasoning
+//! about Speculative Execution Attacks" (HPCA 2021), each provided as:
+//!
+//! 1. an **executable proof of concept** on the [`uarch`] simulator
+//!    ([`Attack::run`]): the attack program is written in the [`isa`],
+//!    mis-trains/faults its way into a transient window, exfiltrates a
+//!    planted secret through a Flush+Reload channel, and reports whether
+//!    the secret was recovered;
+//! 2. an **attack graph** ([`Attack::graph`]): the paper's TSG model of the
+//!    same attack (Figures 1 and 3–7), with the authorization → access
+//!    security-dependency requirements declared, so the missing edges can
+//!    be found with Theorem 1 and patched;
+//! 3. **catalog metadata** ([`Attack::info`]): CVE, impact, authorization
+//!    and illegal-access node names — the rows of Tables I and III.
+//!
+//! ```
+//! use attacks::{catalog, Attack};
+//! use uarch::UarchConfig;
+//!
+//! # fn main() -> Result<(), attacks::AttackError> {
+//! for attack in catalog() {
+//!     let out = attack.run(&UarchConfig::default())?;
+//!     assert!(out.leaked, "{} must leak on the vulnerable baseline", attack.info().name);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod common;
+pub mod foreshadow;
+pub mod graphs;
+pub mod lazy_fp;
+pub mod lvi;
+pub mod mds;
+pub mod meltdown;
+pub mod spectre_rsb;
+pub mod spectre_v1;
+pub mod spectre_v2;
+pub mod spectre_v4;
+pub mod tsx;
+
+use std::error::Error;
+use std::fmt;
+use tsg::SecurityAnalysis;
+use uarch::UarchConfig;
+
+/// Whether authorization and access live in one instruction or two — the
+/// paper's Insight 6, which decides the modeling level (Figure 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackClass {
+    /// Spectre-type: authorization (a branch / disambiguation) and access
+    /// are *different* instructions — instruction-level modeling suffices.
+    Spectre,
+    /// Meltdown-type: authorization and access are micro-ops of the *same*
+    /// instruction — intra-instruction modeling is required.
+    Meltdown,
+}
+
+impl fmt::Display for AttackClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackClass::Spectre => f.write_str("Spectre-type (inter-instruction)"),
+            AttackClass::Meltdown => f.write_str("Meltdown-type (intra-instruction)"),
+        }
+    }
+}
+
+/// Catalog metadata for one attack (rows of Tables I and III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackInfo {
+    /// Canonical name, e.g. `"Spectre v1"`.
+    pub name: &'static str,
+    /// CVE identifier, if assigned.
+    pub cve: Option<&'static str>,
+    /// Impact summary (Table I).
+    pub impact: &'static str,
+    /// The authorization node (Table III).
+    pub authorization: &'static str,
+    /// The illegal-access node (Table III).
+    pub illegal_access: &'static str,
+    /// Inter- vs intra-instruction race.
+    pub class: AttackClass,
+}
+
+/// Outcome of one attack execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackOutcome {
+    /// The secret planted for the attack to steal.
+    pub secret: u64,
+    /// The symbol the covert-channel receiver recovered, if any.
+    pub recovered: Option<u64>,
+    /// Whether the recovered symbol equals the secret.
+    pub leaked: bool,
+    /// Transient forwards observed during the attack.
+    pub transient_forwards: usize,
+    /// Squash events observed.
+    pub squashes: usize,
+    /// Defense-blocked events observed (why a defended run failed).
+    pub defense_blocks: usize,
+    /// Total cycles the attack consumed (all phases).
+    pub cycles: u64,
+}
+
+impl fmt::Display for AttackOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "secret={:#x} recovered={} leaked={} (forwards={}, squashes={}, blocks={})",
+            self.secret,
+            self.recovered
+                .map_or_else(|| "none".to_owned(), |v| format!("{v:#x}")),
+            self.leaked,
+            self.transient_forwards,
+            self.squashes,
+            self.defense_blocks
+        )
+    }
+}
+
+/// Errors from attack construction or execution.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AttackError {
+    /// The simulator failed.
+    Uarch(uarch::UarchError),
+    /// The attack program failed to assemble.
+    Isa(isa::IsaError),
+    /// The attack graph failed to build.
+    Tsg(tsg::TsgError),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Uarch(e) => write!(f, "simulator error: {e}"),
+            AttackError::Isa(e) => write!(f, "program error: {e}"),
+            AttackError::Tsg(e) => write!(f, "attack graph error: {e}"),
+        }
+    }
+}
+
+impl Error for AttackError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AttackError::Uarch(e) => Some(e),
+            AttackError::Isa(e) => Some(e),
+            AttackError::Tsg(e) => Some(e),
+        }
+    }
+}
+
+impl From<uarch::UarchError> for AttackError {
+    fn from(e: uarch::UarchError) -> Self {
+        AttackError::Uarch(e)
+    }
+}
+
+impl From<isa::IsaError> for AttackError {
+    fn from(e: isa::IsaError) -> Self {
+        AttackError::Isa(e)
+    }
+}
+
+impl From<tsg::TsgError> for AttackError {
+    fn from(e: tsg::TsgError) -> Self {
+        AttackError::Tsg(e)
+    }
+}
+
+/// One attack variant: metadata, attack graph, and executable PoC.
+pub trait Attack: fmt::Debug {
+    /// Catalog metadata (Tables I and III).
+    fn info(&self) -> AttackInfo;
+
+    /// The attack graph (the paper's figure for this variant), with the
+    /// authorization → access/use/send security dependencies declared as
+    /// requirements but **not** enforced by edges — i.e. the vulnerable
+    /// baseline graph.
+    fn graph(&self) -> SecurityAnalysis;
+
+    /// Runs the attack end-to-end on a fresh machine with configuration
+    /// `cfg` and reports the outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`AttackError`] if the simulator rejects the run (cycle limit, bad
+    /// mapping) — *not* when the attack merely fails to leak; that is
+    /// reported via [`AttackOutcome::leaked`].
+    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError>;
+}
+
+/// All 17 attack variants of Table III, in the paper's order.
+#[must_use]
+pub fn catalog() -> Vec<Box<dyn Attack>> {
+    vec![
+        Box::new(spectre_v1::SpectreV1),
+        Box::new(spectre_v1::SpectreV1_1),
+        Box::new(spectre_v1::SpectreV1_2),
+        Box::new(spectre_v2::SpectreV2),
+        Box::new(meltdown::Meltdown),
+        Box::new(meltdown::SpectreV3a),
+        Box::new(spectre_v4::SpectreV4),
+        Box::new(spectre_rsb::SpectreRsb),
+        Box::new(foreshadow::Foreshadow::sgx()),
+        Box::new(foreshadow::Foreshadow::os()),
+        Box::new(foreshadow::Foreshadow::vmm()),
+        Box::new(lazy_fp::LazyFp),
+        Box::new(mds::Ridl),
+        Box::new(mds::ZombieLoad),
+        Box::new(mds::Fallout),
+        Box::new(lvi::Lvi),
+        Box::new(tsx::Taa),
+        Box::new(tsx::CacheOut),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_table_iii() {
+        let c = catalog();
+        assert_eq!(c.len(), 18); // 17 rows; Foreshadow-NG contributes OS+VMM
+        let names: Vec<&str> = c.iter().map(|a| a.info().name).collect();
+        for expected in [
+            "Spectre v1",
+            "Spectre v1.1",
+            "Spectre v1.2",
+            "Spectre v2",
+            "Meltdown",
+            "Spectre v3a",
+            "Spectre v4",
+            "Spectre-RSB",
+            "Foreshadow",
+            "Foreshadow-OS",
+            "Foreshadow-VMM",
+            "Lazy FP",
+            "RIDL",
+            "ZombieLoad",
+            "Fallout",
+            "LVI",
+            "TAA",
+            "CacheOut",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn every_attack_has_consistent_metadata() {
+        for a in catalog() {
+            let info = a.info();
+            assert!(!info.name.is_empty());
+            assert!(!info.impact.is_empty());
+            assert!(!info.authorization.is_empty());
+            assert!(!info.illegal_access.is_empty());
+        }
+    }
+
+    #[test]
+    fn every_graph_has_a_missing_security_dependency() {
+        // The vulnerable baseline graph of every variant must exhibit at
+        // least one authorization/access race (the paper's root cause).
+        for a in catalog() {
+            let g = a.graph();
+            let vulns = g.vulnerabilities().unwrap();
+            assert!(
+                !vulns.is_empty(),
+                "{} graph shows no missing security dependency",
+                a.info().name
+            );
+        }
+    }
+
+    #[test]
+    fn class_display() {
+        assert!(AttackClass::Spectre.to_string().contains("inter"));
+        assert!(AttackClass::Meltdown.to_string().contains("intra"));
+    }
+
+    #[test]
+    fn outcome_display() {
+        let o = AttackOutcome {
+            secret: 0xa7,
+            recovered: Some(0xa7),
+            leaked: true,
+            transient_forwards: 1,
+            squashes: 1,
+            defense_blocks: 0,
+            cycles: 100,
+        };
+        assert!(o.to_string().contains("leaked=true"));
+        let o2 = AttackOutcome {
+            recovered: None,
+            leaked: false,
+            ..o
+        };
+        assert!(o2.to_string().contains("none"));
+    }
+}

@@ -1,0 +1,279 @@
+//! The Micro-architectural Data Sampling family — RIDL (load port /
+//! line fill buffer), ZombieLoad (line fill buffer) and Fallout (store
+//! buffer). A *hard-faulting* load aggressively forwards stale data from a
+//! leaky buffer instead of memory (Figure 4, branches ②③④).
+
+use crate::common::{
+    finish, machine_with_channel, KERNEL_SECRET, PROBE_BASE, PROBE_STRIDE, SECRET, UNMAPPED,
+};
+use crate::graphs::fig4_faulting_load;
+use crate::{Attack, AttackClass, AttackError, AttackInfo, AttackOutcome};
+use isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
+use tsg::{SecretSource, SecurityAnalysis};
+use uarch::{ExceptionBehavior, Machine, Privilege, UarchConfig};
+
+/// The sampling gadget: a faulting load at an *unmapped* address (`r5`),
+/// then transform & send. The faulting load's "value" is whatever stale
+/// data the vulnerable machine forwards from its buffers.
+fn sampling_program() -> Result<Program, AttackError> {
+    Ok(ProgramBuilder::new()
+        .load(Reg::R6, Reg::R5, 0) // hard fault: samples a leaky buffer
+        .branch_if(Cond::Eq, Reg::R6, Reg::ZERO, "done")
+        .alu_imm(AluOp::Mul, Reg::R7, Reg::R6, PROBE_STRIDE)
+        .alu(AluOp::Add, Reg::R7, Reg::R7, Reg::R3)
+        .load(Reg::R8, Reg::R7, 0)
+        .label("done")?
+        .halt()
+        .build()?)
+}
+
+fn run_sampler(m: &mut Machine, fault_vaddr: u64) -> Result<(), AttackError> {
+    m.set_privilege(Privilege::User);
+    let program = sampling_program()?;
+    m.set_exception_behavior(ExceptionBehavior::Handler(
+        program.label("done").expect("label exists"),
+    ));
+    m.set_reg(Reg::R5, fault_vaddr);
+    m.set_reg(Reg::R3, PROBE_BASE);
+    m.run(&program)?;
+    Ok(())
+}
+
+/// Runs a victim load of the kernel secret so the secret transits the
+/// line fill buffer (cache miss) or only the load ports (cache hit).
+fn victim_loads_secret(m: &mut Machine) -> Result<(), AttackError> {
+    m.map_kernel_page(KERNEL_SECRET)?;
+    m.write_u64(KERNEL_SECRET, SECRET)?;
+    m.set_privilege(Privilege::Kernel);
+    let victim = ProgramBuilder::new()
+        .load(Reg::R1, Reg::R0, 0)
+        .halt()
+        .build()?;
+    m.set_reg(Reg::R0, KERNEL_SECRET);
+    m.run(&victim)?;
+    Ok(())
+}
+
+/// RIDL: Rogue In-Flight Data Load — samples stale data from the **load
+/// ports** (this PoC) or the line fill buffer (see [`ZombieLoad`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ridl;
+
+impl Attack for Ridl {
+    fn info(&self) -> AttackInfo {
+        AttackInfo {
+            name: "RIDL",
+            cve: Some("CVE-2018-12127"),
+            impact: "Cross-privilege in-flight data sampling",
+            authorization: "Load fault check",
+            illegal_access: "Forward data from fill buffer and load port",
+            class: AttackClass::Meltdown,
+        }
+    }
+
+    fn graph(&self) -> SecurityAnalysis {
+        fig4_faulting_load("Load Permission Check", "Read from load port", SecretSource::LoadPort)
+    }
+
+    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
+        let mut m = machine_with_channel(cfg)?;
+        // Victim's secret is already cached, so its load *hits*: the value
+        // transits only the load ports — the RIDL datapath.
+        m.map_kernel_page(KERNEL_SECRET)?;
+        m.write_u64(KERNEL_SECRET, SECRET)?;
+        m.touch(KERNEL_SECRET)?;
+        m.clear_leaky_buffers(); // LFB/SB now empty; ports refilled below
+        victim_loads_secret(&mut m)?;
+        m.clear_events();
+        let start = m.cycle();
+        run_sampler(&mut m, UNMAPPED)?;
+        finish(&mut m, SECRET, start)
+    }
+}
+
+/// ZombieLoad: samples the **line fill buffer** — the victim's secret-line
+/// fill is still resident in the LFB when the attacker's faulting load
+/// executes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZombieLoad;
+
+impl Attack for ZombieLoad {
+    fn info(&self) -> AttackInfo {
+        AttackInfo {
+            name: "ZombieLoad",
+            cve: Some("CVE-2018-12130"),
+            impact: "Cross-privilege-boundary data sampling",
+            authorization: "Load fault check",
+            illegal_access: "Forward data from fill buffer",
+            class: AttackClass::Meltdown,
+        }
+    }
+
+    fn graph(&self) -> SecurityAnalysis {
+        fig4_faulting_load(
+            "Load Permission Check",
+            "Read from line fill buffer",
+            SecretSource::LineFillBuffer,
+        )
+    }
+
+    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
+        let mut m = machine_with_channel(cfg)?;
+        m.clear_leaky_buffers();
+        // Victim load *misses*, pulling the secret line through the LFB.
+        victim_loads_secret(&mut m)?;
+        m.clear_events();
+        let start = m.cycle();
+        // Attacker faults at an address whose line offset matches the
+        // secret's (offset 0 here); page offsets differ from any store.
+        run_sampler(&mut m, UNMAPPED)?;
+        finish(&mut m, SECRET, start)
+    }
+}
+
+/// Fallout: samples the **store buffer** — a just-retired victim store's
+/// value is forwarded to a faulting load whose *page offset* matches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fallout;
+
+/// Page offset at which the victim stores and the attacker faults.
+const FALLOUT_OFFSET: u64 = 0x7C0;
+
+impl Attack for Fallout {
+    fn info(&self) -> AttackInfo {
+        AttackInfo {
+            name: "Fallout",
+            cve: Some("CVE-2018-12126"),
+            impact: "Leak of recent kernel stores (MSBDS)",
+            authorization: "Load fault check",
+            illegal_access: "Forward data from store buffer",
+            class: AttackClass::Meltdown,
+        }
+    }
+
+    fn graph(&self) -> SecurityAnalysis {
+        fig4_faulting_load(
+            "Load Permission Check",
+            "Read from store buffer",
+            SecretSource::StoreBuffer,
+        )
+    }
+
+    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
+        let mut m = machine_with_channel(cfg)?;
+        m.clear_leaky_buffers();
+        // Victim (kernel) stores the secret at its own address.
+        m.map_kernel_page(KERNEL_SECRET)?;
+        m.set_privilege(Privilege::Kernel);
+        let victim = ProgramBuilder::new()
+            .store(Reg::R1, Reg::R0, 0)
+            .halt()
+            .build()?;
+        m.set_reg(Reg::R0, KERNEL_SECRET + FALLOUT_OFFSET);
+        m.set_reg(Reg::R1, SECRET);
+        m.run(&victim)?;
+        m.clear_events();
+        let start = m.cycle();
+        // Attacker faults at an unmapped user address with the *same page
+        // offset* — the store buffer's partial address match forwards the
+        // victim's value.
+        run_sampler(&mut m, UNMAPPED + FALLOUT_OFFSET)?;
+        finish(&mut m, SECRET, start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::USER_SCRATCH;
+    use uarch::{TraceEvent, TransientSource};
+
+    fn forwarded_from(m_events: &[TraceEvent], src: TransientSource) -> bool {
+        m_events.iter().any(|e| {
+            matches!(e, TraceEvent::TransientForward { source, value, .. }
+                if *source == src && *value == SECRET)
+        })
+    }
+
+    #[test]
+    fn ridl_leaks_via_load_port() {
+        let mut m = machine_with_channel(&UarchConfig::default()).unwrap();
+        m.map_kernel_page(KERNEL_SECRET).unwrap();
+        m.write_u64(KERNEL_SECRET, SECRET).unwrap();
+        m.touch(KERNEL_SECRET).unwrap();
+        m.clear_leaky_buffers();
+        victim_loads_secret(&mut m).unwrap();
+        m.clear_events();
+        let start = m.cycle();
+        run_sampler(&mut m, UNMAPPED).unwrap();
+        assert!(
+            forwarded_from(m.events(), TransientSource::LoadPort),
+            "RIDL must sample the load port"
+        );
+        let out = finish(&mut m, SECRET, start).unwrap();
+        assert!(out.leaked, "{out}");
+    }
+
+    #[test]
+    fn zombieload_leaks_via_lfb() {
+        let mut m = machine_with_channel(&UarchConfig::default()).unwrap();
+        m.clear_leaky_buffers();
+        victim_loads_secret(&mut m).unwrap();
+        m.clear_events();
+        let start = m.cycle();
+        run_sampler(&mut m, UNMAPPED).unwrap();
+        assert!(
+            forwarded_from(m.events(), TransientSource::LineFillBuffer),
+            "ZombieLoad must sample the LFB"
+        );
+        let out = finish(&mut m, SECRET, start).unwrap();
+        assert!(out.leaked, "{out}");
+    }
+
+    #[test]
+    fn fallout_leaks_via_store_buffer() {
+        let out = Fallout.run(&UarchConfig::default()).unwrap();
+        assert!(out.leaked, "{out}");
+    }
+
+    #[test]
+    fn all_blocked_by_mds_fix() {
+        let cfg = UarchConfig::builder().mds_forwarding(false).build();
+        for a in [&Ridl as &dyn Attack, &ZombieLoad, &Fallout] {
+            let out = a.run(&cfg).unwrap();
+            assert!(!out.leaked, "{}: {out}", a.info().name);
+        }
+    }
+
+    #[test]
+    fn all_blocked_by_buffer_clearing() {
+        // VERW-style mitigation: clear the buffers between victim and
+        // attacker.
+        let mut m = machine_with_channel(&UarchConfig::default()).unwrap();
+        m.clear_leaky_buffers();
+        victim_loads_secret(&mut m).unwrap();
+        m.clear_leaky_buffers(); // the mitigation
+        m.clear_events();
+        let start = m.cycle();
+        run_sampler(&mut m, UNMAPPED).unwrap();
+        let out = finish(&mut m, SECRET, start).unwrap();
+        assert!(!out.leaked, "{out}");
+    }
+
+    #[test]
+    fn all_blocked_by_nda() {
+        let cfg = UarchConfig::builder().nda(true).build();
+        for a in [&Ridl as &dyn Attack, &ZombieLoad, &Fallout] {
+            let out = a.run(&cfg).unwrap();
+            assert!(!out.leaked, "{}: {out}", a.info().name);
+        }
+    }
+
+    #[test]
+    fn scratch_region_is_distinct() {
+        // Layout sanity: the fault page must be unmapped and distinct from
+        // scratch regions used elsewhere.
+        assert_ne!(UNMAPPED / 4096, USER_SCRATCH / 4096);
+        assert_ne!(UNMAPPED / 4096, KERNEL_SECRET / 4096);
+    }
+}

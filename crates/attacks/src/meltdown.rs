@@ -1,0 +1,246 @@
+//! Meltdown (Spectre v3) and the Rogue System Register Read variant
+//! (Spectre v3a) — Figure 3 / Figure 5 of the paper: the authorization
+//! (privilege check) and the access are micro-ops of the *same*
+//! instruction.
+
+use crate::common::{finish, machine_with_channel, KERNEL_SECRET, PROBE_BASE, PROBE_STRIDE, SECRET};
+use crate::graphs::{fig4_faulting_load, fig5_special_register};
+use crate::{Attack, AttackClass, AttackError, AttackInfo, AttackOutcome};
+use isa::{AluOp, Cond, Msr, Program, ProgramBuilder, Reg};
+use tsg::{SecretSource, SecurityAnalysis};
+use uarch::{ExceptionBehavior, Privilege, UarchConfig};
+
+/// The MSR number whose content Spectre v3a steals.
+const TARGET_MSR: Msr = Msr(0x10);
+
+/// The Meltdown gadget of Listing 2: faulting kernel read, then transform
+/// and send. `r5` = kernel secret address, `r3` = probe base. The zero
+/// guard keeps the post-fault handler path from polluting the channel.
+fn meltdown_program() -> Result<Program, AttackError> {
+    Ok(ProgramBuilder::new()
+        .load(Reg::R6, Reg::R5, 0) // authorize-and-access in one instruction
+        .branch_if(Cond::Eq, Reg::R6, Reg::ZERO, "done")
+        .alu_imm(AluOp::Mul, Reg::R7, Reg::R6, PROBE_STRIDE) // use
+        .alu(AluOp::Add, Reg::R7, Reg::R7, Reg::R3)
+        .load(Reg::R8, Reg::R7, 0) // send
+        .label("done")?
+        .halt()
+        .build()?)
+}
+
+/// Meltdown: an unprivileged load of kernel memory transiently forwards
+/// the data before the page-privilege check (the delayed authorization)
+/// squashes it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Meltdown;
+
+impl Attack for Meltdown {
+    fn info(&self) -> AttackInfo {
+        AttackInfo {
+            name: "Meltdown",
+            cve: Some("CVE-2017-5754"),
+            impact: "Kernel content leakage to unprivileged attacker",
+            authorization: "Kernel privilege check",
+            illegal_access: "Read from kernel memory",
+            class: AttackClass::Meltdown,
+        }
+    }
+
+    fn graph(&self) -> SecurityAnalysis {
+        fig4_faulting_load("Load Permission Check", "Read from Memory", SecretSource::Memory)
+    }
+
+    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
+        let mut m = machine_with_channel(cfg)?;
+        m.map_kernel_page(KERNEL_SECRET)?;
+        // Plant the kernel secret. Under KPTI the page has no user-visible
+        // PTE, so the secret lives in physical memory only — write it
+        // through a temporary kernel mapping trick: the host accessor needs
+        // a PTE, so plant before unmapping is not possible; instead plant
+        // via a scratch identity mapping of the same frame.
+        if m.config().kpti {
+            // Map temporarily, write, then restore the KPTI state (unmap).
+            m.map_user_page(KERNEL_SECRET)?;
+            m.write_u64(KERNEL_SECRET, SECRET)?;
+            m.map_kernel_page(KERNEL_SECRET)?;
+        } else {
+            m.write_u64(KERNEL_SECRET, SECRET)?;
+        }
+        m.set_privilege(Privilege::User);
+        let program = meltdown_program()?;
+        m.set_exception_behavior(ExceptionBehavior::Handler(
+            program.label("done").expect("label exists"),
+        ));
+        m.set_reg(Reg::R5, KERNEL_SECRET);
+        m.set_reg(Reg::R3, PROBE_BASE);
+        m.clear_events();
+        let start = m.cycle();
+        m.run(&program)?;
+        finish(&mut m, SECRET, start)
+    }
+}
+
+/// Spectre v3a: rogue system register read — `rdmsr` at user privilege
+/// transiently forwards the MSR value before its privilege check resolves.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpectreV3a;
+
+impl Attack for SpectreV3a {
+    fn info(&self) -> AttackInfo {
+        AttackInfo {
+            name: "Spectre v3a",
+            cve: Some("CVE-2018-3640"),
+            impact: "System register value leakage to unprivileged attacker",
+            authorization: "RDMSR instruction privilege check",
+            illegal_access: "Read system register",
+            class: AttackClass::Meltdown,
+        }
+    }
+
+    fn graph(&self) -> SecurityAnalysis {
+        fig5_special_register(
+            "Permission Check",
+            "Read from Special Register",
+            SecretSource::SpecialRegister,
+        )
+    }
+
+    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
+        let mut m = machine_with_channel(cfg)?;
+        m.set_msr(TARGET_MSR.0, SECRET);
+        m.set_privilege(Privilege::User);
+        let program = Ok::<_, AttackError>(
+            ProgramBuilder::new()
+                .rdmsr(Reg::R6, TARGET_MSR) // authorize-and-access
+                .branch_if(Cond::Eq, Reg::R6, Reg::ZERO, "done")
+                .alu_imm(AluOp::Mul, Reg::R7, Reg::R6, PROBE_STRIDE)
+                .alu(AluOp::Add, Reg::R7, Reg::R7, Reg::R3)
+                .load(Reg::R8, Reg::R7, 0)
+                .label("done")
+                .map_err(AttackError::Isa)?
+                .halt()
+                .build()
+                .map_err(AttackError::Isa)?,
+        )?;
+        m.set_exception_behavior(ExceptionBehavior::Handler(
+            program.label("done").expect("label exists"),
+        ));
+        m.set_reg(Reg::R3, PROBE_BASE);
+        m.clear_events();
+        let start = m.cycle();
+        m.run(&program)?;
+        finish(&mut m, SECRET, start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meltdown_leaks_on_baseline() {
+        let out = Meltdown.run(&UarchConfig::default()).unwrap();
+        assert!(out.leaked, "{out}");
+        assert!(out.transient_forwards >= 1);
+        assert!(out.squashes >= 1, "the fault must squash the pipe");
+    }
+
+    #[test]
+    fn meltdown_blocked_by_kpti() {
+        let out = Meltdown
+            .run(&UarchConfig::builder().kpti(true).build())
+            .unwrap();
+        assert!(!out.leaked, "KPTI removes the transient data path: {out}");
+    }
+
+    #[test]
+    fn meltdown_blocked_by_eager_permission_check() {
+        let out = Meltdown
+            .run(&UarchConfig::builder().eager_permission_check(true).build())
+            .unwrap();
+        assert!(!out.leaked, "{out}");
+    }
+
+    #[test]
+    fn meltdown_blocked_by_no_transient_forwarding() {
+        // The silicon fix: faulting loads return zeros.
+        let cfg = UarchConfig::builder()
+            .transient_forwarding(false)
+            .mds_forwarding(false)
+            .build();
+        let out = Meltdown.run(&cfg).unwrap();
+        assert!(!out.leaked, "{out}");
+    }
+
+    #[test]
+    fn meltdown_blocked_by_strategy2_and_3() {
+        for cfg in [
+            UarchConfig::builder().nda(true).build(),
+            UarchConfig::builder().stt(true).build(),
+            UarchConfig::builder().invisible_spec(true).build(),
+            UarchConfig::builder().cleanup_spec(true).build(),
+            UarchConfig::builder().delay_on_miss(true).build(),
+        ] {
+            let out = Meltdown.run(&cfg).unwrap();
+            assert!(!out.leaked, "{out}");
+        }
+    }
+
+    #[test]
+    fn meltdown_fault_is_architecturally_raised() {
+        let mut observed = false;
+        let out = Meltdown.run(&UarchConfig::default()).unwrap();
+        // finish() counts events; a cheap re-check: the attack still
+        // recovered the secret *and* squashed at least once due to the
+        // fault.
+        if out.squashes > 0 {
+            observed = true;
+        }
+        assert!(observed);
+    }
+
+    #[test]
+    fn v3a_leaks_on_baseline() {
+        let out = SpectreV3a.run(&UarchConfig::default()).unwrap();
+        assert!(out.leaked, "{out}");
+        assert_eq!(out.recovered, Some(SECRET));
+    }
+
+    #[test]
+    fn v3a_blocked_by_eager_check_or_no_forwarding() {
+        for cfg in [
+            UarchConfig::builder().eager_permission_check(true).build(),
+            UarchConfig::builder()
+                .transient_forwarding(false)
+                .mds_forwarding(false)
+                .build(),
+        ] {
+            let out = SpectreV3a.run(&cfg).unwrap();
+            assert!(!out.leaked, "{out}");
+        }
+    }
+
+    #[test]
+    fn v3a_blocked_by_nda() {
+        let out = SpectreV3a
+            .run(&UarchConfig::builder().nda(true).build())
+            .unwrap();
+        assert!(!out.leaked, "{out}");
+    }
+
+    #[test]
+    fn meltdown_in_kernel_mode_is_legal_not_an_attack() {
+        // Sanity: the same program run *with* privilege reads the value
+        // architecturally and no fault occurs.
+        let mut m = machine_with_channel(&UarchConfig::default()).unwrap();
+        m.map_kernel_page(KERNEL_SECRET).unwrap();
+        m.write_u64(KERNEL_SECRET, SECRET).unwrap();
+        let p = meltdown_program().unwrap();
+        m.set_reg(Reg::R5, KERNEL_SECRET);
+        m.set_reg(Reg::R3, PROBE_BASE);
+        let r = m.run(&p).unwrap();
+        assert!(r.halted);
+        assert!(r.faults.is_empty());
+        assert_eq!(m.reg(Reg::R6), SECRET);
+    }
+}

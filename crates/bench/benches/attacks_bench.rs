@@ -1,0 +1,65 @@
+//! Criterion: end-to-end attack cost — wall time of each Table-III attack
+//! (setup + training + transient window + receive) on the baseline, and
+//! the analyzer's gadget-finding throughput.
+
+use analyzer::{AnalysisConfig, Analyzer};
+use attacks::Attack;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uarch::UarchConfig;
+
+fn bench_attacks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack_end_to_end");
+    group.sample_size(20);
+    let cfg = UarchConfig::default();
+    let representative: Vec<Box<dyn Attack>> = vec![
+        Box::new(attacks::spectre_v1::SpectreV1),
+        Box::new(attacks::spectre_v2::SpectreV2),
+        Box::new(attacks::spectre_v4::SpectreV4),
+        Box::new(attacks::meltdown::Meltdown),
+        Box::new(attacks::foreshadow::Foreshadow::sgx()),
+        Box::new(attacks::mds::ZombieLoad),
+        Box::new(attacks::lvi::Lvi),
+        Box::new(attacks::tsx::Taa),
+    ];
+    for a in representative {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(a.info().name),
+            &a,
+            |b, a| {
+                b.iter(|| {
+                    let out = a.run(&cfg).expect("attack runs");
+                    assert!(out.leaked);
+                    black_box(out.cycles)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_defended_attack(c: &mut Criterion) {
+    // How much work a *blocked* attack wastes under NDA.
+    c.bench_function("spectre_v1_under_nda", |b| {
+        let cfg = UarchConfig::builder().nda(true).build();
+        b.iter(|| {
+            let out = attacks::spectre_v1::SpectreV1.run(&cfg).expect("runs");
+            assert!(!out.leaked);
+            black_box(out.cycles)
+        });
+    });
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    let program = attacks::spectre_v1::SpectreV1::program().expect("builds");
+    let tool = Analyzer::new(AnalysisConfig::default());
+    c.bench_function("analyzer_full_pipeline_spectre_v1", |b| {
+        b.iter(|| {
+            let report = tool.analyze(&program).expect("analyzes");
+            black_box(report.vulnerabilities.len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_attacks, bench_defended_attack, bench_analyzer);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion: covert-channel performance — full send+receive round trips
+//! for the channel classes of §II-C.
+
+use channels::flush_reload::FlushReload;
+use channels::prime_probe::PrimeProbe;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uarch::{Machine, UarchConfig};
+
+fn bench_flush_reload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flush_reload_roundtrip");
+    for &slots in &[16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(slots), &slots, |b, &slots| {
+            b.iter(|| {
+                let mut m = Machine::new(UarchConfig::default());
+                let ch = FlushReload::new(0x10_0000, slots);
+                ch.prepare(&mut m).unwrap();
+                m.touch(ch.slot_address(slots / 2)).unwrap();
+                black_box(ch.receive(&mut m).unwrap().recovered)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_prime_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prime_probe_roundtrip");
+    for &symbols in &[8usize, 16, 32] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(symbols),
+            &symbols,
+            |b, &symbols| {
+                b.iter(|| {
+                    let mut m = Machine::new(UarchConfig::default());
+                    let ch = PrimeProbe::new(0x40_0000, symbols);
+                    ch.prime(&mut m).unwrap();
+                    let sender = PrimeProbe::sender_address(0x80_0000, symbols / 2);
+                    m.map_user_page(sender).unwrap();
+                    m.timed_read(sender).unwrap();
+                    black_box(ch.probe(&mut m).unwrap().recovered)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_channel_accuracy_sweep(c: &mut Criterion) {
+    // Transmit every symbol value once; the decoder must be exact. This
+    // benchmarks a full byte transfer over Flush+Reload.
+    c.bench_function("flush_reload_full_byte_sweep", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(UarchConfig::default());
+            let ch = FlushReload::new(0x10_0000, 32);
+            let mut correct = 0u32;
+            for sym in 0..32usize {
+                ch.prepare(&mut m).unwrap();
+                m.touch(ch.slot_address(sym)).unwrap();
+                if ch.receive(&mut m).unwrap().recovered == Some(sym) {
+                    correct += 1;
+                }
+            }
+            assert_eq!(correct, 32);
+            black_box(correct)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_flush_reload,
+    bench_prime_probe,
+    bench_channel_accuracy_sweep
+);
+criterion_main!(benches);

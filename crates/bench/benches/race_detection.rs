@@ -1,0 +1,79 @@
+//! Criterion: Theorem-1 race detection scaling on random DAGs, compared
+//! against the exponential ordering-enumeration oracle on small graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use tsg::{EdgeKind, NodeId, NodeKind, Tsg};
+
+fn random_dag(nodes: usize, edge_prob: f64, seed: u64) -> Tsg {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Tsg::with_capacity(nodes, nodes * 4);
+    let ids: Vec<NodeId> = (0..nodes)
+        .map(|i| g.add_node(format!("n{i}"), NodeKind::Compute))
+        .collect();
+    for i in 0..nodes {
+        for j in (i + 1)..nodes {
+            if rng.gen_bool(edge_prob) {
+                g.add_edge(ids[i], ids[j], EdgeKind::Data)
+                    .expect("forward edges are acyclic");
+            }
+        }
+    }
+    g
+}
+
+fn bench_has_race(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem1_has_race");
+    for &n in &[16usize, 64, 256, 1024] {
+        let g = random_dag(n, 4.0 / n as f64, 42);
+        let u = NodeId::from_index(0);
+        let v = NodeId::from_index(n - 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(g.has_race(black_box(u), black_box(v)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_races(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_races");
+    for &n in &[16usize, 64, 256] {
+        let g = random_dag(n, 4.0 / n as f64, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(g.all_races().len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_oracle_vs_fast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("race_fast_vs_enumeration_oracle");
+    let g = random_dag(8, 0.3, 3);
+    let u = NodeId::from_index(0);
+    let v = NodeId::from_index(7);
+    group.bench_function("reachability (Theorem 1)", |b| {
+        b.iter(|| black_box(g.has_race(u, v).unwrap()));
+    });
+    group.bench_function("ordering enumeration (definition)", |b| {
+        b.iter(|| black_box(g.has_race_by_enumeration(u, v, 12).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_topological_sort(c: &mut Criterion) {
+    let g = random_dag(1024, 4.0 / 1024.0, 11);
+    c.bench_function("topological_sort_1024", |b| {
+        b.iter(|| black_box(g.topological_sort().len()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_has_race,
+    bench_all_races,
+    bench_oracle_vs_fast,
+    bench_topological_sort
+);
+criterion_main!(benches);

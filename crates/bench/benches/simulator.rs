@@ -1,0 +1,57 @@
+//! Criterion: simulator throughput — instructions per wall-second on
+//! benign workloads, plus the per-strategy defended variants.
+
+use bench::{prepare_workload_memory, workload_array_sum, workload_pointer_chase};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use uarch::{Machine, UarchConfig};
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_throughput");
+    let sum = workload_array_sum(64);
+    // array_sum retires ~6 instructions per iteration + setup.
+    group.throughput(Throughput::Elements(64 * 6));
+    group.bench_function("array_sum_64", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(UarchConfig::default());
+            prepare_workload_memory(&mut m, 128).unwrap();
+            black_box(m.run(&sum).unwrap().retired)
+        });
+    });
+    let chase = workload_pointer_chase(32);
+    group.throughput(Throughput::Elements(32));
+    group.bench_function("pointer_chase_32", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(UarchConfig::default());
+            prepare_workload_memory(&mut m, 128).unwrap();
+            black_box(m.run(&chase).unwrap().retired)
+        });
+    });
+    group.finish();
+}
+
+fn bench_defended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_defended");
+    let program = workload_array_sum(48);
+    let configs: Vec<(&str, UarchConfig)> = vec![
+        ("baseline", UarchConfig::default()),
+        ("strategy1_fences", UarchConfig::builder().no_speculative_loads(true).build()),
+        ("strategy2_nda", UarchConfig::builder().nda(true).build()),
+        ("strategy3_stt", UarchConfig::builder().stt(true).build()),
+        ("strategy3_invisispec", UarchConfig::builder().invisible_spec(true).build()),
+        ("hardened", UarchConfig::hardened()),
+    ];
+    for (name, cfg) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut m = Machine::new(cfg.clone());
+                prepare_workload_memory(&mut m, 128).unwrap();
+                black_box(m.run(&program).unwrap().cycles)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads, bench_defended);
+criterion_main!(benches);

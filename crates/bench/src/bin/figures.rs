@@ -1,0 +1,188 @@
+//! Regenerates **Figures 1–9** of the paper: each attack graph as Graphviz
+//! DOT (render with `dot -Tpdf`), together with its race analysis, and for
+//! Figure 2 the valid-ordering demonstration.
+//!
+//! Usage: `cargo run -p bench --bin figures [fig1 fig2 … fig9 | all]`
+
+use analyzer::{AnalysisConfig, Analyzer};
+use attacks::Attack;
+use defenses::Strategy;
+use std::env;
+use tsg::SecurityAnalysis;
+
+fn print_analysis(title: &str, sa: &SecurityAnalysis) {
+    println!("=== {title} ===");
+    println!("{}", sa.graph().to_dot(title));
+    let vulns = sa.vulnerabilities().expect("analyzable");
+    println!("missing security dependencies (Theorem 1 races): {}", vulns.len());
+    for v in &vulns {
+        println!("  - {v}");
+    }
+    println!();
+}
+
+fn fig1() {
+    print_analysis(
+        "Figure 1: Spectre v1/v2 attack graph",
+        &attacks::spectre_v1::SpectreV1.graph(),
+    );
+}
+
+fn fig2() {
+    println!("=== Figure 2: example Topological Sort Graph ===");
+    let g = tsg::examples::fig2();
+    println!("{}", g.to_dot("Figure 2"));
+    let find = |l: &str| g.find_by_label(l).expect("node exists");
+    let s: Vec<_> = ["A", "B", "C", "D", "E", "F", "G"].iter().map(|l| find(l)).collect();
+    let s_prime: Vec<_> = ["A", "C", "E", "B", "D", "F", "G"].iter().map(|l| find(l)).collect();
+    let s_double: Vec<_> = ["A", "B", "D", "E", "C", "F", "G"].iter().map(|l| find(l)).collect();
+    println!("S   = [A,B,C,D,E,F,G] valid: {}", g.is_valid_ordering(&s).unwrap());
+    println!("S'  = [A,C,E,B,D,F,G] valid: {}", g.is_valid_ordering(&s_prime).unwrap());
+    println!("S'' = [A,B,D,E,C,F,G] valid: {}", g.is_valid_ordering(&s_double).unwrap());
+    println!(
+        "race(D, E) = {} (Theorem 1: no path connects D and E)",
+        g.has_race(find("D"), find("E")).unwrap()
+    );
+    println!(
+        "total valid orderings: {}\n",
+        g.count_valid_orderings(12).unwrap()
+    );
+}
+
+fn fig3() {
+    print_analysis(
+        "Figure 3: Meltdown attack graph (micro-op level)",
+        &attacks::meltdown::Meltdown.graph(),
+    );
+}
+
+fn fig4() {
+    // The unified graph exactly as the paper draws it.
+    print_analysis(
+        "Figure 4: unified Meltdown/Foreshadow/MDS graph",
+        &attacks::graphs::fig4_unified(),
+    );
+    // Plus each variant's per-source instantiation.
+    for (name, sa) in [
+        ("Meltdown (read from memory)", attacks::meltdown::Meltdown.graph()),
+        ("Foreshadow (read from cache)", attacks::foreshadow::Foreshadow::sgx().graph()),
+        ("RIDL (read from load port)", attacks::mds::Ridl.graph()),
+        ("ZombieLoad (read from line fill buffer)", attacks::mds::ZombieLoad.graph()),
+        ("Fallout (read from store buffer)", attacks::mds::Fallout.graph()),
+    ] {
+        print_analysis(&format!("Figure 4 branch: {name}"), &sa);
+    }
+    // The four defense insertion points ①–④ on the Meltdown graph.
+    println!("--- Figure 4 defense arrows ---");
+    for s in Strategy::all() {
+        let mut sa = attacks::meltdown::Meltdown.graph();
+        match defenses::patch_strategy(&mut sa, s) {
+            Ok(n) => {
+                let left = sa.vulnerabilities().unwrap().len();
+                println!("strategy {s}: {n} edge(s) inserted, {left} race(s) remain");
+            }
+            Err(e) => println!("strategy {s}: not applicable here ({e})"),
+        }
+    }
+    println!();
+}
+
+fn fig5() {
+    print_analysis(
+        "Figure 5: special-register attacks (Spectre v3a)",
+        &attacks::meltdown::SpectreV3a.graph(),
+    );
+    print_analysis("Figure 5: Lazy FP", &attacks::lazy_fp::LazyFp.graph());
+}
+
+fn fig6() {
+    print_analysis(
+        "Figure 6: memory-disambiguation attack (Spectre v4)",
+        &attacks::spectre_v4::SpectreV4.graph(),
+    );
+}
+
+fn fig7() {
+    print_analysis("Figure 7: Load Value Injection", &attacks::lvi::Lvi.graph());
+}
+
+fn fig8() {
+    println!("=== Figure 8: the four defense strategies on Spectre v1/v2 ===");
+    for s in Strategy::all() {
+        let mut sa = attacks::spectre_v1::SpectreV1.graph();
+        let before = sa.vulnerabilities().unwrap().len();
+        let inserted = defenses::patch_strategy(&mut sa, s).expect("applicable");
+        let after = sa.vulnerabilities().unwrap().len();
+        println!(
+            "strategy {s}: races {before} -> {after} ({inserted} security edge(s))"
+        );
+        // Executable cross-check for the strategies with machine knobs.
+        let cfg = match s {
+            Strategy::PreventAccess => Some(
+                uarch::UarchConfig::builder().no_speculative_loads(true).build(),
+            ),
+            Strategy::PreventUse => Some(uarch::UarchConfig::builder().nda(true).build()),
+            Strategy::PreventSend => Some(uarch::UarchConfig::builder().stt(true).build()),
+            Strategy::ClearPredictions => None, // v1 mis-trains in-context
+        };
+        if let Some(cfg) = cfg {
+            let out = attacks::spectre_v1::SpectreV1.run(&cfg).expect("runs");
+            println!("    simulator: Spectre v1 leaked = {}", out.leaked);
+        }
+    }
+    println!();
+}
+
+fn fig9() {
+    println!("=== Figure 9: the attack-graph generation flow ===");
+    // Left branch: control-flow misprediction (instruction-level).
+    let spectre = isa::asm::assemble(
+        "load r4, [r2]\nbge r0, r4, out\nload r6, [r5]\nadd r7, r6, r3\nload r8, [r7]\nout: halt",
+    )
+    .expect("assembles");
+    let report = Analyzer::new(AnalysisConfig::default())
+        .analyze(&spectre)
+        .expect("analyzes");
+    println!(
+        "Spectre-type input: {} gadget(s), {} race(s) at the instruction level",
+        report.gadgets.len(),
+        report.vulnerabilities.len()
+    );
+    // Right branch: faulty access (micro-op decomposition).
+    let meltdown = isa::asm::assemble("load r6, [r5]\nload r8, [r6]\nhalt").expect("assembles");
+    let report = Analyzer::new(AnalysisConfig {
+        user_mode: true,
+        ..AnalysisConfig::default()
+    })
+    .analyze(&meltdown)
+    .expect("analyzes");
+    println!(
+        "Meltdown-type input: {} gadget(s); access decomposed into micro-ops; {} race(s)",
+        report.gadgets.len(),
+        report.vulnerabilities.len()
+    );
+    println!("{}", report.graph.graph().to_dot("Figure 9 output (Meltdown-type)"));
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec!["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for w in wanted {
+        match w {
+            "fig1" => fig1(),
+            "fig2" => fig2(),
+            "fig3" => fig3(),
+            "fig4" => fig4(),
+            "fig5" => fig5(),
+            "fig6" => fig6(),
+            "fig7" => fig7(),
+            "fig8" => fig8(),
+            "fig9" => fig9(),
+            other => eprintln!("unknown figure '{other}' (use fig1..fig9 or all)"),
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Cache collision: the *hit + operation* channel (§II-C).
+//!
+//! The attacker pre-loads ("warms") candidate data shared with the victim,
+//! then times a whole victim operation: the operation runs *faster* when
+//! the victim's secret-dependent access collides with (hits on) the warmed
+//! line. Scanning candidates, the fastest operation reveals the secret —
+//! the inverse polarity of Evict+Time.
+
+use isa::Program;
+use uarch::{Machine, UarchError};
+
+/// Times the victim operation after warming candidate line `i` of
+/// `candidates`, for every candidate; returns the per-candidate cycles.
+///
+/// The victim's secret-dependent address set should overlap exactly one
+/// candidate; that run is the fastest.
+///
+/// # Errors
+///
+/// Propagates [`UarchError`] from runs and cache operations.
+pub fn scan(
+    m: &mut Machine,
+    victim: &Program,
+    candidates: &[u64],
+) -> Result<Vec<u64>, UarchError> {
+    let mut timings = Vec::with_capacity(candidates.len());
+    for &cand in candidates {
+        // Reset: flush every candidate so only the warmed one is resident.
+        for &c in candidates {
+            m.map_user_page(c)?;
+            m.flush_line(c)?;
+        }
+        m.touch(cand)?;
+        timings.push(m.run(victim)?.cycles);
+    }
+    Ok(timings)
+}
+
+/// Runs [`scan`] and returns the index of the fastest candidate if it is
+/// uniquely fastest, else `None`.
+///
+/// # Errors
+///
+/// Propagates [`UarchError`] from [`scan`].
+pub fn recover(
+    m: &mut Machine,
+    victim: &Program,
+    candidates: &[u64],
+) -> Result<Option<usize>, UarchError> {
+    let timings = scan(m, victim, candidates)?;
+    let min = *timings.iter().min().ok_or(UarchError::Unmapped { vaddr: 0 })?;
+    let fastest: Vec<usize> = timings
+        .iter()
+        .enumerate()
+        .filter(|&(_, &t)| t == min)
+        .map(|(i, _)| i)
+        .collect();
+    Ok(if fastest.len() == 1 {
+        Some(fastest[0])
+    } else {
+        None
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa::{ProgramBuilder, Reg};
+    use uarch::UarchConfig;
+
+    #[test]
+    fn collision_reveals_victim_address() {
+        let mut m = Machine::new(UarchConfig::default());
+        // Victim touches candidate #2's line as its secret-dependent access.
+        let candidates: Vec<u64> = (0..4u64).map(|i| 0x30_0000 + i * 4096).collect();
+        for &c in &candidates {
+            m.map_user_page(c).unwrap();
+        }
+        let victim = ProgramBuilder::new()
+            .imm(Reg::R0, candidates[2])
+            .load(Reg::R1, Reg::R0, 0)
+            .halt()
+            .build()
+            .unwrap();
+        let got = recover(&mut m, &victim, &candidates).unwrap();
+        assert_eq!(got, Some(2));
+    }
+
+    #[test]
+    fn no_overlap_gives_no_unique_winner() {
+        let mut m = Machine::new(UarchConfig::default());
+        let candidates: Vec<u64> = (0..3u64).map(|i| 0x30_0000 + i * 4096).collect();
+        // Victim touches none of the candidates.
+        m.map_user_page(0x77_0000).unwrap();
+        let victim = ProgramBuilder::new()
+            .imm(Reg::R0, 0x77_0000)
+            .load(Reg::R1, Reg::R0, 0)
+            .halt()
+            .build()
+            .unwrap();
+        let got = recover(&mut m, &victim, &candidates).unwrap();
+        assert_eq!(got, None);
+    }
+}

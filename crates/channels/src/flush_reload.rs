@@ -1,0 +1,167 @@
+//! Flush+Reload: the *hit + access* channel (§II-C), the default covert
+//! channel of most speculative attacks and of this reproduction.
+//!
+//! The receiver flushes a shared probe array (one page per symbol to defeat
+//! prefetching, as in the paper's Listing 1), waits for the sender to touch
+//! the slot indexed by the secret, then reloads every slot and times it:
+//! one fast (hit) slot reveals the secret.
+
+use crate::reading::Reading;
+use uarch::{Machine, UarchError};
+
+/// Bytes between consecutive probe slots: one 4 KiB page per symbol (as in
+/// `Array_A[secret * 4096]` of the paper's Listing 1) **plus one cache
+/// line**. The extra line skews consecutive slots into distinct cache sets
+/// of the simulator's single-level 64-set cache; real attacks get the same
+/// property from the many-set last-level cache, where page-strided probes
+/// do not collide.
+pub const SLOT_STRIDE: u64 = 4096 + 64;
+
+/// A Flush+Reload channel over `slots` page-strided probe lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushReload {
+    base: u64,
+    slots: usize,
+}
+
+impl FlushReload {
+    /// Creates a channel with probe array at `base` (page aligned
+    /// recommended) and `slots` symbols.
+    #[must_use]
+    pub fn new(base: u64, slots: usize) -> Self {
+        FlushReload { base, slots }
+    }
+
+    /// A channel sized for one byte of secret (256 slots) — the classic
+    /// Spectre/Meltdown configuration.
+    #[must_use]
+    pub fn for_byte(base: u64) -> Self {
+        Self::new(base, 256)
+    }
+
+    /// The probe array base address.
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Number of symbol slots.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// The virtual address of probe slot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.slots()`.
+    #[must_use]
+    pub fn slot_address(&self, i: usize) -> u64 {
+        assert!(i < self.slots, "slot {i} out of range");
+        self.base + (i as u64) * SLOT_STRIDE
+    }
+
+    /// The hit/miss decision threshold for `m`'s latency configuration.
+    #[must_use]
+    pub fn threshold(m: &Machine) -> u64 {
+        (m.config().cache_hit_latency + m.config().cache_miss_latency) / 2
+    }
+
+    /// Step 1(a) of the paper's attack flow: maps the probe pages and
+    /// flushes every slot, establishing the channel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`UarchError`] from mapping/flushing.
+    pub fn prepare(&self, m: &mut Machine) -> Result<(), UarchError> {
+        for i in 0..self.slots {
+            let addr = self.slot_address(i);
+            m.map_user_page(addr)?;
+            m.flush_line(addr)?;
+        }
+        Ok(())
+    }
+
+    /// Step 5 (receive): reloads every slot with timed reads and classifies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`UarchError`] from the timed reads.
+    pub fn receive(&self, m: &mut Machine) -> Result<Reading, UarchError> {
+        let threshold = Self::threshold(m);
+        let mut latencies = Vec::with_capacity(self.slots);
+        for i in 0..self.slots {
+            latencies.push(m.timed_read(self.slot_address(i))?);
+        }
+        Ok(Reading::classify(latencies, threshold))
+    }
+
+    /// Convenience: which slots are currently resident, via the cache
+    /// oracle (no state perturbation) — useful in tests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`UarchError`] from translation.
+    pub fn resident_slots(&self, m: &Machine) -> Result<Vec<usize>, UarchError> {
+        let mut v = Vec::new();
+        for i in 0..self.slots {
+            if m.cache_contains(self.slot_address(i))? {
+                v.push(i);
+            }
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch::UarchConfig;
+
+    #[test]
+    fn roundtrip_recovers_symbol() {
+        let mut m = Machine::new(UarchConfig::default());
+        let ch = FlushReload::new(0x10_0000, 32);
+        ch.prepare(&mut m).unwrap();
+        assert!(ch.resident_slots(&m).unwrap().is_empty());
+        m.touch(ch.slot_address(17)).unwrap();
+        let r = ch.receive(&mut m).unwrap();
+        assert_eq!(r.recovered, Some(17));
+    }
+
+    #[test]
+    fn no_send_means_no_signal() {
+        let mut m = Machine::new(UarchConfig::default());
+        let ch = FlushReload::new(0x10_0000, 8);
+        ch.prepare(&mut m).unwrap();
+        let r = ch.receive(&mut m).unwrap();
+        assert_eq!(r.recovered, None);
+        assert!(r.hit_slots().is_empty());
+    }
+
+    #[test]
+    fn for_byte_has_256_slots() {
+        let ch = FlushReload::for_byte(0x20_0000);
+        assert_eq!(ch.slots(), 256);
+        assert_eq!(ch.slot_address(1) - ch.slot_address(0), SLOT_STRIDE);
+        assert_eq!(ch.base(), 0x20_0000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slot_out_of_range_panics() {
+        let _ = FlushReload::new(0, 4).slot_address(4);
+    }
+
+    #[test]
+    fn reprepare_clears_previous_send() {
+        let mut m = Machine::new(UarchConfig::default());
+        let ch = FlushReload::new(0x10_0000, 8);
+        ch.prepare(&mut m).unwrap();
+        m.touch(ch.slot_address(3)).unwrap();
+        ch.prepare(&mut m).unwrap();
+        let r = ch.receive(&mut m).unwrap();
+        assert_eq!(r.recovered, None);
+    }
+}

@@ -1,0 +1,109 @@
+//! # `defenses` — defense strategies and the defense catalog
+//!
+//! Implements Section V-B of "New Models for Understanding and Reasoning
+//! about Speculative Execution Attacks" (HPCA 2021):
+//!
+//! * the four **defense strategies** of Figure 8 ([`Strategy`]) — prevent
+//!   *access* / *use* / *send* before authorization, and *clear
+//!   predictions*;
+//! * a [`Defense`] catalog covering every industry defense of Table II and
+//!   every academic defense discussed in §V-B, each mapped to its strategy;
+//! * graph-level application ([`Defense::patch_graph`]): inserting the
+//!   missing security-dependency edge the strategy corresponds to, so
+//!   Theorem 1 can *prove* the race is gone;
+//! * machine-level application ([`Defense::configure`]): the corresponding
+//!   [`uarch`] configuration knob, so the very same defense can be *tested*
+//!   against the executable attacks of the [`attacks`] crate.
+//!
+//! ```
+//! use defenses::{catalog, Strategy};
+//! let lfence = catalog().into_iter().find(|d| d.name == "LFENCE").unwrap();
+//! assert_eq!(lfence.strategy, Strategy::PreventAccess);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod apply;
+mod catalog;
+mod verify;
+
+pub use apply::{patch_strategy, PatchError};
+pub use catalog::{catalog, industry_rows, Defense, IndustryRow, Origin};
+pub use verify::{verify, verify_matrix, Verdict};
+
+use std::fmt;
+
+/// The four defense strategies of Figure 8 (and Figure 4's ①–④ arrows).
+///
+/// Each strategy is an *edge-insertion point*: which protected node
+/// receives the new security dependency from the authorization node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// ① Prevent **access** before authorization: serialize the
+    /// authorization and the secret access (fences, eager permission
+    /// checks, KPTI removing the data path entirely).
+    PreventAccess,
+    /// ② Prevent data **use** before authorization: the secret may be
+    /// fetched but not forwarded to dependents (NDA, SpecShield,
+    /// SpectreGuard, ConTExT).
+    PreventUse,
+    /// ③ Prevent **send** before authorization: the micro-architectural
+    /// state change that exfiltrates the secret is blocked, hidden or
+    /// undone (STT, delay-on-miss, InvisiSpec/SafeSpec, CleanupSpec, DAWG).
+    PreventSend,
+    /// ④ **Clear predictions**: predictor state does not survive context
+    /// switches, so cross-context mis-training is impossible (IBPB, STIBP,
+    /// RSB stuffing, retpoline's prediction avoidance).
+    ClearPredictions,
+}
+
+impl Strategy {
+    /// The paper's circled-number label for the strategy.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::PreventAccess => "①",
+            Strategy::PreventUse => "②",
+            Strategy::PreventSend => "③",
+            Strategy::ClearPredictions => "④",
+        }
+    }
+
+    /// All four strategies, in the paper's order.
+    #[must_use]
+    pub fn all() -> [Strategy; 4] {
+        [
+            Strategy::PreventAccess,
+            Strategy::PreventUse,
+            Strategy::PreventSend,
+            Strategy::ClearPredictions,
+        ]
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Strategy::PreventAccess => "prevent access before authorization",
+            Strategy::PreventUse => "prevent data usage before authorization",
+            Strategy::PreventSend => "prevent send before authorization",
+            Strategy::ClearPredictions => "clearing predictions",
+        };
+        write!(f, "{} {}", self.label(), s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_labels_and_display() {
+        assert_eq!(Strategy::PreventAccess.label(), "①");
+        assert_eq!(Strategy::ClearPredictions.label(), "④");
+        assert!(Strategy::PreventUse.to_string().contains("usage"));
+        assert_eq!(Strategy::all().len(), 4);
+    }
+}

@@ -1,0 +1,541 @@
+//! A small two-pass text assembler and disassembler.
+//!
+//! The format mirrors [`Instruction`]'s `Display` output so that
+//! assemble ∘ disassemble is the identity on programs without labels:
+//!
+//! ```text
+//! ; Spectre v1 gadget (comment)
+//! main:
+//!     imm   r0, 0x1000
+//!     load  r1, [r0+8]
+//!     blt   r1, r2, main
+//!     lfence
+//!     halt
+//! ```
+//!
+//! * Comments start with `;` or `//`.
+//! * Labels are `name:` on their own line (or before an instruction).
+//! * ALU third operands are registers (`r3`) or immediates (`42`, `0x2a`).
+//! * Memory operands are `[rN+off]` / `[rN-off]` / `[rN]`.
+
+use crate::error::IsaError;
+use crate::inst::{AluOp, Cond, FenceKind, Instruction, Operand};
+use crate::program::{Program, ProgramBuilder};
+use crate::reg::{FReg, Msr, Reg};
+use std::fmt::Write as _;
+
+/// Assembles source text into a [`Program`].
+///
+/// # Errors
+///
+/// [`IsaError::Parse`] with a line number for syntax errors, plus any label
+/// resolution error from [`ProgramBuilder::build`].
+pub fn assemble(src: &str) -> Result<Program, IsaError> {
+    let mut b = ProgramBuilder::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line;
+        // Leading label(s).
+        while let Some(colon) = rest.find(':') {
+            let (head, tail) = rest.split_at(colon);
+            let head = head.trim();
+            if head.is_empty() || !is_ident(head) {
+                break;
+            }
+            b = b
+                .label(head)
+                .map_err(|e| parse_err(lineno, e.to_string()))?;
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        b = parse_instruction(b, rest, lineno)?;
+    }
+    b.build()
+}
+
+/// Disassembles a program into assembler text (with labels).
+///
+/// Control-flow targets are rendered as label names; targets without a
+/// user-defined label get a synthetic `L<pc>` label so the output
+/// re-assembles to an identical program.
+#[must_use]
+pub fn disassemble(p: &Program) -> String {
+    use std::collections::BTreeMap;
+    // Collect the set of referenced targets.
+    let mut label_for: BTreeMap<usize, String> = BTreeMap::new();
+    for (name, target) in p.labels() {
+        label_for.entry(target).or_insert_with(|| name.to_owned());
+    }
+    for (_, inst) in p.iter() {
+        let t = match *inst {
+            Instruction::BranchIf { target, .. }
+            | Instruction::Jump { target }
+            | Instruction::Call { target } => target,
+            _ => continue,
+        };
+        label_for.entry(t).or_insert_with(|| format!("L{t}"));
+    }
+    let mut out = String::new();
+    for (pc, inst) in p.iter() {
+        if let Some(name) = label_for.get(&pc) {
+            let _ = writeln!(out, "{name}:");
+        }
+        match *inst {
+            Instruction::BranchIf { cond, a, b, target } => {
+                let _ = writeln!(out, "    b{cond} {a}, {b}, {}", label_for[&target]);
+            }
+            Instruction::Jump { target } => {
+                let _ = writeln!(out, "    jmp {}", label_for[&target]);
+            }
+            Instruction::Call { target } => {
+                let _ = writeln!(out, "    call {}", label_for[&target]);
+            }
+            ref other => {
+                let _ = writeln!(out, "    {other}");
+            }
+        }
+    }
+    out
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line
+        .find(';')
+        .into_iter()
+        .chain(line.find("//"))
+        .min()
+        .unwrap_or(line.len());
+    &line[..cut]
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !s.chars().next().is_some_and(|c| c.is_ascii_digit())
+}
+
+fn parse_err(lineno: usize, message: impl Into<String>) -> IsaError {
+    IsaError::Parse {
+        line: lineno + 1,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, lineno: usize) -> Result<Reg, IsaError> {
+    let t = tok.trim();
+    if t.eq_ignore_ascii_case("zero") {
+        return Ok(Reg::ZERO);
+    }
+    let body = t
+        .strip_prefix('r')
+        .or_else(|| t.strip_prefix('R'))
+        .ok_or_else(|| parse_err(lineno, format!("expected register, got '{t}'")))?;
+    let n: u8 = body
+        .parse()
+        .map_err(|_| parse_err(lineno, format!("bad register '{t}'")))?;
+    if (n as usize) >= Reg::COUNT {
+        return Err(parse_err(lineno, format!("register '{t}' out of range")));
+    }
+    Ok(Reg::new(n))
+}
+
+fn parse_freg(tok: &str, lineno: usize) -> Result<FReg, IsaError> {
+    let t = tok.trim();
+    let body = t
+        .strip_prefix('f')
+        .or_else(|| t.strip_prefix('F'))
+        .ok_or_else(|| parse_err(lineno, format!("expected fp register, got '{t}'")))?;
+    let n: u8 = body
+        .parse()
+        .map_err(|_| parse_err(lineno, format!("bad fp register '{t}'")))?;
+    if (n as usize) >= FReg::COUNT {
+        return Err(parse_err(lineno, format!("fp register '{t}' out of range")));
+    }
+    Ok(FReg::new(n))
+}
+
+fn parse_u64(tok: &str, lineno: usize) -> Result<u64, IsaError> {
+    let t = tok.trim();
+    let (body, radix) = if let Some(h) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        (h, 16)
+    } else {
+        (t, 10)
+    };
+    u64::from_str_radix(body, radix)
+        .map_err(|_| parse_err(lineno, format!("bad immediate '{t}'")))
+}
+
+fn parse_i64(tok: &str, lineno: usize) -> Result<i64, IsaError> {
+    let t = tok.trim();
+    if let Some(neg) = t.strip_prefix('-') {
+        Ok(-(parse_u64(neg, lineno)? as i64))
+    } else {
+        let t = t.strip_prefix('+').unwrap_or(t);
+        Ok(parse_u64(t, lineno)? as i64)
+    }
+}
+
+/// Parses `[rN]`, `[rN+off]`, `[rN-off]`.
+fn parse_mem(tok: &str, lineno: usize) -> Result<(Reg, i64), IsaError> {
+    let t = tok.trim();
+    let inner = t
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| parse_err(lineno, format!("expected memory operand, got '{t}'")))?;
+    if let Some(plus) = inner.find('+') {
+        let base = parse_reg(&inner[..plus], lineno)?;
+        let off = parse_i64(&inner[plus + 1..], lineno)?;
+        Ok((base, off))
+    } else if let Some(minus) = inner.rfind('-') {
+        let base = parse_reg(&inner[..minus], lineno)?;
+        let off = parse_i64(&inner[minus..], lineno)?;
+        Ok((base, off))
+    } else {
+        Ok((parse_reg(inner, lineno)?, 0))
+    }
+}
+
+fn parse_operand(tok: &str, lineno: usize) -> Result<Operand, IsaError> {
+    let t = tok.trim();
+    if t.eq_ignore_ascii_case("zero")
+        || (t.len() >= 2
+            && (t.starts_with('r') || t.starts_with('R'))
+            && t[1..].chars().all(|c| c.is_ascii_digit()))
+    {
+        Ok(Operand::Reg(parse_reg(t, lineno)?))
+    } else {
+        Ok(Operand::Imm(parse_u64(t, lineno)?))
+    }
+}
+
+fn split_operands(rest: &str) -> Vec<&str> {
+    rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect()
+}
+
+fn alu_op(mnemonic: &str) -> Option<AluOp> {
+    Some(match mnemonic {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        "mul" => AluOp::Mul,
+        _ => return None,
+    })
+}
+
+fn branch_cond(mnemonic: &str) -> Option<Cond> {
+    Some(match mnemonic {
+        "beq" => Cond::Eq,
+        "bne" => Cond::Ne,
+        "blt" => Cond::Lt,
+        "bge" => Cond::Ge,
+        _ => return None,
+    })
+}
+
+fn parse_instruction(
+    b: ProgramBuilder,
+    line: &str,
+    lineno: usize,
+) -> Result<ProgramBuilder, IsaError> {
+    let (mnemonic, rest) = match line.find(char::is_whitespace) {
+        Some(i) => (&line[..i], line[i..].trim()),
+        None => (line, ""),
+    };
+    let m = mnemonic.to_ascii_lowercase();
+    let ops = split_operands(rest);
+    let need = |n: usize| -> Result<(), IsaError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(parse_err(
+                lineno,
+                format!("'{m}' expects {n} operand(s), got {}", ops.len()),
+            ))
+        }
+    };
+
+    if let Some(op) = alu_op(&m) {
+        need(3)?;
+        let dst = parse_reg(ops[0], lineno)?;
+        let a = parse_reg(ops[1], lineno)?;
+        let bop = parse_operand(ops[2], lineno)?;
+        return Ok(match bop {
+            Operand::Reg(r) => b.alu(op, dst, a, r),
+            Operand::Imm(v) => b.alu_imm(op, dst, a, v),
+        });
+    }
+    if let Some(cond) = branch_cond(&m) {
+        need(3)?;
+        let a = parse_reg(ops[0], lineno)?;
+        let r = parse_reg(ops[1], lineno)?;
+        let label = ops[2];
+        if !is_ident(label) {
+            return Err(parse_err(lineno, format!("bad branch target '{label}'")));
+        }
+        return Ok(b.branch_if(cond, a, r, label));
+    }
+
+    match m.as_str() {
+        "imm" => {
+            need(2)?;
+            let dst = parse_reg(ops[0], lineno)?;
+            let v = parse_u64(ops[1], lineno)?;
+            Ok(b.imm(dst, v))
+        }
+        "load" => {
+            need(2)?;
+            let dst = parse_reg(ops[0], lineno)?;
+            let (base, off) = parse_mem(ops[1], lineno)?;
+            Ok(b.load(dst, base, off))
+        }
+        "store" => {
+            need(2)?;
+            let src = parse_reg(ops[0], lineno)?;
+            let (base, off) = parse_mem(ops[1], lineno)?;
+            Ok(b.store(src, base, off))
+        }
+        "jmp" => {
+            need(1)?;
+            if !is_ident(ops[0]) {
+                return Err(parse_err(lineno, format!("bad jump target '{}'", ops[0])));
+            }
+            Ok(b.jump(ops[0]))
+        }
+        "jmpi" => {
+            need(1)?;
+            Ok(b.jump_indirect(parse_reg(ops[0], lineno)?))
+        }
+        "call" => {
+            need(1)?;
+            if !is_ident(ops[0]) {
+                return Err(parse_err(lineno, format!("bad call target '{}'", ops[0])));
+            }
+            Ok(b.call(ops[0]))
+        }
+        "ret" => {
+            need(0)?;
+            Ok(b.ret())
+        }
+        "lfence" => {
+            need(0)?;
+            Ok(b.fence(FenceKind::LFence))
+        }
+        "mfence" => {
+            need(0)?;
+            Ok(b.fence(FenceKind::MFence))
+        }
+        "ssbb" => {
+            need(0)?;
+            Ok(b.fence(FenceKind::Ssbb))
+        }
+        "clflush" => {
+            need(1)?;
+            let (base, off) = parse_mem(ops[0], lineno)?;
+            Ok(b.clflush(base, off))
+        }
+        "rdtsc" => {
+            need(1)?;
+            Ok(b.rdtsc(parse_reg(ops[0], lineno)?))
+        }
+        "rdmsr" => {
+            need(2)?;
+            let dst = parse_reg(ops[0], lineno)?;
+            // Accept both the bare number and the `msr0x..` Display form.
+            let num = ops[1].strip_prefix("msr").unwrap_or(ops[1]);
+            let msr = Msr(parse_u64(num, lineno)? as u32);
+            Ok(b.rdmsr(dst, msr))
+        }
+        "fpmov" => {
+            need(2)?;
+            let dst = parse_reg(ops[0], lineno)?;
+            let f = parse_freg(ops[1], lineno)?;
+            Ok(b.fpmov(dst, f))
+        }
+        "txbegin" => {
+            need(0)?;
+            Ok(b.tx_begin())
+        }
+        "txend" => {
+            need(0)?;
+            Ok(b.tx_end())
+        }
+        "halt" => {
+            need(0)?;
+            Ok(b.halt())
+        }
+        "nop" => {
+            need(0)?;
+            Ok(b.nop())
+        }
+        other => Err(parse_err(lineno, format!("unknown mnemonic '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_basic_program() {
+        let p = assemble(
+            r"
+            ; a tiny loop
+            main:
+                imm   r0, 3
+            loop:
+                sub   r0, r0, 1
+                bne   r0, zero, loop
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.label("main"), Some(0));
+        assert_eq!(p.label("loop"), Some(1));
+        match p[2] {
+            Instruction::BranchIf {
+                cond: Cond::Ne,
+                target,
+                ..
+            } => assert_eq!(target, 1),
+            ref other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn memory_operand_forms() {
+        let p = assemble("load r1, [r2]\nload r1, [r2+16]\nstore r1, [r2-8]\nhalt").unwrap();
+        assert_eq!(
+            p[0],
+            Instruction::Load {
+                dst: Reg::R1,
+                base: Reg::R2,
+                offset: 0
+            }
+        );
+        assert_eq!(
+            p[1],
+            Instruction::Load {
+                dst: Reg::R1,
+                base: Reg::R2,
+                offset: 16
+            }
+        );
+        assert_eq!(
+            p[2],
+            Instruction::Store {
+                src: Reg::R1,
+                base: Reg::R2,
+                offset: -8
+            }
+        );
+    }
+
+    #[test]
+    fn alu_reg_vs_imm() {
+        let p = assemble("add r1, r2, r3\nadd r1, r2, 7\nadd r1, r2, 0x10\nhalt").unwrap();
+        assert_eq!(
+            p[0],
+            Instruction::Alu {
+                op: AluOp::Add,
+                dst: Reg::R1,
+                a: Reg::R2,
+                b: Operand::Reg(Reg::R3)
+            }
+        );
+        assert_eq!(
+            p[1],
+            Instruction::Alu {
+                op: AluOp::Add,
+                dst: Reg::R1,
+                a: Reg::R2,
+                b: Operand::Imm(7)
+            }
+        );
+        assert_eq!(
+            p[2],
+            Instruction::Alu {
+                op: AluOp::Add,
+                dst: Reg::R1,
+                a: Reg::R2,
+                b: Operand::Imm(16)
+            }
+        );
+    }
+
+    #[test]
+    fn special_instructions() {
+        let p = assemble(
+            "lfence\nmfence\nssbb\nclflush [r1+64]\nrdtsc r2\nrdmsr r3, 0x10\nfpmov r4, f1\ntxbegin\ntxend\nret\njmpi r5\nnop\nhalt",
+        )
+        .unwrap();
+        assert_eq!(p[0], Instruction::Fence(FenceKind::LFence));
+        assert_eq!(p[5], Instruction::ReadMsr { dst: Reg::R3, msr: Msr(0x10) });
+        assert_eq!(p[6], Instruction::FpMove { dst: Reg::R4, fsrc: FReg::new(1) });
+        assert_eq!(p[10], Instruction::JumpIndirect { reg: Reg::R5 });
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus r1\n").unwrap_err();
+        match e {
+            IsaError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("bogus"));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        assert!(assemble("imm r1\n").is_err());
+        assert!(assemble("halt r1\n").is_err());
+        assert!(assemble("load r1, [r2], r3\n").is_err());
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        assert!(assemble("imm r16, 1\n").is_err());
+        assert!(assemble("imm q1, 1\n").is_err());
+        assert!(assemble("fpmov r1, f9\n").is_err());
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let p = assemble("nop ; trailing\n// whole line\nhalt // end\n").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn disassemble_roundtrip() {
+        let src = "main:\n    imm r0, 0x3\nloop:\n    sub r0, r0, 0x1\n    bne r0, zero, loop\n    halt\n";
+        let p = assemble(src).unwrap();
+        let text = disassemble(&p);
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p.instructions(), p2.instructions());
+    }
+
+    #[test]
+    fn label_and_inst_on_same_line() {
+        let p = assemble("main: imm r0, 1\nhalt").unwrap();
+        assert_eq!(p.label("main"), Some(0));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn undefined_branch_label() {
+        let e = assemble("jmp nowhere\nhalt").unwrap_err();
+        assert_eq!(e, IsaError::UndefinedLabel("nowhere".into()));
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for program construction and assembly.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`ProgramBuilder`](crate::ProgramBuilder) and
+/// [`asm::assemble`](crate::asm::assemble).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// A label was defined more than once.
+    DuplicateLabel(String),
+    /// A branch/jump target is outside the program.
+    TargetOutOfRange {
+        /// The offending target.
+        target: usize,
+        /// The program length.
+        len: usize,
+    },
+    /// Assembly text could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::UndefinedLabel(l) => write!(f, "undefined label '{l}'"),
+            IsaError::DuplicateLabel(l) => write!(f, "duplicate label '{l}'"),
+            IsaError::TargetOutOfRange { target, len } => {
+                write!(f, "target {target} out of range for program of length {len}")
+            }
+            IsaError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            IsaError::UndefinedLabel("x".into()).to_string(),
+            "undefined label 'x'"
+        );
+        assert!(IsaError::TargetOutOfRange { target: 9, len: 3 }
+            .to_string()
+            .contains('9'));
+        assert!(IsaError::Parse {
+            line: 2,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("line 2"));
+    }
+}

@@ -1,0 +1,49 @@
+//! # `isa` — the architectural substrate of the specgraph reproduction
+//!
+//! A minimal 64-bit RISC-like instruction set rich enough to express every
+//! speculative-execution attack variant of Table III of the paper
+//! ("New Models for Understanding and Reasoning about Speculative Execution
+//! Attacks", HPCA 2021):
+//!
+//! * loads/stores with privilege-checked addressing (Meltdown, Foreshadow),
+//! * conditional branches (Spectre v1/v1.1/v1.2),
+//! * indirect branches and calls/returns (Spectre v2, Spectre-RSB),
+//! * fences (LFENCE/MFENCE/SSBB defenses),
+//! * cache flush + timer reads (Flush+Reload covert channels),
+//! * privileged special-register reads (Spectre v3a),
+//! * floating-point operations (Lazy FP),
+//! * transactional regions (TAA, CacheOut).
+//!
+//! Programs are built either with [`ProgramBuilder`] (symbolic labels) or
+//! assembled from text with [`asm::assemble`].
+//!
+//! ```
+//! use isa::{ProgramBuilder, Reg, Cond};
+//!
+//! # fn main() -> Result<(), isa::IsaError> {
+//! let p = ProgramBuilder::new()
+//!     .imm(Reg::R0, 42)
+//!     .label("spin")?
+//!     .alu_imm(isa::AluOp::Sub, Reg::R0, Reg::R0, 1)
+//!     .branch_if(Cond::Ne, Reg::R0, Reg::ZERO, "spin")
+//!     .halt()
+//!     .build()?;
+//! assert_eq!(p.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod asm;
+mod error;
+mod inst;
+mod program;
+mod reg;
+
+pub use error::IsaError;
+pub use inst::{AluOp, Cond, FenceKind, Instruction, Operand};
+pub use program::{Program, ProgramBuilder};
+pub use reg::{FReg, Msr, Reg};

@@ -1,0 +1,175 @@
+//! Register names.
+
+use std::fmt;
+
+/// A general-purpose 64-bit register, `r0`–`r15`.
+///
+/// `r15` is hard-wired to zero (like RISC-V `x0`) and exposed as
+/// [`Reg::ZERO`]; writes to it are ignored by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+#[allow(missing_docs)]
+impl Reg {
+    pub const R0: Reg = Reg(0);
+    pub const R1: Reg = Reg(1);
+    pub const R2: Reg = Reg(2);
+    pub const R3: Reg = Reg(3);
+    pub const R4: Reg = Reg(4);
+    pub const R5: Reg = Reg(5);
+    pub const R6: Reg = Reg(6);
+    pub const R7: Reg = Reg(7);
+    pub const R8: Reg = Reg(8);
+    pub const R9: Reg = Reg(9);
+    pub const R10: Reg = Reg(10);
+    pub const R11: Reg = Reg(11);
+    pub const R12: Reg = Reg(12);
+    pub const R13: Reg = Reg(13);
+    pub const R14: Reg = Reg(14);
+    /// The always-zero register.
+    pub const ZERO: Reg = Reg(15);
+
+    /// Number of general-purpose registers.
+    pub const COUNT: usize = 16;
+
+    /// Constructs `rN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= Reg::COUNT`.
+    #[must_use]
+    pub fn new(n: u8) -> Self {
+        assert!(
+            (n as usize) < Self::COUNT,
+            "register index {n} out of range"
+        );
+        Reg(n)
+    }
+
+    /// The register's index, `0..16`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hard-wired zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            f.write_str("zero")
+        } else {
+            write!(f, "r{}", self.0)
+        }
+    }
+}
+
+/// A floating-point register, `f0`–`f7`.
+///
+/// FP registers are the secret source in the Lazy-FP attack: on a context
+/// switch their contents are switched lazily, so the first FP instruction in
+/// a new context can transiently observe the previous context's values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// Number of floating-point registers.
+    pub const COUNT: usize = 8;
+
+    /// Constructs `fN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= FReg::COUNT`.
+    #[must_use]
+    pub fn new(n: u8) -> Self {
+        assert!(
+            (n as usize) < Self::COUNT,
+            "fp register index {n} out of range"
+        );
+        FReg(n)
+    }
+
+    /// The register's index, `0..8`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A model-specific (special) register address.
+///
+/// Reading an MSR requires supervisor privilege; the delayed privilege check
+/// is the authorization node of Spectre v3a (Rogue System Register Read).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Msr(pub u32);
+
+impl Msr {
+    /// A conventional "scratch" MSR used in examples and tests.
+    pub const SCRATCH: Msr = Msr(0x10);
+}
+
+impl fmt::Display for Msr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "msr{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg::R3.to_string(), "r3");
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+    }
+
+    #[test]
+    fn reg_new_roundtrip() {
+        for i in 0..16u8 {
+            assert_eq!(Reg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_out_of_range_panics() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::R0.is_zero());
+        assert_eq!(Reg::ZERO.index(), 15);
+    }
+
+    #[test]
+    fn freg_display_and_range() {
+        assert_eq!(FReg::new(2).to_string(), "f2");
+        assert_eq!(FReg::new(7).index(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn freg_out_of_range_panics() {
+        let _ = FReg::new(8);
+    }
+
+    #[test]
+    fn msr_display() {
+        assert_eq!(Msr(0x10).to_string(), "msr0x10");
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests: disassemble ∘ assemble is the identity on instruction
+//! sequences, for arbitrary generated programs.
+
+use isa::{asm, AluOp, Cond, FenceKind, FReg, Instruction, Msr, Operand, Program, Reg};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::new)
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+        Just(AluOp::Mul),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![Just(Cond::Eq), Just(Cond::Ne), Just(Cond::Lt), Just(Cond::Ge)]
+}
+
+/// Non-control-flow instructions (control flow is generated separately so
+/// targets stay in range).
+fn arb_straight() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (arb_reg(), any::<u64>()).prop_map(|(dst, value)| Instruction::Imm { dst, value }),
+        (arb_alu(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, dst, a, b)| Instruction::Alu {
+                op,
+                dst,
+                a,
+                b: Operand::Reg(b)
+            }),
+        (arb_alu(), arb_reg(), arb_reg(), any::<u64>())
+            .prop_map(|(op, dst, a, v)| Instruction::Alu {
+                op,
+                dst,
+                a,
+                b: Operand::Imm(v)
+            }),
+        (arb_reg(), arb_reg(), -512i64..512)
+            .prop_map(|(dst, base, offset)| Instruction::Load { dst, base, offset }),
+        (arb_reg(), arb_reg(), -512i64..512)
+            .prop_map(|(src, base, offset)| Instruction::Store { src, base, offset }),
+        (arb_reg(), -512i64..512).prop_map(|(base, offset)| Instruction::CacheFlush {
+            base,
+            offset
+        }),
+        arb_reg().prop_map(|dst| Instruction::ReadTime { dst }),
+        (arb_reg(), 0u32..64).prop_map(|(dst, m)| Instruction::ReadMsr { dst, msr: Msr(m) }),
+        (arb_reg(), 0u8..8).prop_map(|(dst, f)| Instruction::FpMove {
+            dst,
+            fsrc: FReg::new(f)
+        }),
+        prop_oneof![
+            Just(Instruction::Fence(FenceKind::LFence)),
+            Just(Instruction::Fence(FenceKind::MFence)),
+            Just(Instruction::Fence(FenceKind::Ssbb)),
+        ],
+        Just(Instruction::TxBegin),
+        Just(Instruction::TxEnd),
+        Just(Instruction::Nop),
+        arb_reg().prop_map(|reg| Instruction::JumpIndirect { reg }),
+        Just(Instruction::Ret),
+        Just(Instruction::Halt),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Straight-line programs survive the text round trip exactly.
+    #[test]
+    fn roundtrip_straightline(insts in proptest::collection::vec(arb_straight(), 1..64)) {
+        let p = Program::from_instructions(insts).expect("no targets to validate");
+        let text = asm::disassemble(&p);
+        let p2 = asm::assemble(&text).unwrap_or_else(|e| panic!("reassembly failed: {e}\n{text}"));
+        prop_assert_eq!(p.instructions(), p2.instructions());
+    }
+
+    /// Programs with forward branches/jumps/calls also round trip
+    /// (synthetic labels are generated for the targets).
+    #[test]
+    fn roundtrip_with_control_flow(
+        insts in proptest::collection::vec(arb_straight(), 4..32),
+        picks in proptest::collection::vec((any::<prop::sample::Index>(), arb_cond(), 0u8..3), 1..6),
+    ) {
+        let mut v = insts;
+        let n = v.len();
+        for (idx, cond, kind) in picks {
+            let at = idx.index(n);
+            let target = (at + 1 + idx.index(n - at)) % (n + 1);
+            v[at] = match kind {
+                0 => Instruction::BranchIf { cond, a: Reg::R0, b: Reg::R1, target },
+                1 => Instruction::Jump { target },
+                _ => Instruction::Call { target },
+            };
+        }
+        // Ensure a final halt so `target == n` stays in range.
+        v.push(Instruction::Halt);
+        let p = Program::from_instructions(v).expect("targets in range");
+        let text = asm::disassemble(&p);
+        let p2 = asm::assemble(&text).unwrap_or_else(|e| panic!("reassembly failed: {e}\n{text}"));
+        prop_assert_eq!(p.instructions(), p2.instructions());
+    }
+
+    /// Display of any instruction is non-empty and stable (never panics).
+    #[test]
+    fn display_total(inst in arb_straight()) {
+        prop_assert!(!inst.to_string().is_empty());
+    }
+}

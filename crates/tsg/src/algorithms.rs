@@ -1,0 +1,230 @@
+//! Graph algorithms supporting the tool flow of §V-C: transitive
+//! reduction (minimal dependency sets), speculation-window analysis, and
+//! path counting.
+//!
+//! The paper's tool "can proactively insert a security dependency, e.g., a
+//! lightweight fence" — the *minimal* set of edges to insert is exactly
+//! the transitive reduction of the required orderings, and the *cost* of
+//! an inserted ordering relates to how much concurrency (how many valid
+//! orderings) it removes.
+
+use crate::edge::EdgeKind;
+use crate::error::TsgError;
+use crate::graph::Tsg;
+use crate::node::NodeId;
+
+impl Tsg {
+    /// The transitive reduction: the minimal edge set with the same
+    /// reachability relation. Returns pairs `(from, to)` of edges that are
+    /// **redundant** (implied by other paths) — removing them changes no
+    /// ordering guarantee.
+    ///
+    /// For a defense designer this identifies security-dependency edges
+    /// that are already implied by data/control dependencies and therefore
+    /// cost nothing to "insert".
+    #[must_use]
+    pub fn redundant_edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut redundant = Vec::new();
+        for e in self.edges() {
+            // Edge u→v is redundant iff v is reachable from u without it.
+            let (u, v) = (e.from(), e.to());
+            if self.reaches_avoiding(u, v, e.id().index()) {
+                redundant.push((u, v));
+            }
+        }
+        redundant
+    }
+
+    /// Reachability from `from` to `to` ignoring the edge at `skip_idx`.
+    fn reaches_avoiding(&self, from: NodeId, to: NodeId, skip_idx: usize) -> bool {
+        let mut visited = vec![false; self.node_count()];
+        let mut stack = vec![from];
+        visited[from.index()] = true;
+        while let Some(u) = stack.pop() {
+            for e in self.successors(u).expect("node exists") {
+                if e.id().index() == skip_idx {
+                    continue;
+                }
+                let v = e.to();
+                if v == to {
+                    return true;
+                }
+                if !visited[v.index()] {
+                    visited[v.index()] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        false
+    }
+
+    /// The *speculation window* of an authorization node: every node that
+    /// races with it (Theorem 1) — the operations that may execute while
+    /// the authorization is pending. This is the set a defense must
+    /// consider when deciding where to insert the security dependency.
+    ///
+    /// # Errors
+    ///
+    /// [`TsgError::UnknownNode`] if `auth` is not in the graph.
+    pub fn speculation_window(&self, auth: NodeId) -> Result<Vec<NodeId>, TsgError> {
+        self.check_node(auth)?;
+        let mut window = Vec::new();
+        for n in self.nodes() {
+            if n.id() != auth && self.has_race(auth, n.id())? {
+                window.push(n.id());
+            }
+        }
+        Ok(window)
+    }
+
+    /// Counts directed paths from `from` to `to` (DAG dynamic programming).
+    /// Saturates at `u64::MAX`.
+    ///
+    /// # Errors
+    ///
+    /// [`TsgError::UnknownNode`] for unknown ids.
+    pub fn count_paths(&self, from: NodeId, to: NodeId) -> Result<u64, TsgError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        let topo = self.topological_sort();
+        let mut count = vec![0u64; self.node_count()];
+        count[from.index()] = 1;
+        for &u in &topo {
+            if count[u.index()] == 0 {
+                continue;
+            }
+            let c = count[u.index()];
+            for e in self.successors(u).expect("node exists") {
+                let v = e.to().index();
+                count[v] = count[v].saturating_add(c);
+            }
+        }
+        Ok(count[to.index()])
+    }
+
+    /// The longest path length (in edges) from any source to any sink —
+    /// the critical path of the modeled computation. An inserted security
+    /// dependency that lies on the critical path costs latency; one off it
+    /// is free (the performance side of the paper's Insight 5).
+    #[must_use]
+    pub fn critical_path_length(&self) -> usize {
+        let topo = self.topological_sort();
+        let mut dist = vec![0usize; self.node_count()];
+        let mut best = 0;
+        for &u in &topo {
+            for e in self.successors(u).expect("node exists") {
+                let v = e.to().index();
+                if dist[u.index()] + 1 > dist[v] {
+                    dist[v] = dist[u.index()] + 1;
+                    best = best.max(dist[v]);
+                }
+            }
+        }
+        best
+    }
+
+    /// Of the declared-or-proposed security edges (`kind ==
+    /// EdgeKind::Security`), those that are redundant (already implied by
+    /// the rest of the graph) — "free" defenses.
+    #[must_use]
+    pub fn redundant_security_edges(&self) -> Vec<(NodeId, NodeId)> {
+        self.redundant_edges()
+            .into_iter()
+            .filter(|&(u, v)| {
+                self.successors(u)
+                    .expect("node exists")
+                    .any(|e| e.to() == v && e.kind() == EdgeKind::Security)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    fn chain_with_shortcut() -> (Tsg, [NodeId; 3]) {
+        // a→b→c plus the redundant shortcut a→c.
+        let mut g = Tsg::new();
+        let a = g.add_node("a", NodeKind::Compute);
+        let b = g.add_node("b", NodeKind::Compute);
+        let c = g.add_node("c", NodeKind::Compute);
+        g.add_edge(a, b, EdgeKind::Data).unwrap();
+        g.add_edge(b, c, EdgeKind::Data).unwrap();
+        g.add_edge(a, c, EdgeKind::Security).unwrap();
+        (g, [a, b, c])
+    }
+
+    #[test]
+    fn shortcut_is_redundant() {
+        let (g, [a, _, c]) = chain_with_shortcut();
+        assert_eq!(g.redundant_edges(), vec![(a, c)]);
+        assert_eq!(g.redundant_security_edges(), vec![(a, c)]);
+    }
+
+    #[test]
+    fn chain_has_no_redundancy() {
+        let mut g = Tsg::new();
+        let a = g.add_node("a", NodeKind::Compute);
+        let b = g.add_node("b", NodeKind::Compute);
+        g.add_edge(a, b, EdgeKind::Data).unwrap();
+        assert!(g.redundant_edges().is_empty());
+    }
+
+    #[test]
+    fn speculation_window_is_the_race_set() {
+        let g = crate::examples::fig2();
+        let d = g.find_by_label("D").unwrap();
+        let e = g.find_by_label("E").unwrap();
+        let b = g.find_by_label("B").unwrap();
+        let window = g.speculation_window(e).unwrap();
+        assert!(window.contains(&d));
+        assert!(window.contains(&b));
+        assert_eq!(window.len(), 2);
+    }
+
+    #[test]
+    fn path_counting() {
+        let mut g = Tsg::new();
+        let a = g.add_node("a", NodeKind::Compute);
+        let b = g.add_node("b", NodeKind::Compute);
+        let c = g.add_node("c", NodeKind::Compute);
+        let d = g.add_node("d", NodeKind::Compute);
+        for (u, v) in [(a, b), (a, c), (b, d), (c, d)] {
+            g.add_edge(u, v, EdgeKind::Data).unwrap();
+        }
+        assert_eq!(g.count_paths(a, d).unwrap(), 2);
+        assert_eq!(g.count_paths(d, a).unwrap(), 0);
+        assert_eq!(g.count_paths(a, a).unwrap(), 1);
+    }
+
+    #[test]
+    fn critical_path() {
+        let (g, _) = chain_with_shortcut();
+        assert_eq!(g.critical_path_length(), 2);
+        let empty = Tsg::new();
+        assert_eq!(empty.critical_path_length(), 0);
+    }
+
+    #[test]
+    fn window_shrinks_after_patch() {
+        // Patching the authorization→access edge shrinks the speculation
+        // window — the measurable effect of a defense at the graph level.
+        let mut g = Tsg::new();
+        let auth = g.add_node("auth", NodeKind::Authorization);
+        let x = g.add_node("x", NodeKind::Compute);
+        let y = g.add_node("y", NodeKind::Compute);
+        g.add_edge(x, y, EdgeKind::Data).unwrap();
+        assert_eq!(g.speculation_window(auth).unwrap().len(), 2);
+        g.add_edge(auth, x, EdgeKind::Security).unwrap();
+        assert!(g.speculation_window(auth).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let g = Tsg::new();
+        assert!(g.speculation_window(NodeId::from_index(0)).is_err());
+        assert!(g.count_paths(NodeId::from_index(0), NodeId::from_index(1)).is_err());
+    }
+}

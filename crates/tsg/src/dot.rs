@@ -1,0 +1,118 @@
+//! Graphviz DOT export of attack graphs.
+//!
+//! The figures of the paper are attack graphs; [`Tsg::to_dot`] regenerates
+//! them in a form `dot -Tpdf` can render. Node shapes/colors encode the four
+//! critical node types of §IV-B, and dashed red edges mark inserted security
+//! dependencies (as in the paper's red dashed defense arrows).
+
+use crate::edge::EdgeKind;
+use crate::graph::Tsg;
+use crate::node::NodeKind;
+use std::fmt::Write as _;
+
+impl Tsg {
+    /// Renders the graph as Graphviz DOT with the paper's visual conventions.
+    ///
+    /// * authorization nodes — diamonds
+    /// * secret accesses — red boxes
+    /// * send / use — orange boxes
+    /// * receive — blue boxes
+    /// * security edges — dashed red (the paper's defense arrows)
+    #[must_use]
+    pub fn to_dot(&self, title: &str) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{}\" {{", escape(title));
+        let _ = writeln!(s, "  label=\"{}\";", escape(title));
+        let _ = writeln!(s, "  rankdir=TB;");
+        let _ = writeln!(s, "  node [fontname=\"Helvetica\"];");
+        for n in self.nodes() {
+            let (shape, color) = match n.kind() {
+                NodeKind::Authorization => ("diamond", "gold"),
+                NodeKind::SecretAccess(_) => ("box", "indianred1"),
+                NodeKind::UseSecret | NodeKind::Send => ("box", "orange"),
+                NodeKind::Receive => ("box", "lightskyblue"),
+                NodeKind::Setup => ("box", "gray90"),
+                NodeKind::Resolution => ("octagon", "gray80"),
+                NodeKind::Compute => ("ellipse", "white"),
+            };
+            let _ = writeln!(
+                s,
+                "  {} [label=\"{}\", shape={}, style=filled, fillcolor={}];",
+                n.id(),
+                escape(n.label()),
+                shape,
+                color
+            );
+        }
+        for e in self.edges() {
+            let style = match e.kind() {
+                EdgeKind::Security => "color=red, style=dashed, penwidth=2",
+                EdgeKind::Fence => "color=red3, style=bold",
+                EdgeKind::Control => "color=blue4",
+                EdgeKind::Address => "color=darkgreen",
+                EdgeKind::Program => "color=gray50",
+                EdgeKind::Data => "color=black",
+            };
+            let _ = writeln!(
+                s,
+                "  {} -> {} [label=\"{}\", {}];",
+                e.from(),
+                e.to(),
+                e.kind(),
+                style
+            );
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{EdgeKind, NodeKind, SecretSource, Tsg};
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut g = Tsg::new();
+        let a = g.add_node("Branch resolution", NodeKind::Authorization);
+        let b = g.add_node("Load S", NodeKind::SecretAccess(SecretSource::Memory));
+        g.add_edge(a, b, EdgeKind::Security).unwrap();
+        let dot = g.to_dot("fig");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("Branch resolution"));
+        assert!(dot.contains("Load S"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("diamond"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn quotes_escaped() {
+        let mut g = Tsg::new();
+        g.add_node("say \"hi\"", NodeKind::Compute);
+        let dot = g.to_dot("t\"itle");
+        assert!(dot.contains("say \\\"hi\\\""));
+        assert!(dot.contains("t\\\"itle"));
+    }
+
+    #[test]
+    fn every_kind_renders() {
+        let mut g = Tsg::new();
+        g.add_node("a", NodeKind::Authorization);
+        g.add_node("b", NodeKind::SecretAccess(SecretSource::Fpu));
+        g.add_node("c", NodeKind::UseSecret);
+        g.add_node("d", NodeKind::Send);
+        g.add_node("e", NodeKind::Receive);
+        g.add_node("f", NodeKind::Setup);
+        g.add_node("g", NodeKind::Resolution);
+        g.add_node("h", NodeKind::Compute);
+        let dot = g.to_dot("kinds");
+        for shape in ["diamond", "box", "octagon", "ellipse"] {
+            assert!(dot.contains(shape), "missing {shape}");
+        }
+    }
+}

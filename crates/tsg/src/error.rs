@@ -1,0 +1,94 @@
+//! Error type for TSG construction and queries.
+
+use crate::node::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`Tsg`](crate::Tsg) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TsgError {
+    /// A node id referenced a node that does not exist in this graph.
+    UnknownNode(NodeId),
+    /// Adding the edge would have created a directed cycle, which is
+    /// forbidden: a TSG is a DAG (paper §IV-B).
+    WouldCycle {
+        /// Source of the rejected edge.
+        from: NodeId,
+        /// Destination of the rejected edge.
+        to: NodeId,
+    },
+    /// The edge connects a node to itself.
+    SelfLoop(NodeId),
+    /// An ordering did not contain exactly the graph's vertex set.
+    MalformedOrdering {
+        /// Number of vertices in the graph.
+        expected: usize,
+        /// Number of vertices in the supplied ordering.
+        got: usize,
+    },
+    /// The graph is too large for exhaustive ordering enumeration.
+    TooLargeToEnumerate {
+        /// Number of vertices in the graph.
+        nodes: usize,
+        /// The enumeration limit that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for TsgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsgError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            TsgError::WouldCycle { from, to } => {
+                write!(f, "edge {from} -> {to} would create a cycle")
+            }
+            TsgError::SelfLoop(id) => write!(f, "self-loop on {id} is not allowed"),
+            TsgError::MalformedOrdering { expected, got } => write!(
+                f,
+                "ordering has {got} vertices but the graph has {expected}"
+            ),
+            TsgError::TooLargeToEnumerate { nodes, limit } => write!(
+                f,
+                "graph with {nodes} nodes exceeds the enumeration limit of {limit}"
+            ),
+        }
+    }
+}
+
+impl Error for TsgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(TsgError::UnknownNode(NodeId(3)).to_string(), "unknown node n3");
+        assert!(TsgError::WouldCycle {
+            from: NodeId(0),
+            to: NodeId(1)
+        }
+        .to_string()
+        .contains("cycle"));
+        assert!(TsgError::SelfLoop(NodeId(2)).to_string().contains("self-loop"));
+        assert!(TsgError::MalformedOrdering {
+            expected: 4,
+            got: 3
+        }
+        .to_string()
+        .contains('4'));
+        assert!(TsgError::TooLargeToEnumerate {
+            nodes: 100,
+            limit: 12
+        }
+        .to_string()
+        .contains("100"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TsgError>();
+    }
+}

@@ -1,0 +1,561 @@
+//! The Topological Sort Graph itself.
+
+use crate::edge::{Edge, EdgeId, EdgeKind};
+use crate::error::TsgError;
+use crate::node::{Node, NodeId, NodeKind};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A Topological Sort Graph: a DAG of operations and dependencies.
+///
+/// This is the paper's attack-graph representation (§IV-B). Vertices are
+/// operations; a directed edge `u → v` means the machine guarantees `u`
+/// completes before `v`. Orderings of all vertices that respect every edge
+/// are *valid orderings*; two vertices *race* when valid orderings disagree
+/// on their relative order, and by **Theorem 1** that happens exactly when
+/// neither can reach the other.
+///
+/// The graph rejects edge insertions that would create a cycle, so it is a
+/// DAG by construction.
+///
+/// ```
+/// use tsg::{Tsg, NodeKind, EdgeKind};
+/// # fn main() -> Result<(), tsg::TsgError> {
+/// let mut g = Tsg::new();
+/// let a = g.add_node("A", NodeKind::Compute);
+/// let b = g.add_node("B", NodeKind::Compute);
+/// let c = g.add_node("C", NodeKind::Compute);
+/// g.add_edge(a, b, EdgeKind::Data)?;
+/// g.add_edge(b, c, EdgeKind::Data)?;
+/// assert!(g.has_path(a, c)?);           // transitive reachability
+/// assert!(g.add_edge(c, a, EdgeKind::Data).is_err()); // cycle rejected
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tsg {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    /// Outgoing adjacency: `succ[u]` lists edge indices leaving `u`.
+    succ: Vec<Vec<u32>>,
+    /// Incoming adjacency: `pred[v]` lists edge indices entering `v`.
+    pred: Vec<Vec<u32>>,
+}
+
+impl Tsg {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with preallocated capacity.
+    #[must_use]
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Tsg {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            succ: Vec::with_capacity(nodes),
+            pred: Vec::with_capacity(nodes),
+        }
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no vertices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds an operation vertex and returns its id.
+    pub fn add_node(&mut self, label: impl Into<String>, kind: NodeKind) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("node count fits in u32"));
+        self.nodes.push(Node {
+            id,
+            label: label.into(),
+            kind,
+        });
+        self.succ.push(Vec::new());
+        self.pred.push(Vec::new());
+        id
+    }
+
+    /// Adds a dependency edge `from → to` of the given kind.
+    ///
+    /// Parallel edges of different kinds are allowed (e.g. a data dependency
+    /// that is *also* declared a security dependency); an exact duplicate
+    /// (same endpoints and kind) is silently deduplicated and the existing
+    /// edge id is returned.
+    ///
+    /// # Errors
+    ///
+    /// * [`TsgError::UnknownNode`] if either endpoint does not exist.
+    /// * [`TsgError::SelfLoop`] if `from == to`.
+    /// * [`TsgError::WouldCycle`] if the edge would create a directed cycle.
+    pub fn add_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        kind: EdgeKind,
+    ) -> Result<EdgeId, TsgError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if from == to {
+            return Err(TsgError::SelfLoop(from));
+        }
+        if let Some(existing) = self
+            .succ[from.index()]
+            .iter()
+            .map(|&ei| &self.edges[ei as usize])
+            .find(|e| e.to == to && e.kind == kind)
+        {
+            return Ok(existing.id);
+        }
+        // Cycle check: the new edge closes a cycle iff `to` already reaches
+        // `from`.
+        if self.reaches(to, from) {
+            return Err(TsgError::WouldCycle { from, to });
+        }
+        let id = EdgeId(u32::try_from(self.edges.len()).expect("edge count fits in u32"));
+        self.edges.push(Edge { id, from, to, kind });
+        self.succ[from.index()].push(id.0);
+        self.pred[to.index()].push(id.0);
+        Ok(id)
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Errors
+    ///
+    /// [`TsgError::UnknownNode`] if the id is not in this graph.
+    pub fn node(&self, id: NodeId) -> Result<&Node, TsgError> {
+        self.nodes.get(id.index()).ok_or(TsgError::UnknownNode(id))
+    }
+
+    /// Looks up an edge by id. Returns `None` if out of range.
+    #[must_use]
+    pub fn edge(&self, id: EdgeId) -> Option<&Edge> {
+        self.edges.get(id.index())
+    }
+
+    /// Iterates over all nodes in insertion order.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> + '_ {
+        self.nodes.iter()
+    }
+
+    /// Iterates over all edges in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = &Edge> + '_ {
+        self.edges.iter()
+    }
+
+    /// Iterates over the direct successors of `id` (with the connecting edge).
+    ///
+    /// # Errors
+    ///
+    /// [`TsgError::UnknownNode`] if the id is not in this graph.
+    pub fn successors(&self, id: NodeId) -> Result<impl Iterator<Item = &Edge> + '_, TsgError> {
+        self.check_node(id)?;
+        Ok(self.succ[id.index()]
+            .iter()
+            .map(move |&ei| &self.edges[ei as usize]))
+    }
+
+    /// Iterates over the direct predecessors of `id` (with the connecting edge).
+    ///
+    /// # Errors
+    ///
+    /// [`TsgError::UnknownNode`] if the id is not in this graph.
+    pub fn predecessors(&self, id: NodeId) -> Result<impl Iterator<Item = &Edge> + '_, TsgError> {
+        self.check_node(id)?;
+        Ok(self.pred[id.index()]
+            .iter()
+            .map(move |&ei| &self.edges[ei as usize]))
+    }
+
+    /// Returns the first node whose label equals `label`, if any.
+    #[must_use]
+    pub fn find_by_label(&self, label: &str) -> Option<NodeId> {
+        self.nodes.iter().find(|n| n.label == label).map(|n| n.id)
+    }
+
+    /// Returns all nodes of the given kind.
+    #[must_use]
+    pub fn nodes_of_kind(&self, pred: impl Fn(NodeKind) -> bool) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| pred(n.kind))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Whether a directed path (length ≥ 1, or 0 when `from == to`) exists
+    /// from `from` to `to`.
+    ///
+    /// Uses an iterative DFS over the successor lists; `O(V + E)`.
+    ///
+    /// # Errors
+    ///
+    /// [`TsgError::UnknownNode`] if either id is not in this graph.
+    pub fn has_path(&self, from: NodeId, to: NodeId) -> Result<bool, TsgError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        Ok(self.reaches(from, to))
+    }
+
+    /// Internal unchecked reachability (`from` reaches `to`, reflexive).
+    pub(crate) fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack = vec![from];
+        visited[from.index()] = true;
+        while let Some(u) = stack.pop() {
+            for &ei in &self.succ[u.index()] {
+                let v = self.edges[ei as usize].to;
+                if v == to {
+                    return true;
+                }
+                if !visited[v.index()] {
+                    visited[v.index()] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        false
+    }
+
+    /// The set of all nodes reachable from `from` (excluding `from` itself).
+    ///
+    /// # Errors
+    ///
+    /// [`TsgError::UnknownNode`] if the id is not in this graph.
+    pub fn descendants(&self, from: NodeId) -> Result<Vec<NodeId>, TsgError> {
+        self.check_node(from)?;
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack = vec![from];
+        visited[from.index()] = true;
+        let mut out = Vec::new();
+        while let Some(u) = stack.pop() {
+            for &ei in &self.succ[u.index()] {
+                let v = self.edges[ei as usize].to;
+                if !visited[v.index()] {
+                    visited[v.index()] = true;
+                    out.push(v);
+                    stack.push(v);
+                }
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// The set of all nodes that reach `to` (excluding `to` itself).
+    ///
+    /// # Errors
+    ///
+    /// [`TsgError::UnknownNode`] if the id is not in this graph.
+    pub fn ancestors(&self, to: NodeId) -> Result<Vec<NodeId>, TsgError> {
+        self.check_node(to)?;
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack = vec![to];
+        visited[to.index()] = true;
+        let mut out = Vec::new();
+        while let Some(u) = stack.pop() {
+            for &ei in &self.pred[u.index()] {
+                let v = self.edges[ei as usize].from;
+                if !visited[v.index()] {
+                    visited[v.index()] = true;
+                    out.push(v);
+                    stack.push(v);
+                }
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// One shortest directed path from `from` to `to` (inclusive), if any.
+    ///
+    /// # Errors
+    ///
+    /// [`TsgError::UnknownNode`] if either id is not in this graph.
+    pub fn shortest_path(&self, from: NodeId, to: NodeId) -> Result<Option<Vec<NodeId>>, TsgError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if from == to {
+            return Ok(Some(vec![from]));
+        }
+        let mut parent: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
+        let mut visited = vec![false; self.nodes.len()];
+        let mut queue = VecDeque::new();
+        visited[from.index()] = true;
+        queue.push_back(from);
+        while let Some(u) = queue.pop_front() {
+            for &ei in &self.succ[u.index()] {
+                let v = self.edges[ei as usize].to;
+                if !visited[v.index()] {
+                    visited[v.index()] = true;
+                    parent[v.index()] = Some(u);
+                    if v == to {
+                        let mut path = vec![v];
+                        let mut cur = u;
+                        loop {
+                            path.push(cur);
+                            match parent[cur.index()] {
+                                Some(p) => cur = p,
+                                None => break,
+                            }
+                        }
+                        path.reverse();
+                        return Ok(Some(path));
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// A topological ordering of all vertices (Kahn's algorithm).
+    ///
+    /// Ties are broken by node id, so the result is deterministic. Since the
+    /// graph is a DAG by construction, this never fails.
+    #[must_use]
+    pub fn topological_sort(&self) -> Vec<NodeId> {
+        let n = self.nodes.len();
+        let mut indeg: Vec<usize> = (0..n).map(|v| self.pred[v].len()).collect();
+        // Min-heap-by-id behaviour via a sorted ready list kept as a binary
+        // heap of Reverse(ids).
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut ready: BinaryHeap<Reverse<u32>> = (0..n)
+            .filter(|&v| indeg[v] == 0)
+            .map(|v| Reverse(v as u32))
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(Reverse(u)) = ready.pop() {
+            order.push(NodeId(u));
+            for &ei in &self.succ[u as usize] {
+                let v = self.edges[ei as usize].to;
+                indeg[v.index()] -= 1;
+                if indeg[v.index()] == 0 {
+                    ready.push(Reverse(v.0));
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "DAG invariant violated");
+        order
+    }
+
+    /// Removes every edge of the given kind, returning how many were removed.
+    ///
+    /// Useful for ablation: e.g. strip all [`EdgeKind::Security`] edges to
+    /// recover the undefended baseline graph.
+    pub fn strip_edges(&mut self, kind: EdgeKind) -> usize {
+        let keep: Vec<Edge> = self
+            .edges
+            .iter()
+            .filter(|e| e.kind != kind)
+            .copied()
+            .collect();
+        let removed = self.edges.len() - keep.len();
+        if removed == 0 {
+            return 0;
+        }
+        self.rebuild(keep);
+        removed
+    }
+
+    fn rebuild(&mut self, kept: Vec<Edge>) {
+        self.edges.clear();
+        for s in &mut self.succ {
+            s.clear();
+        }
+        for p in &mut self.pred {
+            p.clear();
+        }
+        for (i, mut e) in kept.into_iter().enumerate() {
+            e.id = EdgeId(i as u32);
+            self.succ[e.from.index()].push(e.id.0);
+            self.pred[e.to.index()].push(e.id.0);
+            self.edges.push(e);
+        }
+    }
+
+    pub(crate) fn check_node(&self, id: NodeId) -> Result<(), TsgError> {
+        if id.index() < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(TsgError::UnknownNode(id))
+        }
+    }
+}
+
+impl fmt::Display for Tsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TSG ({} nodes, {} edges)", self.node_count(), self.edge_count())?;
+        for n in &self.nodes {
+            writeln!(f, "  {}: {}", n.id, n)?;
+        }
+        for e in &self.edges {
+            writeln!(f, "  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Tsg, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Tsg::new();
+        let a = g.add_node("a", NodeKind::Compute);
+        let b = g.add_node("b", NodeKind::Compute);
+        let c = g.add_node("c", NodeKind::Compute);
+        let d = g.add_node("d", NodeKind::Compute);
+        g.add_edge(a, b, EdgeKind::Data).unwrap();
+        g.add_edge(a, c, EdgeKind::Data).unwrap();
+        g.add_edge(b, d, EdgeKind::Data).unwrap();
+        g.add_edge(c, d, EdgeKind::Data).unwrap();
+        (g, a, b, c, d)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Tsg::new();
+        assert!(g.is_empty());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.topological_sort(), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn reachability_in_diamond() {
+        let (g, a, b, c, d) = diamond();
+        assert!(g.has_path(a, d).unwrap());
+        assert!(g.has_path(a, a).unwrap());
+        assert!(!g.has_path(b, c).unwrap());
+        assert!(!g.has_path(d, a).unwrap());
+        assert_eq!(g.descendants(a).unwrap(), vec![b, c, d]);
+        assert_eq!(g.ancestors(d).unwrap(), vec![a, b, c]);
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let (mut g, a, _, _, d) = diamond();
+        let err = g.add_edge(d, a, EdgeKind::Data).unwrap_err();
+        assert_eq!(err, TsgError::WouldCycle { from: d, to: a });
+        // Graph unchanged.
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = Tsg::new();
+        let a = g.add_node("a", NodeKind::Compute);
+        assert_eq!(g.add_edge(a, a, EdgeKind::Data), Err(TsgError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn duplicate_edge_dedup() {
+        let mut g = Tsg::new();
+        let a = g.add_node("a", NodeKind::Compute);
+        let b = g.add_node("b", NodeKind::Compute);
+        let e1 = g.add_edge(a, b, EdgeKind::Data).unwrap();
+        let e2 = g.add_edge(a, b, EdgeKind::Data).unwrap();
+        assert_eq!(e1, e2);
+        assert_eq!(g.edge_count(), 1);
+        // Different kind between same endpoints is a distinct edge.
+        let e3 = g.add_edge(a, b, EdgeKind::Security).unwrap();
+        assert_ne!(e1, e3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let g = Tsg::new();
+        let ghost = NodeId(9);
+        assert_eq!(g.node(ghost).unwrap_err(), TsgError::UnknownNode(ghost));
+        assert!(g.has_path(ghost, ghost).is_err());
+    }
+
+    #[test]
+    fn shortest_path_in_diamond() {
+        let (g, a, _, _, d) = diamond();
+        let p = g.shortest_path(a, d).unwrap().unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0], a);
+        assert_eq!(p[2], d);
+        assert!(g.shortest_path(d, a).unwrap().is_none());
+        assert_eq!(g.shortest_path(a, a).unwrap().unwrap(), vec![a]);
+    }
+
+    #[test]
+    fn topological_sort_respects_edges() {
+        let (g, _, _, _, _) = diamond();
+        let order = g.topological_sort();
+        assert_eq!(order.len(), 4);
+        let pos: Vec<usize> = (0..4)
+            .map(|i| order.iter().position(|n| n.index() == i).unwrap())
+            .collect();
+        for e in g.edges() {
+            assert!(pos[e.from().index()] < pos[e.to().index()]);
+        }
+    }
+
+    #[test]
+    fn strip_security_edges() {
+        let (mut g, a, b, _, d) = diamond();
+        g.add_edge(b, d, EdgeKind::Security).unwrap();
+        g.add_edge(a, d, EdgeKind::Security).unwrap();
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.strip_edges(EdgeKind::Security), 2);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.strip_edges(EdgeKind::Security), 0);
+        // Edge ids were compacted.
+        for (i, e) in g.edges().enumerate() {
+            assert_eq!(e.id().index(), i);
+        }
+    }
+
+    #[test]
+    fn find_by_label_and_kinds() {
+        let mut g = Tsg::new();
+        let auth = g.add_node("bounds check", NodeKind::Authorization);
+        g.add_node("x", NodeKind::Compute);
+        assert_eq!(g.find_by_label("bounds check"), Some(auth));
+        assert_eq!(g.find_by_label("nope"), None);
+        assert_eq!(g.nodes_of_kind(NodeKind::is_authorization), vec![auth]);
+    }
+
+    #[test]
+    fn display_lists_everything() {
+        let (g, ..) = diamond();
+        let s = g.to_string();
+        assert!(s.contains("4 nodes"));
+        assert!(s.contains("4 edges"));
+        assert!(s.contains("-[data]->"));
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let (g, a, b, c, d) = diamond();
+        let succ_a: Vec<NodeId> = g.successors(a).unwrap().map(Edge::to).collect();
+        assert_eq!(succ_a, vec![b, c]);
+        let pred_d: Vec<NodeId> = g.predecessors(d).unwrap().map(Edge::from).collect();
+        assert_eq!(pred_d, vec![b, c]);
+    }
+}

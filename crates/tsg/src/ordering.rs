@@ -1,0 +1,254 @@
+//! Valid orderings (linear extensions) of a TSG.
+//!
+//! The paper defines a *valid ordering* of a TSG as a permutation of all
+//! vertices such that for every edge `(u, v)`, `u` comes before `v`
+//! (§IV-B). The set of valid orderings is the set of linear extensions of
+//! the DAG's partial order. Exhaustive enumeration is exponential in general
+//! and is provided only for small graphs — it is the *oracle* against which
+//! the reachability-based race test of Theorem 1 is verified in tests.
+
+use crate::error::TsgError;
+use crate::graph::Tsg;
+use crate::node::NodeId;
+
+/// Default node-count limit for exhaustive enumeration.
+pub const ENUMERATION_LIMIT: usize = 12;
+
+impl Tsg {
+    /// Checks whether `ordering` is a valid ordering (linear extension):
+    /// it contains every vertex exactly once, and every edge points forward.
+    ///
+    /// # Errors
+    ///
+    /// [`TsgError::MalformedOrdering`] if the ordering's length differs from
+    /// the number of vertices, and [`TsgError::UnknownNode`] if it mentions a
+    /// vertex that is not in the graph.
+    pub fn is_valid_ordering(&self, ordering: &[NodeId]) -> Result<bool, TsgError> {
+        if ordering.len() != self.node_count() {
+            return Err(TsgError::MalformedOrdering {
+                expected: self.node_count(),
+                got: ordering.len(),
+            });
+        }
+        let mut pos = vec![usize::MAX; self.node_count()];
+        for (i, &n) in ordering.iter().enumerate() {
+            self.check_node(n)?;
+            if pos[n.index()] != usize::MAX {
+                // Duplicate vertex ⇒ some other vertex is missing.
+                return Ok(false);
+            }
+            pos[n.index()] = i;
+        }
+        Ok(self
+            .edges()
+            .all(|e| pos[e.from().index()] < pos[e.to().index()]))
+    }
+
+    /// Exhaustively enumerates **all** valid orderings.
+    ///
+    /// This is exponential; it refuses graphs larger than `limit` vertices
+    /// (use [`ENUMERATION_LIMIT`] for the crate default). It exists as the
+    /// ground-truth oracle for Theorem 1 and for the paper's Figure-2
+    /// example; production race checks should use
+    /// [`Tsg::has_race`](crate::Tsg::has_race) instead.
+    ///
+    /// # Errors
+    ///
+    /// [`TsgError::TooLargeToEnumerate`] when the vertex count exceeds
+    /// `limit`.
+    pub fn valid_orderings(&self, limit: usize) -> Result<Vec<Vec<NodeId>>, TsgError> {
+        if self.node_count() > limit {
+            return Err(TsgError::TooLargeToEnumerate {
+                nodes: self.node_count(),
+                limit,
+            });
+        }
+        let n = self.node_count();
+        let mut indeg: Vec<usize> = vec![0; n];
+        for e in self.edges() {
+            indeg[e.to().index()] += 1;
+        }
+        let mut out = Vec::new();
+        let mut current: Vec<NodeId> = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+        self.enumerate_rec(&mut indeg, &mut placed, &mut current, &mut out);
+        Ok(out)
+    }
+
+    fn enumerate_rec(
+        &self,
+        indeg: &mut Vec<usize>,
+        placed: &mut Vec<bool>,
+        current: &mut Vec<NodeId>,
+        out: &mut Vec<Vec<NodeId>>,
+    ) {
+        let n = self.node_count();
+        if current.len() == n {
+            out.push(current.clone());
+            return;
+        }
+        for v in 0..n {
+            if !placed[v] && indeg[v] == 0 {
+                placed[v] = true;
+                let vid = NodeId(v as u32);
+                current.push(vid);
+                let succs: Vec<usize> = self
+                    .successors(vid)
+                    .expect("node exists")
+                    .map(|e| e.to().index())
+                    .collect();
+                for &s in &succs {
+                    indeg[s] -= 1;
+                }
+                self.enumerate_rec(indeg, placed, current, out);
+                for &s in &succs {
+                    indeg[s] += 1;
+                }
+                current.pop();
+                placed[v] = false;
+            }
+        }
+    }
+
+    /// Counts the valid orderings (linear extensions) without materializing
+    /// them. Same complexity and limit as [`Tsg::valid_orderings`].
+    ///
+    /// # Errors
+    ///
+    /// [`TsgError::TooLargeToEnumerate`] when the vertex count exceeds
+    /// `limit`.
+    pub fn count_valid_orderings(&self, limit: usize) -> Result<u64, TsgError> {
+        if self.node_count() > limit {
+            return Err(TsgError::TooLargeToEnumerate {
+                nodes: self.node_count(),
+                limit,
+            });
+        }
+        let n = self.node_count();
+        let mut indeg: Vec<usize> = vec![0; n];
+        for e in self.edges() {
+            indeg[e.to().index()] += 1;
+        }
+        let mut placed = vec![false; n];
+        let mut count = 0u64;
+        self.count_rec(&mut indeg, &mut placed, 0, &mut count);
+        Ok(count)
+    }
+
+    fn count_rec(&self, indeg: &mut Vec<usize>, placed: &mut Vec<bool>, depth: usize, count: &mut u64) {
+        let n = self.node_count();
+        if depth == n {
+            *count += 1;
+            return;
+        }
+        for v in 0..n {
+            if !placed[v] && indeg[v] == 0 {
+                placed[v] = true;
+                let succs: Vec<usize> = self
+                    .successors(NodeId(v as u32))
+                    .expect("node exists")
+                    .map(|e| e.to().index())
+                    .collect();
+                for &s in &succs {
+                    indeg[s] -= 1;
+                }
+                self.count_rec(indeg, placed, depth + 1, count);
+                for &s in &succs {
+                    indeg[s] += 1;
+                }
+                placed[v] = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeKind, NodeKind};
+
+    /// Build a chain a→b→c.
+    fn chain3() -> (Tsg, [NodeId; 3]) {
+        let mut g = Tsg::new();
+        let a = g.add_node("a", NodeKind::Compute);
+        let b = g.add_node("b", NodeKind::Compute);
+        let c = g.add_node("c", NodeKind::Compute);
+        g.add_edge(a, b, EdgeKind::Data).unwrap();
+        g.add_edge(b, c, EdgeKind::Data).unwrap();
+        (g, [a, b, c])
+    }
+
+    #[test]
+    fn chain_has_single_ordering() {
+        let (g, [a, b, c]) = chain3();
+        let all = g.valid_orderings(ENUMERATION_LIMIT).unwrap();
+        assert_eq!(all, vec![vec![a, b, c]]);
+        assert_eq!(g.count_valid_orderings(ENUMERATION_LIMIT).unwrap(), 1);
+    }
+
+    #[test]
+    fn antichain_has_factorial_orderings() {
+        let mut g = Tsg::new();
+        for i in 0..4 {
+            g.add_node(format!("n{i}"), NodeKind::Compute);
+        }
+        assert_eq!(g.count_valid_orderings(ENUMERATION_LIMIT).unwrap(), 24);
+        assert_eq!(g.valid_orderings(ENUMERATION_LIMIT).unwrap().len(), 24);
+    }
+
+    #[test]
+    fn validity_check() {
+        let (g, [a, b, c]) = chain3();
+        assert!(g.is_valid_ordering(&[a, b, c]).unwrap());
+        assert!(!g.is_valid_ordering(&[b, a, c]).unwrap());
+        assert!(!g.is_valid_ordering(&[a, a, c]).unwrap()); // duplicate
+        assert!(matches!(
+            g.is_valid_ordering(&[a, b]),
+            Err(TsgError::MalformedOrdering { expected: 3, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn enumeration_limit_enforced() {
+        let mut g = Tsg::new();
+        for i in 0..6 {
+            g.add_node(format!("n{i}"), NodeKind::Compute);
+        }
+        assert!(matches!(
+            g.valid_orderings(5),
+            Err(TsgError::TooLargeToEnumerate { nodes: 6, limit: 5 })
+        ));
+        assert!(matches!(
+            g.count_valid_orderings(5),
+            Err(TsgError::TooLargeToEnumerate { nodes: 6, limit: 5 })
+        ));
+    }
+
+    #[test]
+    fn every_enumerated_ordering_is_valid() {
+        // Diamond + a tail.
+        let mut g = Tsg::new();
+        let a = g.add_node("a", NodeKind::Compute);
+        let b = g.add_node("b", NodeKind::Compute);
+        let c = g.add_node("c", NodeKind::Compute);
+        let d = g.add_node("d", NodeKind::Compute);
+        let e = g.add_node("e", NodeKind::Compute);
+        g.add_edge(a, b, EdgeKind::Data).unwrap();
+        g.add_edge(a, c, EdgeKind::Data).unwrap();
+        g.add_edge(b, d, EdgeKind::Data).unwrap();
+        g.add_edge(c, d, EdgeKind::Data).unwrap();
+        g.add_edge(d, e, EdgeKind::Data).unwrap();
+        let all = g.valid_orderings(ENUMERATION_LIMIT).unwrap();
+        assert_eq!(all.len(), 2); // b,c swap only
+        for o in &all {
+            assert!(g.is_valid_ordering(o).unwrap());
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_one_empty_ordering() {
+        let g = Tsg::new();
+        assert_eq!(g.valid_orderings(0).unwrap(), vec![Vec::<NodeId>::new()]);
+        assert_eq!(g.count_valid_orderings(0).unwrap(), 1);
+    }
+}

@@ -1,0 +1,281 @@
+//! Race conditions and Theorem 1.
+//!
+//! The paper defines: *a race condition exists between vertices `u` and `v`
+//! iff there are two valid orderings that disagree on their relative order*,
+//! and proves (**Theorem 1**, Appendix A): *`u` and `v` are race-free iff a
+//! directed path connects them (in either direction)*.
+//!
+//! [`Tsg::has_race`] implements the efficient reachability form;
+//! [`Tsg::has_race_by_enumeration`] implements the definition literally (for
+//! small graphs) and serves as the oracle in the crate's property tests.
+
+use crate::error::TsgError;
+use crate::graph::Tsg;
+use crate::node::NodeId;
+use std::fmt;
+
+/// An unordered pair of vertices that race (no path connects them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RacePair {
+    /// The lower-id endpoint.
+    pub a: NodeId,
+    /// The higher-id endpoint.
+    pub b: NodeId,
+}
+
+impl RacePair {
+    /// Creates a normalized pair (`a` is always the lower id).
+    #[must_use]
+    pub fn new(u: NodeId, v: NodeId) -> Self {
+        if u <= v {
+            RacePair { a: u, b: v }
+        } else {
+            RacePair { a: v, b: u }
+        }
+    }
+}
+
+impl fmt::Display for RacePair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "race({}, {})", self.a, self.b)
+    }
+}
+
+impl Tsg {
+    /// Whether `u` and `v` race, by **Theorem 1**: they race iff *no*
+    /// directed path connects them in either direction.
+    ///
+    /// `O(V + E)` via two DFS reachability queries.
+    ///
+    /// # Errors
+    ///
+    /// [`TsgError::UnknownNode`] if either id is not in this graph.
+    ///
+    /// ```
+    /// use tsg::{Tsg, NodeKind, EdgeKind};
+    /// # fn main() -> Result<(), tsg::TsgError> {
+    /// let mut g = Tsg::new();
+    /// let u = g.add_node("u", NodeKind::Compute);
+    /// let v = g.add_node("v", NodeKind::Compute);
+    /// assert!(g.has_race(u, v)?);
+    /// g.add_edge(u, v, EdgeKind::Data)?;
+    /// assert!(!g.has_race(u, v)?);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn has_race(&self, u: NodeId, v: NodeId) -> Result<bool, TsgError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Ok(false);
+        }
+        Ok(!self.reaches(u, v) && !self.reaches(v, u))
+    }
+
+    /// Whether `u` and `v` race, by the paper's *definition*: enumerate all
+    /// valid orderings and look for two that disagree.
+    ///
+    /// Exponential; only usable on small graphs. This is the oracle used to
+    /// validate [`Tsg::has_race`] (Theorem 1) in tests.
+    ///
+    /// # Errors
+    ///
+    /// [`TsgError::UnknownNode`] for unknown ids;
+    /// [`TsgError::TooLargeToEnumerate`] if the graph exceeds `limit` nodes.
+    pub fn has_race_by_enumeration(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        limit: usize,
+    ) -> Result<bool, TsgError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Ok(false);
+        }
+        let orderings = self.valid_orderings(limit)?;
+        let mut saw_uv = false;
+        let mut saw_vu = false;
+        for o in &orderings {
+            let pu = o.iter().position(|&n| n == u).expect("u in ordering");
+            let pv = o.iter().position(|&n| n == v).expect("v in ordering");
+            if pu < pv {
+                saw_uv = true;
+            } else {
+                saw_vu = true;
+            }
+            if saw_uv && saw_vu {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// All racing pairs in the graph.
+    ///
+    /// Computes, for every vertex, its descendant set, then reports each
+    /// unordered pair connected in neither direction. `O(V · (V + E))`.
+    #[must_use]
+    pub fn all_races(&self) -> Vec<RacePair> {
+        let n = self.node_count();
+        // reach[u] = bitset of vertices reachable from u (including u).
+        let words = n.div_ceil(64);
+        let mut reach = vec![vec![0u64; words]; n];
+        // Process in reverse topological order so successors are done first.
+        let topo = self.topological_sort();
+        for &u in topo.iter().rev() {
+            let ui = u.index();
+            reach[ui][ui / 64] |= 1 << (ui % 64);
+            let succs: Vec<usize> = self
+                .successors(u)
+                .expect("node exists")
+                .map(|e| e.to().index())
+                .collect();
+            for s in succs {
+                // reach[u] |= reach[s]; split borrows via split_at_mut.
+                let (a, b) = if ui < s {
+                    let (lo, hi) = reach.split_at_mut(s);
+                    (&mut lo[ui], &hi[0])
+                } else {
+                    let (lo, hi) = reach.split_at_mut(ui);
+                    (&mut hi[0], &lo[s])
+                };
+                for w in 0..words {
+                    a[w] |= b[w];
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let u_reaches_v = reach[u][v / 64] & (1 << (v % 64)) != 0;
+                let v_reaches_u = reach[v][u / 64] & (1 << (u % 64)) != 0;
+                if !u_reaches_v && !v_reaches_u {
+                    out.push(RacePair::new(NodeId(u as u32), NodeId(v as u32)));
+                }
+            }
+        }
+        out
+    }
+
+    /// The racing pairs among a restricted set of vertices of interest.
+    ///
+    /// # Errors
+    ///
+    /// [`TsgError::UnknownNode`] if any id is not in this graph.
+    pub fn races_among(&self, nodes: &[NodeId]) -> Result<Vec<RacePair>, TsgError> {
+        for &n in nodes {
+            self.check_node(n)?;
+        }
+        let mut out = Vec::new();
+        for (i, &u) in nodes.iter().enumerate() {
+            for &v in &nodes[i + 1..] {
+                if self.has_race(u, v)? {
+                    out.push(RacePair::new(u, v));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeKind, NodeKind};
+
+    #[test]
+    fn no_race_with_self() {
+        let mut g = Tsg::new();
+        let a = g.add_node("a", NodeKind::Compute);
+        assert!(!g.has_race(a, a).unwrap());
+    }
+
+    #[test]
+    fn disconnected_pair_races() {
+        let mut g = Tsg::new();
+        let a = g.add_node("a", NodeKind::Compute);
+        let b = g.add_node("b", NodeKind::Compute);
+        assert!(g.has_race(a, b).unwrap());
+        assert!(g.has_race_by_enumeration(a, b, 12).unwrap());
+        assert_eq!(g.all_races(), vec![RacePair::new(a, b)]);
+    }
+
+    #[test]
+    fn connected_pair_does_not_race() {
+        let mut g = Tsg::new();
+        let a = g.add_node("a", NodeKind::Compute);
+        let b = g.add_node("b", NodeKind::Compute);
+        g.add_edge(a, b, EdgeKind::Data).unwrap();
+        assert!(!g.has_race(a, b).unwrap());
+        assert!(!g.has_race(b, a).unwrap());
+        assert!(!g.has_race_by_enumeration(a, b, 12).unwrap());
+        assert!(g.all_races().is_empty());
+    }
+
+    #[test]
+    fn transitive_connection_kills_race() {
+        let mut g = Tsg::new();
+        let a = g.add_node("a", NodeKind::Compute);
+        let b = g.add_node("b", NodeKind::Compute);
+        let c = g.add_node("c", NodeKind::Compute);
+        g.add_edge(a, b, EdgeKind::Data).unwrap();
+        g.add_edge(b, c, EdgeKind::Data).unwrap();
+        assert!(!g.has_race(a, c).unwrap());
+    }
+
+    #[test]
+    fn paper_fig2_race_between_d_and_e() {
+        // Figure 2 of the paper: race(D, E) holds.
+        let g = crate::examples::fig2();
+        let d = g.find_by_label("D").unwrap();
+        let e = g.find_by_label("E").unwrap();
+        assert!(g.has_race(d, e).unwrap());
+        assert!(g.has_race_by_enumeration(d, e, 12).unwrap());
+    }
+
+    #[test]
+    fn all_races_matches_pairwise_check() {
+        let g = crate::examples::fig2();
+        let brute: Vec<RacePair> = {
+            let ids: Vec<NodeId> = g.nodes().map(|n| n.id()).collect();
+            let mut v = Vec::new();
+            for (i, &a) in ids.iter().enumerate() {
+                for &b in &ids[i + 1..] {
+                    if g.has_race(a, b).unwrap() {
+                        v.push(RacePair::new(a, b));
+                    }
+                }
+            }
+            v
+        };
+        assert_eq!(g.all_races(), brute);
+    }
+
+    #[test]
+    fn races_among_subset() {
+        let mut g = Tsg::new();
+        let a = g.add_node("a", NodeKind::Authorization);
+        let b = g.add_node("b", NodeKind::Compute);
+        let c = g.add_node("c", NodeKind::SecretAccess(crate::SecretSource::Memory));
+        g.add_edge(a, b, EdgeKind::Data).unwrap();
+        let races = g.races_among(&[a, c]).unwrap();
+        assert_eq!(races, vec![RacePair::new(a, c)]);
+    }
+
+    #[test]
+    fn race_pair_normalizes() {
+        let p1 = RacePair::new(NodeId(5), NodeId(2));
+        let p2 = RacePair::new(NodeId(2), NodeId(5));
+        assert_eq!(p1, p2);
+        assert_eq!(p1.a, NodeId(2));
+        assert_eq!(p1.to_string(), "race(n2, n5)");
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let g = Tsg::new();
+        assert!(g.has_race(NodeId(0), NodeId(1)).is_err());
+        assert!(g.races_among(&[NodeId(0)]).is_err());
+    }
+}

@@ -1,0 +1,253 @@
+//! A line-oriented text format for attack graphs, so the Figure-9 tool can
+//! emit graphs that other tools (or humans) can edit and re-load.
+//!
+//! ```text
+//! # comment
+//! node n0 authorization "Branch resolution"
+//! node n1 access:memory "Load S"
+//! node n2 send "Load R to Cache"
+//! edge n1 -> n2 data
+//! require n0 -> n1
+//! ```
+//!
+//! Round trip: [`to_text`] ∘ [`from_text`] preserves nodes, edges and
+//! requirements exactly (ids are re-assigned densely in order).
+
+use crate::analysis::SecurityAnalysis;
+use crate::edge::EdgeKind;
+use crate::error::TsgError;
+use crate::node::{NodeId, NodeKind, SecretSource};
+use std::fmt::Write as _;
+
+/// Serializes an analysis (graph + requirements) to the text format.
+#[must_use]
+pub fn to_text(sa: &SecurityAnalysis) -> String {
+    let mut out = String::new();
+    let g = sa.graph();
+    for n in g.nodes() {
+        let _ = writeln!(
+            out,
+            "node {} {} \"{}\"",
+            n.id(),
+            kind_token(n.kind()),
+            n.label().replace('"', "'")
+        );
+    }
+    for e in g.edges() {
+        let _ = writeln!(out, "edge {} -> {} {}", e.from(), e.to(), e.kind());
+    }
+    for r in sa.requirements() {
+        let _ = writeln!(out, "require {} -> {}", r.authorization, r.protected);
+    }
+    out
+}
+
+/// Parses the text format back into an analysis.
+///
+/// # Errors
+///
+/// [`TsgError::MalformedOrdering`] is never returned here; parse problems
+/// surface as [`TsgError::UnknownNode`] (for dangling ids) or a panic-free
+/// `Err` via the same variant with a placeholder id for malformed lines.
+pub fn from_text(src: &str) -> Result<SecurityAnalysis, TsgError> {
+    let mut sa = SecurityAnalysis::new();
+    // First pass: nodes (ids must be declared before use; the serializer
+    // guarantees dense order).
+    let mut max_declared: i64 = -1;
+    for line in src.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("node") => {
+                let id = parse_id(parts.next())?;
+                if id.index() as i64 != max_declared + 1 {
+                    return Err(TsgError::UnknownNode(id));
+                }
+                max_declared += 1;
+                let kind = parse_kind(parts.next())?;
+                let label = line
+                    .split_once('"')
+                    .and_then(|(_, rest)| rest.rsplit_once('"'))
+                    .map_or("", |(l, _)| l);
+                sa.graph_mut().add_node(label, kind);
+            }
+            Some("edge") => {
+                let from = parse_id(parts.next())?;
+                expect_arrow(parts.next())?;
+                let to = parse_id(parts.next())?;
+                let kind = parse_edge_kind(parts.next())?;
+                sa.graph_mut().add_edge(from, to, kind)?;
+            }
+            Some("require") => {
+                let auth = parse_id(parts.next())?;
+                expect_arrow(parts.next())?;
+                let prot = parse_id(parts.next())?;
+                sa.require(auth, prot)?;
+            }
+            _ => return Err(TsgError::UnknownNode(NodeId::from_index(0))),
+        }
+    }
+    Ok(sa)
+}
+
+fn kind_token(kind: NodeKind) -> String {
+    match kind {
+        NodeKind::Authorization => "authorization".to_owned(),
+        NodeKind::SecretAccess(src) => format!("access:{}", source_token(src)),
+        NodeKind::UseSecret => "use".to_owned(),
+        NodeKind::Send => "send".to_owned(),
+        NodeKind::Receive => "receive".to_owned(),
+        NodeKind::Setup => "setup".to_owned(),
+        NodeKind::Resolution => "resolution".to_owned(),
+        NodeKind::Compute => "compute".to_owned(),
+    }
+}
+
+fn source_token(src: SecretSource) -> &'static str {
+    match src {
+        SecretSource::Memory => "memory",
+        SecretSource::Cache => "cache",
+        SecretSource::LineFillBuffer => "lfb",
+        SecretSource::StoreBuffer => "sb",
+        SecretSource::LoadPort => "port",
+        SecretSource::SpecialRegister => "msr",
+        SecretSource::Fpu => "fpu",
+        SecretSource::ArchitecturalMemory => "arch",
+    }
+}
+
+fn bad_line() -> TsgError {
+    TsgError::UnknownNode(NodeId::from_index(u32::MAX as usize))
+}
+
+fn parse_id(tok: Option<&str>) -> Result<NodeId, TsgError> {
+    let t = tok.ok_or_else(bad_line)?;
+    let body = t.strip_prefix('n').ok_or_else(bad_line)?;
+    let idx: usize = body.parse().map_err(|_| bad_line())?;
+    Ok(NodeId::from_index(idx))
+}
+
+fn expect_arrow(tok: Option<&str>) -> Result<(), TsgError> {
+    if tok == Some("->") {
+        Ok(())
+    } else {
+        Err(bad_line())
+    }
+}
+
+fn parse_kind(tok: Option<&str>) -> Result<NodeKind, TsgError> {
+    let t = tok.ok_or_else(bad_line)?;
+    Ok(match t {
+        "authorization" => NodeKind::Authorization,
+        "use" => NodeKind::UseSecret,
+        "send" => NodeKind::Send,
+        "receive" => NodeKind::Receive,
+        "setup" => NodeKind::Setup,
+        "resolution" => NodeKind::Resolution,
+        "compute" => NodeKind::Compute,
+        other => {
+            let src = other.strip_prefix("access:").ok_or_else(bad_line)?;
+            NodeKind::SecretAccess(match src {
+                "memory" => SecretSource::Memory,
+                "cache" => SecretSource::Cache,
+                "lfb" => SecretSource::LineFillBuffer,
+                "sb" => SecretSource::StoreBuffer,
+                "port" => SecretSource::LoadPort,
+                "msr" => SecretSource::SpecialRegister,
+                "fpu" => SecretSource::Fpu,
+                "arch" => SecretSource::ArchitecturalMemory,
+                _ => return Err(bad_line()),
+            })
+        }
+    })
+}
+
+fn parse_edge_kind(tok: Option<&str>) -> Result<EdgeKind, TsgError> {
+    Ok(match tok.ok_or_else(bad_line)? {
+        "data" => EdgeKind::Data,
+        "control" => EdgeKind::Control,
+        "address" => EdgeKind::Address,
+        "fence" => EdgeKind::Fence,
+        "security" => EdgeKind::Security,
+        "program" => EdgeKind::Program,
+        _ => return Err(bad_line()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SecurityAnalysis {
+        let mut sa = SecurityAnalysis::new();
+        let g = sa.graph_mut();
+        let auth = g.add_node("Branch resolution", NodeKind::Authorization);
+        let acc = g.add_node(
+            "Load \"S\"",
+            NodeKind::SecretAccess(SecretSource::ArchitecturalMemory),
+        );
+        let send = g.add_node("Load R to Cache", NodeKind::Send);
+        g.add_edge(acc, send, EdgeKind::Data).unwrap();
+        g.add_edge(auth, send, EdgeKind::Security).unwrap();
+        sa.require(auth, acc).unwrap();
+        sa.require(auth, send).unwrap();
+        sa
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let sa = sample();
+        let text = to_text(&sa);
+        let sa2 = from_text(&text).unwrap();
+        assert_eq!(sa2.graph().node_count(), sa.graph().node_count());
+        assert_eq!(sa2.graph().edge_count(), sa.graph().edge_count());
+        assert_eq!(sa2.requirements(), sa.requirements());
+        // The analysis verdict survives the round trip.
+        assert_eq!(
+            sa.vulnerabilities().unwrap().len(),
+            sa2.vulnerabilities().unwrap().len()
+        );
+        // Kinds survive too.
+        for (a, b) in sa.graph().nodes().zip(sa2.graph().nodes()) {
+            assert_eq!(a.kind(), b.kind());
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let sa = from_text("# header\n\nnode n0 compute \"x\"\n").unwrap();
+        assert_eq!(sa.graph().node_count(), 1);
+    }
+
+    #[test]
+    fn quotes_in_labels_are_sanitized() {
+        let text = to_text(&sample());
+        assert!(text.contains("Load 'S'"));
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(from_text("bogus n0").is_err());
+        assert!(from_text("node x0 compute \"a\"").is_err());
+        assert!(from_text("node n1 compute \"a\"").is_err(), "ids must be dense");
+        assert!(from_text("node n0 wat \"a\"").is_err());
+        assert!(from_text("node n0 compute \"a\"\nedge n0 -> n9 data").is_err());
+        assert!(from_text("node n0 compute \"a\"\nedge n0 <- n0 data").is_err());
+    }
+
+    #[test]
+    fn every_catalog_graph_roundtrips() {
+        // Full-system property: the serializer handles every figure.
+        for fig in [
+            crate::examples::fig2(),
+        ] {
+            let sa = SecurityAnalysis::from_graph(fig);
+            let sa2 = from_text(&to_text(&sa)).unwrap();
+            assert_eq!(sa2.graph().node_count(), sa.graph().node_count());
+            assert_eq!(sa2.graph().edge_count(), sa.graph().edge_count());
+        }
+    }
+}

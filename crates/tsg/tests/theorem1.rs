@@ -1,0 +1,145 @@
+//! Property-based verification of **Theorem 1** (paper Appendix A):
+//! for any pair of vertices `u`, `v` in a TSG, `u` and `v` are race-free
+//! **iff** a directed path connects them.
+//!
+//! The reachability-based implementation (`Tsg::has_race`) is checked
+//! against the definitional oracle (`Tsg::has_race_by_enumeration`), which
+//! enumerates *all* valid orderings — exactly the paper's definition of a
+//! race condition.
+
+use proptest::prelude::*;
+use tsg::{EdgeKind, NodeId, NodeKind, Tsg};
+
+/// Generate a random DAG with up to `max_nodes` nodes by only inserting
+/// forward edges (i < j), which guarantees acyclicity independent of the
+/// graph's own cycle check.
+fn arb_dag(max_nodes: usize) -> impl Strategy<Value = Tsg> {
+    (2..=max_nodes).prop_flat_map(move |n| {
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .collect();
+        let m = pairs.len();
+        proptest::collection::vec(any::<bool>(), m).prop_map(move |mask| {
+            let mut g = Tsg::new();
+            let ids: Vec<NodeId> = (0..n)
+                .map(|i| g.add_node(format!("v{i}"), NodeKind::Compute))
+                .collect();
+            for (k, &(i, j)) in pairs.iter().enumerate() {
+                if mask[k] {
+                    g.add_edge(ids[i], ids[j], EdgeKind::Data)
+                        .expect("forward edge cannot cycle");
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Theorem 1, both directions, on every vertex pair of random DAGs of up
+    /// to 7 nodes (small enough for exhaustive linear-extension enumeration).
+    #[test]
+    fn theorem1_reachability_equals_ordering_definition(g in arb_dag(7)) {
+        let n = g.node_count();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let u = NodeId::from_index(i);
+                let v = NodeId::from_index(j);
+                let fast = g.has_race(u, v).unwrap();
+                let oracle = g.has_race_by_enumeration(u, v, 12).unwrap();
+                prop_assert_eq!(
+                    fast, oracle,
+                    "Theorem 1 violated for ({}, {}) on graph:\n{}", u, v, g
+                );
+            }
+        }
+    }
+
+    /// A race-free pair is connected by a path; patching a racing pair with a
+    /// security edge always removes the race.
+    #[test]
+    fn patching_a_race_removes_it(mut g in arb_dag(7)) {
+        let races = g.all_races();
+        for pair in races {
+            // Insert the security dependency; direction a→b is always legal
+            // because neither reaches the other.
+            g.add_edge(pair.a, pair.b, EdgeKind::Security).unwrap();
+            prop_assert!(!g.has_race(pair.a, pair.b).unwrap());
+        }
+        // After patching every race, the ordering is total on all pairs that
+        // raced; re-running finds none.
+        prop_assert!(g.all_races().is_empty());
+    }
+
+    /// `all_races` agrees with the pairwise Theorem-1 check.
+    #[test]
+    fn all_races_consistent_with_pairwise(g in arb_dag(8)) {
+        let set: std::collections::HashSet<_> = g.all_races().into_iter().collect();
+        let n = g.node_count();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let u = NodeId::from_index(i);
+                let v = NodeId::from_index(j);
+                let racing = g.has_race(u, v).unwrap();
+                prop_assert_eq!(set.contains(&tsg::RacePair::new(u, v)), racing);
+            }
+        }
+    }
+
+    /// Every topological sort the graph produces is a valid ordering, and
+    /// every enumerated valid ordering passes `is_valid_ordering`.
+    #[test]
+    fn topological_sort_is_valid(g in arb_dag(7)) {
+        let topo = g.topological_sort();
+        prop_assert!(g.is_valid_ordering(&topo).unwrap());
+        for o in g.valid_orderings(12).unwrap() {
+            prop_assert!(g.is_valid_ordering(&o).unwrap());
+        }
+    }
+
+    /// The number of valid orderings never increases when an edge is added.
+    #[test]
+    fn adding_edges_restricts_orderings(g in arb_dag(6)) {
+        let before = g.count_valid_orderings(12).unwrap();
+        let mut g2 = g.clone();
+        // Add one legal edge if any pair is unconnected.
+        if let Some(pair) = g2.all_races().first().copied() {
+            g2.add_edge(pair.a, pair.b, EdgeKind::Security).unwrap();
+            let after = g2.count_valid_orderings(12).unwrap();
+            prop_assert!(after <= before);
+            prop_assert!(after >= 1);
+        }
+    }
+}
+
+/// Deterministic regression cases drawn from the paper.
+#[test]
+fn fig2_has_exactly_the_paper_races() {
+    let g = tsg::examples::fig2();
+    let find = |l: &str| g.find_by_label(l).unwrap();
+    let (b, c, d, e) = (find("B"), find("C"), find("D"), find("E"));
+    let races: std::collections::HashSet<_> = g.all_races().into_iter().collect();
+    // D races E (the paper's example) and, by the same argument, B races C
+    // and B races E. No other pair races in Fig. 2.
+    assert!(races.contains(&tsg::RacePair::new(d, e)));
+    assert!(races.contains(&tsg::RacePair::new(b, c)));
+    assert!(races.contains(&tsg::RacePair::new(b, e)));
+    assert_eq!(races.len(), 3);
+}
+
+#[test]
+fn theorem1_on_fig2_all_pairs() {
+    let g = tsg::examples::fig2();
+    let ids: Vec<NodeId> = g.nodes().map(|n| n.id()).collect();
+    for (i, &u) in ids.iter().enumerate() {
+        for &v in &ids[i + 1..] {
+            assert_eq!(
+                g.has_race(u, v).unwrap(),
+                g.has_race_by_enumeration(u, v, 12).unwrap(),
+                "mismatch for ({u}, {v})"
+            );
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Micro-architectural trace events.
+//!
+//! The event log is the simulator's observable counterpart of the paper's
+//! attack-graph nodes: transient accesses, covert sends (cache fills during
+//! speculation), squashes, and predictor (mis)behaviour all appear here, so
+//! tests can assert *why* an attack succeeded or was blocked — not just that
+//! a secret did or did not arrive.
+
+use crate::result::Fault;
+use std::fmt;
+
+/// Which micro-architectural structure supplied transiently-forwarded data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum TransientSource {
+    /// Main memory (Meltdown baseline).
+    Memory,
+    /// The L1 data cache (Foreshadow / L1TF, TAA).
+    Cache,
+    /// The line fill buffer (RIDL, ZombieLoad).
+    LineFillBuffer,
+    /// The store buffer (Fallout).
+    StoreBuffer,
+    /// A load port (RIDL).
+    LoadPort,
+    /// A privileged special register (Spectre v3a).
+    SpecialRegister,
+    /// Stale FPU state (Lazy FP).
+    Fpu,
+}
+
+impl fmt::Display for TransientSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TransientSource::Memory => "memory",
+            TransientSource::Cache => "cache",
+            TransientSource::LineFillBuffer => "line fill buffer",
+            TransientSource::StoreBuffer => "store buffer",
+            TransientSource::LoadPort => "load port",
+            TransientSource::SpecialRegister => "special register",
+            TransientSource::Fpu => "FPU",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why a squash occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum SquashCause {
+    /// A conditional branch direction was mispredicted.
+    BranchMispredict,
+    /// An indirect branch target was mispredicted.
+    TargetMispredict,
+    /// A return address was mispredicted.
+    ReturnMispredict,
+    /// A load aliased with an older store it had bypassed (Spectre v4's
+    /// authorization resolving negatively).
+    DisambiguationMispredict,
+    /// An architectural fault reached retirement.
+    Fault,
+    /// A transaction aborted.
+    TxAbort,
+}
+
+impl fmt::Display for SquashCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SquashCause::BranchMispredict => "branch mispredict",
+            SquashCause::TargetMispredict => "indirect target mispredict",
+            SquashCause::ReturnMispredict => "return mispredict",
+            SquashCause::DisambiguationMispredict => "memory disambiguation mispredict",
+            SquashCause::Fault => "fault",
+            SquashCause::TxAbort => "transaction abort",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One trace event with its cycle stamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// An instruction executed while speculative (under an unresolved older
+    /// authorization): pc of the instruction.
+    SpeculativeExecute {
+        /// Cycle of occurrence.
+        cycle: u64,
+        /// Instruction index.
+        pc: usize,
+    },
+    /// Data was transiently forwarded from a faulting or stale source —
+    /// the paper's *illegal access* completing before authorization.
+    TransientForward {
+        /// Cycle of occurrence.
+        cycle: u64,
+        /// Instruction index of the access.
+        pc: usize,
+        /// Where the data came from.
+        source: TransientSource,
+        /// The forwarded value.
+        value: u64,
+    },
+    /// A cache line was filled during speculation (the covert *send*).
+    SpeculativeFill {
+        /// Cycle of occurrence.
+        cycle: u64,
+        /// Line base physical address.
+        line: u64,
+    },
+    /// Entries were squashed.
+    Squash {
+        /// Cycle of occurrence.
+        cycle: u64,
+        /// Why.
+        cause: SquashCause,
+        /// How many ROB entries were discarded.
+        discarded: usize,
+    },
+    /// A fault was raised architecturally at retirement.
+    FaultRaised {
+        /// Cycle of occurrence.
+        cycle: u64,
+        /// Instruction index.
+        pc: usize,
+        /// The fault.
+        fault: Fault,
+    },
+    /// A speculative load was blocked/delayed by a defense.
+    DefenseBlocked {
+        /// Cycle of first blockage.
+        cycle: u64,
+        /// Instruction index.
+        pc: usize,
+        /// Which defense knob blocked it (static name).
+        defense: &'static str,
+    },
+    /// A load bypassed an older store with an unresolved address
+    /// (the Spectre v4 speculation).
+    DisambiguationBypass {
+        /// Cycle of occurrence.
+        cycle: u64,
+        /// Load instruction index.
+        pc: usize,
+    },
+    /// Store-to-load forwarding served a load from the store buffer.
+    StoreToLoadForward {
+        /// Cycle of occurrence.
+        cycle: u64,
+        /// Load instruction index.
+        pc: usize,
+        /// Physical address.
+        paddr: u64,
+    },
+    /// Predictor state was flushed on a context switch (strategy ④).
+    PredictorsFlushed {
+        /// Cycle of occurrence.
+        cycle: u64,
+    },
+    /// A transaction aborted, suppressing `pending` faults.
+    TxAborted {
+        /// Cycle of occurrence.
+        cycle: u64,
+        /// Faults suppressed by the abort.
+        suppressed: usize,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle at which the event occurred.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::SpeculativeExecute { cycle, .. }
+            | TraceEvent::TransientForward { cycle, .. }
+            | TraceEvent::SpeculativeFill { cycle, .. }
+            | TraceEvent::Squash { cycle, .. }
+            | TraceEvent::FaultRaised { cycle, .. }
+            | TraceEvent::DefenseBlocked { cycle, .. }
+            | TraceEvent::DisambiguationBypass { cycle, .. }
+            | TraceEvent::StoreToLoadForward { cycle, .. }
+            | TraceEvent::PredictorsFlushed { cycle }
+            | TraceEvent::TxAborted { cycle, .. } => cycle,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::SpeculativeExecute { cycle, pc } => {
+                write!(f, "[{cycle}] speculative execute @{pc}")
+            }
+            TraceEvent::TransientForward {
+                cycle,
+                pc,
+                source,
+                value,
+            } => write!(
+                f,
+                "[{cycle}] transient forward @{pc} from {source}: {value:#x}"
+            ),
+            TraceEvent::SpeculativeFill { cycle, line } => {
+                write!(f, "[{cycle}] speculative cache fill line {line:#x}")
+            }
+            TraceEvent::Squash {
+                cycle,
+                cause,
+                discarded,
+            } => write!(f, "[{cycle}] squash ({cause}): {discarded} discarded"),
+            TraceEvent::FaultRaised { cycle, pc, fault } => {
+                write!(f, "[{cycle}] fault @{pc}: {fault}")
+            }
+            TraceEvent::DefenseBlocked { cycle, pc, defense } => {
+                write!(f, "[{cycle}] defense '{defense}' blocked @{pc}")
+            }
+            TraceEvent::DisambiguationBypass { cycle, pc } => {
+                write!(f, "[{cycle}] disambiguation bypass @{pc}")
+            }
+            TraceEvent::StoreToLoadForward { cycle, pc, paddr } => {
+                write!(f, "[{cycle}] store-to-load forward @{pc} {paddr:#x}")
+            }
+            TraceEvent::PredictorsFlushed { cycle } => {
+                write!(f, "[{cycle}] predictors flushed")
+            }
+            TraceEvent::TxAborted { cycle, suppressed } => {
+                write!(f, "[{cycle}] tx aborted ({suppressed} faults suppressed)")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_extraction_and_display() {
+        let events = [
+            TraceEvent::SpeculativeExecute { cycle: 1, pc: 2 },
+            TraceEvent::TransientForward {
+                cycle: 2,
+                pc: 3,
+                source: TransientSource::LineFillBuffer,
+                value: 0xff,
+            },
+            TraceEvent::SpeculativeFill { cycle: 3, line: 0x40 },
+            TraceEvent::Squash {
+                cycle: 4,
+                cause: SquashCause::BranchMispredict,
+                discarded: 5,
+            },
+            TraceEvent::FaultRaised {
+                cycle: 5,
+                pc: 0,
+                fault: Fault::FpUnavailable,
+            },
+            TraceEvent::DefenseBlocked {
+                cycle: 6,
+                pc: 1,
+                defense: "nda",
+            },
+            TraceEvent::DisambiguationBypass { cycle: 7, pc: 2 },
+            TraceEvent::StoreToLoadForward {
+                cycle: 8,
+                pc: 3,
+                paddr: 0x100,
+            },
+            TraceEvent::PredictorsFlushed { cycle: 9 },
+            TraceEvent::TxAborted {
+                cycle: 10,
+                suppressed: 1,
+            },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.cycle(), (i + 1) as u64);
+            assert!(e.to_string().starts_with(&format!("[{}]", i + 1)));
+        }
+    }
+
+    #[test]
+    fn source_display() {
+        assert_eq!(TransientSource::StoreBuffer.to_string(), "store buffer");
+        assert_eq!(SquashCause::TxAbort.to_string(), "transaction abort");
+    }
+}

@@ -1,0 +1,2047 @@
+//! The speculative out-of-order machine.
+//!
+//! One [`Machine`] holds persistent micro-architectural state (cache,
+//! predictors, leaky buffers, FPU, MSRs, memory, page table) and executes
+//! [`isa::Program`]s on it with an in-order-retire / out-of-order-execute
+//! pipeline. Micro-architectural state deliberately survives across runs and
+//! across squashes — that persistence *is* the covert channel the paper
+//! models.
+
+use crate::buffers::{LineFillBuffer, LoadPorts, StoreBuffer};
+use crate::cache::{line_data, Cache, LINE_SIZE, WORDS_PER_LINE};
+use crate::config::UarchConfig;
+use crate::error::UarchError;
+use crate::event::{SquashCause, TraceEvent, TransientSource};
+use crate::fpu::FpuState;
+use crate::mem::Memory;
+use crate::mmu::{PageEntry, PageTable, PrivilegeLevel, PAGE_SIZE};
+use crate::predictor::Predictors;
+use crate::result::{Fault, RunResult};
+use isa::{Cond, FenceKind, Instruction, Operand, Program, Reg};
+use std::collections::{HashMap, VecDeque};
+
+/// Privilege level of a context (re-exported from the MMU).
+pub type Privilege = PrivilegeLevel;
+
+/// Identifier of an execution context (process/thread).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContextId(pub u32);
+
+/// What happens when a fault reaches retirement outside a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExceptionBehavior {
+    /// Stop the run (the default; `RunResult::halted` will be `false`).
+    Halt,
+    /// Squash and continue fetching at a handler pc — how attack programs
+    /// survive the Meltdown fault and proceed to the reload phase.
+    Handler(usize),
+}
+
+#[derive(Debug, Clone)]
+struct Context {
+    privilege: Privilege,
+    exception: ExceptionBehavior,
+    regs: [u64; Reg::COUNT],
+}
+
+/// Maximum number of trace events retained per machine.
+const EVENT_CAP: usize = 1 << 16;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    Ready { value: u64, tainted: bool },
+    Pending { producer: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryState {
+    Waiting,
+    Executing { done_at: u64 },
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    seq: u64,
+    pc: usize,
+    inst: Instruction,
+    srcs: Vec<Src>,
+    state: EntryState,
+    /// Result value (for register-writing instructions).
+    result: u64,
+    /// STT taint: result derives from a speculatively-loaded value.
+    tainted: bool,
+    /// The entry is a load that executed while speculative (NDA gate).
+    spec_load: bool,
+    /// Result has been broadcast to consumers.
+    broadcast: bool,
+    fault: Option<Fault>,
+    /// For control flow: predicted next pc recorded at fetch (None = fetch
+    /// stalled waiting for this instruction).
+    predicted_next: Option<usize>,
+    /// For conditional branches: predicted direction.
+    predicted_taken: bool,
+    /// Loads/stores: resolved physical address of the access.
+    paddr: Option<u64>,
+    /// Stores: value to write.
+    store_value: u64,
+    /// Loads: bypassed at least one older unresolved store (Spectre v4).
+    bypassed: bool,
+    /// CleanupSpec undo record: (filled line base, evicted victim).
+    filled_line: Option<(u64, Option<(u64, [u64; WORDS_PER_LINE])>)>,
+    /// InvisiSpec: fill deferred to retirement for this paddr.
+    deferred_fill: Option<u64>,
+    /// Fetched inside a transactional region.
+    in_tx: bool,
+    /// A defense-blocked event was already recorded for this entry.
+    blocked_reported: bool,
+    /// Earliest cycle at which this entry may retire. Faulting instructions
+    /// set this to the completion time of their *authorization check*
+    /// (permission/privilege/owner check): the data may arrive earlier and
+    /// feed dependents — that gap is the paper's transient window.
+    retire_not_before: u64,
+}
+
+impl Entry {
+    fn is_store(&self) -> bool {
+        matches!(self.inst, Instruction::Store { .. })
+    }
+
+    fn is_control(&self) -> bool {
+        self.inst.is_control_flow()
+    }
+
+    fn done(&self) -> bool {
+        self.state == EntryState::Done
+    }
+}
+
+/// The speculative out-of-order CPU.
+///
+/// See the [crate-level documentation](crate) for an overview and example.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: UarchConfig,
+    memory: Memory,
+    page_table: PageTable,
+    /// Kernel-visible mappings. Under KPTI, kernel pages live *only* here:
+    /// the user-visible `page_table` has no PTE for them (no transient data
+    /// path), while kernel-privilege execution and host-level setup still
+    /// reach them — the split KAISER/KPTI actually implements.
+    kernel_table: PageTable,
+    cache: Cache,
+    lfb: LineFillBuffer,
+    store_buffer: StoreBuffer,
+    load_ports: LoadPorts,
+    predictors: Predictors,
+    fpu: FpuState,
+    msrs: HashMap<u32, u64>,
+    contexts: Vec<Context>,
+    current: ContextId,
+    cycle: u64,
+    events: Vec<TraceEvent>,
+    events_dropped: u64,
+    // ---- per-run pipeline state ----
+    rob: VecDeque<Entry>,
+    next_seq: u64,
+    rename: [Option<u64>; Reg::COUNT],
+    fetch_pc: Option<usize>,
+    /// Fetch is stalled waiting for this control instruction to resolve.
+    stalled_on: Option<u64>,
+    /// Fetch-time transaction nesting depth.
+    tx_depth: usize,
+    /// Architectural (in-order) call stack; updated at retirement.
+    arch_stack: Vec<usize>,
+    /// Per-TxBegin pc: the pc to resume at on abort.
+    tx_fallback: HashMap<usize, usize>,
+}
+
+impl Machine {
+    /// Creates a machine with one kernel-privileged context (`ContextId(0)`),
+    /// which is also the current context.
+    #[must_use]
+    pub fn new(cfg: UarchConfig) -> Self {
+        let ctx0 = Context {
+            privilege: Privilege::Kernel,
+            exception: ExceptionBehavior::Halt,
+            regs: [0; Reg::COUNT],
+        };
+        let mut cache = Cache::new(cfg.cache_sets, cfg.cache_ways);
+        cache.set_partitioned(cfg.dawg);
+        Machine {
+            cache,
+            lfb: LineFillBuffer::new(cfg.lfb_entries),
+            store_buffer: StoreBuffer::new(cfg.store_buffer_entries),
+            load_ports: LoadPorts::new(cfg.load_port_entries),
+            predictors: Predictors::new(cfg.rsb_depth),
+            fpu: FpuState::new(ContextId(0)),
+            msrs: HashMap::new(),
+            contexts: vec![ctx0],
+            current: ContextId(0),
+            cycle: 0,
+            events: Vec::new(),
+            events_dropped: 0,
+            rob: VecDeque::new(),
+            next_seq: 0,
+            rename: [None; Reg::COUNT],
+            fetch_pc: None,
+            stalled_on: None,
+            tx_depth: 0,
+            arch_stack: Vec::new(),
+            tx_fallback: HashMap::new(),
+            memory: Memory::new(),
+            page_table: PageTable::new(),
+            kernel_table: PageTable::new(),
+            cfg,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Host-level setup and inspection API
+    // ------------------------------------------------------------------
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &UarchConfig {
+        &self.cfg
+    }
+
+    /// The global cycle counter (monotonic across runs).
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Adds a context; returns its id.
+    pub fn add_context(&mut self, privilege: Privilege, exception: ExceptionBehavior) -> ContextId {
+        let id = ContextId(self.contexts.len() as u32);
+        self.contexts.push(Context {
+            privilege,
+            exception,
+            regs: [0; Reg::COUNT],
+        });
+        id
+    }
+
+    /// Switches to another context — the boundary at which strategy-④
+    /// defenses (predictor flushing, RSB stuffing, eager FPU switch) act.
+    ///
+    /// # Errors
+    ///
+    /// [`UarchError::UnknownContext`] for an id not created by
+    /// [`Machine::add_context`].
+    pub fn switch_context(&mut self, id: ContextId) -> Result<(), UarchError> {
+        if id.0 as usize >= self.contexts.len() {
+            return Err(UarchError::UnknownContext(id.0));
+        }
+        self.current = id;
+        self.cache.set_active_domain(id.0);
+        if self.cfg.flush_predictors_on_switch {
+            self.predictors.flush();
+            self.record(TraceEvent::PredictorsFlushed { cycle: self.cycle });
+        }
+        if self.cfg.rsb_stuffing {
+            self.predictors.rsb.stuff(0);
+        }
+        if !self.cfg.lazy_fpu {
+            self.fpu.switch_to(id);
+        }
+        Ok(())
+    }
+
+    /// The current context id.
+    #[must_use]
+    pub fn current_context(&self) -> ContextId {
+        self.current
+    }
+
+    /// Sets the exception behavior of the current context.
+    pub fn set_exception_behavior(&mut self, behavior: ExceptionBehavior) {
+        self.contexts[self.current.0 as usize].exception = behavior;
+    }
+
+    /// Sets the privilege of the current context.
+    pub fn set_privilege(&mut self, privilege: Privilege) {
+        self.contexts[self.current.0 as usize].privilege = privilege;
+    }
+
+    /// The privilege of the current context.
+    #[must_use]
+    pub fn privilege(&self) -> Privilege {
+        self.contexts[self.current.0 as usize].privilege
+    }
+
+    /// Reads a committed register of the current context.
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.contexts[self.current.0 as usize].regs[r.index()]
+        }
+    }
+
+    /// Writes a committed register of the current context.
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        if !r.is_zero() {
+            self.contexts[self.current.0 as usize].regs[r.index()] = value;
+        }
+    }
+
+    /// Maps a page-table entry for the page containing `vaddr` (1:1
+    /// frame = vpn) with full user permissions.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; returns `Result` for forward compatibility.
+    pub fn map_user_page(&mut self, vaddr: u64) -> Result<(), UarchError> {
+        let vpn = vaddr / PAGE_SIZE;
+        self.page_table.map(vpn, PageEntry::user_rw(vpn));
+        Ok(())
+    }
+
+    /// Maps the page containing `vaddr` as kernel-only (1:1).
+    ///
+    /// Under KPTI ([`UarchConfig::kpti`]) the page is *not inserted* into
+    /// the user-visible table at all — user accesses see a hard
+    /// [`Fault::PageNotMapped`] with no transient data path.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; returns `Result` for forward compatibility.
+    pub fn map_kernel_page(&mut self, vaddr: u64) -> Result<(), UarchError> {
+        let vpn = vaddr / PAGE_SIZE;
+        self.kernel_table.map(vpn, PageEntry::kernel_rw(vpn));
+        if self.cfg.kpti {
+            // KPTI: no PTE in the user-visible table at all.
+            self.page_table.unmap(vpn);
+        } else {
+            self.page_table.map(vpn, PageEntry::kernel_rw(vpn));
+        }
+        Ok(())
+    }
+
+    /// Translation as seen by the pipeline: the user-visible table first;
+    /// kernel-privilege execution falls back to the kernel-only mappings
+    /// (the KPTI split).
+    fn translate(&self, vaddr: u64, write: bool, priv_level: Privilege) -> crate::mmu::Translation {
+        let tr = self.page_table.translate(vaddr, write, priv_level);
+        if tr.paddr.is_none() && priv_level == Privilege::Kernel {
+            return self.kernel_table.translate(vaddr, write, priv_level);
+        }
+        tr
+    }
+
+    /// Maps an arbitrary entry for the page containing `vaddr`.
+    pub fn map_page(&mut self, vaddr: u64, entry: PageEntry) {
+        self.page_table.map(vaddr / PAGE_SIZE, entry);
+    }
+
+    /// Direct physical-memory write keyed by virtual address (host/setup
+    /// path: ignores permission faults, requires only that a PTE exists so
+    /// the frame is known; identity-mapped pages therefore just work).
+    ///
+    /// # Errors
+    ///
+    /// [`UarchError::Unmapped`] if no PTE exists for the page.
+    pub fn write_u64(&mut self, vaddr: u64, value: u64) -> Result<(), UarchError> {
+        let paddr = self.setup_paddr(vaddr)?;
+        self.memory.write_u64(paddr, value);
+        self.cache.write_through(paddr, value);
+        Ok(())
+    }
+
+    /// Direct physical-memory read keyed by virtual address (host path).
+    ///
+    /// # Errors
+    ///
+    /// [`UarchError::Unmapped`] if no PTE exists for the page.
+    pub fn read_u64(&self, vaddr: u64) -> Result<u64, UarchError> {
+        let paddr = self.setup_paddr(vaddr)?;
+        Ok(self.memory.read_u64(paddr))
+    }
+
+    fn setup_paddr(&self, vaddr: u64) -> Result<u64, UarchError> {
+        let tr = self.translate(vaddr, false, Privilege::Kernel);
+        tr.paddr.ok_or(UarchError::Unmapped { vaddr })
+    }
+
+    /// Brings the line containing `vaddr` into the cache (host path; models
+    /// the victim having touched the data — e.g. the Foreshadow requirement
+    /// that the secret be resident in L1).
+    ///
+    /// # Errors
+    ///
+    /// [`UarchError::Unmapped`] if no PTE exists for the page.
+    pub fn touch(&mut self, vaddr: u64) -> Result<(), UarchError> {
+        let paddr = self.setup_paddr(vaddr)?;
+        self.fill_line(paddr);
+        Ok(())
+    }
+
+    /// Flushes the line containing `vaddr` from the cache (host-level
+    /// clflush).
+    ///
+    /// # Errors
+    ///
+    /// [`UarchError::Unmapped`] if no PTE exists for the page.
+    pub fn flush_line(&mut self, vaddr: u64) -> Result<(), UarchError> {
+        let paddr = self.setup_paddr(vaddr)?;
+        self.cache.flush(paddr);
+        Ok(())
+    }
+
+    /// Whether the line containing `vaddr` is resident in the cache
+    /// (an oracle probe: does not perturb cache state or statistics).
+    ///
+    /// # Errors
+    ///
+    /// [`UarchError::Unmapped`] if no PTE exists for the page.
+    pub fn cache_contains(&self, vaddr: u64) -> Result<bool, UarchError> {
+        let paddr = self.setup_paddr(vaddr)?;
+        Ok(self.cache.contains(paddr))
+    }
+
+    /// Performs a *timed*, non-speculative, architectural read of `vaddr` —
+    /// the covert-channel receiver primitive, equivalent to the
+    /// `rdtsc; load; rdtsc` sequence of Flush+Reload receivers. Returns the
+    /// measured latency in cycles. The access updates cache, LFB and load
+    /// ports exactly as a committed load would.
+    ///
+    /// # Errors
+    ///
+    /// [`UarchError::Unmapped`] if no PTE exists for the page.
+    pub fn timed_read(&mut self, vaddr: u64) -> Result<u64, UarchError> {
+        let paddr = self.setup_paddr(vaddr)?;
+        let latency = if self.cache.lookup(paddr).is_some() {
+            self.cfg.cache_hit_latency
+        } else {
+            self.fill_line(paddr);
+            self.cfg.cache_miss_latency
+        };
+        self.load_ports.record(self.memory.read_u64(paddr));
+        self.cycle += latency;
+        Ok(latency)
+    }
+
+    /// Reads an MSR (host path).
+    #[must_use]
+    pub fn msr(&self, msr: u32) -> u64 {
+        self.msrs.get(&msr).copied().unwrap_or(0)
+    }
+
+    /// Writes an MSR (host path).
+    pub fn set_msr(&mut self, msr: u32, value: u64) {
+        self.msrs.insert(msr, value);
+    }
+
+    /// Writes an FP register on behalf of a context (eagerly switching the
+    /// FPU to that context, as real FP computation would).
+    pub fn set_fpu_reg(&mut self, ctx: ContextId, idx: usize, value: u64) {
+        self.fpu.write(ctx, idx, value);
+    }
+
+    /// The FPU state (owner + physical values).
+    #[must_use]
+    pub fn fpu(&self) -> &FpuState {
+        &self.fpu
+    }
+
+    /// The predictor state.
+    #[must_use]
+    pub fn predictors(&self) -> &Predictors {
+        &self.predictors
+    }
+
+    /// Mutable predictor state (for targeted mis-training in tests).
+    pub fn predictors_mut(&mut self) -> &mut Predictors {
+        &mut self.predictors
+    }
+
+    /// The cache (read-only oracle access).
+    #[must_use]
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// The line fill buffer (oracle access).
+    #[must_use]
+    pub fn lfb(&self) -> &LineFillBuffer {
+        &self.lfb
+    }
+
+    /// The store buffer (oracle access).
+    #[must_use]
+    pub fn store_buffer(&self) -> &StoreBuffer {
+        &self.store_buffer
+    }
+
+    /// Clears the leaky buffers (models VERW-style buffer overwriting).
+    pub fn clear_leaky_buffers(&mut self) {
+        self.lfb.clear();
+        self.store_buffer.clear();
+        self.load_ports.clear();
+    }
+
+    /// The recorded trace events.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Clears the trace event log.
+    pub fn clear_events(&mut self) {
+        self.events.clear();
+        self.events_dropped = 0;
+    }
+
+    /// Debug snapshot of the in-flight pipeline state (entry per line).
+    /// Intended for tests and debugging, not a stable API.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn debug_rob(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "cycle={} fetch_pc={:?} stalled_on={:?} tx_depth={}",
+            self.cycle, self.fetch_pc, self.stalled_on, self.tx_depth
+        );
+        for (i, e) in self.rob.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  [{i}] seq={} pc={} {:?} srcs={:?} fault={:?} {}",
+                e.seq, e.pc, e.state, e.srcs, e.fault, e.inst
+            );
+        }
+        out
+    }
+
+    fn record(&mut self, e: TraceEvent) {
+        if self.events.len() < EVENT_CAP {
+            self.events.push(e);
+        } else {
+            self.events_dropped += 1;
+        }
+    }
+
+    fn fill_line(&mut self, paddr: u64) -> u64 {
+        let base = paddr & !(LINE_SIZE - 1);
+        let mem = &self.memory;
+        let data = line_data(base, |a| mem.read_u64(a));
+        self.lfb.record(base, data);
+        self.cache.fill(base, data);
+        base
+    }
+
+    // ------------------------------------------------------------------
+    // The pipeline
+    // ------------------------------------------------------------------
+
+    /// Runs `program` from instruction 0 until a `Halt` retires, the program
+    /// runs off its end, or a fault stops it (per the context's
+    /// [`ExceptionBehavior`]).
+    ///
+    /// Micro-architectural state persists across calls; architectural
+    /// registers are the current context's.
+    ///
+    /// # Errors
+    ///
+    /// [`UarchError::CycleLimitExceeded`] if the configured `max_cycles` is
+    /// exhausted (e.g. a program that never halts).
+    pub fn run(&mut self, program: &Program) -> Result<RunResult, UarchError> {
+        self.rob.clear();
+        self.rename = [None; Reg::COUNT];
+        self.fetch_pc = Some(0);
+        self.stalled_on = None;
+        self.tx_depth = 0;
+        self.arch_stack.clear();
+        self.tx_fallback = compute_tx_fallbacks(program);
+
+        let mut res = RunResult::default();
+        let start_cycle = self.cycle;
+        loop {
+            if self.cycle - start_cycle >= self.cfg.max_cycles {
+                return Err(UarchError::CycleLimitExceeded {
+                    limit: self.cfg.max_cycles,
+                });
+            }
+            self.cycle += 1;
+
+            let stop = self.retire(&mut res);
+            if stop {
+                break;
+            }
+            self.complete(&mut res);
+            self.broadcast_ready();
+            self.issue(&mut res);
+            self.fetch(program);
+
+            if self.rob.is_empty() && self.fetch_pc.is_none() && self.stalled_on.is_none() {
+                // Ran off the end of the program: treat as an implicit halt.
+                res.halted = true;
+                break;
+            }
+        }
+        res.cycles = self.cycle - start_cycle;
+        Ok(res)
+    }
+
+    /// Index of the ROB entry with the given sequence number. Sequence
+    /// numbers are strictly increasing but *not* contiguous (squashes leave
+    /// gaps), so this is a binary search, not an offset computation.
+    fn entry_index(&self, seq: u64) -> Option<usize> {
+        self.rob
+            .binary_search_by_key(&seq, |e| e.seq)
+            .ok()
+    }
+
+    /// Whether the entry at ROB position `idx` is *speculative*: some older
+    /// in-flight operation could still invalidate it — an unresolved
+    /// control-flow instruction, a faulting older instruction, an older
+    /// store with an unresolved address, or an enclosing transaction.
+    fn is_speculative(&self, idx: usize) -> bool {
+        // The oldest in-flight instruction always proceeds: everything
+        // older has retired, so nothing can invalidate it except its own
+        // fault/abort (handled at retirement). Without this, an in-
+        // transaction load under a blocking defense would deadlock.
+        if idx == 0 {
+            return false;
+        }
+        if self.rob[idx].in_tx {
+            return true;
+        }
+        self.rob.iter().take(idx).any(|e| {
+            (e.is_control() && !e.done())
+                || e.fault.is_some()
+                || (e.is_store() && e.paddr.is_none())
+        })
+    }
+
+    /// Whether any older entry is an un-completed LFENCE (blocks all) or the
+    /// entry is a memory op behind an un-completed MFENCE / store behind
+    /// SSBB handling is done in the load path.
+    fn fence_blocked(&self, idx: usize) -> bool {
+        let me_mem = self.rob[idx].inst.is_memory();
+        self.rob.iter().take(idx).any(|e| match e.inst {
+            Instruction::Fence(FenceKind::LFence) => !e.done(),
+            Instruction::Fence(FenceKind::MFence) => me_mem && !e.done(),
+            _ => false,
+        })
+    }
+
+    /// Whether an un-retired SSBB exists older than `idx`.
+    fn ssbb_pending(&self, idx: usize) -> bool {
+        self.rob
+            .iter()
+            .take(idx)
+            .any(|e| matches!(e.inst, Instruction::Fence(FenceKind::Ssbb)))
+    }
+
+    // ---------------- retire ----------------
+
+    /// Retires completed instructions in order. Returns `true` when the run
+    /// must stop.
+    fn retire(&mut self, res: &mut RunResult) -> bool {
+        for _ in 0..self.cfg.issue_width {
+            let Some(head) = self.rob.front() else {
+                return false;
+            };
+            if !head.done() || self.cycle < head.retire_not_before {
+                return false;
+            }
+            let entry = self.rob.pop_front().expect("head exists");
+
+            // Faults surface architecturally at retirement.
+            if let Some(fault) = entry.fault {
+                return self.raise_fault(&entry, fault, res);
+            }
+
+            match entry.inst {
+                Instruction::Halt => {
+                    // Discard wrong-path younger entries silently.
+                    self.rob.clear();
+                    self.fetch_pc = None;
+                    self.stalled_on = None;
+                    res.retired += 1;
+                    res.halted = true;
+                    return true;
+                }
+                Instruction::Store { .. } => {
+                    let paddr = entry.paddr.expect("store completed");
+                    self.memory.write_u64(paddr, entry.store_value);
+                    self.cache.write_through(paddr, entry.store_value);
+                    self.store_buffer.record(paddr, entry.store_value);
+                }
+                Instruction::Call { .. } => {
+                    self.arch_stack.push(entry.pc + 1);
+                }
+                Instruction::Ret => {
+                    // The architectural pop happened at resolution.
+                }
+                Instruction::Load { .. } => {
+                    if let Some(paddr) = entry.deferred_fill {
+                        // InvisiSpec: the fill becomes visible only now that
+                        // the load is committed.
+                        self.fill_line(paddr);
+                    }
+                }
+                _ => {}
+            }
+
+            if let Some(dst) = entry.inst.destination() {
+                if !dst.is_zero() {
+                    self.contexts[self.current.0 as usize].regs[dst.index()] = entry.result;
+                }
+            }
+            if let Some(dst) = entry.inst.destination() {
+                if self.rename[dst.index()] == Some(entry.seq) {
+                    self.rename[dst.index()] = None;
+                }
+            }
+            res.retired += 1;
+        }
+        false
+    }
+
+    /// Handles a fault reaching retirement. Returns `true` if the run stops.
+    fn raise_fault(&mut self, entry: &Entry, fault: Fault, res: &mut RunResult) -> bool {
+        let discarded = self.rob.len();
+        if entry.in_tx {
+            // TSX: abort the transaction, suppress the exception, resume at
+            // the fallback pc.
+            let fallback = self
+                .tx_fallback
+                .values()
+                .copied()
+                .next()
+                .unwrap_or(usize::MAX);
+            let fallback = self
+                .find_tx_fallback(entry.pc)
+                .unwrap_or(fallback);
+            self.squash_all(SquashCause::TxAbort, res);
+            self.record(TraceEvent::TxAborted {
+                cycle: self.cycle,
+                suppressed: 1,
+            });
+            res.tx_aborts += 1;
+            self.tx_depth = 0;
+            self.redirect_fetch(fallback);
+            return false;
+        }
+        self.record(TraceEvent::FaultRaised {
+            cycle: self.cycle,
+            pc: entry.pc,
+            fault,
+        });
+        self.squash_all(SquashCause::Fault, res);
+        let _ = discarded;
+
+        if fault == Fault::FpUnavailable {
+            // The #NM handler switches the FPU eagerly and re-executes the
+            // faulting instruction.
+            self.fpu.switch_to(self.current);
+            self.redirect_fetch(entry.pc);
+            res.faults.push(fault);
+            return false;
+        }
+        res.faults.push(fault);
+        match self.contexts[self.current.0 as usize].exception {
+            ExceptionBehavior::Handler(pc) => {
+                self.redirect_fetch(pc);
+                false
+            }
+            ExceptionBehavior::Halt => {
+                self.fetch_pc = None;
+                self.stalled_on = None;
+                true
+            }
+        }
+    }
+
+    fn find_tx_fallback(&self, fault_pc: usize) -> Option<usize> {
+        // The fallback of the innermost TxBegin whose region covers the
+        // faulting pc. With the fetch-time flagging used here, the most
+        // recent TxBegin at or before fault_pc is the right one.
+        self.tx_fallback
+            .iter()
+            .filter(|(&begin, _)| begin <= fault_pc)
+            .max_by_key(|(&begin, _)| begin)
+            .map(|(_, &fb)| fb)
+    }
+
+    fn redirect_fetch(&mut self, pc: usize) {
+        self.fetch_pc = Some(pc);
+        self.stalled_on = None;
+    }
+
+    fn squash_all(&mut self, cause: SquashCause, res: &mut RunResult) {
+        let n = self.rob.len();
+        let drained: Vec<Entry> = self.rob.drain(..).collect();
+        for e in &drained {
+            self.undo_speculative_fill(e);
+        }
+        res.squashed += n as u64;
+        self.rename = [None; Reg::COUNT];
+        self.record(TraceEvent::Squash {
+            cycle: self.cycle,
+            cause,
+            discarded: n,
+        });
+        self.tx_depth = 0;
+    }
+
+    /// Squashes every entry *younger than* `seq` (exclusive).
+    fn squash_after(&mut self, seq: u64, cause: SquashCause, res: &mut RunResult) {
+        let keep = self
+            .rob
+            .iter()
+            .position(|e| e.seq > seq)
+            .unwrap_or(self.rob.len());
+        let drained: Vec<Entry> = self.rob.drain(keep..).collect();
+        for e in &drained {
+            self.undo_speculative_fill(e);
+        }
+        res.squashed += drained.len() as u64;
+        self.record(TraceEvent::Squash {
+            cycle: self.cycle,
+            cause,
+            discarded: drained.len(),
+        });
+        self.rebuild_rename();
+        // Restore fetch-time tx depth to the surviving prefix.
+        self.tx_depth = self
+            .rob
+            .iter()
+            .map(|e| match e.inst {
+                Instruction::TxBegin => 1i64,
+                Instruction::TxEnd => -1i64,
+                _ => 0,
+            })
+            .sum::<i64>()
+            .max(0) as usize;
+    }
+
+    fn undo_speculative_fill(&mut self, e: &Entry) {
+        if !self.cfg.cleanup_spec {
+            return;
+        }
+        if let Some((line, victim)) = e.filled_line {
+            self.cache.flush(line);
+            if let Some((vbase, vdata)) = victim {
+                self.cache.fill(vbase, vdata);
+            }
+        }
+    }
+
+    fn rebuild_rename(&mut self) {
+        self.rename = [None; Reg::COUNT];
+        // Collect (dst_index, seq) first to appease the borrow checker.
+        let writes: Vec<(usize, u64)> = self
+            .rob
+            .iter()
+            .filter_map(|e| e.inst.destination().map(|d| (d.index(), e.seq)))
+            .collect();
+        for (d, seq) in writes {
+            if d != Reg::ZERO.index() {
+                self.rename[d] = Some(seq);
+            }
+        }
+        // Clear any fetch stall pointing at a squashed instruction.
+        if let Some(s) = self.stalled_on {
+            if self.entry_index(s).is_none() {
+                self.stalled_on = None;
+            }
+        }
+    }
+
+    // ---------------- completion & resolution ----------------
+
+    fn complete(&mut self, res: &mut RunResult) {
+        let now = self.cycle;
+        // Collect indices completing this cycle (oldest first).
+        let completing: Vec<usize> = self
+            .rob
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e.state, EntryState::Executing { done_at } if done_at <= now))
+            .map(|(i, _)| i)
+            .collect();
+        for idx in completing {
+            // A squash triggered by an older completion may have removed
+            // this entry; re-validate.
+            if idx >= self.rob.len() {
+                continue;
+            }
+            if !matches!(self.rob[idx].state, EntryState::Executing { done_at } if done_at <= now) {
+                continue;
+            }
+            self.rob[idx].state = EntryState::Done;
+            let inst = self.rob[idx].inst;
+            match inst {
+                Instruction::BranchIf { cond, target, .. } => {
+                    self.resolve_branch(idx, cond, target, res);
+                }
+                Instruction::JumpIndirect { .. } => {
+                    self.resolve_indirect(idx, res);
+                }
+                Instruction::Ret => {
+                    self.resolve_ret(idx, res);
+                }
+                Instruction::Store { .. } => {
+                    self.resolve_store(idx, res);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn src_values(&self, idx: usize) -> Option<Vec<(u64, bool)>> {
+        self.rob[idx]
+            .srcs
+            .iter()
+            .map(|s| match *s {
+                Src::Ready { value, tainted } => Some((value, tainted)),
+                Src::Pending { .. } => None,
+            })
+            .collect()
+    }
+
+    fn resolve_branch(&mut self, idx: usize, cond: Cond, target: usize, res: &mut RunResult) {
+        let vals = self.src_values(idx).expect("branch executed with ready sources");
+        let taken = cond.eval(vals[0].0, vals[1].0);
+        let e = &self.rob[idx];
+        let pc = e.pc;
+        let seq = e.seq;
+        let predicted_taken = e.predicted_taken;
+        self.predictors.pht.update(pc, taken);
+        if taken != predicted_taken {
+            res.mispredictions += 1;
+            let actual_next = if taken { target } else { pc + 1 };
+            self.squash_after(seq, SquashCause::BranchMispredict, res);
+            self.redirect_fetch(actual_next);
+        }
+    }
+
+    fn resolve_indirect(&mut self, idx: usize, res: &mut RunResult) {
+        let vals = self.src_values(idx).expect("jmpi executed with ready sources");
+        let actual = vals[0].0 as usize;
+        let e = &self.rob[idx];
+        let pc = e.pc;
+        let seq = e.seq;
+        let predicted = e.predicted_next;
+        self.predictors.btb.update(pc, actual);
+        match predicted {
+            Some(p) if p == actual => {}
+            Some(_) => {
+                res.mispredictions += 1;
+                self.squash_after(seq, SquashCause::TargetMispredict, res);
+                self.redirect_fetch(actual);
+            }
+            None => {
+                // Fetch was stalled on this instruction: resume.
+                if self.stalled_on == Some(seq) {
+                    self.redirect_fetch(actual);
+                }
+            }
+        }
+    }
+
+    fn resolve_ret(&mut self, idx: usize, res: &mut RunResult) {
+        let e = &self.rob[idx];
+        let seq = e.seq;
+        let predicted = e.predicted_next;
+        // Rets only begin execution at the head (see `issue`), so the
+        // architectural stack is up to date here.
+        let actual = self.arch_stack.pop();
+        match (predicted, actual) {
+            (Some(p), Some(a)) if p == a => {}
+            (Some(_), Some(a)) => {
+                res.mispredictions += 1;
+                self.squash_after(seq, SquashCause::ReturnMispredict, res);
+                self.redirect_fetch(a);
+            }
+            (Some(_), None) => {
+                // Return with empty architectural stack: treat as program
+                // end — squash younger and stop fetching.
+                res.mispredictions += 1;
+                self.squash_after(seq, SquashCause::ReturnMispredict, res);
+                self.fetch_pc = None;
+            }
+            (None, Some(a)) => {
+                if self.stalled_on == Some(seq) {
+                    self.redirect_fetch(a);
+                }
+            }
+            (None, None) => {
+                self.fetch_pc = None;
+                self.stalled_on = None;
+            }
+        }
+    }
+
+    /// When a store's address resolves, check for younger loads that
+    /// bypassed it and alias — the Spectre v4 authorization resolving
+    /// negatively.
+    fn resolve_store(&mut self, idx: usize, res: &mut RunResult) {
+        let store_paddr = match self.rob[idx].paddr {
+            Some(p) => p & !7,
+            None => return,
+        };
+        let store_seq = self.rob[idx].seq;
+        let aliased: Option<(u64, usize)> = self
+            .rob
+            .iter()
+            .skip(idx + 1)
+            .find(|e| {
+                e.bypassed
+                    && matches!(e.inst, Instruction::Load { .. })
+                    && e.paddr.map(|p| p & !7) == Some(store_paddr)
+            })
+            .map(|e| (e.seq, e.pc));
+        if let Some((load_seq, load_pc)) = aliased {
+            res.mispredictions += 1;
+            self.predictors.disambiguation.record_alias(load_pc);
+            // Squash the load and everything younger; refetch from the load.
+            self.squash_after(load_seq - 1, SquashCause::DisambiguationMispredict, res);
+            self.redirect_fetch(load_pc);
+            let _ = store_seq;
+        }
+    }
+
+    /// Broadcasts completed results to consumers, honoring the NDA gate.
+    fn broadcast_ready(&mut self) {
+        let n = self.rob.len();
+        for i in 0..n {
+            if !self.rob[i].done() || self.rob[i].broadcast {
+                continue;
+            }
+            if self.rob[i].inst.destination().is_none() {
+                self.rob[i].broadcast = true;
+                continue;
+            }
+            // NDA (strategy ②): results of speculatively-executed loads are
+            // withheld from consumers until the load is non-speculative.
+            if self.cfg.nda
+                && self.rob[i].spec_load
+                && (self.rob[i].fault.is_some() || self.is_speculative(i))
+            {
+                if !self.rob[i].blocked_reported {
+                    self.rob[i].blocked_reported = true;
+                    let (cycle, pc) = (self.cycle, self.rob[i].pc);
+                    self.record(TraceEvent::DefenseBlocked {
+                        cycle,
+                        pc,
+                        defense: "nda",
+                    });
+                }
+                continue;
+            }
+            let seq = self.rob[i].seq;
+            let value = self.rob[i].result;
+            let tainted = self.rob[i].tainted;
+            for j in (i + 1)..n {
+                for s in &mut self.rob[j].srcs {
+                    if let Src::Pending { producer } = *s {
+                        if producer == seq {
+                            *s = Src::Ready { value, tainted };
+                        }
+                    }
+                }
+            }
+            self.rob[i].broadcast = true;
+        }
+    }
+
+    // ---------------- issue (begin execution) ----------------
+
+    fn issue(&mut self, res: &mut RunResult) {
+        let mut started = 0usize;
+        let mut idx = 0usize;
+        while idx < self.rob.len() && started < self.cfg.issue_width {
+            if self.rob[idx].state != EntryState::Waiting {
+                idx += 1;
+                continue;
+            }
+            if self.fence_blocked(idx) {
+                idx += 1;
+                continue;
+            }
+            if self.try_start(idx, res) {
+                started += 1;
+            }
+            idx += 1;
+        }
+    }
+
+    /// Attempts to begin execution of the entry at `idx`. Returns whether it
+    /// started.
+    #[allow(clippy::too_many_lines)]
+    fn try_start(&mut self, idx: usize, res: &mut RunResult) -> bool {
+        let inst = self.rob[idx].inst;
+        let Some(vals) = self.src_values(idx) else {
+            return false;
+        };
+        let any_tainted = vals.iter().any(|&(_, t)| t);
+        let now = self.cycle;
+
+        // STT (strategy ②, relaxed): *transmitters* with tainted operands
+        // wait until they are non-speculative. Arithmetic on tainted data is
+        // allowed — that is STT's performance advantage over NDA.
+        let is_transmitter = matches!(
+            inst,
+            Instruction::Load { .. } | Instruction::Store { .. } | Instruction::JumpIndirect { .. }
+        );
+        if self.cfg.stt && is_transmitter && any_tainted && self.is_speculative(idx) {
+            self.report_blocked(idx, "stt");
+            return false;
+        }
+
+        match inst {
+            Instruction::Imm { value, .. } => {
+                self.start(idx, self.cfg.alu_latency, value, false);
+                true
+            }
+            Instruction::Alu { op, b, .. } => {
+                let a = vals[0].0;
+                let bv = match b {
+                    Operand::Reg(_) => vals[1].0,
+                    Operand::Imm(v) => v,
+                };
+                let lat = if op == isa::AluOp::Mul {
+                    self.cfg.mul_latency
+                } else {
+                    self.cfg.alu_latency
+                };
+                self.start(idx, lat, op.apply(a, bv), any_tainted);
+                true
+            }
+            Instruction::Nop | Instruction::TxBegin | Instruction::TxEnd => {
+                self.start(idx, 1, 0, false);
+                true
+            }
+            Instruction::Halt | Instruction::Jump { .. } | Instruction::Call { .. } => {
+                self.start(idx, 1, 0, false);
+                true
+            }
+            Instruction::Fence(kind) => {
+                // LFENCE completes when all older instructions are done;
+                // MFENCE when all older memory ops are done; SSBB completes
+                // immediately (its effect is a standing order on loads).
+                let ready = match kind {
+                    FenceKind::LFence => self.rob.iter().take(idx).all(Entry::done),
+                    FenceKind::MFence => self
+                        .rob
+                        .iter()
+                        .take(idx)
+                        .all(|e| !e.inst.is_memory() || e.done()),
+                    FenceKind::Ssbb => true,
+                };
+                if ready {
+                    self.start(idx, 1, 0, false);
+                    true
+                } else {
+                    false
+                }
+            }
+            Instruction::BranchIf { .. } => {
+                self.start(idx, self.cfg.branch_latency, 0, false);
+                true
+            }
+            Instruction::JumpIndirect { .. } => {
+                self.start(idx, self.cfg.branch_latency, 0, false);
+                true
+            }
+            Instruction::Ret => {
+                // Returns resolve against the architectural stack, so they
+                // execute only once they are the oldest in-flight
+                // instruction.
+                if idx == 0 {
+                    self.start(idx, self.cfg.branch_latency, 0, false);
+                    true
+                } else {
+                    false
+                }
+            }
+            Instruction::ReadTime { .. } => {
+                // rdtsc is serializing: executes at the head only.
+                if idx == 0 {
+                    let cyc = self.cycle;
+                    self.start(idx, 1, cyc, false);
+                    true
+                } else {
+                    false
+                }
+            }
+            Instruction::CacheFlush { offset, .. } => {
+                // clflush is ordered: performed when all older instructions
+                // have completed (it is never executed transiently here).
+                if !self.rob.iter().take(idx).all(Entry::done) {
+                    return false;
+                }
+                let vaddr = vals[0].0.wrapping_add(offset as u64);
+                let tr = self.translate(vaddr, false, self.privilege());
+                if let Some(paddr) = tr.paddr {
+                    self.cache.flush(paddr);
+                }
+                self.rob[idx].fault = tr.fault;
+                self.start(idx, 1, 0, false);
+                true
+            }
+            Instruction::ReadMsr { msr, .. } => {
+                self.start_msr_read(idx, msr.0);
+                true
+            }
+            Instruction::FpMove { fsrc, .. } => {
+                self.start_fp_move(idx, fsrc.index());
+                true
+            }
+            Instruction::Store { offset, .. } => {
+                let value = vals[0].0;
+                let base = vals[1].0;
+                let vaddr = base.wrapping_add(offset as u64);
+                let tr = self.translate(vaddr, true, self.privilege());
+                self.rob[idx].paddr = tr.paddr.or(Some(0));
+                self.rob[idx].store_value = value;
+                self.rob[idx].fault = tr.fault;
+                self.rob[idx].tainted = any_tainted;
+                let lat = self.cfg.alu_latency + self.cfg.translation_latency;
+                self.rob[idx].state = EntryState::Executing {
+                    done_at: now + lat,
+                };
+                // The store's address is now known: check immediately for
+                // younger loads that bypassed it and alias (the Spectre v4
+                // authorization resolving negatively). Real pipelines run
+                // this check at store-address generation, not completion.
+                self.resolve_store(idx, res);
+                true
+            }
+            Instruction::Load { offset, .. } => self.start_load(idx, vals[0], offset),
+        }
+    }
+
+    fn report_blocked(&mut self, idx: usize, defense: &'static str) {
+        if !self.rob[idx].blocked_reported {
+            self.rob[idx].blocked_reported = true;
+            let (cycle, pc) = (self.cycle, self.rob[idx].pc);
+            self.record(TraceEvent::DefenseBlocked { cycle, pc, defense });
+        }
+    }
+
+    fn start(&mut self, idx: usize, latency: u64, result: u64, tainted: bool) {
+        let now = self.cycle;
+        let e = &mut self.rob[idx];
+        e.result = result;
+        e.tainted = tainted;
+        e.state = EntryState::Executing {
+            done_at: now + latency.max(1),
+        };
+    }
+
+    fn start_msr_read(&mut self, idx: usize, msr: u32) {
+        let privileged = self.privilege() == Privilege::Kernel;
+        let value = self.msr(msr);
+        let lat = self.cfg.msr_read_latency;
+        if privileged {
+            self.start(idx, lat, value, false);
+            return;
+        }
+        // Spectre v3a: the privilege check (authorization) is slower than
+        // the register read (access); on the vulnerable baseline the value
+        // is transiently forwarded.
+        self.rob[idx].fault = Some(Fault::MsrPrivilege { msr });
+        let forward = self.cfg.transient_forwarding && !self.cfg.eager_permission_check;
+        let (v, lat) = if forward {
+            (value, lat)
+        } else {
+            (0, lat + self.cfg.permission_check_latency)
+        };
+        if forward {
+            let (cycle, pc) = (self.cycle, self.rob[idx].pc);
+            self.record(TraceEvent::TransientForward {
+                cycle,
+                pc,
+                source: TransientSource::SpecialRegister,
+                value: v,
+            });
+        }
+        self.start(idx, lat, v, true);
+        self.rob[idx].fault = Some(Fault::MsrPrivilege { msr });
+        self.rob[idx].spec_load = true;
+        self.rob[idx].retire_not_before = self.cycle + self.cfg.permission_check_latency;
+    }
+
+    fn start_fp_move(&mut self, idx: usize, fidx: usize) {
+        let lat = self.cfg.fp_latency;
+        if self.fpu.owned_by(self.current) {
+            let v = self.fpu.read_physical(fidx);
+            self.start(idx, lat, v, false);
+            return;
+        }
+        // Lazy FP: the FPU-owner check (authorization) races with the
+        // physical register read (access).
+        self.rob[idx].fault = Some(Fault::FpUnavailable);
+        let forward = self.cfg.lazy_fpu
+            && self.cfg.transient_forwarding
+            && !self.cfg.eager_permission_check;
+        let v = if forward { self.fpu.read_physical(fidx) } else { 0 };
+        if forward {
+            let (cycle, pc) = (self.cycle, self.rob[idx].pc);
+            self.record(TraceEvent::TransientForward {
+                cycle,
+                pc,
+                source: TransientSource::Fpu,
+                value: v,
+            });
+        }
+        self.start(idx, lat, v, true);
+        self.rob[idx].fault = Some(Fault::FpUnavailable);
+        self.rob[idx].spec_load = true;
+        self.rob[idx].retire_not_before = self.cycle + self.cfg.permission_check_latency;
+    }
+
+    /// The load path: translation, authorization, store-buffer search,
+    /// disambiguation, cache access, transient forwarding. Returns whether
+    /// execution began.
+    #[allow(clippy::too_many_lines)]
+    fn start_load(&mut self, idx: usize, base: (u64, bool), offset: i64) -> bool {
+        let speculative = self.is_speculative(idx);
+        let pc = self.rob[idx].pc;
+        let tainted_addr = base.1;
+
+        // Strategy ① (inter-instruction): no load issues while speculative.
+        if self.cfg.no_speculative_loads && speculative {
+            self.report_blocked(idx, "no-speculative-loads");
+            return false;
+        }
+
+        let vaddr = base.0.wrapping_add(offset as u64);
+        let tr = self.translate(vaddr, false, self.privilege());
+
+        // ---- Faulting access: the Meltdown-type intra-instruction race ----
+        if let Some(fault) = tr.fault {
+            self.rob[idx].fault = Some(fault);
+            self.rob[idx].paddr = tr.paddr;
+            let base_lat = self.cfg.translation_latency + self.cfg.cache_hit_latency;
+            if self.cfg.eager_permission_check {
+                // Strategy ① (intra-instruction): authorization completes
+                // before any data moves — nothing is forwarded.
+                let lat = base_lat + self.cfg.permission_check_latency;
+                self.report_blocked(idx, "eager-permission-check");
+                self.start(idx, lat, 0, false);
+                self.rob[idx].fault = Some(fault);
+                self.rob[idx].retire_not_before = self.cycle + lat;
+                return true;
+            }
+            let (value, source) = self.transient_value(fault, tr.paddr, vaddr);
+            if let Some(src) = source {
+                self.record(TraceEvent::TransientForward {
+                    cycle: self.cycle,
+                    pc,
+                    source: src,
+                    value,
+                });
+            }
+            self.start(idx, base_lat, value, true);
+            self.rob[idx].fault = Some(fault);
+            self.rob[idx].spec_load = true;
+            self.rob[idx].paddr = tr.paddr;
+            self.rob[idx].retire_not_before =
+                self.cycle + self.cfg.translation_latency + self.cfg.permission_check_latency;
+            return true;
+        }
+
+        let paddr = tr.paddr.expect("no fault implies a physical address");
+        self.rob[idx].paddr = Some(paddr);
+
+        // ---- Store-buffer search among older in-flight stores ----
+        let mut forward_from: Option<u64> = None;
+        let mut unresolved_older_store = false;
+        for e in self.rob.iter().take(idx) {
+            if !e.is_store() {
+                continue;
+            }
+            match e.paddr {
+                Some(sp) if sp & !7 == paddr & !7 => forward_from = Some(e.store_value),
+                Some(_) => {}
+                None => unresolved_older_store = true,
+            }
+        }
+        if let Some(v) = forward_from {
+            // Most-recent matching store wins (we scanned oldest→youngest,
+            // overwriting). Store-to-load forwarding.
+            self.record(TraceEvent::StoreToLoadForward {
+                cycle: self.cycle,
+                pc,
+                paddr,
+            });
+            let lat = self.cfg.translation_latency + self.cfg.stl_forward_latency;
+            self.start(idx, lat, v, tainted_addr || speculative);
+            self.rob[idx].spec_load = speculative;
+            if speculative {
+                self.record(TraceEvent::SpeculativeExecute { cycle: self.cycle, pc });
+            }
+            return true;
+        }
+        if unresolved_older_store {
+            // Memory disambiguation: may the load bypass?
+            let barrier = self.cfg.ssb_disable || self.ssbb_pending(idx);
+            if barrier || !self.predictors.disambiguation.may_bypass(pc) {
+                if barrier {
+                    self.report_blocked(idx, "ssb-disable");
+                }
+                return false; // wait for the store address to resolve
+            }
+            self.rob[idx].bypassed = true;
+            self.record(TraceEvent::DisambiguationBypass { cycle: self.cycle, pc });
+        }
+
+        // ---- Cache / memory access ----
+        let hit = self.cache.contains(paddr);
+        if !hit && self.cfg.delay_on_miss && speculative {
+            // Strategy ③ (Conditional Speculation / DoM): speculative
+            // misses wait; speculative hits proceed (no state change).
+            self.report_blocked(idx, "delay-on-miss");
+            return false;
+        }
+
+        let value;
+        let lat;
+        if hit {
+            value = self.cache.lookup(paddr).expect("hit");
+            lat = self.cfg.translation_latency + self.cfg.cache_hit_latency;
+        } else {
+            value = self.memory.read_u64(paddr);
+            lat = self.cfg.translation_latency + self.cfg.cache_miss_latency;
+            if self.cfg.invisible_spec && speculative {
+                // Strategy ③ (InvisiSpec/SafeSpec): data returns but the
+                // fill is deferred to commit.
+                self.rob[idx].deferred_fill = Some(paddr);
+                self.report_blocked(idx, "invisible-spec");
+            } else {
+                let line = paddr & !(LINE_SIZE - 1);
+                let was_present = self.cache.contains(line);
+                let mem = &self.memory;
+                let data = line_data(line, |a| mem.read_u64(a));
+                self.lfb.record(line, data);
+                let evicted = self.cache.fill(line, data);
+                if speculative {
+                    self.record(TraceEvent::SpeculativeFill {
+                        cycle: self.cycle,
+                        line,
+                    });
+                    if self.cfg.cleanup_spec && !was_present {
+                        self.rob[idx].filled_line = Some((line, evicted));
+                    }
+                }
+            }
+        }
+        self.load_ports.record(value);
+        if speculative {
+            self.record(TraceEvent::SpeculativeExecute { cycle: self.cycle, pc });
+        }
+        self.start(idx, lat, value, tainted_addr || speculative);
+        self.rob[idx].spec_load = speculative;
+        true
+    }
+
+    /// What a *faulting* load transiently forwards on the vulnerable
+    /// baseline, per Figure 4 of the paper: L1 for terminal faults
+    /// (Foreshadow), memory for privilege faults (Meltdown), and the leaky
+    /// buffers for hard faults (MDS: Fallout → store buffer, ZombieLoad /
+    /// RIDL → line fill buffer, RIDL → load port).
+    fn transient_value(
+        &mut self,
+        fault: Fault,
+        paddr: Option<u64>,
+        vaddr: u64,
+    ) -> (u64, Option<TransientSource>) {
+        match fault {
+            Fault::PageNotPresent { .. } | Fault::ReservedBitSet { .. } => {
+                // Terminal fault: the stale frame bits address the L1.
+                if let (true, Some(p)) = (self.cfg.l1tf_forwarding, paddr) {
+                    if self.cache.contains(p) {
+                        let v = self.cache.lookup(p).expect("contains");
+                        return (v, Some(TransientSource::Cache));
+                    }
+                }
+                self.mds_sample(vaddr)
+            }
+            Fault::PrivilegeViolation { .. } | Fault::WriteToReadOnly { .. } => {
+                if self.cfg.transient_forwarding {
+                    if let Some(p) = paddr {
+                        // Meltdown: the data path completes from cache or
+                        // memory while the privilege check is still pending.
+                        if self.cache.contains(p) {
+                            let v = self.cache.lookup(p).expect("contains");
+                            return (v, Some(TransientSource::Cache));
+                        }
+                        // §V-B insufficiency example: a defense that added
+                        // the security dependency only on the memory
+                        // datapath blocks this branch — but not the cache
+                        // branch above.
+                        if !self.cfg.meltdown_fix_memory_path_only {
+                            let v = self.memory.read_u64(p);
+                            // The transient access itself fills the cache.
+                            self.fill_line(p);
+                            return (v, Some(TransientSource::Memory));
+                        }
+                        return (0, None);
+                    }
+                }
+                self.mds_sample(vaddr)
+            }
+            _ => self.mds_sample(vaddr),
+        }
+    }
+
+    fn mds_sample(&self, vaddr: u64) -> (u64, Option<TransientSource>) {
+        if !self.cfg.mds_forwarding {
+            return (0, None);
+        }
+        if let Some(v) = self.store_buffer.sample_by_offset(vaddr % PAGE_SIZE) {
+            return (v, Some(TransientSource::StoreBuffer));
+        }
+        if let Some(v) = self.lfb.sample(vaddr % LINE_SIZE) {
+            return (v, Some(TransientSource::LineFillBuffer));
+        }
+        if let Some(v) = self.load_ports.sample() {
+            return (v, Some(TransientSource::LoadPort));
+        }
+        (0, None)
+    }
+
+    // ---------------- fetch ----------------
+
+    fn fetch(&mut self, program: &Program) {
+        for _ in 0..self.cfg.fetch_width {
+            if self.stalled_on.is_some() {
+                return;
+            }
+            let Some(pc) = self.fetch_pc else { return };
+            if self.rob.len() >= self.cfg.rob_capacity {
+                return;
+            }
+            let Some(&inst) = program.get(pc) else {
+                // Ran off the program end.
+                self.fetch_pc = None;
+                return;
+            };
+            let seq = self.next_seq;
+            self.next_seq += 1;
+
+            // Resolve sources against the rename table / committed regfile.
+            let srcs: Vec<Src> = inst
+                .sources()
+                .iter()
+                .map(|&r| {
+                    if r.is_zero() {
+                        return Src::Ready {
+                            value: 0,
+                            tainted: false,
+                        };
+                    }
+                    match self.rename[r.index()] {
+                        Some(producer) => {
+                            // If the producer has already broadcast, read
+                            // its value directly.
+                            if let Some(pi) = self.entry_index(producer) {
+                                let p = &self.rob[pi];
+                                if p.done() && p.broadcast {
+                                    return Src::Ready {
+                                        value: p.result,
+                                        tainted: p.tainted,
+                                    };
+                                }
+                            } else {
+                                // The rename table never outlives its
+                                // producer (retire/squash both clear it),
+                                // so a missing producer is unreachable;
+                                // fall back to the committed value
+                                // defensively.
+                                debug_assert!(false, "rename outlived producer {producer}");
+                                return Src::Ready {
+                                    value: self.reg(r),
+                                    tainted: false,
+                                };
+                            }
+                            Src::Pending { producer }
+                        }
+                        None => Src::Ready {
+                            value: self.reg(r),
+                            tainted: false,
+                        },
+                    }
+                })
+                .collect();
+
+            let mut entry = Entry {
+                seq,
+                pc,
+                inst,
+                srcs,
+                state: EntryState::Waiting,
+                result: 0,
+                tainted: false,
+                spec_load: false,
+                broadcast: false,
+                fault: None,
+                predicted_next: None,
+                predicted_taken: false,
+                paddr: None,
+                store_value: 0,
+                bypassed: false,
+                filled_line: None,
+                deferred_fill: None,
+                in_tx: self.tx_depth > 0,
+                blocked_reported: false,
+                retire_not_before: 0,
+            };
+
+            // Fetch-direction decisions.
+            match inst {
+                Instruction::BranchIf { target, .. } => {
+                    let taken = self.predictors.pht.predict(pc);
+                    entry.predicted_taken = taken;
+                    let next = if taken { target } else { pc + 1 };
+                    entry.predicted_next = Some(next);
+                    self.fetch_pc = Some(next);
+                }
+                Instruction::Jump { target } => {
+                    entry.predicted_next = Some(target);
+                    self.fetch_pc = Some(target);
+                }
+                Instruction::JumpIndirect { .. } => {
+                    let predicted = if self.cfg.no_indirect_prediction {
+                        None
+                    } else {
+                        self.predictors.btb.predict(pc)
+                    };
+                    entry.predicted_next = predicted;
+                    match predicted {
+                        Some(t) => self.fetch_pc = Some(t),
+                        None => {
+                            self.fetch_pc = None;
+                            self.stalled_on = Some(seq);
+                        }
+                    }
+                }
+                Instruction::Call { target } => {
+                    self.predictors.rsb.push(pc + 1);
+                    entry.predicted_next = Some(target);
+                    self.fetch_pc = Some(target);
+                }
+                Instruction::Ret => {
+                    let predicted = self.predictors.rsb.pop();
+                    entry.predicted_next = predicted;
+                    match predicted {
+                        Some(t) => self.fetch_pc = Some(t),
+                        None => {
+                            self.fetch_pc = None;
+                            self.stalled_on = Some(seq);
+                        }
+                    }
+                }
+                Instruction::Halt => {
+                    self.fetch_pc = None;
+                }
+                Instruction::TxBegin => {
+                    self.tx_depth += 1;
+                    entry.in_tx = true;
+                    self.fetch_pc = Some(pc + 1);
+                }
+                Instruction::TxEnd => {
+                    self.tx_depth = self.tx_depth.saturating_sub(1);
+                    self.fetch_pc = Some(pc + 1);
+                }
+                _ => {
+                    self.fetch_pc = Some(pc + 1);
+                }
+            }
+
+            if let Some(dst) = inst.destination() {
+                if !dst.is_zero() {
+                    self.rename[dst.index()] = Some(seq);
+                }
+            }
+            self.rob.push_back(entry);
+        }
+    }
+}
+
+/// Computes, for each `TxBegin` pc, the pc to resume at after an abort
+/// (the instruction following the matching `TxEnd`; program end if
+/// unmatched).
+fn compute_tx_fallbacks(program: &Program) -> HashMap<usize, usize> {
+    let mut out = HashMap::new();
+    let mut stack: Vec<usize> = Vec::new();
+    for (pc, inst) in program.iter() {
+        match inst {
+            Instruction::TxBegin => stack.push(pc),
+            Instruction::TxEnd => {
+                if let Some(begin) = stack.pop() {
+                    out.insert(begin, pc + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    for begin in stack {
+        out.insert(begin, program.len());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa::{AluOp, ProgramBuilder};
+
+    fn machine() -> Machine {
+        Machine::new(UarchConfig::default())
+    }
+
+    #[test]
+    fn straightline_arithmetic() {
+        let mut m = machine();
+        let p = ProgramBuilder::new()
+            .imm(Reg::R0, 6)
+            .imm(Reg::R1, 7)
+            .alu(AluOp::Mul, Reg::R2, Reg::R0, Reg::R1)
+            .alu_imm(AluOp::Add, Reg::R2, Reg::R2, 100)
+            .halt()
+            .build()
+            .unwrap();
+        let r = m.run(&p).unwrap();
+        assert!(r.halted);
+        assert_eq!(r.retired, 5);
+        assert_eq!(m.reg(Reg::R2), 142);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut m = machine();
+        m.map_user_page(0x1000).unwrap();
+        let p = ProgramBuilder::new()
+            .imm(Reg::R0, 0x1000)
+            .imm(Reg::R1, 0xabcd)
+            .store(Reg::R1, Reg::R0, 8)
+            .load(Reg::R2, Reg::R0, 8)
+            .halt()
+            .build()
+            .unwrap();
+        let r = m.run(&p).unwrap();
+        assert!(r.halted);
+        assert_eq!(m.reg(Reg::R2), 0xabcd);
+        assert_eq!(m.read_u64(0x1008).unwrap(), 0xabcd);
+    }
+
+    #[test]
+    fn loop_executes_correct_count() {
+        let mut m = machine();
+        let p = ProgramBuilder::new()
+            .imm(Reg::R0, 5)
+            .imm(Reg::R1, 0)
+            .label("loop")
+            .unwrap()
+            .alu_imm(AluOp::Add, Reg::R1, Reg::R1, 3)
+            .alu_imm(AluOp::Sub, Reg::R0, Reg::R0, 1)
+            .branch_if(Cond::Ne, Reg::R0, Reg::ZERO, "loop")
+            .halt()
+            .build()
+            .unwrap();
+        let r = m.run(&p).unwrap();
+        assert!(r.halted);
+        assert_eq!(m.reg(Reg::R1), 15);
+        // The backward branch mispredicts at least once (predicted
+        // not-taken initially), producing squashes.
+        assert!(r.mispredictions >= 1);
+    }
+
+    #[test]
+    fn kernel_load_faults_in_user_mode() {
+        let mut m = machine();
+        m.map_kernel_page(0x2000).unwrap();
+        m.write_u64(0x2000, 0x5ec).unwrap();
+        m.set_privilege(Privilege::User);
+        let p = ProgramBuilder::new()
+            .imm(Reg::R0, 0x2000)
+            .load(Reg::R1, Reg::R0, 0)
+            .halt()
+            .build()
+            .unwrap();
+        let r = m.run(&p).unwrap();
+        assert!(!r.halted);
+        assert_eq!(r.faults.len(), 1);
+        assert!(matches!(r.faults[0], Fault::PrivilegeViolation { .. }));
+        // The architectural register was never written.
+        assert_eq!(m.reg(Reg::R1), 0);
+        // But the transient forward happened (vulnerable baseline).
+        assert!(m
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::TransientForward { value: 0x5ec, .. })));
+    }
+
+    #[test]
+    fn fault_handler_resumes() {
+        let mut m = machine();
+        m.map_kernel_page(0x2000).unwrap();
+        m.set_privilege(Privilege::User);
+        let p = ProgramBuilder::new()
+            .imm(Reg::R0, 0x2000)
+            .load(Reg::R1, Reg::R0, 0)
+            .halt() // skipped by handler
+            .label("handler")
+            .unwrap()
+            .imm(Reg::R2, 99)
+            .halt()
+            .build()
+            .unwrap();
+        m.set_exception_behavior(ExceptionBehavior::Handler(p.label("handler").unwrap()));
+        let r = m.run(&p).unwrap();
+        assert!(r.halted);
+        assert_eq!(m.reg(Reg::R2), 99);
+        assert_eq!(r.faults.len(), 1);
+    }
+
+    #[test]
+    fn cycle_limit_enforced() {
+        let mut m = Machine::new(UarchConfig::builder().max_cycles(100).build());
+        let p = ProgramBuilder::new()
+            .label("spin")
+            .unwrap()
+            .jump("spin")
+            .halt()
+            .build()
+            .unwrap();
+        assert_eq!(
+            m.run(&p).unwrap_err(),
+            UarchError::CycleLimitExceeded { limit: 100 }
+        );
+    }
+
+    #[test]
+    fn lfence_orders_execution() {
+        // Without the fence, the load executes under the unresolved branch;
+        // with it, it waits (we observe via SpeculativeExecute events).
+        let mk = |fenced: bool| {
+            let mut m = machine();
+            m.map_user_page(0x1000).unwrap();
+            m.map_user_page(0x8000).unwrap();
+            // Slow source for the branch condition: an uncached load.
+            m.write_u64(0x1000, 1).unwrap();
+            let mut b = ProgramBuilder::new()
+                .imm(Reg::R0, 0x1000)
+                .load(Reg::R1, Reg::R0, 0) // slow (miss)
+                .branch_if(Cond::Eq, Reg::R1, Reg::ZERO, "out");
+            if fenced {
+                b = b.fence(FenceKind::LFence);
+            }
+            let p = b
+                .imm(Reg::R2, 0x8000)
+                .load(Reg::R3, Reg::R2, 0)
+                .label("out")
+                .unwrap()
+                .halt()
+                .build()
+                .unwrap();
+            m.run(&p).unwrap();
+            m.events()
+                .iter()
+                .any(|e| matches!(e, TraceEvent::SpeculativeExecute { .. }))
+        };
+        assert!(mk(false), "baseline: load executes speculatively");
+        assert!(!mk(true), "lfence: no speculative execution");
+    }
+
+    #[test]
+    fn timed_read_distinguishes_hit_from_miss() {
+        let mut m = machine();
+        m.map_user_page(0x3000).unwrap();
+        let miss = m.timed_read(0x3000).unwrap();
+        let hit = m.timed_read(0x3000).unwrap();
+        assert_eq!(miss, m.config().cache_miss_latency);
+        assert_eq!(hit, m.config().cache_hit_latency);
+    }
+
+    #[test]
+    fn context_switch_flushes_predictors_when_configured() {
+        let mut m = Machine::new(UarchConfig::builder().flush_predictors_on_switch(true).build());
+        let other = m.add_context(Privilege::User, ExceptionBehavior::Halt);
+        m.predictors_mut().btb.update(3, 7);
+        m.switch_context(other).unwrap();
+        assert!(m.predictors().btb.is_empty());
+        assert!(m
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::PredictorsFlushed { .. })));
+    }
+
+    #[test]
+    fn unknown_context_rejected() {
+        let mut m = machine();
+        assert_eq!(
+            m.switch_context(ContextId(9)).unwrap_err(),
+            UarchError::UnknownContext(9)
+        );
+    }
+
+    #[test]
+    fn tx_abort_suppresses_fault_and_resumes_after_txend() {
+        let mut m = machine();
+        m.map_kernel_page(0x2000).unwrap();
+        m.set_privilege(Privilege::User);
+        let p = ProgramBuilder::new()
+            .imm(Reg::R0, 0x2000)
+            .tx_begin()
+            .load(Reg::R1, Reg::R0, 0) // faults inside the transaction
+            .tx_end()
+            .imm(Reg::R2, 7) // resumed here after abort
+            .halt()
+            .build()
+            .unwrap();
+        let r = m.run(&p).unwrap();
+        assert!(r.halted);
+        assert_eq!(r.tx_aborts, 1);
+        assert!(r.faults.is_empty(), "fault suppressed by TSX abort");
+        assert_eq!(m.reg(Reg::R2), 7);
+    }
+
+    #[test]
+    fn call_ret_roundtrip() {
+        let mut m = machine();
+        let p = ProgramBuilder::new()
+            .call("fn")
+            .imm(Reg::R1, 2)
+            .halt()
+            .label("fn")
+            .unwrap()
+            .imm(Reg::R0, 1)
+            .ret()
+            .build()
+            .unwrap();
+        let r = m.run(&p).unwrap();
+        assert!(r.halted);
+        assert_eq!(m.reg(Reg::R0), 1);
+        assert_eq!(m.reg(Reg::R1), 2);
+    }
+
+    #[test]
+    fn rdtsc_monotonic() {
+        let mut m = machine();
+        let p = ProgramBuilder::new()
+            .rdtsc(Reg::R0)
+            .rdtsc(Reg::R1)
+            .halt()
+            .build()
+            .unwrap();
+        m.run(&p).unwrap();
+        assert!(m.reg(Reg::R1) > m.reg(Reg::R0));
+    }
+
+    #[test]
+    fn clflush_evicts() {
+        let mut m = machine();
+        m.map_user_page(0x4000).unwrap();
+        m.touch(0x4000).unwrap();
+        assert!(m.cache_contains(0x4000).unwrap());
+        let p = ProgramBuilder::new()
+            .imm(Reg::R0, 0x4000)
+            .clflush(Reg::R0, 0)
+            .halt()
+            .build()
+            .unwrap();
+        m.run(&p).unwrap();
+        assert!(!m.cache_contains(0x4000).unwrap());
+    }
+
+    #[test]
+    fn msr_read_privileged_ok_unprivileged_faults() {
+        let mut m = machine();
+        m.set_msr(0x10, 0x1234);
+        let p = ProgramBuilder::new()
+            .rdmsr(Reg::R0, isa::Msr(0x10))
+            .halt()
+            .build()
+            .unwrap();
+        let r = m.run(&p).unwrap();
+        assert!(r.halted);
+        assert_eq!(m.reg(Reg::R0), 0x1234);
+
+        m.set_privilege(Privilege::User);
+        m.set_reg(Reg::R0, 0);
+        let r = m.run(&p).unwrap();
+        assert!(!r.halted);
+        assert!(matches!(r.faults[0], Fault::MsrPrivilege { .. }));
+        assert_eq!(m.reg(Reg::R0), 0, "architectural value never written");
+    }
+
+    #[test]
+    fn store_to_load_forwarding_in_flight() {
+        let mut m = machine();
+        m.map_user_page(0x5000).unwrap();
+        let p = ProgramBuilder::new()
+            .imm(Reg::R0, 0x5000)
+            .imm(Reg::R1, 77)
+            .store(Reg::R1, Reg::R0, 0)
+            .load(Reg::R2, Reg::R0, 0)
+            .halt()
+            .build()
+            .unwrap();
+        m.run(&p).unwrap();
+        assert_eq!(m.reg(Reg::R2), 77);
+    }
+
+    #[test]
+    fn fp_move_lazy_fault_then_switch() {
+        let mut m = machine();
+        let victim = m.current_context();
+        let attacker = m.add_context(Privilege::User, ExceptionBehavior::Halt);
+        m.set_fpu_reg(victim, 0, 0xfeed);
+        m.switch_context(attacker).unwrap();
+        let p = ProgramBuilder::new()
+            .fpmov(Reg::R0, isa::FReg::new(0))
+            .halt()
+            .build()
+            .unwrap();
+        let r = m.run(&p).unwrap();
+        // Transient forward of the victim's value happened…
+        assert!(m.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::TransientForward {
+                source: TransientSource::Fpu,
+                value: 0xfeed,
+                ..
+            }
+        )));
+        // …the fault triggered the eager switch, and re-execution read 0.
+        assert!(r.halted);
+        assert_eq!(m.reg(Reg::R0), 0);
+        assert!(r.faults.contains(&Fault::FpUnavailable));
+    }
+
+    #[test]
+    fn implicit_halt_at_program_end() {
+        let mut m = machine();
+        let p = ProgramBuilder::new().imm(Reg::R0, 5).build().unwrap();
+        let r = m.run(&p).unwrap();
+        assert!(r.halted);
+        assert_eq!(m.reg(Reg::R0), 5);
+    }
+
+    #[test]
+    fn tx_fallback_computation() {
+        let p = ProgramBuilder::new()
+            .tx_begin() // 0
+            .nop() // 1
+            .tx_end() // 2
+            .tx_begin() // 3 (unmatched)
+            .nop() // 4
+            .build()
+            .unwrap();
+        let f = compute_tx_fallbacks(&p);
+        assert_eq!(f.get(&0), Some(&3));
+        assert_eq!(f.get(&3), Some(&5)); // program end
+    }
+}

@@ -1,0 +1,78 @@
+//! Flat physical memory.
+
+use std::collections::HashMap;
+
+/// Sparse, word-granular physical memory.
+///
+/// All accesses are 8-byte and 8-byte aligned (the attack models never need
+/// sub-word granularity); unaligned addresses are rounded down. Unwritten
+/// memory reads as zero.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    words: HashMap<u64, u64>,
+}
+
+impl Memory {
+    /// Creates empty (all-zero) memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn align(addr: u64) -> u64 {
+        addr & !7
+    }
+
+    /// Reads the 8-byte word containing `addr`.
+    #[must_use]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.words.get(&Self::align(addr)).copied().unwrap_or(0)
+    }
+
+    /// Writes the 8-byte word containing `addr`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        if value == 0 {
+            self.words.remove(&Self::align(addr));
+        } else {
+            self.words.insert(Self::align(addr), value);
+        }
+    }
+
+    /// Number of non-zero words stored.
+    #[must_use]
+    pub fn populated_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_by_default() {
+        let m = Memory::new();
+        assert_eq!(m.read_u64(0x1234), 0);
+    }
+
+    #[test]
+    fn roundtrip_and_alignment() {
+        let mut m = Memory::new();
+        m.write_u64(0x1000, 42);
+        assert_eq!(m.read_u64(0x1000), 42);
+        assert_eq!(m.read_u64(0x1007), 42); // same word
+        assert_eq!(m.read_u64(0x1008), 0); // next word
+        m.write_u64(0x1003, 7); // rounds down to 0x1000
+        assert_eq!(m.read_u64(0x1000), 7);
+    }
+
+    #[test]
+    fn writing_zero_reclaims_storage() {
+        let mut m = Memory::new();
+        m.write_u64(8, 5);
+        assert_eq!(m.populated_words(), 1);
+        m.write_u64(8, 0);
+        assert_eq!(m.populated_words(), 0);
+        assert_eq!(m.read_u64(8), 0);
+    }
+}

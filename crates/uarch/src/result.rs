@@ -1,0 +1,154 @@
+//! Run results, faults and statistics.
+
+use std::fmt;
+
+/// An architectural fault detected by an authorization check.
+///
+/// Each variant corresponds to an authorization node in Table III of the
+/// paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Fault {
+    /// No page-table entry at all for the address (hard fault; also what a
+    /// user access to a KPTI-unmapped kernel page sees).
+    PageNotMapped {
+        /// Faulting virtual address.
+        vaddr: u64,
+    },
+    /// Present bit clear — terminal fault (Foreshadow).
+    PageNotPresent {
+        /// Faulting virtual address.
+        vaddr: u64,
+    },
+    /// Reserved PTE bits set — terminal fault (Foreshadow-NG).
+    ReservedBitSet {
+        /// Faulting virtual address.
+        vaddr: u64,
+    },
+    /// User access to a supervisor page (Meltdown's privilege check).
+    PrivilegeViolation {
+        /// Faulting virtual address.
+        vaddr: u64,
+    },
+    /// Store to a read-only page (Spectre v1.2's check).
+    WriteToReadOnly {
+        /// Faulting virtual address.
+        vaddr: u64,
+    },
+    /// Unprivileged MSR read (Spectre v3a's check).
+    MsrPrivilege {
+        /// The MSR number.
+        msr: u32,
+    },
+    /// FP instruction while the FPU still belongs to another context
+    /// (Lazy FP's "FPU owner check").
+    FpUnavailable,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::PageNotMapped { vaddr } => write!(f, "page not mapped at {vaddr:#x}"),
+            Fault::PageNotPresent { vaddr } => write!(f, "page not present at {vaddr:#x}"),
+            Fault::ReservedBitSet { vaddr } => write!(f, "reserved PTE bits at {vaddr:#x}"),
+            Fault::PrivilegeViolation { vaddr } => {
+                write!(f, "privilege violation at {vaddr:#x}")
+            }
+            Fault::WriteToReadOnly { vaddr } => write!(f, "write to read-only {vaddr:#x}"),
+            Fault::MsrPrivilege { msr } => write!(f, "unprivileged read of msr {msr:#x}"),
+            Fault::FpUnavailable => f.write_str("FPU owned by another context"),
+        }
+    }
+}
+
+/// Statistics and outcome of one [`Machine::run`](crate::Machine::run).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunResult {
+    /// Cycles consumed by this run.
+    pub cycles: u64,
+    /// Instructions retired (committed).
+    pub retired: u64,
+    /// Instructions squashed (transient).
+    pub squashed: u64,
+    /// Conditional/indirect/return mispredictions observed.
+    pub mispredictions: u64,
+    /// Architectural faults raised (at retirement; suppressed TSX faults are
+    /// counted in `tx_aborts` instead).
+    pub faults: Vec<Fault>,
+    /// Transactions aborted.
+    pub tx_aborts: u64,
+    /// Whether the run ended by retiring a `Halt` (vs. hitting the cycle
+    /// limit with `ExceptionBehavior::Halt` on a fault).
+    pub halted: bool,
+}
+
+impl RunResult {
+    /// Instructions per cycle (retired only).
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for RunResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles, {} retired ({:.2} IPC), {} squashed, {} mispredicts, {} faults, {} tx aborts",
+            self.cycles,
+            self.retired,
+            self.ipc(),
+            self.squashed,
+            self.mispredictions,
+            self.faults.len(),
+            self.tx_aborts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_display() {
+        assert!(Fault::PrivilegeViolation { vaddr: 0x2000 }
+            .to_string()
+            .contains("0x2000"));
+        assert!(Fault::MsrPrivilege { msr: 0x10 }.to_string().contains("0x10"));
+        assert!(!Fault::FpUnavailable.to_string().is_empty());
+    }
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        let r = RunResult::default();
+        assert_eq!(r.ipc(), 0.0);
+        let r = RunResult {
+            cycles: 10,
+            retired: 5,
+            ..RunResult::default()
+        };
+        assert!((r.ipc() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn result_display_mentions_key_stats() {
+        let r = RunResult {
+            cycles: 100,
+            retired: 50,
+            squashed: 7,
+            mispredictions: 2,
+            faults: vec![Fault::FpUnavailable],
+            tx_aborts: 1,
+            halted: true,
+        };
+        let s = r.to_string();
+        assert!(s.contains("100 cycles"));
+        assert!(s.contains("7 squashed"));
+        assert!(s.contains("1 faults"));
+    }
+}

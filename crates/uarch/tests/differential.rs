@@ -1,0 +1,258 @@
+//! Differential testing: the speculative out-of-order machine must be
+//! *architecturally* equivalent to a trivial in-order interpreter on
+//! fault-free programs. Speculation may leave micro-architectural residue
+//! (that is the whole point of the paper) but never architectural
+//! differences — squash must roll back everything visible.
+
+use isa::{AluOp, Cond, Instruction, Operand, Program, Reg};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use uarch::{Machine, UarchConfig};
+
+/// The mapped data page used by generated programs.
+const PAGE: u64 = 0x7000;
+
+/// Words available on the data page.
+const WORDS: u64 = 64;
+
+/// A simple sequential reference interpreter with the same architectural
+/// semantics (fault-free subset).
+fn reference_run(program: &Program, init_mem: &[(u64, u64)]) -> ([u64; 16], HashMap<u64, u64>) {
+    let mut regs = [0u64; 16];
+    let mut mem: HashMap<u64, u64> = init_mem.iter().copied().collect();
+    let mut pc = 0usize;
+    let read_reg = |regs: &[u64; 16], r: Reg| if r.is_zero() { 0 } else { regs[r.index()] };
+    let mut steps = 0;
+    while pc < program.len() && steps < 10_000 {
+        steps += 1;
+        match program[pc] {
+            Instruction::Imm { dst, value } => {
+                if !dst.is_zero() {
+                    regs[dst.index()] = value;
+                }
+                pc += 1;
+            }
+            Instruction::Alu { op, dst, a, b } => {
+                let bv = match b {
+                    Operand::Reg(r) => read_reg(&regs, r),
+                    Operand::Imm(v) => v,
+                };
+                if !dst.is_zero() {
+                    regs[dst.index()] = op.apply(read_reg(&regs, a), bv);
+                }
+                pc += 1;
+            }
+            Instruction::Load { dst, base, offset } => {
+                let addr = read_reg(&regs, base).wrapping_add(offset as u64) & !7;
+                if !dst.is_zero() {
+                    regs[dst.index()] = mem.get(&addr).copied().unwrap_or(0);
+                }
+                pc += 1;
+            }
+            Instruction::Store { src, base, offset } => {
+                let addr = read_reg(&regs, base).wrapping_add(offset as u64) & !7;
+                mem.insert(addr, read_reg(&regs, src));
+                pc += 1;
+            }
+            Instruction::BranchIf { cond, a, b, target } => {
+                if cond.eval(read_reg(&regs, a), read_reg(&regs, b)) {
+                    pc = target;
+                } else {
+                    pc += 1;
+                }
+            }
+            Instruction::Halt => break,
+            Instruction::Nop => pc += 1,
+            ref other => panic!("generator produced unsupported instruction {other}"),
+        }
+    }
+    (regs, mem)
+}
+
+/// One generated instruction, operands constrained to stay fault-free.
+#[derive(Debug, Clone)]
+enum GenOp {
+    Imm { dst: u8, word: u64 },
+    Alu { op: u8, dst: u8, a: u8, imm: u64 },
+    AluReg { op: u8, dst: u8, a: u8, b: u8 },
+    LoadAt { dst: u8, word: u64 },
+    StoreAt { src: u8, word: u64 },
+    SkipIf { cond: u8, a: u8, b: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (0u8..8, 0u64..WORDS).prop_map(|(dst, word)| GenOp::Imm { dst, word }),
+        (0u8..8, 0u8..8, 0u8..8, 0u64..64).prop_map(|(op, dst, a, imm)| GenOp::Alu {
+            op: op % 8,
+            dst,
+            a,
+            imm
+        }),
+        (0u8..8, 0u8..8, 0u8..8, 0u8..8).prop_map(|(op, dst, a, b)| GenOp::AluReg {
+            op: op % 8,
+            dst,
+            a,
+            b
+        }),
+        (0u8..8, 0u64..WORDS).prop_map(|(dst, word)| GenOp::LoadAt { dst, word }),
+        (0u8..8, 0u64..WORDS).prop_map(|(src, word)| GenOp::StoreAt { src, word }),
+        (0u8..4, 0u8..8, 0u8..8).prop_map(|(cond, a, b)| GenOp::SkipIf { cond, a, b }),
+    ]
+}
+
+fn alu_of(i: u8) -> AluOp {
+    [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Mul,
+    ][(i % 8) as usize]
+}
+
+fn cond_of(i: u8) -> Cond {
+    [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge][(i % 4) as usize]
+}
+
+/// Compiles the generated ops into a program. `SkipIf` becomes a forward
+/// branch over the next instruction — real (speculatable, mispredictable)
+/// control flow with guaranteed termination. r14 is reserved as the data
+/// page base.
+fn compile(ops: &[GenOp]) -> Program {
+    let base = Reg::R14;
+    let mut insts: Vec<Instruction> = vec![Instruction::Imm {
+        dst: base,
+        value: PAGE,
+    }];
+    for op in ops {
+        match *op {
+            GenOp::Imm { dst, word } => insts.push(Instruction::Imm {
+                dst: Reg::new(dst),
+                value: word * 8 + 1,
+            }),
+            GenOp::Alu { op, dst, a, imm } => insts.push(Instruction::Alu {
+                op: alu_of(op),
+                dst: Reg::new(dst),
+                a: Reg::new(a),
+                b: Operand::Imm(imm),
+            }),
+            GenOp::AluReg { op, dst, a, b } => insts.push(Instruction::Alu {
+                op: alu_of(op),
+                dst: Reg::new(dst),
+                a: Reg::new(a),
+                b: Operand::Reg(Reg::new(b)),
+            }),
+            GenOp::LoadAt { dst, word } => insts.push(Instruction::Load {
+                dst: Reg::new(dst),
+                base,
+                offset: (word * 8) as i64,
+            }),
+            GenOp::StoreAt { src, word } => insts.push(Instruction::Store {
+                src: Reg::new(src),
+                base,
+                offset: (word * 8) as i64,
+            }),
+            GenOp::SkipIf { cond, a, b } => {
+                let target = insts.len() + 2;
+                insts.push(Instruction::BranchIf {
+                    cond: cond_of(cond),
+                    a: Reg::new(a),
+                    b: Reg::new(b),
+                    target,
+                });
+                insts.push(Instruction::Nop); // the skippable slot
+            }
+        }
+    }
+    insts.push(Instruction::Halt);
+    // Branch targets may point at the halt; always in range.
+    Program::from_instructions(insts).expect("generated program is valid")
+}
+
+fn machine_with_page(cfg: &UarchConfig, init: &[(u64, u64)]) -> Machine {
+    let mut m = Machine::new(cfg.clone());
+    m.map_user_page(PAGE).expect("mappable");
+    for &(a, v) in init {
+        m.write_u64(a, v).expect("mapped");
+    }
+    m
+}
+
+fn init_mem() -> Vec<(u64, u64)> {
+    (0..WORDS).map(|i| (PAGE + i * 8, i * 3 + 7)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Architectural equivalence: OoO speculative execution must produce
+    /// the same registers and memory as the in-order reference.
+    #[test]
+    fn ooo_matches_reference(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        let program = compile(&ops);
+        let init = init_mem();
+        let (ref_regs, ref_mem) = reference_run(&program, &init);
+
+        let mut m = machine_with_page(&UarchConfig::default(), &init);
+        let r = m.run(&program).expect("fault-free program runs");
+        prop_assert!(r.halted);
+        for i in 0..15 {
+            prop_assert_eq!(
+                m.reg(Reg::new(i)),
+                ref_regs[i as usize],
+                "r{} differs (program:\n{})", i, program
+            );
+        }
+        for w in 0..WORDS {
+            let addr = PAGE + w * 8;
+            let expected = ref_mem.get(&addr).copied().unwrap_or(0);
+            prop_assert_eq!(m.read_u64(addr).expect("mapped"), expected, "mem[{:#x}]", addr);
+        }
+    }
+
+    /// Architectural equivalence must hold under *every* defense
+    /// configuration: defenses restrict speculation, never change
+    /// semantics.
+    #[test]
+    fn defenses_preserve_semantics(ops in proptest::collection::vec(arb_op(), 1..24)) {
+        let program = compile(&ops);
+        let init = init_mem();
+        let (ref_regs, _) = reference_run(&program, &init);
+        for cfg in [
+            UarchConfig::builder().no_speculative_loads(true).build(),
+            UarchConfig::builder().nda(true).build(),
+            UarchConfig::builder().stt(true).build(),
+            UarchConfig::builder().delay_on_miss(true).build(),
+            UarchConfig::builder().invisible_spec(true).build(),
+            UarchConfig::builder().cleanup_spec(true).build(),
+            UarchConfig::builder().ssb_disable(true).build(),
+            UarchConfig::hardened(),
+        ] {
+            let mut m = machine_with_page(&cfg, &init);
+            let r = m.run(&program).expect("runs");
+            prop_assert!(r.halted);
+            for i in 0..15 {
+                prop_assert_eq!(m.reg(Reg::new(i)), ref_regs[i as usize]);
+            }
+        }
+    }
+
+    /// Determinism: identical runs produce identical cycle counts and
+    /// state.
+    #[test]
+    fn runs_are_deterministic(ops in proptest::collection::vec(arb_op(), 1..24)) {
+        let program = compile(&ops);
+        let init = init_mem();
+        let run = || {
+            let mut m = machine_with_page(&UarchConfig::default(), &init);
+            let r = m.run(&program).expect("runs");
+            let regs: Vec<u64> = (0..15).map(|i| m.reg(Reg::new(i))).collect();
+            (r, regs)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,79 @@
+//! A guided, instrumented walk through the Spectre v1 attack (Listing 1 +
+//! Figure 1 of the paper): all five attack steps, the micro-architectural
+//! event trace, and the Flush+Reload recovery.
+//!
+//! Run with: `cargo run --example spectre_v1_end_to_end`
+
+use attacks::common::{
+    probe_channel, BOUND_CELL, BOUND_PTR, PROBE_BASE, SECRET, VICTIM_ARRAY,
+};
+use specgraph::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut m = Machine::new(UarchConfig::default());
+
+    // -- Step 0: know where the secret is (we plant it out of bounds). ---
+    m.map_user_page(VICTIM_ARRAY)?;
+    m.map_user_page(BOUND_PTR)?;
+    m.write_u64(BOUND_PTR, BOUND_CELL)?;
+    m.write_u64(BOUND_CELL, 8)?; // Array_Victim_Size
+    m.write_u64(VICTIM_ARRAY + 64 * 8, SECRET)?;
+    for i in 0..8 {
+        m.write_u64(VICTIM_ARRAY + i * 8, 1)?;
+    }
+    println!("step 0: secret {SECRET:#x} planted at Array_Victim[64] (bounds = 8)");
+
+    // -- The victim gadget (Listing 1). -----------------------------------
+    let program = attacks::spectre_v1::SpectreV1::program()?;
+    println!("\nvictim gadget:\n{}", isa::asm::disassemble(&program));
+
+    // -- Step 1(b): mis-train the bounds-check branch with legal indices. -
+    for i in 0..4 {
+        m.set_reg(Reg::R0, i % 8);
+        m.set_reg(Reg::R1, VICTIM_ARRAY);
+        m.set_reg(Reg::R2, BOUND_PTR);
+        m.set_reg(Reg::R3, PROBE_BASE);
+        m.run(&program)?;
+    }
+    println!("step 1b: branch predictor trained not-taken ({} branches tracked)",
+        m.predictors().pht.len());
+
+    // -- Step 1(a): establish the channel: flush the probe array. --------
+    let channel = probe_channel();
+    channel.prepare(&mut m)?;
+    println!("step 1a: probe array flushed ({} slots)", channel.slots());
+
+    // -- Step 2: delay the authorization (flush the bound pointer chain). -
+    m.flush_line(BOUND_PTR)?;
+    m.flush_line(BOUND_CELL)?;
+    m.clear_events();
+
+    // -- Steps 3 & 4 happen inside the speculative window. ----------------
+    m.set_reg(Reg::R0, 64); // out-of-bounds x
+    m.set_reg(Reg::R1, VICTIM_ARRAY);
+    m.set_reg(Reg::R2, BOUND_PTR);
+    m.set_reg(Reg::R3, PROBE_BASE);
+    let result = m.run(&program)?;
+    println!("\nattack run: {result}");
+    println!("\nmicro-architectural trace:");
+    for e in m.events() {
+        println!("  {e}");
+    }
+
+    // -- Step 5: receive — reload and time every slot. --------------------
+    let reading = channel.receive(&mut m)?;
+    println!("\nstep 5: receiver verdict: {reading}");
+    match reading.recovered {
+        Some(v) if v as u64 == SECRET => {
+            println!("SECRET RECOVERED: {v:#x} — the race was won.");
+        }
+        other => println!("no leak ({other:?})"),
+    }
+
+    // The architectural state never saw the secret:
+    println!(
+        "\narchitectural r6 = {:#x} (the transient value was squashed)",
+        m.reg(Reg::R6)
+    );
+    Ok(())
+}

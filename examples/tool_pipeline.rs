@@ -1,0 +1,70 @@
+//! The Figure-9 tool pipeline, end to end: take a vulnerable program,
+//! detect its gadgets, build its attack graph, report the missing security
+//! dependencies, auto-patch with fences, and confirm the patched graph is
+//! secure — for both a Spectre-type and a Meltdown-type input.
+//!
+//! Run with: `cargo run --example tool_pipeline`
+
+use specgraph::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Spectre-type input (left branch of Figure 9) -------------------
+    let spectre_src = r"
+        load r4, [r2]          ; fetch array bound
+        bge  r0, r4, out       ; bounds check  <- authorization
+        shl  r5, r0, 3
+        add  r5, r5, r1
+        load r6, [r5]          ; potential secret access
+        mul  r7, r6, 0x1040
+        add  r7, r7, r3
+        load r8, [r7]          ; potential covert send
+    out:
+        halt";
+    let program = isa::asm::assemble(spectre_src)?;
+    println!("== Spectre-type input ==\n{}", isa::asm::disassemble(&program));
+
+    let tool = Analyzer::new(AnalysisConfig::default());
+    let report = tool.analyze(&program)?;
+    for g in &report.gadgets {
+        println!("gadget: {g}");
+    }
+    for v in &report.vulnerabilities {
+        println!("vulnerability: {v}");
+    }
+    println!("\nattack graph (DOT):\n{}", report.graph.graph().to_dot("tool output"));
+
+    let patched = report.patch_with_fences(&program)?;
+    println!("patched program:\n{}", isa::asm::disassemble(&patched));
+    let after = tool.analyze(&patched)?;
+    println!("vulnerabilities after patching: {}", after.vulnerabilities.len());
+    assert!(after.vulnerabilities.is_empty());
+
+    // ---- Meltdown-type input (right branch of Figure 9) -----------------
+    let meltdown_src = "load r6, [r5]\nmul r7, r6, 0x1040\nadd r7, r7, r3\nload r8, [r7]\nhalt";
+    let program = isa::asm::assemble(meltdown_src)?;
+    println!("\n== Meltdown-type input (user mode) ==\n{}", isa::asm::disassemble(&program));
+    let tool = Analyzer::new(AnalysisConfig {
+        user_mode: true,
+        ..AnalysisConfig::default()
+    });
+    let report = tool.analyze(&program)?;
+    for g in &report.gadgets {
+        println!("gadget: {g}");
+    }
+    println!(
+        "the tool decomposed the faulting load into micro-ops: {}",
+        report
+            .graph
+            .graph()
+            .nodes()
+            .filter(|n| n.label().contains("permission check") || n.label().contains("data read"))
+            .count()
+    );
+    println!(
+        "fence patching is a no-op for intra-instruction races: {} -> {} instructions",
+        program.len(),
+        report.patch_with_fences(&program)?.len()
+    );
+    println!("(Meltdown-type holes need hardware fixes: eager permission checks.)");
+    Ok(())
+}
