@@ -96,10 +96,7 @@ mod tests {
 
     #[test]
     fn def_use_chains() {
-        let p = asm::assemble(
-            "imm r0, 1\nadd r1, r0, 2\nadd r2, r1, r0\nhalt",
-        )
-        .unwrap();
+        let p = asm::assemble("imm r0, 1\nadd r1, r0, 2\nadd r2, r1, r0\nhalt").unwrap();
         let vf = ValueFlow::compute(&p);
         assert_eq!(vf.sources_of(1), &[(isa::Reg::R0, Some(0))]);
         let s2 = vf.sources_of(2);
@@ -109,10 +106,8 @@ mod tests {
 
     #[test]
     fn load_taint_propagates_through_arithmetic() {
-        let p = asm::assemble(
-            "load r6, [r5]\nshl r7, r6, 12\nadd r7, r7, r3\nload r8, [r7]\nhalt",
-        )
-        .unwrap();
+        let p = asm::assemble("load r6, [r5]\nshl r7, r6, 12\nadd r7, r7, r3\nload r8, [r7]\nhalt")
+            .unwrap();
         let vf = ValueFlow::compute(&p);
         assert!(vf.load_roots(0).is_empty());
         assert_eq!(vf.load_roots(1), &[0]);

@@ -68,11 +68,7 @@ fn is_software_authorization(inst: &Instruction) -> bool {
 
 /// Finds, for access `access_pc`, the earliest later memory operation whose
 /// address derives from the accessed value, plus the intermediate uses.
-fn find_send(
-    program: &Program,
-    vf: &ValueFlow,
-    access_pc: usize,
-) -> Option<(Vec<usize>, usize)> {
+fn find_send(program: &Program, vf: &ValueFlow, access_pc: usize) -> Option<(Vec<usize>, usize)> {
     let mut uses = Vec::new();
     for (pc, inst) in program.iter().skip(access_pc + 1) {
         if inst.is_memory() && vf.address_depends_on_load(pc, access_pc) {
@@ -169,10 +165,9 @@ mod tests {
 
     #[test]
     fn meltdown_shape_detected_in_user_mode() {
-        let p = asm::assemble(
-            "load r6, [r5]\nmul r7, r6, 0x1040\nadd r7, r7, r3\nload r8, [r7]\nhalt",
-        )
-        .unwrap();
+        let p =
+            asm::assemble("load r6, [r5]\nmul r7, r6, 0x1040\nadd r7, r7, r3\nload r8, [r7]\nhalt")
+                .unwrap();
         let cfg = AnalysisConfig {
             user_mode: true,
             ..AnalysisConfig::default()
@@ -207,10 +202,7 @@ mod tests {
     fn both_classes_reported_for_branch_plus_fault() {
         // A user-mode load behind a branch races with *two* authorizations:
         // the branch resolution and its own permission check.
-        let p = asm::assemble(
-            "bge r0, r4, out\nload r6, [r5]\nload r8, [r6]\nout: halt",
-        )
-        .unwrap();
+        let p = asm::assemble("bge r0, r4, out\nload r6, [r5]\nload r8, [r6]\nout: halt").unwrap();
         let cfg = AnalysisConfig {
             user_mode: true,
             ..AnalysisConfig::default()

@@ -18,7 +18,11 @@ use isa::{AluOp, Instruction, Operand, Program, Reg};
 /// # Errors
 ///
 /// [`AnalyzerError::Program`] if the rebuilt program fails validation.
-pub fn insert_at(program: &Program, pos: usize, inst: Instruction) -> Result<Program, AnalyzerError> {
+pub fn insert_at(
+    program: &Program,
+    pos: usize,
+    inst: Instruction,
+) -> Result<Program, AnalyzerError> {
     let remap = |t: usize| if t >= pos { t + 1 } else { t };
     let mut insts: Vec<Instruction> = Vec::with_capacity(program.len() + 1);
     for (pc, old) in program.iter() {
@@ -32,8 +36,12 @@ pub fn insert_at(program: &Program, pos: usize, inst: Instruction) -> Result<Pro
                 b,
                 target: remap(target),
             },
-            Instruction::Jump { target } => Instruction::Jump { target: remap(target) },
-            Instruction::Call { target } => Instruction::Call { target: remap(target) },
+            Instruction::Jump { target } => Instruction::Jump {
+                target: remap(target),
+            },
+            Instruction::Call { target } => Instruction::Call {
+                target: remap(target),
+            },
             other => other,
         };
         insts.push(new);
@@ -214,9 +222,12 @@ mod tests {
 
     #[test]
     fn sabc_inserts_dependency_chain() {
-        let p = asm::assemble("bge r0, r4, out
+        let p = asm::assemble(
+            "bge r0, r4, out
 load r6, [r5]
-out: halt").unwrap();
+out: halt",
+        )
+        .unwrap();
         let p2 = sabc_serialize(&p, 1, Reg::R5, Reg::R4, Reg::R13).unwrap();
         assert_eq!(p2.len(), p.len() + 2);
         assert_eq!(

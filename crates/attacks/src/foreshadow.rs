@@ -4,7 +4,9 @@
 //! using the stale frame bits of the PTE (Figure 4, branch ①→"Read from
 //! Cache").
 
-use crate::common::{finish, machine_with_channel, KERNEL_SECRET, PROBE_BASE, PROBE_STRIDE, SECRET};
+use crate::common::{
+    finish, machine_with_channel, KERNEL_SECRET, PROBE_BASE, PROBE_STRIDE, SECRET,
+};
 use crate::graphs::fig4_faulting_load;
 use crate::{Attack, AttackClass, AttackError, AttackInfo, AttackOutcome};
 use isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
@@ -33,7 +35,7 @@ pub struct Foreshadow {
 impl Foreshadow {
     /// The SGX-enclave flavor.
     #[must_use]
-    pub fn sgx() -> Self {
+    pub const fn sgx() -> Self {
         Foreshadow {
             flavor: ForeshadowFlavor::Sgx,
         }
@@ -41,7 +43,7 @@ impl Foreshadow {
 
     /// The OS flavor (Foreshadow-NG).
     #[must_use]
-    pub fn os() -> Self {
+    pub const fn os() -> Self {
         Foreshadow {
             flavor: ForeshadowFlavor::Os,
         }
@@ -49,7 +51,7 @@ impl Foreshadow {
 
     /// The VMM flavor (Foreshadow-NG).
     #[must_use]
-    pub fn vmm() -> Self {
+    pub const fn vmm() -> Self {
         Foreshadow {
             flavor: ForeshadowFlavor::Vmm,
         }
@@ -72,7 +74,7 @@ impl Attack for Foreshadow {
     fn info(&self) -> AttackInfo {
         match self.flavor {
             ForeshadowFlavor::Sgx => AttackInfo {
-                name: "Foreshadow",
+                name: crate::names::FORESHADOW,
                 cve: Some("CVE-2018-3615"),
                 impact: "SGX enclave memory leakage",
                 authorization: "Page permission check",
@@ -80,7 +82,7 @@ impl Attack for Foreshadow {
                 class: AttackClass::Meltdown,
             },
             ForeshadowFlavor::Os => AttackInfo {
-                name: "Foreshadow-OS",
+                name: crate::names::FORESHADOW_OS,
                 cve: Some("CVE-2018-3620"),
                 impact: "OS memory leakage",
                 authorization: "Page permission check",
@@ -88,7 +90,7 @@ impl Attack for Foreshadow {
                 class: AttackClass::Meltdown,
             },
             ForeshadowFlavor::Vmm => AttackInfo {
-                name: "Foreshadow-VMM",
+                name: crate::names::FORESHADOW_VMM,
                 cve: Some("CVE-2018-3646"),
                 impact: "VMM memory leakage",
                 authorization: "Page permission check",
@@ -99,7 +101,11 @@ impl Attack for Foreshadow {
     }
 
     fn graph(&self) -> SecurityAnalysis {
-        fig4_faulting_load("Load Permission Check", "Read from Cache", SecretSource::Cache)
+        fig4_faulting_load(
+            "Load Permission Check",
+            "Read from Cache",
+            SecretSource::Cache,
+        )
     }
 
     fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
@@ -181,9 +187,7 @@ mod tests {
         // NOT touched: secret only in memory, not L1.
         m.set_privilege(Privilege::User);
         let program = Foreshadow::program().unwrap();
-        m.set_exception_behavior(ExceptionBehavior::Handler(
-            program.label("done").unwrap(),
-        ));
+        m.set_exception_behavior(ExceptionBehavior::Handler(program.label("done").unwrap()));
         m.set_reg(Reg::R5, KERNEL_SECRET);
         m.set_reg(Reg::R3, PROBE_BASE);
         m.clear_events();
@@ -204,7 +208,12 @@ mod tests {
     #[test]
     fn blocked_by_l1tf_fix() {
         let out = Foreshadow::sgx()
-            .run(&UarchConfig::builder().l1tf_forwarding(false).mds_forwarding(false).build())
+            .run(
+                &UarchConfig::builder()
+                    .l1tf_forwarding(false)
+                    .mds_forwarding(false)
+                    .build(),
+            )
             .unwrap();
         assert!(!out.leaked, "{out}");
     }

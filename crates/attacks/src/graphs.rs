@@ -62,7 +62,11 @@ pub fn fig1_branch_attack(
 /// authorization ("Load Permission Check") and the access ("Read S from
 /// <source>") are micro-ops of the *same* load instruction.
 #[must_use]
-pub fn fig4_faulting_load(authorization: &str, access: &str, source: SecretSource) -> SecurityAnalysis {
+pub fn fig4_faulting_load(
+    authorization: &str,
+    access: &str,
+    source: SecretSource,
+) -> SecurityAnalysis {
     let mut sa = SecurityAnalysis::new();
     let g = sa.graph_mut();
     let flush = g.add_node("Flush Array_A", NodeKind::Setup);
@@ -132,8 +136,10 @@ pub fn fig4_unified() -> SecurityAnalysis {
     }
     g.add_edge(use_n, send, EdgeKind::Address).expect("acyclic");
     g.add_edge(check, squash, EdgeKind::Data).expect("acyclic");
-    g.add_edge(squash, reload, EdgeKind::Program).expect("acyclic");
-    g.add_edge(reload, measure, EdgeKind::Data).expect("acyclic");
+    g.add_edge(squash, reload, EdgeKind::Program)
+        .expect("acyclic");
+    g.add_edge(reload, measure, EdgeKind::Data)
+        .expect("acyclic");
 
     for &r in &reads {
         sa.require(check, r).expect("nodes exist");
@@ -146,7 +152,11 @@ pub fn fig4_unified() -> SecurityAnalysis {
 /// Figure 5: special-register attacks (Spectre v3a, Lazy FP): the illegal
 /// access reads a special register or stale FPU state instead of memory.
 #[must_use]
-pub fn fig5_special_register(authorization: &str, access: &str, source: SecretSource) -> SecurityAnalysis {
+pub fn fig5_special_register(
+    authorization: &str,
+    access: &str,
+    source: SecretSource,
+) -> SecurityAnalysis {
     let mut sa = SecurityAnalysis::new();
     let g = sa.graph_mut();
     let flush = g.add_node("Flush Array_A", NodeKind::Setup);
@@ -227,7 +237,10 @@ pub fn fig6_disambiguation() -> SecurityAnalysis {
 pub fn fig7_lvi() -> SecurityAnalysis {
     let mut sa = SecurityAnalysis::new();
     let g = sa.graph_mut();
-    let plant = g.add_node("Place a malicious value M in hardware buffers", NodeKind::Setup);
+    let plant = g.add_node(
+        "Place a malicious value M in hardware buffers",
+        NodeKind::Setup,
+    );
     let flush = g.add_node("Flush Array_A", NodeKind::Setup);
     let load = g.add_node("Load instruction", NodeKind::Compute);
     let check = g.add_node("Load permission check", NodeKind::Authorization);
@@ -235,7 +248,10 @@ pub fn fig7_lvi() -> SecurityAnalysis {
         "Read M from store buffer",
         NodeKind::SecretAccess(SecretSource::StoreBuffer),
     );
-    let divert = g.add_node("Victim's control or data flow diverted by M", NodeKind::UseSecret);
+    let divert = g.add_node(
+        "Victim's control or data flow diverted by M",
+        NodeKind::UseSecret,
+    );
     let access_s = g.add_node("Load S", NodeKind::UseSecret);
     let send = g.add_node("Load R to cache", NodeKind::Send);
     let squash = g.add_node("(Illegal Access) Squash", NodeKind::Resolution);
@@ -289,7 +305,11 @@ mod tests {
 
     #[test]
     fn fig4_models_intra_instruction_race() {
-        let sa = fig4_faulting_load("Load Permission Check", "Read from Memory", SecretSource::Memory);
+        let sa = fig4_faulting_load(
+            "Load Permission Check",
+            "Read from Memory",
+            SecretSource::Memory,
+        );
         check_baseline_races(&sa, 3);
         // The load instruction issues *both* the check and the read — the
         // same-instruction decomposition of Insight 6.
@@ -320,7 +340,10 @@ mod tests {
         // Patching only the memory read leaves the other four sources
         // racing — the §V-B insufficiency argument on the real figure.
         let mut partial = sa.clone();
-        let check = partial.graph().find_by_label("Load Permission Check").unwrap();
+        let check = partial
+            .graph()
+            .find_by_label("Load Permission Check")
+            .unwrap();
         let mem = partial.graph().find_by_label("Read from Memory").unwrap();
         partial
             .graph_mut()

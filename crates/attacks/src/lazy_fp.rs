@@ -17,7 +17,7 @@ pub struct LazyFp;
 impl Attack for LazyFp {
     fn info(&self) -> AttackInfo {
         AttackInfo {
-            name: "Lazy FP",
+            name: crate::names::LAZY_FP,
             cve: Some("CVE-2018-3665"),
             impact: "Leak of FPU state",
             authorization: "FPU owner check",

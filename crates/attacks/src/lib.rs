@@ -173,8 +173,55 @@ impl From<tsg::TsgError> for AttackError {
     }
 }
 
+/// Canonical attack-name constants — the single source for every string
+/// that identifies a Table-III variant, shared by the registry, the bench
+/// binaries, and the campaign engine. Matching on one of these instead of
+/// a literal keeps a renamed variant from silently un-matching a consumer.
+pub mod names {
+    /// Spectre v1 (bounds-check bypass).
+    pub const SPECTRE_V1: &str = "Spectre v1";
+    /// Spectre v1.1 (bounds-check bypass store).
+    pub const SPECTRE_V1_1: &str = "Spectre v1.1";
+    /// Spectre v1.2 (read-only protection bypass).
+    pub const SPECTRE_V1_2: &str = "Spectre v1.2";
+    /// Spectre v2 (branch target injection).
+    pub const SPECTRE_V2: &str = "Spectre v2";
+    /// Meltdown (user reads kernel memory).
+    pub const MELTDOWN: &str = "Meltdown";
+    /// Spectre v3a (system-register read).
+    pub const SPECTRE_V3A: &str = "Spectre v3a";
+    /// Spectre v4 (speculative store bypass).
+    pub const SPECTRE_V4: &str = "Spectre v4";
+    /// Spectre-RSB (return stack buffer underflow/poisoning).
+    pub const SPECTRE_RSB: &str = "Spectre-RSB";
+    /// Foreshadow (L1TF against SGX enclaves).
+    pub const FORESHADOW: &str = "Foreshadow";
+    /// Foreshadow-OS (L1TF-NG against the OS).
+    pub const FORESHADOW_OS: &str = "Foreshadow-OS";
+    /// Foreshadow-VMM (L1TF-NG across virtual machines).
+    pub const FORESHADOW_VMM: &str = "Foreshadow-VMM";
+    /// Lazy FP state restore.
+    pub const LAZY_FP: &str = "Lazy FP";
+    /// RIDL (MDS via load ports).
+    pub const RIDL: &str = "RIDL";
+    /// ZombieLoad (MDS via line fill buffers).
+    pub const ZOMBIELOAD: &str = "ZombieLoad";
+    /// Fallout (MDS via store buffers).
+    pub const FALLOUT: &str = "Fallout";
+    /// Load Value Injection.
+    pub const LVI: &str = "LVI";
+    /// TSX Asynchronous Abort.
+    pub const TAA: &str = "TAA";
+    /// CacheOut (L1D eviction sampling).
+    pub const CACHEOUT: &str = "CacheOut";
+}
+
 /// One attack variant: metadata, attack graph, and executable PoC.
-pub trait Attack: fmt::Debug {
+///
+/// `Send + Sync` is required so variants can live in the `'static`
+/// [`registry`] and be evaluated from campaign worker threads; every
+/// variant is a plain value type, so this costs implementors nothing.
+pub trait Attack: fmt::Debug + Send + Sync {
     /// Catalog metadata (Tables I and III).
     fn info(&self) -> AttackInfo;
 
@@ -195,29 +242,69 @@ pub trait Attack: fmt::Debug {
     fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError>;
 }
 
-/// All 17 attack variants of Table III, in the paper's order.
+/// The one list of Table-III variants, in the paper's order. Every
+/// consumer view ([`registry`], [`catalog`]) is generated from this macro,
+/// so adding a variant here updates every table, figure, and campaign.
+macro_rules! with_attack_list {
+    ($apply:ident) => {
+        $apply!(
+            spectre_v1::SpectreV1,
+            spectre_v1::SpectreV1_1,
+            spectre_v1::SpectreV1_2,
+            spectre_v2::SpectreV2,
+            meltdown::Meltdown,
+            meltdown::SpectreV3a,
+            spectre_v4::SpectreV4,
+            spectre_rsb::SpectreRsb,
+            foreshadow::Foreshadow::sgx(),
+            foreshadow::Foreshadow::os(),
+            foreshadow::Foreshadow::vmm(),
+            lazy_fp::LazyFp,
+            mds::Ridl,
+            mds::ZombieLoad,
+            mds::Fallout,
+            lvi::Lvi,
+            tsx::Taa,
+            tsx::CacheOut,
+        )
+    };
+}
+
+macro_rules! as_static_registry {
+    ($($attack:expr),+ $(,)?) => {
+        &[$(&$attack),+]
+    };
+}
+
+macro_rules! as_boxed_catalog {
+    ($($attack:expr),+ $(,)?) => {
+        vec![$(Box::new($attack)),+]
+    };
+}
+
+/// All 17 attack variants of Table III (18 rows: Foreshadow-NG contributes
+/// OS and VMM flavors), in the paper's order, as a `'static` registry.
+///
+/// This is the canonical iteration surface: the campaign engine, the bench
+/// binaries and the examples all consume this slice, so a new variant
+/// added to the internal list shows up in every table and matrix at once.
+#[must_use]
+pub fn registry() -> &'static [&'static dyn Attack] {
+    static REGISTRY: &[&'static dyn Attack] = with_attack_list!(as_static_registry);
+    REGISTRY
+}
+
+/// Looks up a registry attack by its canonical [`names`] constant.
+#[must_use]
+pub fn find(name: &str) -> Option<&'static dyn Attack> {
+    registry().iter().copied().find(|a| a.info().name == name)
+}
+
+/// The Table-III variants as owned trait objects (same list and order as
+/// [`registry`]), for callers that want to extend or reorder the set.
 #[must_use]
 pub fn catalog() -> Vec<Box<dyn Attack>> {
-    vec![
-        Box::new(spectre_v1::SpectreV1),
-        Box::new(spectre_v1::SpectreV1_1),
-        Box::new(spectre_v1::SpectreV1_2),
-        Box::new(spectre_v2::SpectreV2),
-        Box::new(meltdown::Meltdown),
-        Box::new(meltdown::SpectreV3a),
-        Box::new(spectre_v4::SpectreV4),
-        Box::new(spectre_rsb::SpectreRsb),
-        Box::new(foreshadow::Foreshadow::sgx()),
-        Box::new(foreshadow::Foreshadow::os()),
-        Box::new(foreshadow::Foreshadow::vmm()),
-        Box::new(lazy_fp::LazyFp),
-        Box::new(mds::Ridl),
-        Box::new(mds::ZombieLoad),
-        Box::new(mds::Fallout),
-        Box::new(lvi::Lvi),
-        Box::new(tsx::Taa),
-        Box::new(tsx::CacheOut),
-    ]
+    with_attack_list!(as_boxed_catalog)
 }
 
 #[cfg(test)]
@@ -277,6 +364,53 @@ mod tests {
                 a.info().name
             );
         }
+    }
+
+    #[test]
+    fn registry_and_catalog_are_the_same_list() {
+        let reg = registry();
+        let cat = catalog();
+        assert_eq!(reg.len(), cat.len());
+        for (r, c) in reg.iter().zip(&cat) {
+            assert_eq!(r.info(), c.info());
+        }
+    }
+
+    #[test]
+    fn find_resolves_every_registered_name_and_rejects_others() {
+        for a in registry() {
+            let found = find(a.info().name).expect("registered name resolves");
+            assert_eq!(found.info(), a.info());
+        }
+        assert!(find("Spectre v9").is_none());
+    }
+
+    #[test]
+    fn registry_names_match_the_names_module() {
+        let names: Vec<&str> = registry().iter().map(|a| a.info().name).collect();
+        for expected in [
+            names::SPECTRE_V1,
+            names::SPECTRE_V1_1,
+            names::SPECTRE_V1_2,
+            names::SPECTRE_V2,
+            names::MELTDOWN,
+            names::SPECTRE_V3A,
+            names::SPECTRE_V4,
+            names::SPECTRE_RSB,
+            names::FORESHADOW,
+            names::FORESHADOW_OS,
+            names::FORESHADOW_VMM,
+            names::LAZY_FP,
+            names::RIDL,
+            names::ZOMBIELOAD,
+            names::FALLOUT,
+            names::LVI,
+            names::TAA,
+            names::CACHEOUT,
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+        assert_eq!(names.len(), 18);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub struct Lvi;
 impl Attack for Lvi {
     fn info(&self) -> AttackInfo {
         AttackInfo {
-            name: "LVI",
+            name: crate::names::LVI,
             cve: Some("CVE-2020-0551"),
             impact: "Transient injection hijacks victim dataflow",
             authorization: "Load fault check",
@@ -122,7 +122,8 @@ mod tests {
         let mut m = machine_with_channel(&cfg).unwrap();
         m.clear_leaky_buffers();
         m.map_kernel_page(KERNEL_SECRET).unwrap();
-        m.write_u64(KERNEL_SECRET + MALICIOUS_INDEX * 8, SECRET).unwrap();
+        m.write_u64(KERNEL_SECRET + MALICIOUS_INDEX * 8, SECRET)
+            .unwrap();
         m.map_user_page(USER_SCRATCH).unwrap();
         m.set_privilege(Privilege::User);
         let plant = ProgramBuilder::new()

@@ -62,7 +62,7 @@ pub struct Ridl;
 impl Attack for Ridl {
     fn info(&self) -> AttackInfo {
         AttackInfo {
-            name: "RIDL",
+            name: crate::names::RIDL,
             cve: Some("CVE-2018-12127"),
             impact: "Cross-privilege in-flight data sampling",
             authorization: "Load fault check",
@@ -72,7 +72,11 @@ impl Attack for Ridl {
     }
 
     fn graph(&self) -> SecurityAnalysis {
-        fig4_faulting_load("Load Permission Check", "Read from load port", SecretSource::LoadPort)
+        fig4_faulting_load(
+            "Load Permission Check",
+            "Read from load port",
+            SecretSource::LoadPort,
+        )
     }
 
     fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
@@ -100,7 +104,7 @@ pub struct ZombieLoad;
 impl Attack for ZombieLoad {
     fn info(&self) -> AttackInfo {
         AttackInfo {
-            name: "ZombieLoad",
+            name: crate::names::ZOMBIELOAD,
             cve: Some("CVE-2018-12130"),
             impact: "Cross-privilege-boundary data sampling",
             authorization: "Load fault check",
@@ -142,7 +146,7 @@ const FALLOUT_OFFSET: u64 = 0x7C0;
 impl Attack for Fallout {
     fn info(&self) -> AttackInfo {
         AttackInfo {
-            name: "Fallout",
+            name: crate::names::FALLOUT,
             cve: Some("CVE-2018-12126"),
             impact: "Leak of recent kernel stores (MSBDS)",
             authorization: "Load fault check",

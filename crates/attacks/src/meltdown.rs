@@ -3,7 +3,9 @@
 //! (privilege check) and the access are micro-ops of the *same*
 //! instruction.
 
-use crate::common::{finish, machine_with_channel, KERNEL_SECRET, PROBE_BASE, PROBE_STRIDE, SECRET};
+use crate::common::{
+    finish, machine_with_channel, KERNEL_SECRET, PROBE_BASE, PROBE_STRIDE, SECRET,
+};
 use crate::graphs::{fig4_faulting_load, fig5_special_register};
 use crate::{Attack, AttackClass, AttackError, AttackInfo, AttackOutcome};
 use isa::{AluOp, Cond, Msr, Program, ProgramBuilder, Reg};
@@ -37,7 +39,7 @@ pub struct Meltdown;
 impl Attack for Meltdown {
     fn info(&self) -> AttackInfo {
         AttackInfo {
-            name: "Meltdown",
+            name: crate::names::MELTDOWN,
             cve: Some("CVE-2017-5754"),
             impact: "Kernel content leakage to unprivileged attacker",
             authorization: "Kernel privilege check",
@@ -47,7 +49,11 @@ impl Attack for Meltdown {
     }
 
     fn graph(&self) -> SecurityAnalysis {
-        fig4_faulting_load("Load Permission Check", "Read from Memory", SecretSource::Memory)
+        fig4_faulting_load(
+            "Load Permission Check",
+            "Read from Memory",
+            SecretSource::Memory,
+        )
     }
 
     fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
@@ -88,7 +94,7 @@ pub struct SpectreV3a;
 impl Attack for SpectreV3a {
     fn info(&self) -> AttackInfo {
         AttackInfo {
-            name: "Spectre v3a",
+            name: crate::names::SPECTRE_V3A,
             cve: Some("CVE-2018-3640"),
             impact: "System register value leakage to unprivileged attacker",
             authorization: "RDMSR instruction privilege check",

@@ -3,7 +3,9 @@
 //! entries in the shared RSB; the victim's `ret` transiently "returns" into
 //! an attacker-chosen gadget.
 
-use crate::common::{finish, machine_with_channel, probe_channel, PROBE_BASE, PROBE_STRIDE, SECRET};
+use crate::common::{
+    finish, machine_with_channel, probe_channel, PROBE_BASE, PROBE_STRIDE, SECRET,
+};
 use crate::graphs::fig1_branch_attack;
 use crate::{Attack, AttackClass, AttackError, AttackInfo, AttackOutcome};
 use isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
@@ -66,7 +68,7 @@ pub struct SpectreRsb;
 impl Attack for SpectreRsb {
     fn info(&self) -> AttackInfo {
         AttackInfo {
-            name: "Spectre-RSB",
+            name: crate::names::SPECTRE_RSB,
             cve: Some("CVE-2018-15572"),
             impact: "Return mis-predict, execute wrong code",
             authorization: "Return target resolution",
@@ -146,7 +148,11 @@ mod tests {
     #[test]
     fn blocked_by_predictor_flush() {
         let out = SpectreRsb
-            .run(&UarchConfig::builder().flush_predictors_on_switch(true).build())
+            .run(
+                &UarchConfig::builder()
+                    .flush_predictors_on_switch(true)
+                    .build(),
+            )
             .unwrap();
         assert!(!out.leaked, "{out}");
     }

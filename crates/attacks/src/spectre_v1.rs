@@ -39,8 +39,7 @@ fn victim_prologue() -> ProgramBuilder {
 /// The `beq r6, zero` guard keeps architectural re-executions (which see 0)
 /// from polluting the channel.
 fn send_epilogue(b: ProgramBuilder) -> Result<Program, AttackError> {
-    Ok(b
-        .branch_if(Cond::Eq, Reg::R6, Reg::ZERO, "out")
+    Ok(b.branch_if(Cond::Eq, Reg::R6, Reg::ZERO, "out")
         .alu_imm(AluOp::Mul, Reg::R7, Reg::R6, PROBE_STRIDE) // use secret
         .alu(AluOp::Add, Reg::R7, Reg::R7, Reg::R3)
         .load(Reg::R8, Reg::R7, 0) // send: Load R to cache
@@ -117,7 +116,7 @@ impl SpectreV1 {
 impl Attack for SpectreV1 {
     fn info(&self) -> AttackInfo {
         AttackInfo {
-            name: "Spectre v1",
+            name: crate::names::SPECTRE_V1,
             cve: Some("CVE-2017-5753"),
             impact: "Boundary check bypass",
             authorization: "Boundary-check branch resolution",
@@ -176,7 +175,7 @@ impl SpectreV1_1 {
 impl Attack for SpectreV1_1 {
     fn info(&self) -> AttackInfo {
         AttackInfo {
-            name: "Spectre v1.1",
+            name: crate::names::SPECTRE_V1_1,
             cve: Some("CVE-2018-3693"),
             impact: "Speculative buffer overflow",
             authorization: "Boundary-check branch resolution",
@@ -234,7 +233,7 @@ impl SpectreV1_2 {
 impl Attack for SpectreV1_2 {
     fn info(&self) -> AttackInfo {
         AttackInfo {
-            name: "Spectre v1.2",
+            name: crate::names::SPECTRE_V1_2,
             cve: None,
             impact: "Overwrite read-only memory",
             authorization: "Page read-only bit check",

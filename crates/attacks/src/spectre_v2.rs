@@ -2,7 +2,9 @@
 //! branch): the attacker mis-trains the shared BTB so the victim's indirect
 //! jump transiently executes an attacker-chosen gadget.
 
-use crate::common::{finish, machine_with_channel, probe_channel, PROBE_BASE, PROBE_STRIDE, SECRET};
+use crate::common::{
+    finish, machine_with_channel, probe_channel, PROBE_BASE, PROBE_STRIDE, SECRET,
+};
 use crate::graphs::fig1_branch_attack;
 use crate::{Attack, AttackClass, AttackError, AttackInfo, AttackOutcome};
 use isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
@@ -73,7 +75,7 @@ pub struct SpectreV2;
 impl Attack for SpectreV2 {
     fn info(&self) -> AttackInfo {
         AttackInfo {
-            name: "Spectre v2",
+            name: crate::names::SPECTRE_V2,
             cve: Some("CVE-2017-5715"),
             impact: "Branch target injection",
             authorization: "Indirect branch target resolution",
@@ -152,7 +154,11 @@ mod tests {
     fn v2_blocked_by_predictor_flush_on_switch() {
         // Strategy ④ (IBPB / predictor invalidation on context switch).
         let out = SpectreV2
-            .run(&UarchConfig::builder().flush_predictors_on_switch(true).build())
+            .run(
+                &UarchConfig::builder()
+                    .flush_predictors_on_switch(true)
+                    .build(),
+            )
             .unwrap();
         assert!(!out.leaked, "{out}");
     }

@@ -58,7 +58,7 @@ pub struct SpectreV4;
 impl Attack for SpectreV4 {
     fn info(&self) -> AttackInfo {
         AttackInfo {
-            name: "Spectre v4",
+            name: crate::names::SPECTRE_V4,
             cve: Some("CVE-2018-3639"),
             impact: "Speculative store bypass, read stale data in memory",
             authorization: "Store-load address dependency resolution",

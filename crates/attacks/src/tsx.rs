@@ -3,7 +3,9 @@
 //! role of the delayed authorization, and the in-flight transient window
 //! samples the L1 (TAA) or the line fill buffer (CacheOut).
 
-use crate::common::{finish, machine_with_channel, KERNEL_SECRET, PROBE_BASE, PROBE_STRIDE, SECRET, UNMAPPED};
+use crate::common::{
+    finish, machine_with_channel, KERNEL_SECRET, PROBE_BASE, PROBE_STRIDE, SECRET, UNMAPPED,
+};
 use crate::graphs::fig4_faulting_load;
 use crate::{Attack, AttackClass, AttackError, AttackInfo, AttackOutcome};
 use isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
@@ -34,7 +36,7 @@ pub struct Taa;
 impl Attack for Taa {
     fn info(&self) -> AttackInfo {
         AttackInfo {
-            name: "TAA",
+            name: crate::names::TAA,
             cve: Some("CVE-2019-11135"),
             impact: "Transactional sampling of L1/store/load buffers",
             authorization: "TSX Asynchronous Abort Completion",
@@ -44,7 +46,11 @@ impl Attack for Taa {
     }
 
     fn graph(&self) -> SecurityAnalysis {
-        fig4_faulting_load("TSX Asynchronous Abort Completion", "Read from Cache", SecretSource::Cache)
+        fig4_faulting_load(
+            "TSX Asynchronous Abort Completion",
+            "Read from Cache",
+            SecretSource::Cache,
+        )
     }
 
     fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
@@ -78,7 +84,7 @@ pub struct CacheOut;
 impl Attack for CacheOut {
     fn info(&self) -> AttackInfo {
         AttackInfo {
-            name: "CacheOut",
+            name: crate::names::CACHEOUT,
             cve: Some("CVE-2020-0549"),
             impact: "Leak data via cache evictions through the fill buffer",
             authorization: "TSX Asynchronous Abort Completion",

@@ -23,17 +23,13 @@ fn bench_attacks(c: &mut Criterion) {
         Box::new(attacks::tsx::Taa),
     ];
     for a in representative {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(a.info().name),
-            &a,
-            |b, a| {
-                b.iter(|| {
-                    let out = a.run(&cfg).expect("attack runs");
-                    assert!(out.leaked);
-                    black_box(out.cycles)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(a.info().name), &a, |b, a| {
+            b.iter(|| {
+                let out = a.run(&cfg).expect("attack runs");
+                assert!(out.leaked);
+                black_box(out.cycles)
+            });
+        });
     }
     group.finish();
 }
@@ -61,5 +57,10 @@ fn bench_analyzer(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_attacks, bench_defended_attack, bench_analyzer);
+criterion_group!(
+    benches,
+    bench_attacks,
+    bench_defended_attack,
+    bench_analyzer
+);
 criterion_main!(benches);

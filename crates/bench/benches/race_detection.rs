@@ -1,11 +1,13 @@
 //! Criterion: Theorem-1 race detection scaling on random DAGs, compared
-//! against the exponential ordering-enumeration oracle on small graphs.
+//! against the exponential ordering-enumeration oracle on small graphs —
+//! plus the campaign-relevant guardrail: the all-pairs race scan over the
+//! catalog attack graphs, per-pair DFS vs the `ReachabilityIndex`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
-use tsg::{EdgeKind, NodeId, NodeKind, Tsg};
+use tsg::{EdgeKind, NodeId, NodeKind, ReachabilityIndex, Tsg};
 
 fn random_dag(nodes: usize, edge_prob: f64, seed: u64) -> Tsg {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -48,6 +50,87 @@ fn bench_all_races(c: &mut Criterion) {
     group.finish();
 }
 
+/// All-pairs race count via two DFS walks per pair (the seed algorithm).
+fn dfs_all_pairs(g: &Tsg) -> usize {
+    let ids: Vec<NodeId> = g.nodes().map(|n| n.id()).collect();
+    let mut races = 0;
+    for (i, &u) in ids.iter().enumerate() {
+        for &v in &ids[i + 1..] {
+            if g.has_race_dfs(u, v).expect("nodes exist") {
+                races += 1;
+            }
+        }
+    }
+    races
+}
+
+/// All-pairs race count via one closure build plus O(1) probes.
+fn indexed_all_pairs(g: &Tsg) -> usize {
+    let idx = ReachabilityIndex::build(g);
+    let ids: Vec<NodeId> = g.nodes().map(|n| n.id()).collect();
+    let mut races = 0;
+    for (i, &u) in ids.iter().enumerate() {
+        for &v in &ids[i + 1..] {
+            if idx.races(u, v) {
+                races += 1;
+            }
+        }
+    }
+    races
+}
+
+/// The perf guardrail behind the campaign engine: the all-pairs race scan
+/// over every catalog attack graph (the work one campaign's graph-level
+/// verdicts amortize), per-pair DFS vs the reachability index. The index
+/// build is *inside* the measured region, so the comparison is honest for
+/// single-use graphs too.
+fn bench_catalog_graphs(c: &mut Criterion) {
+    let graphs: Vec<(String, Tsg)> = attacks::registry()
+        .iter()
+        .map(|a| (a.info().name.to_owned(), a.graph().into_graph()))
+        .collect();
+    let expected: usize = graphs.iter().map(|(_, g)| dfs_all_pairs(g)).sum();
+
+    let mut group = c.benchmark_group("catalog_all_pairs_races");
+    group.bench_function("per_pair_dfs", |b| {
+        b.iter(|| {
+            let total: usize = graphs
+                .iter()
+                .map(|(_, g)| dfs_all_pairs(black_box(g)))
+                .sum();
+            assert_eq!(total, expected);
+            total
+        });
+    });
+    group.bench_function("reachability_index", |b| {
+        b.iter(|| {
+            let total: usize = graphs
+                .iter()
+                .map(|(_, g)| indexed_all_pairs(black_box(g)))
+                .sum();
+            assert_eq!(total, expected);
+            total
+        });
+    });
+    group.finish();
+}
+
+/// The same comparison on one large random DAG, where the asymptotic gap
+/// (O(K²·(V+E)) vs O(V·E/64) + O(K²)) dominates.
+fn bench_large_dag_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("large_dag_all_pairs_races");
+    for &n in &[128usize, 512] {
+        let g = random_dag(n, 4.0 / n as f64, 21);
+        group.bench_with_input(BenchmarkId::new("per_pair_dfs", n), &g, |b, g| {
+            b.iter(|| black_box(dfs_all_pairs(g)));
+        });
+        group.bench_with_input(BenchmarkId::new("reachability_index", n), &g, |b, g| {
+            b.iter(|| black_box(indexed_all_pairs(g)));
+        });
+    }
+    group.finish();
+}
+
 fn bench_oracle_vs_fast(c: &mut Criterion) {
     let mut group = c.benchmark_group("race_fast_vs_enumeration_oracle");
     let g = random_dag(8, 0.3, 3);
@@ -73,6 +156,8 @@ criterion_group!(
     benches,
     bench_has_race,
     bench_all_races,
+    bench_catalog_graphs,
+    bench_large_dag_scan,
     bench_oracle_vs_fast,
     bench_topological_sort
 );

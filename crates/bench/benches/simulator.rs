@@ -35,10 +35,16 @@ fn bench_defended(c: &mut Criterion) {
     let program = workload_array_sum(48);
     let configs: Vec<(&str, UarchConfig)> = vec![
         ("baseline", UarchConfig::default()),
-        ("strategy1_fences", UarchConfig::builder().no_speculative_loads(true).build()),
+        (
+            "strategy1_fences",
+            UarchConfig::builder().no_speculative_loads(true).build(),
+        ),
         ("strategy2_nda", UarchConfig::builder().nda(true).build()),
         ("strategy3_stt", UarchConfig::builder().stt(true).build()),
-        ("strategy3_invisispec", UarchConfig::builder().invisible_spec(true).build()),
+        (
+            "strategy3_invisispec",
+            UarchConfig::builder().invisible_spec(true).build(),
+        ),
         ("hardened", UarchConfig::hardened()),
     ];
     for (name, cfg) in configs {

@@ -2,19 +2,36 @@
 //! DOT (render with `dot -Tpdf`), together with its race analysis, and for
 //! Figure 2 the valid-ordering demonstration.
 //!
+//! Attack graphs are pulled from the registry by canonical name, and the
+//! Figure-8 executable cross-check is a campaign slice (Spectre v1 across
+//! the strategy-sweep configurations), so the figures track the same
+//! single attack list as every table.
+//!
 //! Usage: `cargo run -p bench --bin figures [fig1 fig2 … fig9 | all]`
 
 use analyzer::{AnalysisConfig, Analyzer};
-use attacks::Attack;
+use attacks::names as attack;
 use defenses::Strategy;
+use specgraph::campaign::{CampaignMatrix, CampaignSpec};
 use std::env;
 use tsg::SecurityAnalysis;
+use uarch::UarchConfig;
+
+/// The named variant's vulnerable-baseline graph, from the registry.
+fn graph_of(name: &str) -> SecurityAnalysis {
+    attacks::find(name)
+        .unwrap_or_else(|| panic!("{name} not in the attack registry"))
+        .graph()
+}
 
 fn print_analysis(title: &str, sa: &SecurityAnalysis) {
     println!("=== {title} ===");
     println!("{}", sa.graph().to_dot(title));
     let vulns = sa.vulnerabilities().expect("analyzable");
-    println!("missing security dependencies (Theorem 1 races): {}", vulns.len());
+    println!(
+        "missing security dependencies (Theorem 1 races): {}",
+        vulns.len()
+    );
     for v in &vulns {
         println!("  - {v}");
     }
@@ -24,7 +41,7 @@ fn print_analysis(title: &str, sa: &SecurityAnalysis) {
 fn fig1() {
     print_analysis(
         "Figure 1: Spectre v1/v2 attack graph",
-        &attacks::spectre_v1::SpectreV1.graph(),
+        &graph_of(attack::SPECTRE_V1),
     );
 }
 
@@ -33,12 +50,30 @@ fn fig2() {
     let g = tsg::examples::fig2();
     println!("{}", g.to_dot("Figure 2"));
     let find = |l: &str| g.find_by_label(l).expect("node exists");
-    let s: Vec<_> = ["A", "B", "C", "D", "E", "F", "G"].iter().map(|l| find(l)).collect();
-    let s_prime: Vec<_> = ["A", "C", "E", "B", "D", "F", "G"].iter().map(|l| find(l)).collect();
-    let s_double: Vec<_> = ["A", "B", "D", "E", "C", "F", "G"].iter().map(|l| find(l)).collect();
-    println!("S   = [A,B,C,D,E,F,G] valid: {}", g.is_valid_ordering(&s).unwrap());
-    println!("S'  = [A,C,E,B,D,F,G] valid: {}", g.is_valid_ordering(&s_prime).unwrap());
-    println!("S'' = [A,B,D,E,C,F,G] valid: {}", g.is_valid_ordering(&s_double).unwrap());
+    let s: Vec<_> = ["A", "B", "C", "D", "E", "F", "G"]
+        .iter()
+        .map(|l| find(l))
+        .collect();
+    let s_prime: Vec<_> = ["A", "C", "E", "B", "D", "F", "G"]
+        .iter()
+        .map(|l| find(l))
+        .collect();
+    let s_double: Vec<_> = ["A", "B", "D", "E", "C", "F", "G"]
+        .iter()
+        .map(|l| find(l))
+        .collect();
+    println!(
+        "S   = [A,B,C,D,E,F,G] valid: {}",
+        g.is_valid_ordering(&s).unwrap()
+    );
+    println!(
+        "S'  = [A,C,E,B,D,F,G] valid: {}",
+        g.is_valid_ordering(&s_prime).unwrap()
+    );
+    println!(
+        "S'' = [A,B,D,E,C,F,G] valid: {}",
+        g.is_valid_ordering(&s_double).unwrap()
+    );
     println!(
         "race(D, E) = {} (Theorem 1: no path connects D and E)",
         g.has_race(find("D"), find("E")).unwrap()
@@ -52,7 +87,7 @@ fn fig2() {
 fn fig3() {
     print_analysis(
         "Figure 3: Meltdown attack graph (micro-op level)",
-        &attacks::meltdown::Meltdown.graph(),
+        &graph_of(attack::MELTDOWN),
     );
 }
 
@@ -62,20 +97,23 @@ fn fig4() {
         "Figure 4: unified Meltdown/Foreshadow/MDS graph",
         &attacks::graphs::fig4_unified(),
     );
-    // Plus each variant's per-source instantiation.
-    for (name, sa) in [
-        ("Meltdown (read from memory)", attacks::meltdown::Meltdown.graph()),
-        ("Foreshadow (read from cache)", attacks::foreshadow::Foreshadow::sgx().graph()),
-        ("RIDL (read from load port)", attacks::mds::Ridl.graph()),
-        ("ZombieLoad (read from line fill buffer)", attacks::mds::ZombieLoad.graph()),
-        ("Fallout (read from store buffer)", attacks::mds::Fallout.graph()),
+    // Plus each variant's per-source instantiation, from the registry.
+    for (caption, name) in [
+        ("Meltdown (read from memory)", attack::MELTDOWN),
+        ("Foreshadow (read from cache)", attack::FORESHADOW),
+        ("RIDL (read from load port)", attack::RIDL),
+        (
+            "ZombieLoad (read from line fill buffer)",
+            attack::ZOMBIELOAD,
+        ),
+        ("Fallout (read from store buffer)", attack::FALLOUT),
     ] {
-        print_analysis(&format!("Figure 4 branch: {name}"), &sa);
+        print_analysis(&format!("Figure 4 branch: {caption}"), &graph_of(name));
     }
     // The four defense insertion points ①–④ on the Meltdown graph.
     println!("--- Figure 4 defense arrows ---");
     for s in Strategy::all() {
-        let mut sa = attacks::meltdown::Meltdown.graph();
+        let mut sa = graph_of(attack::MELTDOWN);
         match defenses::patch_strategy(&mut sa, s) {
             Ok(n) => {
                 let left = sa.vulnerabilities().unwrap().len();
@@ -90,45 +128,46 @@ fn fig4() {
 fn fig5() {
     print_analysis(
         "Figure 5: special-register attacks (Spectre v3a)",
-        &attacks::meltdown::SpectreV3a.graph(),
+        &graph_of(attack::SPECTRE_V3A),
     );
-    print_analysis("Figure 5: Lazy FP", &attacks::lazy_fp::LazyFp.graph());
+    print_analysis("Figure 5: Lazy FP", &graph_of(attack::LAZY_FP));
 }
 
 fn fig6() {
     print_analysis(
         "Figure 6: memory-disambiguation attack (Spectre v4)",
-        &attacks::spectre_v4::SpectreV4.graph(),
+        &graph_of(attack::SPECTRE_V4),
     );
 }
 
 fn fig7() {
-    print_analysis("Figure 7: Load Value Injection", &attacks::lvi::Lvi.graph());
+    print_analysis("Figure 7: Load Value Injection", &graph_of(attack::LVI));
 }
 
 fn fig8() {
     println!("=== Figure 8: the four defense strategies on Spectre v1/v2 ===");
+    // Graph level: insert each strategy's edges and recount races.
     for s in Strategy::all() {
-        let mut sa = attacks::spectre_v1::SpectreV1.graph();
+        let mut sa = graph_of(attack::SPECTRE_V1);
         let before = sa.vulnerabilities().unwrap().len();
         let inserted = defenses::patch_strategy(&mut sa, s).expect("applicable");
         let after = sa.vulnerabilities().unwrap().len();
+        println!("strategy {s}: races {before} -> {after} ({inserted} security edge(s))");
+    }
+    // Executable cross-check: one campaign slice sweeping Spectre v1 over
+    // the per-strategy hardened machines (no defense axis needed).
+    let spec = CampaignSpec {
+        attacks: vec![attacks::find(attack::SPECTRE_V1).expect("registered")],
+        defenses: Vec::new(),
+        ..CampaignSpec::strategy_sweep(&UarchConfig::default())
+    };
+    let matrix = CampaignMatrix::run(&spec).expect("campaign runs");
+    println!("simulator cross-check (Spectre v1 per hardened machine):");
+    for row in matrix.baselines() {
         println!(
-            "strategy {s}: races {before} -> {after} ({inserted} security edge(s))"
+            "    {:<28} leaked = {}",
+            matrix.configs[row.config], row.leaked
         );
-        // Executable cross-check for the strategies with machine knobs.
-        let cfg = match s {
-            Strategy::PreventAccess => Some(
-                uarch::UarchConfig::builder().no_speculative_loads(true).build(),
-            ),
-            Strategy::PreventUse => Some(uarch::UarchConfig::builder().nda(true).build()),
-            Strategy::PreventSend => Some(uarch::UarchConfig::builder().stt(true).build()),
-            Strategy::ClearPredictions => None, // v1 mis-trains in-context
-        };
-        if let Some(cfg) = cfg {
-            let out = attacks::spectre_v1::SpectreV1.run(&cfg).expect("runs");
-            println!("    simulator: Spectre v1 leaked = {}", out.leaked);
-        }
     }
     println!();
 }
@@ -161,13 +200,21 @@ fn fig9() {
         report.gadgets.len(),
         report.vulnerabilities.len()
     );
-    println!("{}", report.graph.graph().to_dot("Figure 9 output (Meltdown-type)"));
+    println!(
+        "{}",
+        report
+            .graph
+            .graph()
+            .to_dot("Figure 9 output (Meltdown-type)")
+    );
 }
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec!["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"]
+        vec![
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+        ]
     } else {
         args.iter().map(String::as_str).collect()
     };

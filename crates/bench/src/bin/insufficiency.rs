@@ -19,9 +19,18 @@ fn main() {
     println!("{}", "-".repeat(74));
     for (name, out) in [
         ("baseline, secret in DRAM", &r.baseline),
-        ("defense ① on memory path only, secret in DRAM", &r.partial_blocks_baseline),
-        ("defense ① on memory path only, secret in L1", &r.partial_bypassed_via_cache),
-        ("full defense (all datapaths ordered), secret in L1", &r.full_blocks_everything),
+        (
+            "defense ① on memory path only, secret in DRAM",
+            &r.partial_blocks_baseline,
+        ),
+        (
+            "defense ① on memory path only, secret in L1",
+            &r.partial_bypassed_via_cache,
+        ),
+        (
+            "full defense (all datapaths ordered), secret in L1",
+            &r.full_blocks_everything,
+        ),
     ] {
         println!(
             "{:<52} {:>8} {:>10}",

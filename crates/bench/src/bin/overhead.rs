@@ -2,40 +2,40 @@
 //! slowdown under each defense strategy. The paper predicts the ordering
 //! ① (serialize access) ≥ ② (block use) ≥ ③ (block send) ≥ ④ (flush
 //! predictors), because later strategies relax what speculation may do.
+//!
+//! A thin consumer of the defense registry: instead of a hand-written knob
+//! list, the configurations measured below are the modeled registry
+//! defenses themselves (one representative per distinct mechanism), so a
+//! new catalog entry is measured automatically.
 
 use bench::{measure_cycles, workload_array_sum, workload_pointer_chase};
+use defenses::names as defense;
 use uarch::UarchConfig;
 
+/// The registry defenses measured, one per distinct hardware mechanism.
+const MEASURED: &[&str] = &[
+    defense::LFENCE,                  // ① no speculative loads
+    defense::EAGER_PERMISSION_CHECK,  // ① eager authorization
+    defense::NDA,                     // ② block speculative forwarding
+    defense::STT,                     // ③ block tainted transmit
+    defense::CONDITIONAL_SPECULATION, // ③ delay on miss
+    defense::INVISISPEC,              // ③ deferred fills
+    defense::CLEANUPSPEC,             // ③ undo on squash
+    defense::IBPB,                    // ④ flush predictors on switch
+];
+
 fn main() {
-    let configs: Vec<(&str, UarchConfig)> = vec![
-        ("baseline (no defense)", UarchConfig::default()),
-        (
-            "① no speculative loads (fences)",
-            UarchConfig::builder().no_speculative_loads(true).build(),
-        ),
-        (
-            "① eager permission check",
-            UarchConfig::builder().eager_permission_check(true).build(),
-        ),
-        ("② NDA (block spec. forwarding)", UarchConfig::builder().nda(true).build()),
-        ("③ STT (block tainted transmit)", UarchConfig::builder().stt(true).build()),
-        (
-            "③ delay-on-miss (CondSpec)",
-            UarchConfig::builder().delay_on_miss(true).build(),
-        ),
-        (
-            "③ InvisiSpec (deferred fills)",
-            UarchConfig::builder().invisible_spec(true).build(),
-        ),
-        (
-            "③ CleanupSpec (undo on squash)",
-            UarchConfig::builder().cleanup_spec(true).build(),
-        ),
-        (
-            "④ flush predictors on switch",
-            UarchConfig::builder().flush_predictors_on_switch(true).build(),
-        ),
-    ];
+    let base = UarchConfig::default();
+    let configs: Vec<(String, UarchConfig)> =
+        std::iter::once(("baseline (no defense)".to_owned(), base.clone()))
+            .chain(MEASURED.iter().map(|name| {
+                let d = defenses::find(name).unwrap_or_else(|| panic!("{name} not in registry"));
+                let cfg = d
+                    .configure(&base)
+                    .unwrap_or_else(|| panic!("{name} has no hardware model"));
+                (format!("{} {}", d.strategy.label(), d.name), cfg)
+            }))
+            .collect();
 
     let workloads: Vec<(&str, isa::Program, u64)> = vec![
         ("array-sum (branchy)", workload_array_sum(64), 128),

@@ -2,12 +2,19 @@
 //! CVEs and impacts — extended with the simulated outcome column
 //! ("does this attack actually recover the planted secret on the vulnerable
 //! baseline machine?").
+//!
+//! A thin consumer of the campaign engine: one run with an empty defense
+//! axis yields exactly the undefended baseline rows.
 
-use attacks::catalog;
-use uarch::UarchConfig;
+use specgraph::campaign::{CampaignMatrix, CampaignSpec};
 
 fn main() {
-    let cfg = UarchConfig::default();
+    let spec = CampaignSpec {
+        defenses: Vec::new(), // Table I is the undefended baseline column
+        ..CampaignSpec::default()
+    };
+    let matrix = CampaignMatrix::run(&spec).unwrap_or_else(|e| panic!("campaign failed: {e}"));
+
     println!("Table I: Speculative attacks and their variants");
     println!("(extended with the simulated outcome on the vulnerable baseline)\n");
     println!(
@@ -15,18 +22,14 @@ fn main() {
         "Attack", "CVE", "Impact", "Leaked?", "Cycles"
     );
     println!("{}", "-".repeat(105));
-    for a in catalog() {
-        let info = a.info();
-        let out = a
-            .run(&cfg)
-            .unwrap_or_else(|e| panic!("{} failed to simulate: {e}", info.name));
+    for row in matrix.baselines() {
         println!(
             "{:<16} {:<16} {:<52} {:>9} {:>8}",
-            info.name,
-            info.cve.unwrap_or("N/A"),
-            info.impact,
-            if out.leaked { "yes" } else { "NO" },
-            out.cycles
+            row.info.name,
+            row.info.cve.unwrap_or("N/A"),
+            row.info.impact,
+            if row.leaked { "yes" } else { "NO" },
+            row.cycles
         );
     }
     println!("\nAll rows 'yes': every Table-I variant reproduces on the baseline.");

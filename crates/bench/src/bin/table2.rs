@@ -2,50 +2,52 @@
 //! speculative attacks — extended with executable verification: each
 //! defense is enabled on the simulator and the row's attack family is
 //! re-run under it.
+//!
+//! A thin consumer of the campaign engine: one matrix run supplies every
+//! verdict; the rows below are lookups into it.
 
-use attacks::Attack;
-use defenses::{catalog, industry_rows, Verdict};
-use uarch::UarchConfig;
+use attacks::names as attack;
+use defenses::industry_rows;
+use specgraph::campaign::{CampaignMatrix, CampaignSpec};
 
-/// The representative executable attack(s) for each Table II row.
-fn row_attacks(row_attack: &str) -> Vec<Box<dyn Attack>> {
+/// The representative executable attack(s) for each Table II row, by
+/// canonical registry name.
+fn row_attacks(row_attack: &str) -> Vec<&'static str> {
     match row_attack {
-        s if s.starts_with("Spectre variants") => vec![Box::new(attacks::spectre_v2::SpectreV2)],
-        s if s.starts_with("Spectre boundary") => vec![Box::new(attacks::spectre_v1::SpectreV1)],
-        "Spectre" => vec![Box::new(attacks::spectre_v1::SpectreV1)],
-        "Meltdown" => vec![Box::new(attacks::meltdown::Meltdown)],
-        "Spectre v4" => vec![Box::new(attacks::spectre_v4::SpectreV4)],
-        "Spectre RSB" => vec![Box::new(attacks::spectre_rsb::SpectreRsb)],
+        s if s.starts_with("Spectre variants") => vec![attack::SPECTRE_V2],
+        s if s.starts_with("Spectre boundary") => vec![attack::SPECTRE_V1],
+        "Spectre" => vec![attack::SPECTRE_V1],
+        "Meltdown" => vec![attack::MELTDOWN],
+        "Spectre v4" => vec![attack::SPECTRE_V4],
+        "Spectre RSB" => vec![attack::SPECTRE_RSB],
         other => panic!("unknown Table II row: {other}"),
     }
 }
 
 fn main() {
-    let all = catalog();
-    let base = UarchConfig::default();
+    let matrix = CampaignMatrix::run(&CampaignSpec::default())
+        .unwrap_or_else(|e| panic!("campaign failed: {e}"));
+
     println!("Table II: Industrial defenses against speculative attacks");
     println!("(extended with executable verification on the simulator)\n");
     println!(
-        "{:<52} {:<40} {:<34} {}",
-        "Attack", "Defense strategy", "Defense", "Verified"
+        "{:<52} {:<40} {:<34} Verified",
+        "Attack", "Defense strategy", "Defense"
     );
     println!("{}", "-".repeat(140));
     for row in industry_rows() {
         let atks = row_attacks(row.attack);
         for (i, dname) in row.defenses.iter().enumerate() {
-            let d = all
-                .iter()
-                .find(|d| d.name == *dname)
-                .unwrap_or_else(|| panic!("{dname} not in catalog"));
             let verdicts: Vec<String> = atks
                 .iter()
-                .map(|a| {
-                    let v = defenses::verify(d, a.as_ref(), &base)
-                        .unwrap_or_else(|e| panic!("verify failed: {e}"));
-                    match v {
-                        Verdict::Blocked => format!("blocks {}", a.info().name),
-                        Verdict::Leaked => format!("FAILS vs {}", a.info().name),
-                        Verdict::GraphOnly => "software (graph-level)".to_owned(),
+                .map(|aname| {
+                    let cell = matrix
+                        .cell(aname, dname, 0)
+                        .unwrap_or_else(|| panic!("{dname} vs {aname} not in the matrix"));
+                    match cell.evaluation.mechanism {
+                        defenses::Verdict::Blocked => format!("blocks {aname}"),
+                        defenses::Verdict::Leaked => format!("FAILS vs {aname}"),
+                        defenses::Verdict::GraphOnly => "software (graph-level)".to_owned(),
                     }
                 })
                 .collect();
@@ -64,12 +66,13 @@ fn main() {
         }
     }
     println!("\nStrategy mapping (the paper's Figure-8 taxonomy):");
-    for d in &all {
-        println!(
-            "  {:<40} -> {} ({})",
-            d.name,
-            d.strategy,
-            d.origin
-        );
+    for d in &matrix.defenses {
+        println!("  {:<40} -> {} ({})", d.name, d.strategy, d.origin);
     }
+    println!(
+        "\nAcross the whole campaign matrix: {} of {} cells are §V-B",
+        matrix.false_senses().len(),
+        matrix.cells().len()
+    );
+    println!("'false sense of security' pairs (strategy fits, mechanism misses).");
 }

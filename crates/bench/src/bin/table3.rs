@@ -1,14 +1,22 @@
 //! Regenerates **Table III** of the paper: the authorization and
 //! illegal-access nodes of every speculative attack variant — extended with
 //! two verification columns: the Theorem-1 race check on the variant's
-//! attack graph, and the simulated leak verdict.
+//! attack graph (answered from the reachability index), and the simulated
+//! leak verdict.
+//!
+//! A thin consumer of the campaign engine: the baseline rows already carry
+//! both verification columns.
 
-use attacks::catalog;
-use tsg::NodeKind;
-use uarch::UarchConfig;
+use attacks::AttackClass;
+use specgraph::campaign::{CampaignMatrix, CampaignSpec};
 
 fn main() {
-    let cfg = UarchConfig::default();
+    let spec = CampaignSpec {
+        defenses: Vec::new(), // Table III verifies the undefended graphs
+        ..CampaignSpec::default()
+    };
+    let matrix = CampaignMatrix::run(&spec).unwrap_or_else(|e| panic!("campaign failed: {e}"));
+
     println!("Table III: Authorization and Access Nodes of Speculative Attacks");
     println!("(extended: graph race detected by Theorem 1; leak verified by simulation)\n");
     println!(
@@ -16,33 +24,19 @@ fn main() {
         "Attack", "Authorization", "Illegal Access", "Class", "Race?", "Leaks?"
     );
     println!("{}", "-".repeat(135));
-    for a in catalog() {
-        let info = a.info();
-        let sa = a.graph();
-        let g = sa.graph();
-        let auths = g.nodes_of_kind(NodeKind::is_authorization);
-        let accesses = g.nodes_of_kind(NodeKind::is_secret_access);
-        let mut race = false;
-        for &u in &auths {
-            for &v in &accesses {
-                race |= g.has_race(u, v).expect("nodes exist");
-            }
-        }
-        let out = a
-            .run(&cfg)
-            .unwrap_or_else(|e| panic!("{} failed: {e}", info.name));
-        let class = match info.class {
-            attacks::AttackClass::Spectre => "inter-inst",
-            attacks::AttackClass::Meltdown => "intra-inst",
+    for row in matrix.baselines() {
+        let class = match row.info.class {
+            AttackClass::Spectre => "inter-inst",
+            AttackClass::Meltdown => "intra-inst",
         };
         println!(
             "{:<16} {:<38} {:<52} {:<12} {:>6} {:>7}",
-            info.name,
-            info.authorization,
-            info.illegal_access,
+            row.info.name,
+            row.info.authorization,
+            row.info.illegal_access,
             class,
-            if race { "yes" } else { "NO" },
-            if out.leaked { "yes" } else { "NO" }
+            if row.graph_race { "yes" } else { "NO" },
+            if row.leaked { "yes" } else { "NO" }
         );
     }
     println!("\nEvery row shows race=yes (the missing security dependency) and");

@@ -124,7 +124,9 @@ mod tests {
         let s2 = measure_cycles(&UarchConfig::builder().nda(true).build(), &p, words).unwrap();
         let s3 = measure_cycles(&UarchConfig::builder().stt(true).build(), &p, words).unwrap();
         let s4 = measure_cycles(
-            &UarchConfig::builder().flush_predictors_on_switch(true).build(),
+            &UarchConfig::builder()
+                .flush_predictors_on_switch(true)
+                .build(),
             &p,
             words,
         )

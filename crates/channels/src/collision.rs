@@ -18,11 +18,7 @@ use uarch::{Machine, UarchError};
 /// # Errors
 ///
 /// Propagates [`UarchError`] from runs and cache operations.
-pub fn scan(
-    m: &mut Machine,
-    victim: &Program,
-    candidates: &[u64],
-) -> Result<Vec<u64>, UarchError> {
+pub fn scan(m: &mut Machine, victim: &Program, candidates: &[u64]) -> Result<Vec<u64>, UarchError> {
     let mut timings = Vec::with_capacity(candidates.len());
     for &cand in candidates {
         // Reset: flush every candidate so only the warmed one is resident.
@@ -48,7 +44,10 @@ pub fn recover(
     candidates: &[u64],
 ) -> Result<Option<usize>, UarchError> {
     let timings = scan(m, victim, candidates)?;
-    let min = *timings.iter().min().ok_or(UarchError::Unmapped { vaddr: 0 })?;
+    let min = *timings
+        .iter()
+        .min()
+        .ok_or(UarchError::Unmapped { vaddr: 0 })?;
     let fastest: Vec<usize> = timings
         .iter()
         .enumerate()

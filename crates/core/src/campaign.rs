@@ -1,0 +1,570 @@
+//! The campaign engine: batch evaluation of the full
+//! attack × defense × configuration cube.
+//!
+//! The paper's deliverables are *matrices* — Table III's attack variants,
+//! Figure 8's four strategies, Table II's defense catalog — and the seed
+//! evaluated them one `(attack, defense)` pair at a time with hand-copied
+//! attack lists in every binary. A campaign instead takes the registries
+//! ([`attacks::registry`], [`defenses::registry`]) plus a list of named
+//! machine configurations, evaluates every cell in parallel, and returns a
+//! [`CampaignMatrix`] with deterministic ordering, lookups, the §V-B
+//! "false sense of security" extraction, and JSON/CSV export.
+//!
+//! Work is distributed over `std::thread::scope` workers round-robin, and
+//! results are reassembled by cell index, so the output is byte-identical
+//! regardless of thread count or scheduling:
+//!
+//! ```
+//! use specgraph::campaign::{CampaignMatrix, CampaignSpec};
+//!
+//! # fn main() -> Result<(), attacks::AttackError> {
+//! let mut spec = CampaignSpec::default(); // full registries × baseline
+//! spec.defenses.truncate(2);              // keep the doctest quick
+//! spec.attacks.truncate(3);
+//! let matrix = CampaignMatrix::run(&spec)?;
+//! assert_eq!(matrix.shape(), (3, 2, 1));
+//! assert!(matrix.cells().iter().all(|c| c.config == 0));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::scenario::{self, Evaluation};
+use attacks::{Attack, AttackError, AttackInfo};
+use defenses::{Defense, Verdict};
+use std::fmt::Write as _;
+use std::thread;
+use tsg::NodeKind;
+use uarch::UarchConfig;
+
+/// A machine configuration with a human-readable name (one slice of the
+/// campaign cube's third axis).
+#[derive(Debug, Clone)]
+pub struct NamedConfig {
+    /// Display name, e.g. `"baseline"` or `"② NDA hardened"`.
+    pub name: String,
+    /// The simulator configuration evaluated under that name.
+    pub config: UarchConfig,
+}
+
+impl NamedConfig {
+    /// Names a configuration.
+    pub fn new(name: impl Into<String>, config: UarchConfig) -> Self {
+        NamedConfig {
+            name: name.into(),
+            config,
+        }
+    }
+}
+
+/// What to evaluate: the three axes of the cube plus the worker count.
+#[derive(Debug)]
+pub struct CampaignSpec {
+    /// Attack axis; defaults to the full [`attacks::registry`].
+    pub attacks: Vec<&'static dyn Attack>,
+    /// Defense axis; defaults to the full [`defenses::registry`].
+    pub defenses: Vec<Defense>,
+    /// Configuration axis; defaults to one baseline machine.
+    pub configs: Vec<NamedConfig>,
+    /// Worker threads; `0` means "all available parallelism".
+    pub threads: usize,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        CampaignSpec {
+            attacks: attacks::registry().to_vec(),
+            defenses: defenses::registry().to_vec(),
+            configs: vec![NamedConfig::new("baseline", UarchConfig::default())],
+            threads: 0,
+        }
+    }
+}
+
+impl CampaignSpec {
+    /// Full registries over a single caller-chosen base configuration.
+    #[must_use]
+    pub fn with_base(base: &UarchConfig) -> Self {
+        CampaignSpec {
+            configs: vec![NamedConfig::new("base", base.clone())],
+            ..CampaignSpec::default()
+        }
+    }
+
+    /// Full registries swept over the baseline plus one globally hardened
+    /// machine per Figure-8 strategy knob (①–④) — the configuration sweep
+    /// behind the overhead/insufficiency discussions.
+    #[must_use]
+    pub fn strategy_sweep(base: &UarchConfig) -> Self {
+        let knob = |name: &str, f: fn(&mut UarchConfig)| {
+            let mut cfg = base.clone();
+            f(&mut cfg);
+            NamedConfig::new(name, cfg)
+        };
+        CampaignSpec {
+            configs: vec![
+                NamedConfig::new("baseline", base.clone()),
+                knob("① no speculative loads", |c| {
+                    c.no_speculative_loads = true
+                }),
+                knob("② NDA", |c| c.nda = true),
+                knob("③ STT", |c| c.stt = true),
+                knob("④ flush predictors", |c| {
+                    c.flush_predictors_on_switch = true
+                }),
+            ],
+            ..CampaignSpec::default()
+        }
+    }
+}
+
+/// One attack run with *no* defense on one configuration: the leak ground
+/// truth (Table I/III rows), plus the Theorem-1 graph verdict.
+#[derive(Debug, Clone)]
+pub struct BaselineCell {
+    /// Catalog metadata of the attack.
+    pub info: AttackInfo,
+    /// Index into [`CampaignMatrix::configs`].
+    pub config: usize,
+    /// Whether the attack recovered the planted secret.
+    pub leaked: bool,
+    /// The recovered symbol, if any.
+    pub recovered: Option<u64>,
+    /// Cycles the run consumed.
+    pub cycles: u64,
+    /// Theorem 1 on the variant's attack graph: does an authorization
+    /// race with a secret access? (Answered from the graph's cached
+    /// reachability index.)
+    pub graph_race: bool,
+}
+
+/// One (attack, defense, configuration) evaluation.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// Attack name (row).
+    pub attack: &'static str,
+    /// Defense name (column).
+    pub defense: &'static str,
+    /// Index into [`CampaignMatrix::configs`] (slice).
+    pub config: usize,
+    /// The two-level verdict for the cell.
+    pub evaluation: Evaluation,
+}
+
+impl MatrixCell {
+    /// The §V-B "false sense of security" pattern for this cell.
+    #[must_use]
+    pub fn false_sense_of_security(&self) -> bool {
+        self.evaluation.false_sense_of_security()
+    }
+}
+
+/// The evaluated cube, in deterministic attack-major order.
+#[derive(Debug, Clone)]
+pub struct CampaignMatrix {
+    /// Attack axis metadata, in evaluation order.
+    pub attacks: Vec<AttackInfo>,
+    /// Defense axis, in evaluation order.
+    pub defenses: Vec<Defense>,
+    /// Configuration axis names, in evaluation order.
+    pub configs: Vec<String>,
+    /// Undefended runs: `attacks.len() × configs.len()`, attack-major.
+    baselines: Vec<BaselineCell>,
+    /// Defense evaluations: `attacks.len() × defenses.len() ×
+    /// configs.len()`, ordered `((a·D)+d)·C + c`.
+    cells: Vec<MatrixCell>,
+}
+
+enum TaskOut {
+    Base(BaselineCell),
+    Cell(MatrixCell),
+}
+
+/// Theorem 1 on one attack's graph: does an authorization race with a
+/// secret access? Config-independent, so computed once per attack.
+fn graph_race_of(attack: &dyn Attack) -> bool {
+    let sa = attack.graph();
+    let g = sa.graph();
+    let idx = g.reachability();
+    let auths = g.nodes_of_kind(NodeKind::is_authorization);
+    let accesses = g.nodes_of_kind(NodeKind::is_secret_access);
+    auths
+        .iter()
+        .any(|&a| accesses.iter().any(|&s| idx.races(a, s)))
+}
+
+fn run_task(
+    spec: &CampaignSpec,
+    graph_races: &[bool],
+    task: usize,
+) -> Result<TaskOut, AttackError> {
+    let c = spec.configs.len();
+    let d = spec.defenses.len();
+    let base_tasks = spec.attacks.len() * c;
+    if task < base_tasks {
+        let attack = spec.attacks[task / c];
+        let config = task % c;
+        let out = attack.run(&spec.configs[config].config)?;
+        Ok(TaskOut::Base(BaselineCell {
+            info: attack.info(),
+            config,
+            leaked: out.leaked,
+            recovered: out.recovered,
+            cycles: out.cycles,
+            graph_race: graph_races[task / c],
+        }))
+    } else {
+        let j = task - base_tasks;
+        let attack = spec.attacks[j / (d * c)];
+        let defense = &spec.defenses[(j / c) % d];
+        let config = j % c;
+        let evaluation = scenario::evaluate(attack, defense, &spec.configs[config].config)?;
+        Ok(TaskOut::Cell(MatrixCell {
+            attack: evaluation.attack,
+            defense: evaluation.defense,
+            config,
+            evaluation,
+        }))
+    }
+}
+
+impl CampaignMatrix {
+    /// Evaluates the full cube described by `spec`.
+    ///
+    /// Tasks (one per baseline run, one per matrix cell) are dealt to
+    /// scoped worker threads round-robin and reassembled by index, so the
+    /// result — including cell order — is independent of scheduling.
+    ///
+    /// # Errors
+    ///
+    /// The first [`AttackError`] any simulation produced (by task order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread itself panics (i.e. a bug, not a
+    /// simulation failure).
+    pub fn run(spec: &CampaignSpec) -> Result<Self, AttackError> {
+        let (a, d, c) = (spec.attacks.len(), spec.defenses.len(), spec.configs.len());
+        let total = a * c + a * d * c;
+        let threads = match spec.threads {
+            0 => thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            t => t,
+        }
+        .min(total.max(1));
+
+        // The graph verdict is config-independent: one closure build per
+        // attack, shared by every config slice's baseline row.
+        let graph_races: Vec<bool> = spec.attacks.iter().map(|at| graph_race_of(*at)).collect();
+
+        let mut slots: Vec<Option<Result<TaskOut, AttackError>>> = Vec::new();
+        slots.resize_with(total, || None);
+        if threads <= 1 {
+            for (task, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(run_task(spec, &graph_races, task));
+            }
+        } else {
+            let graph_races = &graph_races;
+            let worker = move |start: usize| {
+                let mut out = Vec::new();
+                let mut task = start;
+                while task < total {
+                    out.push((task, run_task(spec, graph_races, task)));
+                    task += threads;
+                }
+                out
+            };
+            let batches = thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|start| scope.spawn(move || worker(start)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("campaign worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for batch in batches {
+                for (task, result) in batch {
+                    slots[task] = Some(result);
+                }
+            }
+        }
+
+        let mut baselines = Vec::with_capacity(a * c);
+        let mut cells = Vec::with_capacity(a * d * c);
+        for slot in slots {
+            match slot.expect("every task ran")? {
+                TaskOut::Base(b) => baselines.push(b),
+                TaskOut::Cell(cell) => cells.push(cell),
+            }
+        }
+        Ok(CampaignMatrix {
+            attacks: spec.attacks.iter().map(|at| at.info()).collect(),
+            defenses: spec.defenses.clone(),
+            configs: spec.configs.iter().map(|nc| nc.name.clone()).collect(),
+            baselines,
+            cells,
+        })
+    }
+
+    /// `(attacks, defenses, configs)` axis lengths.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.attacks.len(), self.defenses.len(), self.configs.len())
+    }
+
+    /// All matrix cells in deterministic attack-major order.
+    #[must_use]
+    pub fn cells(&self) -> &[MatrixCell] {
+        &self.cells
+    }
+
+    /// All undefended baseline runs, attack-major.
+    #[must_use]
+    pub fn baselines(&self) -> &[BaselineCell] {
+        &self.baselines
+    }
+
+    /// The cell for `(attack, defense)` under configuration index `config`.
+    #[must_use]
+    pub fn cell(&self, attack: &str, defense: &str, config: usize) -> Option<&MatrixCell> {
+        let a = self.attacks.iter().position(|i| i.name == attack)?;
+        let d = self.defenses.iter().position(|de| de.name == defense)?;
+        if config >= self.configs.len() {
+            return None;
+        }
+        self.cells
+            .get((a * self.defenses.len() + d) * self.configs.len() + config)
+    }
+
+    /// The undefended run of `attack` under configuration index `config`.
+    #[must_use]
+    pub fn baseline(&self, attack: &str, config: usize) -> Option<&BaselineCell> {
+        let a = self.attacks.iter().position(|i| i.name == attack)?;
+        self.baselines.get(a * self.configs.len() + config)
+    }
+
+    /// The cells matching a predicate (e.g. one strategy, one verdict).
+    pub fn filter(&self, pred: impl Fn(&MatrixCell) -> bool) -> Vec<&MatrixCell> {
+        self.cells.iter().filter(|cell| pred(cell)).collect()
+    }
+
+    /// Every §V-B "false sense of security" cell: the strategy would close
+    /// this attack's leak path, but the mechanism still leaked.
+    #[must_use]
+    pub fn false_senses(&self) -> Vec<&MatrixCell> {
+        self.filter(MatrixCell::false_sense_of_security)
+    }
+
+    /// The matrix as CSV (`attack,defense,config,strategy,…`), one row per
+    /// cell, deterministic order.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "attack,defense,config,strategy,strategy_sufficient,mechanism,false_sense\n",
+        );
+        for cell in &self.cells {
+            let e = &cell.evaluation;
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{}",
+                csv_field(cell.attack),
+                csv_field(cell.defense),
+                csv_field(&self.configs[cell.config]),
+                strategy_token(e.strategy),
+                e.strategy_sufficient
+                    .map_or("n/a", |b| if b { "yes" } else { "no" }),
+                verdict_token(e.mechanism),
+                cell.false_sense_of_security(),
+            );
+        }
+        out
+    }
+
+    /// The matrix as a JSON document (axes, baselines, cells).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"configs\": [");
+        push_json_list(&mut out, self.configs.iter().map(String::as_str));
+        out.push_str("],\n  \"attacks\": [");
+        push_json_list(&mut out, self.attacks.iter().map(|i| i.name));
+        out.push_str("],\n  \"defenses\": [");
+        push_json_list(&mut out, self.defenses.iter().map(|d| d.name));
+        out.push_str("],\n  \"baselines\": [");
+        for (i, b) in self.baselines.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"attack\": {}, \"config\": {}, \"leaked\": {}, \"cycles\": {}, \"graph_race\": {}}}",
+                json_str(b.info.name),
+                json_str(&self.configs[b.config]),
+                b.leaked,
+                b.cycles,
+                b.graph_race,
+            );
+        }
+        out.push_str("\n  ],\n  \"cells\": [");
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let e = &cell.evaluation;
+            let _ = write!(
+                out,
+                "\n    {{\"attack\": {}, \"defense\": {}, \"config\": {}, \"strategy\": {}, \"strategy_sufficient\": {}, \"mechanism\": {}, \"false_sense\": {}}}",
+                json_str(cell.attack),
+                json_str(cell.defense),
+                json_str(&self.configs[cell.config]),
+                json_str(strategy_token(e.strategy)),
+                e.strategy_sufficient
+                    .map_or_else(|| "null".to_owned(), |b| b.to_string()),
+                json_str(verdict_token(e.mechanism)),
+                cell.false_sense_of_security(),
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Stable machine-readable token for a strategy.
+#[must_use]
+pub fn strategy_token(s: defenses::Strategy) -> &'static str {
+    match s {
+        defenses::Strategy::PreventAccess => "prevent_access",
+        defenses::Strategy::PreventUse => "prevent_use",
+        defenses::Strategy::PreventSend => "prevent_send",
+        defenses::Strategy::ClearPredictions => "clear_predictions",
+    }
+}
+
+/// Stable machine-readable token for a verdict.
+#[must_use]
+pub fn verdict_token(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Blocked => "blocked",
+        Verdict::Leaked => "leaked",
+        Verdict::GraphOnly => "graph_only",
+    }
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            ch if (ch as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", ch as u32);
+            }
+            ch => out.push(ch),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn push_json_list<'a>(out: &mut String, items: impl Iterator<Item = &'a str>) {
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_str(item));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(threads: usize) -> CampaignSpec {
+        let mut spec = CampaignSpec::default();
+        spec.attacks.truncate(4);
+        spec.defenses.truncate(3);
+        spec.threads = threads;
+        spec
+    }
+
+    #[test]
+    fn shape_and_order_are_attack_major() {
+        let m = CampaignMatrix::run(&small_spec(2)).unwrap();
+        assert_eq!(m.shape(), (4, 3, 1));
+        assert_eq!(m.cells().len(), 12);
+        assert_eq!(m.baselines().len(), 4);
+        let mut expected = Vec::new();
+        for a in &m.attacks {
+            for d in &m.defenses {
+                expected.push((a.name, d.name));
+            }
+        }
+        let got: Vec<_> = m.cells().iter().map(|c| (c.attack, c.defense)).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let serial = CampaignMatrix::run(&small_spec(1)).unwrap();
+        let parallel = CampaignMatrix::run(&small_spec(4)).unwrap();
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+        assert_eq!(serial.to_json(), parallel.to_json());
+    }
+
+    #[test]
+    fn lookups_resolve_cells_and_baselines() {
+        let m = CampaignMatrix::run(&small_spec(0)).unwrap();
+        let cell = m
+            .cell(attacks::names::SPECTRE_V1, defenses::names::LFENCE, 0)
+            .expect("cell exists");
+        assert_eq!(cell.evaluation.mechanism, Verdict::Blocked);
+        assert!(m.cell("nope", defenses::names::LFENCE, 0).is_none());
+        assert!(m
+            .cell(attacks::names::SPECTRE_V1, defenses::names::LFENCE, 9)
+            .is_none());
+        let b = m.baseline(attacks::names::SPECTRE_V1, 0).expect("baseline");
+        assert!(b.leaked && b.graph_race);
+        assert!(b.cycles > 0);
+    }
+
+    #[test]
+    fn sweep_adds_config_axis() {
+        let mut spec = CampaignSpec::strategy_sweep(&UarchConfig::default());
+        spec.attacks.truncate(2);
+        spec.defenses.truncate(1);
+        let m = CampaignMatrix::run(&spec).unwrap();
+        assert_eq!(m.shape(), (2, 1, 5));
+        // Hardened slices must not report more leaks than the baseline.
+        for a in &m.attacks {
+            let base = m.baseline(a.name, 0).unwrap();
+            let nda = m.baseline(a.name, 2).unwrap();
+            assert!(base.leaked);
+            assert!(!nda.leaked, "{} leaks under global NDA", a.name);
+        }
+    }
+
+    #[test]
+    fn exports_are_well_formed() {
+        let m = CampaignMatrix::run(&small_spec(0)).unwrap();
+        let csv = m.to_csv();
+        assert_eq!(csv.lines().count(), 1 + 12);
+        assert!(csv.starts_with("attack,defense,config,"));
+        let json = m.to_json();
+        assert!(json.contains("\"cells\""));
+        assert_eq!(json.matches("{\"attack\"").count(), 12 + 4);
+        // Escaping: a quote in a config name must not break the document.
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("plain"), "plain");
+    }
+}

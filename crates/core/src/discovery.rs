@@ -226,7 +226,10 @@ impl AttackPoint {
     pub fn graph(&self) -> SecurityAnalysis {
         let mut sa = SecurityAnalysis::new();
         let g = sa.graph_mut();
-        let setup = g.add_node(format!("Establish {} channel", self.channel), NodeKind::Setup);
+        let setup = g.add_node(
+            format!("Establish {} channel", self.channel),
+            NodeKind::Setup,
+        );
         let trigger = g.add_node(
             format!("Speculation trigger ({})", self.delay),
             NodeKind::Compute,

@@ -101,8 +101,14 @@ pub fn graph_argument() -> (SecurityAnalysis, usize, usize) {
     let g = sa.graph_mut();
     let load = g.add_node("Load instruction", NodeKind::Compute);
     let check = g.add_node("Load Permission Check", NodeKind::Authorization);
-    let mem = g.add_node("Read from Memory", NodeKind::SecretAccess(SecretSource::Memory));
-    let cache = g.add_node("Read from Cache", NodeKind::SecretAccess(SecretSource::Cache));
+    let mem = g.add_node(
+        "Read from Memory",
+        NodeKind::SecretAccess(SecretSource::Memory),
+    );
+    let cache = g.add_node(
+        "Read from Cache",
+        NodeKind::SecretAccess(SecretSource::Cache),
+    );
     let send = g.add_node("Load R to Cache", NodeKind::Send);
     for (u, v) in [(load, check), (load, mem), (load, cache)] {
         g.add_edge(u, v, EdgeKind::Data).expect("acyclic");

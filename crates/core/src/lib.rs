@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign;
 pub mod discovery;
 pub mod insufficiency;
 pub mod scenario;
@@ -54,6 +55,7 @@ pub use uarch;
 
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::campaign::{self, CampaignMatrix, CampaignSpec, NamedConfig};
     pub use crate::discovery::{self, AttackPoint, Channel, DelayMechanism, SecretSourceDim};
     pub use crate::scenario::{self, Evaluation};
     pub use analyzer::{AnalysisConfig, Analyzer};

@@ -117,21 +117,23 @@ pub fn evaluate(
 /// mechanism does not — expected to be plentiful: that is the paper's
 /// warning).
 ///
+/// This is a thin consumer of the [`campaign`](crate::campaign) engine:
+/// one parallel matrix run over the registries, flattened back to the
+/// historical `(evaluations, false_sense_count)` shape in the same
+/// attack-major order the per-pair loop produced.
+///
 /// # Errors
 ///
 /// Propagates [`AttackError`] from any simulation.
 pub fn evaluate_all(base: &UarchConfig) -> Result<(Vec<Evaluation>, usize), AttackError> {
-    let mut out = Vec::new();
-    let mut false_sense = 0;
-    for attack in attacks::catalog() {
-        for defense in defenses::catalog() {
-            let e = evaluate(attack.as_ref(), &defense, base)?;
-            if e.false_sense_of_security() {
-                false_sense += 1;
-            }
-            out.push(e);
-        }
-    }
+    let matrix =
+        crate::campaign::CampaignMatrix::run(&crate::campaign::CampaignSpec::with_base(base))?;
+    let false_sense = matrix.false_senses().len();
+    let out = matrix
+        .cells()
+        .iter()
+        .map(|cell| cell.evaluation.clone())
+        .collect();
     Ok((out, false_sense))
 }
 
@@ -189,7 +191,10 @@ mod tests {
     #[test]
     fn whole_matrix_evaluates_and_flags_mismatched_mechanisms() {
         let (evals, false_sense) = evaluate_all(&UarchConfig::default()).unwrap();
-        assert_eq!(evals.len(), attacks::catalog().len() * defenses::catalog().len());
+        assert_eq!(
+            evals.len(),
+            attacks::catalog().len() * defenses::catalog().len()
+        );
         // The paper's warning is not hypothetical: many (attack, defense)
         // pairs share a strategy but not a missing edge.
         assert!(false_sense > 0);

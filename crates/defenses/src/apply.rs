@@ -113,7 +113,7 @@ pub fn patch_strategy(sa: &mut SecurityAnalysis, strategy: Strategy) -> Result<u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use attacks::{Attack};
+    use attacks::Attack;
 
     /// Whether the declared (access/use/send) requirement of the given node
     /// kind still races after patching.
@@ -185,7 +185,9 @@ mod tests {
 
     #[test]
     fn patch_error_display() {
-        assert!(PatchError::NoAuthorization.to_string().contains("authorization"));
+        assert!(PatchError::NoAuthorization
+            .to_string()
+            .contains("authorization"));
         assert!(PatchError::NoTargetNode(Strategy::PreventSend)
             .to_string()
             .contains("③"));

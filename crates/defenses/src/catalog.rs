@@ -62,12 +62,84 @@ impl Defense {
 
 impl fmt::Display for Defense {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} [{} / {}]", self.name, self.origin, self.strategy.label())
+        write!(
+            f,
+            "{} [{} / {}]",
+            self.name,
+            self.origin,
+            self.strategy.label()
+        )
     }
 }
 
+/// Canonical defense-name constants — the single source for every string
+/// that identifies a Table-II/§V-B defense, shared by the registry, the
+/// bench binaries, and the campaign engine.
+pub mod names {
+    /// Intel/AMD load-serializing fence.
+    pub const LFENCE: &str = "LFENCE";
+    /// Memory-serializing fence.
+    pub const MFENCE: &str = "MFENCE";
+    /// Kernel page-table isolation.
+    pub const KPTI: &str = "KAISER/KPTI";
+    /// Indirect Branch Restricted Speculation.
+    pub const IBRS: &str = "IBRS";
+    /// Single Thread Indirect Branch Predictors.
+    pub const STIBP: &str = "STIBP";
+    /// Indirect Branch Prediction Barrier.
+    pub const IBPB: &str = "IBPB";
+    /// AMD BTB invalidation option.
+    pub const BTB_INVALIDATION: &str = "BTB invalidation on context switch";
+    /// Google's retpoline sequence.
+    pub const RETPOLINE: &str = "Retpoline";
+    /// Coarse address masking.
+    pub const ADDRESS_MASKING_COARSE: &str = "Address masking (coarse)";
+    /// Data-dependent address masking.
+    pub const ADDRESS_MASKING_DATA_DEPENDENT: &str = "Address masking (data-dependent)";
+    /// Speculative Store Bypass Barrier.
+    pub const SSBB: &str = "SSBB";
+    /// Speculative Store Bypass Safe mode bit.
+    pub const SSBS: &str = "SSBS";
+    /// RSB stuffing on context switches.
+    pub const RSB_STUFFING: &str = "RSB stuffing";
+    /// Eager FPU state switching.
+    pub const EAGER_FPU_SWITCH: &str = "Eager FPU switch";
+    /// Cascade Lake in-silicon fix.
+    pub const IN_SILICON_FIX: &str = "In-silicon fix (Cascade Lake)";
+    /// Context-sensitive fencing (micro-op injection).
+    pub const CONTEXT_SENSITIVE_FENCING: &str = "Context-sensitive fencing";
+    /// Secure Automatic Bounds Checking.
+    pub const SABC: &str = "Secure Automatic Bounds Checking";
+    /// Eager (pre-forwarding) permission checks.
+    pub const EAGER_PERMISSION_CHECK: &str = "Eager permission check";
+    /// Non-speculative Data Access.
+    pub const NDA: &str = "NDA";
+    /// SpecShield forwarding shield.
+    pub const SPECSHIELD: &str = "SpecShield";
+    /// SpectreGuard marked-secret protection.
+    pub const SPECTREGUARD: &str = "SpectreGuard";
+    /// ConTExT taint tracking.
+    pub const CONTEXT: &str = "ConTExT";
+    /// Speculative Taint Tracking.
+    pub const STT: &str = "STT";
+    /// SpecShieldERP+ address-derivation blocking.
+    pub const SPECSHIELD_ERP: &str = "SpecShieldERP+";
+    /// Conditional Speculation (delay speculative misses).
+    pub const CONDITIONAL_SPECULATION: &str = "Conditional Speculation";
+    /// Efficient Invisible Speculative Execution.
+    pub const EFFICIENT_INVISIBLE_SPECULATION: &str = "Efficient Invisible Speculative Execution";
+    /// InvisiSpec shadow-buffer loads.
+    pub const INVISISPEC: &str = "InvisiSpec";
+    /// SafeSpec shadow structures.
+    pub const SAFESPEC: &str = "SafeSpec";
+    /// CleanupSpec undo-on-squash.
+    pub const CLEANUPSPEC: &str = "CleanupSpec";
+    /// DAWG cache-way partitioning.
+    pub const DAWG: &str = "DAWG";
+}
+
 macro_rules! defense {
-    ($name:literal, $origin:ident, $strategy:ident, $mech:literal, |$cfg:ident| $body:expr) => {
+    ($name:expr, $origin:ident, $strategy:ident, $mech:literal, |$cfg:ident| $body:expr) => {
         Defense {
             name: $name,
             origin: Origin::$origin,
@@ -76,7 +148,7 @@ macro_rules! defense {
             configure: Some(|$cfg: &mut UarchConfig| $body),
         }
     };
-    ($name:literal, $origin:ident, $strategy:ident, $mech:literal, software) => {
+    ($name:expr, $origin:ident, $strategy:ident, $mech:literal, software) => {
         Defense {
             name: $name,
             origin: Origin::$origin,
@@ -87,108 +159,246 @@ macro_rules! defense {
     };
 }
 
-/// The full defense catalog: every Table II industry defense and every
-/// §V-B academia defense, in the paper's order.
+/// The full defense catalog as a `'static` registry: every Table II
+/// industry defense and every §V-B academia defense, in the paper's order.
+///
+/// This is the canonical iteration surface for the campaign engine, the
+/// bench binaries and the examples; a defense added here shows up in every
+/// matrix at once.
 #[must_use]
-pub fn catalog() -> Vec<Defense> {
-    vec![
+pub fn registry() -> &'static [Defense] {
+    static REGISTRY: &[Defense] = &[
         // ---- Industry (Table II) ----
-        defense!("LFENCE", Industry, PreventAccess,
+        defense!(
+            names::LFENCE,
+            Industry,
+            PreventAccess,
             "serialize: no younger instruction executes before the fence retires",
-            |c| c.no_speculative_loads = true),
-        defense!("MFENCE", Industry, PreventAccess,
+            |c| c.no_speculative_loads = true
+        ),
+        defense!(
+            names::MFENCE,
+            Industry,
+            PreventAccess,
             "serialize memory operations across the fence",
-            |c| c.no_speculative_loads = true),
-        defense!("KAISER/KPTI", Industry, PreventAccess,
+            |c| c.no_speculative_loads = true
+        ),
+        defense!(
+            names::KPTI,
+            Industry,
+            PreventAccess,
             "unmap kernel pages in user mode: no PTE, no transient data path",
-            |c| c.kpti = true),
-        defense!("IBRS", Industry, ClearPredictions,
+            |c| c.kpti = true
+        ),
+        defense!(
+            names::IBRS,
+            Industry,
+            ClearPredictions,
             "restrict indirect-branch speculation across privilege modes",
-            |c| c.flush_predictors_on_switch = true),
-        defense!("STIBP", Industry, ClearPredictions,
+            |c| c.flush_predictors_on_switch = true
+        ),
+        defense!(
+            names::STIBP,
+            Industry,
+            ClearPredictions,
             "do not share indirect-branch predictions between sibling threads",
-            |c| c.flush_predictors_on_switch = true),
-        defense!("IBPB", Industry, ClearPredictions,
+            |c| c.flush_predictors_on_switch = true
+        ),
+        defense!(
+            names::IBPB,
+            Industry,
+            ClearPredictions,
             "barrier: flush the branch target buffer on context switch",
-            |c| c.flush_predictors_on_switch = true),
-        defense!("BTB invalidation on context switch", Industry, ClearPredictions,
+            |c| c.flush_predictors_on_switch = true
+        ),
+        defense!(
+            names::BTB_INVALIDATION,
+            Industry,
+            ClearPredictions,
             "AMD option: invalidate predictor state when switching contexts",
-            |c| c.flush_predictors_on_switch = true),
-        defense!("Retpoline", Industry, ClearPredictions,
+            |c| c.flush_predictors_on_switch = true
+        ),
+        defense!(
+            names::RETPOLINE,
+            Industry,
+            ClearPredictions,
             "replace indirect branches with return sequences that never use the BTB",
-            |c| c.no_indirect_prediction = true),
-        defense!("Address masking (coarse)", Industry, PreventAccess,
+            |c| c.no_indirect_prediction = true
+        ),
+        defense!(
+            names::ADDRESS_MASKING_COARSE,
+            Industry,
+            PreventAccess,
             "software: mask indices so out-of-bounds addresses are unrepresentable",
-            software),
-        defense!("Address masking (data-dependent)", Industry, PreventAccess,
+            software
+        ),
+        defense!(
+            names::ADDRESS_MASKING_DATA_DEPENDENT,
+            Industry,
+            PreventAccess,
             "software: conditional masking against the actual bound (V8/Linux)",
-            software),
-        defense!("SSBB", Industry, PreventAccess,
+            software
+        ),
+        defense!(
+            names::SSBB,
+            Industry,
+            PreventAccess,
             "barrier: loads after it may not bypass stores before it",
-            |c| c.ssb_disable = true),
-        defense!("SSBS", Industry, PreventAccess,
+            |c| c.ssb_disable = true
+        ),
+        defense!(
+            names::SSBS,
+            Industry,
+            PreventAccess,
             "mode bit: loads never bypass stores with unresolved addresses",
-            |c| c.ssb_disable = true),
-        defense!("RSB stuffing", Industry, ClearPredictions,
+            |c| c.ssb_disable = true
+        ),
+        defense!(
+            names::RSB_STUFFING,
+            Industry,
+            ClearPredictions,
             "refill the return stack buffer with benign entries on switches",
-            |c| c.rsb_stuffing = true),
-        defense!("Eager FPU switch", Industry, PreventAccess,
+            |c| c.rsb_stuffing = true
+        ),
+        defense!(
+            names::EAGER_FPU_SWITCH,
+            Industry,
+            PreventAccess,
             "save/restore FP registers eagerly on every context switch",
-            |c| c.lazy_fpu = false),
-        defense!("In-silicon fix (Cascade Lake)", Industry, PreventAccess,
+            |c| c.lazy_fpu = false
+        ),
+        defense!(
+            names::IN_SILICON_FIX,
+            Industry,
+            PreventAccess,
             "faulting accesses return zeros: no transient forwarding at all",
             |c| {
                 c.transient_forwarding = false;
                 c.mds_forwarding = false;
                 c.l1tf_forwarding = false;
-            }),
+            }
+        ),
         // ---- Academia (§V-B) ----
-        defense!("Context-sensitive fencing", Academia, PreventAccess,
+        defense!(
+            names::CONTEXT_SENSITIVE_FENCING,
+            Academia,
+            PreventAccess,
             "hardware-injected micro-op fences between branches and loads",
-            |c| c.no_speculative_loads = true),
-        defense!("Secure Automatic Bounds Checking", Academia, PreventAccess,
+            |c| c.no_speculative_loads = true
+        ),
+        defense!(
+            names::SABC,
+            Academia,
+            PreventAccess,
             "software: inject data dependencies serializing branch and access",
-            software),
-        defense!("Eager permission check", Academia, PreventAccess,
+            software
+        ),
+        defense!(
+            names::EAGER_PERMISSION_CHECK,
+            Academia,
+            PreventAccess,
             "complete the intra-instruction authorization before forwarding data",
-            |c| c.eager_permission_check = true),
-        defense!("NDA", Academia, PreventUse,
+            |c| c.eager_permission_check = true
+        ),
+        defense!(
+            names::NDA,
+            Academia,
+            PreventUse,
             "no forwarding of speculative load results to dependents",
-            |c| c.nda = true),
-        defense!("SpecShield", Academia, PreventUse,
+            |c| c.nda = true
+        ),
+        defense!(
+            names::SPECSHIELD,
+            Academia,
+            PreventUse,
             "shield speculative data from forwarding to covert-channel-capable ops",
-            |c| c.nda = true),
-        defense!("SpectreGuard", Academia, PreventUse,
+            |c| c.nda = true
+        ),
+        defense!(
+            names::SPECTREGUARD,
+            Academia,
+            PreventUse,
             "software-marked secrets; forwarding of marked data blocked while speculative",
-            |c| c.nda = true),
-        defense!("ConTExT", Academia, PreventUse,
+            |c| c.nda = true
+        ),
+        defense!(
+            names::CONTEXT,
+            Academia,
+            PreventUse,
             "taint secret memory; transient use of tainted data blocked",
-            |c| c.nda = true),
-        defense!("STT", Academia, PreventSend,
+            |c| c.nda = true
+        ),
+        defense!(
+            names::STT,
+            Academia,
+            PreventSend,
             "taint speculative data; block transmitters (loads/branches) on tainted operands",
-            |c| c.stt = true),
-        defense!("SpecShieldERP+", Academia, PreventSend,
+            |c| c.stt = true
+        ),
+        defense!(
+            names::SPECSHIELD_ERP,
+            Academia,
+            PreventSend,
             "block loads whose address derives from speculative data",
-            |c| c.stt = true),
-        defense!("Conditional Speculation", Academia, PreventSend,
+            |c| c.stt = true
+        ),
+        defense!(
+            names::CONDITIONAL_SPECULATION,
+            Academia,
+            PreventSend,
             "allow speculative cache hits, delay speculative misses",
-            |c| c.delay_on_miss = true),
-        defense!("Efficient Invisible Speculative Execution", Academia, PreventSend,
+            |c| c.delay_on_miss = true
+        ),
+        defense!(
+            names::EFFICIENT_INVISIBLE_SPECULATION,
+            Academia,
+            PreventSend,
             "selective delay of state-changing speculative loads",
-            |c| c.delay_on_miss = true),
-        defense!("InvisiSpec", Academia, PreventSend,
+            |c| c.delay_on_miss = true
+        ),
+        defense!(
+            names::INVISISPEC,
+            Academia,
+            PreventSend,
             "speculative loads fill a shadow buffer; the cache changes only at commit",
-            |c| c.invisible_spec = true),
-        defense!("SafeSpec", Academia, PreventSend,
+            |c| c.invisible_spec = true
+        ),
+        defense!(
+            names::SAFESPEC,
+            Academia,
+            PreventSend,
             "shadow structures for speculative state, discarded on squash",
-            |c| c.invisible_spec = true),
-        defense!("CleanupSpec", Academia, PreventSend,
+            |c| c.invisible_spec = true
+        ),
+        defense!(
+            names::CLEANUPSPEC,
+            Academia,
+            PreventSend,
             "undo speculative cache modifications on squash",
-            |c| c.cleanup_spec = true),
-        defense!("DAWG", Academia, PreventSend,
+            |c| c.cleanup_spec = true
+        ),
+        defense!(
+            names::DAWG,
+            Academia,
+            PreventSend,
             "partition cache ways between protection domains: no cross-domain hits/evictions",
-            |c| c.dawg = true),
-    ]
+            |c| c.dawg = true
+        ),
+    ];
+    REGISTRY
+}
+
+/// Looks up a registry defense by its canonical [`names`] constant.
+#[must_use]
+pub fn find(name: &str) -> Option<&'static Defense> {
+    registry().iter().find(|d| d.name == name)
+}
+
+/// The defense catalog as an owned `Vec` (same list and order as
+/// [`registry`]), for callers that want to extend or reorder the set.
+#[must_use]
+pub fn catalog() -> Vec<Defense> {
+    registry().to_vec()
 }
 
 /// One row of Table II: an attack family, the vendor strategy name, and the
@@ -210,38 +420,41 @@ pub fn industry_rows() -> Vec<IndustryRow> {
         IndustryRow {
             attack: "Spectre",
             strategy_name: "Serialization",
-            defenses: vec!["LFENCE", "MFENCE"],
+            defenses: vec![names::LFENCE, names::MFENCE],
         },
         IndustryRow {
             attack: "Meltdown",
             strategy_name: "Kernel Isolation",
-            defenses: vec!["KAISER/KPTI"],
+            defenses: vec![names::KPTI],
         },
         IndustryRow {
             attack: "Spectre variants requiring branch prediction (v1, v1.1, v1.2, v2)",
             strategy_name: "Prevent mis-training of branch prediction",
             defenses: vec![
-                "IBRS",
-                "STIBP",
-                "IBPB",
-                "BTB invalidation on context switch",
-                "Retpoline",
+                names::IBRS,
+                names::STIBP,
+                names::IBPB,
+                names::BTB_INVALIDATION,
+                names::RETPOLINE,
             ],
         },
         IndustryRow {
             attack: "Spectre boundary bypass (v1, v1.1, v1.2)",
             strategy_name: "Address masking",
-            defenses: vec!["Address masking (coarse)", "Address masking (data-dependent)"],
+            defenses: vec![
+                names::ADDRESS_MASKING_COARSE,
+                names::ADDRESS_MASKING_DATA_DEPENDENT,
+            ],
         },
         IndustryRow {
             attack: "Spectre v4",
             strategy_name: "Serialize stores and loads",
-            defenses: vec!["SSBB", "SSBS"],
+            defenses: vec![names::SSBB, names::SSBS],
         },
         IndustryRow {
             attack: "Spectre RSB",
             strategy_name: "Prevent RSB underfill",
-            defenses: vec!["RSB stuffing"],
+            defenses: vec![names::RSB_STUFFING],
         },
     ]
 }
@@ -295,9 +508,32 @@ mod tests {
     }
 
     #[test]
+    fn registry_and_catalog_are_the_same_list() {
+        let reg = registry();
+        let cat = catalog();
+        assert_eq!(reg.len(), cat.len());
+        for (r, c) in reg.iter().zip(&cat) {
+            assert_eq!(r.name, c.name);
+            assert_eq!(r.strategy, c.strategy);
+            assert_eq!(r.origin, c.origin);
+        }
+    }
+
+    #[test]
+    fn find_resolves_every_registered_name() {
+        for d in registry() {
+            assert_eq!(find(d.name).expect("resolves").name, d.name);
+        }
+        assert!(find("Magic bullet").is_none());
+    }
+
+    #[test]
     fn configure_produces_modified_config() {
         let base = UarchConfig::default();
-        let kpti = catalog().into_iter().find(|d| d.name == "KAISER/KPTI").unwrap();
+        let kpti = catalog()
+            .into_iter()
+            .find(|d| d.name == "KAISER/KPTI")
+            .unwrap();
         let cfg = kpti.configure(&base).unwrap();
         assert!(cfg.kpti);
         assert!(!base.kpti);

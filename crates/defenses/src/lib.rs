@@ -30,7 +30,7 @@ mod catalog;
 mod verify;
 
 pub use apply::{patch_strategy, PatchError};
-pub use catalog::{catalog, industry_rows, Defense, IndustryRow, Origin};
+pub use catalog::{catalog, find, industry_rows, names, registry, Defense, IndustryRow, Origin};
 pub use verify::{verify, verify_matrix, Verdict};
 
 use std::fmt;

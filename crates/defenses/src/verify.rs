@@ -197,7 +197,10 @@ mod tests {
     #[test]
     fn matrix_has_expected_shape() {
         // A small matrix (2 defenses × 3 attacks) to keep test time down.
-        let defenses = vec![defense("KAISER/KPTI"), defense("In-silicon fix (Cascade Lake)")];
+        let defenses = vec![
+            defense("KAISER/KPTI"),
+            defense("In-silicon fix (Cascade Lake)"),
+        ];
         let atks: Vec<Box<dyn Attack>> = vec![
             Box::new(attacks::meltdown::Meltdown),
             Box::new(attacks::foreshadow::Foreshadow::sgx()),

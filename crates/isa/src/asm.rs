@@ -167,8 +167,7 @@ fn parse_u64(tok: &str, lineno: usize) -> Result<u64, IsaError> {
     } else {
         (t, 10)
     };
-    u64::from_str_radix(body, radix)
-        .map_err(|_| parse_err(lineno, format!("bad immediate '{t}'")))
+    u64::from_str_radix(body, radix).map_err(|_| parse_err(lineno, format!("bad immediate '{t}'")))
 }
 
 fn parse_i64(tok: &str, lineno: usize) -> Result<i64, IsaError> {
@@ -215,7 +214,10 @@ fn parse_operand(tok: &str, lineno: usize) -> Result<Operand, IsaError> {
 }
 
 fn split_operands(rest: &str) -> Vec<&str> {
-    rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect()
+    rest.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
 }
 
 fn alu_op(mnemonic: &str) -> Option<AluOp> {
@@ -480,8 +482,20 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p[0], Instruction::Fence(FenceKind::LFence));
-        assert_eq!(p[5], Instruction::ReadMsr { dst: Reg::R3, msr: Msr(0x10) });
-        assert_eq!(p[6], Instruction::FpMove { dst: Reg::R4, fsrc: FReg::new(1) });
+        assert_eq!(
+            p[5],
+            Instruction::ReadMsr {
+                dst: Reg::R3,
+                msr: Msr(0x10)
+            }
+        );
+        assert_eq!(
+            p[6],
+            Instruction::FpMove {
+                dst: Reg::R4,
+                fsrc: FReg::new(1)
+            }
+        );
         assert_eq!(p[10], Instruction::JumpIndirect { reg: Reg::R5 });
     }
 

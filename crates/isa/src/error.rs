@@ -34,7 +34,10 @@ impl fmt::Display for IsaError {
             IsaError::UndefinedLabel(l) => write!(f, "undefined label '{l}'"),
             IsaError::DuplicateLabel(l) => write!(f, "duplicate label '{l}'"),
             IsaError::TargetOutOfRange { target, len } => {
-                write!(f, "target {target} out of range for program of length {len}")
+                write!(
+                    f,
+                    "target {target} out of range for program of length {len}"
+                )
             }
             IsaError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
         }

@@ -82,11 +82,7 @@ impl Program {
     /// All labels and their targets, sorted by target.
     #[must_use]
     pub fn labels(&self) -> Vec<(&str, usize)> {
-        let mut v: Vec<(&str, usize)> = self
-            .labels
-            .iter()
-            .map(|(k, &v)| (k.as_str(), v))
-            .collect();
+        let mut v: Vec<(&str, usize)> = self.labels.iter().map(|(k, &v)| (k.as_str(), v)).collect();
         v.sort_by_key(|&(_, t)| t);
         v
     }
@@ -102,11 +98,8 @@ impl Index<usize> for Program {
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let by_target: HashMap<usize, &str> = self
-            .labels
-            .iter()
-            .map(|(k, &v)| (v, k.as_str()))
-            .collect();
+        let by_target: HashMap<usize, &str> =
+            self.labels.iter().map(|(k, &v)| (v, k.as_str())).collect();
         for (pc, inst) in self.iter() {
             if let Some(l) = by_target.get(&pc) {
                 writeln!(f, "{l}:")?;

@@ -1,7 +1,7 @@
 //! Property tests: disassemble ∘ assemble is the identity on instruction
 //! sequences, for arbitrary generated programs.
 
-use isa::{asm, AluOp, Cond, FenceKind, FReg, Instruction, Msr, Operand, Program, Reg};
+use isa::{asm, AluOp, Cond, FReg, FenceKind, Instruction, Msr, Operand, Program, Reg};
 use proptest::prelude::*;
 
 fn arb_reg() -> impl Strategy<Value = Reg> {
@@ -22,7 +22,12 @@ fn arb_alu() -> impl Strategy<Value = AluOp> {
 }
 
 fn arb_cond() -> impl Strategy<Value = Cond> {
-    prop_oneof![Just(Cond::Eq), Just(Cond::Ne), Just(Cond::Lt), Just(Cond::Ge)]
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Lt),
+        Just(Cond::Ge)
+    ]
 }
 
 /// Non-control-flow instructions (control flow is generated separately so
@@ -30,28 +35,32 @@ fn arb_cond() -> impl Strategy<Value = Cond> {
 fn arb_straight() -> impl Strategy<Value = Instruction> {
     prop_oneof![
         (arb_reg(), any::<u64>()).prop_map(|(dst, value)| Instruction::Imm { dst, value }),
-        (arb_alu(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, dst, a, b)| Instruction::Alu {
+        (arb_alu(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, dst, a, b)| Instruction::Alu {
+            op,
+            dst,
+            a,
+            b: Operand::Reg(b)
+        }),
+        (arb_alu(), arb_reg(), arb_reg(), any::<u64>()).prop_map(|(op, dst, a, v)| {
+            Instruction::Alu {
                 op,
                 dst,
                 a,
-                b: Operand::Reg(b)
-            }),
-        (arb_alu(), arb_reg(), arb_reg(), any::<u64>())
-            .prop_map(|(op, dst, a, v)| Instruction::Alu {
-                op,
-                dst,
-                a,
-                b: Operand::Imm(v)
-            }),
-        (arb_reg(), arb_reg(), -512i64..512)
-            .prop_map(|(dst, base, offset)| Instruction::Load { dst, base, offset }),
-        (arb_reg(), arb_reg(), -512i64..512)
-            .prop_map(|(src, base, offset)| Instruction::Store { src, base, offset }),
-        (arb_reg(), -512i64..512).prop_map(|(base, offset)| Instruction::CacheFlush {
+                b: Operand::Imm(v),
+            }
+        }),
+        (arb_reg(), arb_reg(), -512i64..512).prop_map(|(dst, base, offset)| Instruction::Load {
+            dst,
             base,
             offset
         }),
+        (arb_reg(), arb_reg(), -512i64..512).prop_map(|(src, base, offset)| Instruction::Store {
+            src,
+            base,
+            offset
+        }),
+        (arb_reg(), -512i64..512)
+            .prop_map(|(base, offset)| Instruction::CacheFlush { base, offset }),
         arb_reg().prop_map(|dst| Instruction::ReadTime { dst }),
         (arb_reg(), 0u32..64).prop_map(|(dst, m)| Instruction::ReadMsr { dst, msr: Msr(m) }),
         (arb_reg(), 0u8..8).prop_map(|(dst, f)| Instruction::FpMove {

@@ -225,6 +225,8 @@ mod tests {
     fn unknown_node_rejected() {
         let g = Tsg::new();
         assert!(g.speculation_window(NodeId::from_index(0)).is_err());
-        assert!(g.count_paths(NodeId::from_index(0), NodeId::from_index(1)).is_err());
+        assert!(g
+            .count_paths(NodeId::from_index(0), NodeId::from_index(1))
+            .is_err());
     }
 }

@@ -151,7 +151,7 @@ impl SecurityAnalysis {
         let prots = self.graph.nodes_of_kind(NodeKind::is_protectable);
         for &a in &auths {
             for &p in &prots {
-                if self.graph.reaches(p, a) {
+                if self.graph.reachability().reaches(p, a) {
                     continue; // p legitimately precedes the authorization
                 }
                 let dep = SecurityDependency {
@@ -183,9 +183,13 @@ impl SecurityAnalysis {
     /// robustness).
     pub fn vulnerabilities(&self) -> Result<Vec<Vulnerability>, TsgError> {
         let mut out = Vec::new();
+        // One cached closure build answers every requirement check below.
         for dep in &self.requirements {
-            let enforced = self.graph.has_path(dep.authorization, dep.protected)?
-                && !self.graph.has_path(dep.protected, dep.authorization)?;
+            self.graph.check_node(dep.authorization)?;
+            self.graph.check_node(dep.protected)?;
+            let idx = self.graph.reachability();
+            let enforced = idx.reaches(dep.authorization, dep.protected)
+                && !idx.reaches(dep.protected, dep.authorization);
             if !enforced {
                 let auth = self.graph.node(dep.authorization)?;
                 let prot = self.graph.node(dep.protected)?;
@@ -295,8 +299,12 @@ mod tests {
         let (mut sa, auth, access, send) = spectre_skeleton();
         // Also a use-secret node between access and send.
         let use_s = sa.graph_mut().add_node("Compute R", NodeKind::UseSecret);
-        sa.graph_mut().add_edge(access, use_s, EdgeKind::Data).unwrap();
-        sa.graph_mut().add_edge(use_s, send, EdgeKind::Address).unwrap();
+        sa.graph_mut()
+            .add_edge(access, use_s, EdgeKind::Data)
+            .unwrap();
+        sa.graph_mut()
+            .add_edge(use_s, send, EdgeKind::Address)
+            .unwrap();
         sa.require_by_kind();
         assert_eq!(sa.requirements().len(), 3);
         assert!(sa

@@ -55,12 +55,7 @@ impl TsgBuilder {
     ///
     /// [`TsgError::UnknownNode`] if either label has not been declared, plus
     /// any error from [`Tsg::add_edge`].
-    pub fn edge(
-        mut self,
-        from: &str,
-        to: &str,
-        kind: EdgeKind,
-    ) -> Result<Self, TsgError> {
+    pub fn edge(mut self, from: &str, to: &str, kind: EdgeKind) -> Result<Self, TsgError> {
         let f = self.id_of(from)?;
         let t = self.id_of(to)?;
         self.graph.add_edge(f, t, kind)?;
@@ -88,9 +83,12 @@ impl TsgBuilder {
     /// [`TsgError::UnknownNode`] (with a placeholder id) if the label is not
     /// declared. The placeholder refers to the would-be next node index.
     pub fn id_of(&self, label: &str) -> Result<NodeId, TsgError> {
-        self.by_label.get(label).copied().ok_or(TsgError::UnknownNode(
-            crate::node::NodeId(self.graph.node_count() as u32),
-        ))
+        self.by_label
+            .get(label)
+            .copied()
+            .ok_or(TsgError::UnknownNode(crate::node::NodeId(
+                self.graph.node_count() as u32,
+            )))
     }
 
     /// Finishes construction.

@@ -64,14 +64,19 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(TsgError::UnknownNode(NodeId(3)).to_string(), "unknown node n3");
+        assert_eq!(
+            TsgError::UnknownNode(NodeId(3)).to_string(),
+            "unknown node n3"
+        );
         assert!(TsgError::WouldCycle {
             from: NodeId(0),
             to: NodeId(1)
         }
         .to_string()
         .contains("cycle"));
-        assert!(TsgError::SelfLoop(NodeId(2)).to_string().contains("self-loop"));
+        assert!(TsgError::SelfLoop(NodeId(2))
+            .to_string()
+            .contains("self-loop"));
         assert!(TsgError::MalformedOrdering {
             expected: 4,
             got: 3

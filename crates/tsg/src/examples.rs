@@ -28,8 +28,18 @@ pub fn fig2() -> Tsg {
     let e = g.add_node("E", NodeKind::Compute);
     let f = g.add_node("F", NodeKind::Compute);
     let gg = g.add_node("G", NodeKind::Compute);
-    for (u, v) in [(a, b), (a, c), (b, d), (c, d), (c, e), (d, f), (e, f), (f, gg)] {
-        g.add_edge(u, v, EdgeKind::Program).expect("fig2 is acyclic");
+    for (u, v) in [
+        (a, b),
+        (a, c),
+        (b, d),
+        (c, d),
+        (c, e),
+        (d, f),
+        (e, f),
+        (f, gg),
+    ] {
+        g.add_edge(u, v, EdgeKind::Program)
+            .expect("fig2 is acyclic");
     }
     g
 }

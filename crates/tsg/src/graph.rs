@@ -3,8 +3,10 @@
 use crate::edge::{Edge, EdgeId, EdgeKind};
 use crate::error::TsgError;
 use crate::node::{Node, NodeId, NodeKind};
+use crate::reach::ReachabilityIndex;
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A Topological Sort Graph: a DAG of operations and dependencies.
 ///
@@ -40,6 +42,8 @@ pub struct Tsg {
     succ: Vec<Vec<u32>>,
     /// Incoming adjacency: `pred[v]` lists edge indices entering `v`.
     pred: Vec<Vec<u32>>,
+    /// Lazily built transitive closure; cleared by every mutation.
+    reach: OnceLock<ReachabilityIndex>,
 }
 
 impl Tsg {
@@ -57,6 +61,7 @@ impl Tsg {
             edges: Vec::with_capacity(edges),
             succ: Vec::with_capacity(nodes),
             pred: Vec::with_capacity(nodes),
+            reach: OnceLock::new(),
         }
     }
 
@@ -80,6 +85,7 @@ impl Tsg {
 
     /// Adds an operation vertex and returns its id.
     pub fn add_node(&mut self, label: impl Into<String>, kind: NodeKind) -> NodeId {
+        self.reach.take();
         let id = NodeId(u32::try_from(self.nodes.len()).expect("node count fits in u32"));
         self.nodes.push(Node {
             id,
@@ -114,8 +120,7 @@ impl Tsg {
         if from == to {
             return Err(TsgError::SelfLoop(from));
         }
-        if let Some(existing) = self
-            .succ[from.index()]
+        if let Some(existing) = self.succ[from.index()]
             .iter()
             .map(|&ei| &self.edges[ei as usize])
             .find(|e| e.to == to && e.kind == kind)
@@ -127,6 +132,7 @@ impl Tsg {
         if self.reaches(to, from) {
             return Err(TsgError::WouldCycle { from, to });
         }
+        self.reach.take();
         let id = EdgeId(u32::try_from(self.edges.len()).expect("edge count fits in u32"));
         self.edges.push(Edge { id, from, to, kind });
         self.succ[from.index()].push(id.0);
@@ -202,7 +208,9 @@ impl Tsg {
     /// Whether a directed path (length ≥ 1, or 0 when `from == to`) exists
     /// from `from` to `to`.
     ///
-    /// Uses an iterative DFS over the successor lists; `O(V + E)`.
+    /// Answered from the cached [`ReachabilityIndex`]: the first query
+    /// after a mutation pays the `O(V·E/64)` closure build, every further
+    /// query is `O(1)`.
     ///
     /// # Errors
     ///
@@ -210,7 +218,20 @@ impl Tsg {
     pub fn has_path(&self, from: NodeId, to: NodeId) -> Result<bool, TsgError> {
         self.check_node(from)?;
         self.check_node(to)?;
-        Ok(self.reaches(from, to))
+        Ok(self.reachability().reaches(from, to))
+    }
+
+    /// The graph's transitive closure, built on first use and cached until
+    /// the next mutation ([`Tsg::add_node`], [`Tsg::add_edge`],
+    /// [`Tsg::strip_edges`]).
+    ///
+    /// All query APIs ([`Tsg::has_path`], [`Tsg::has_race`],
+    /// [`Tsg::races_among`], [`Tsg::all_races`], the security-dependency
+    /// analysis) share this one index; matrix-style workloads that ask many
+    /// verdicts of the same graph therefore pay one closure build total.
+    #[must_use]
+    pub fn reachability(&self) -> &ReachabilityIndex {
+        self.reach.get_or_init(|| ReachabilityIndex::build(self))
     }
 
     /// Internal unchecked reachability (`from` reaches `to`, reflexive).
@@ -379,6 +400,7 @@ impl Tsg {
     }
 
     fn rebuild(&mut self, kept: Vec<Edge>) {
+        self.reach.take();
         self.edges.clear();
         for s in &mut self.succ {
             s.clear();
@@ -405,7 +427,12 @@ impl Tsg {
 
 impl fmt::Display for Tsg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "TSG ({} nodes, {} edges)", self.node_count(), self.edge_count())?;
+        writeln!(
+            f,
+            "TSG ({} nodes, {} edges)",
+            self.node_count(),
+            self.edge_count()
+        )?;
         for n in &self.nodes {
             writeln!(f, "  {}: {}", n.id, n)?;
         }

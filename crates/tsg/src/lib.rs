@@ -60,6 +60,7 @@ mod graph;
 mod node;
 pub mod ordering;
 pub mod race;
+pub mod reach;
 pub mod text;
 
 pub use builder::TsgBuilder;
@@ -68,5 +69,6 @@ pub use error::TsgError;
 pub use graph::Tsg;
 pub use node::{Node, NodeId, NodeKind, SecretSource};
 pub use race::RacePair;
+pub use reach::ReachabilityIndex;
 
 pub use analysis::{SecurityAnalysis, SecurityDependency, Vulnerability};

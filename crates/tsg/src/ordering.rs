@@ -135,7 +135,13 @@ impl Tsg {
         Ok(count)
     }
 
-    fn count_rec(&self, indeg: &mut Vec<usize>, placed: &mut Vec<bool>, depth: usize, count: &mut u64) {
+    fn count_rec(
+        &self,
+        indeg: &mut Vec<usize>,
+        placed: &mut Vec<bool>,
+        depth: usize,
+        count: &mut u64,
+    ) {
         let n = self.node_count();
         if depth == n {
             *count += 1;
@@ -204,7 +210,10 @@ mod tests {
         assert!(!g.is_valid_ordering(&[a, a, c]).unwrap()); // duplicate
         assert!(matches!(
             g.is_valid_ordering(&[a, b]),
-            Err(TsgError::MalformedOrdering { expected: 3, got: 2 })
+            Err(TsgError::MalformedOrdering {
+                expected: 3,
+                got: 2
+            })
         ));
     }
 

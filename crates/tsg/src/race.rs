@@ -45,7 +45,10 @@ impl Tsg {
     /// Whether `u` and `v` race, by **Theorem 1**: they race iff *no*
     /// directed path connects them in either direction.
     ///
-    /// `O(V + E)` via two DFS reachability queries.
+    /// Answered from the graph's cached
+    /// [`ReachabilityIndex`](crate::ReachabilityIndex): the first query
+    /// after a mutation builds the closure (`O(V·E/64)`); every further
+    /// query is `O(1)`.
     ///
     /// # Errors
     ///
@@ -64,6 +67,22 @@ impl Tsg {
     /// # }
     /// ```
     pub fn has_race(&self, u: NodeId, v: NodeId) -> Result<bool, TsgError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        Ok(self.reachability().races(u, v))
+    }
+
+    /// [`Tsg::has_race`] answered by two fresh DFS walks, bypassing the
+    /// reachability index.
+    ///
+    /// This is the seed implementation, kept as the baseline the criterion
+    /// benches compare the indexed path against, and as an independent
+    /// cross-check in tests.
+    ///
+    /// # Errors
+    ///
+    /// [`TsgError::UnknownNode`] if either id is not in this graph.
+    pub fn has_race_dfs(&self, u: NodeId, v: NodeId) -> Result<bool, TsgError> {
         self.check_node(u)?;
         self.check_node(v)?;
         if u == v {
@@ -113,45 +132,18 @@ impl Tsg {
 
     /// All racing pairs in the graph.
     ///
-    /// Computes, for every vertex, its descendant set, then reports each
-    /// unordered pair connected in neither direction. `O(V · (V + E))`.
+    /// One cached closure build plus an `O(V²)` pair scan of `O(1)`
+    /// probes.
     #[must_use]
     pub fn all_races(&self) -> Vec<RacePair> {
+        let idx = self.reachability();
         let n = self.node_count();
-        // reach[u] = bitset of vertices reachable from u (including u).
-        let words = n.div_ceil(64);
-        let mut reach = vec![vec![0u64; words]; n];
-        // Process in reverse topological order so successors are done first.
-        let topo = self.topological_sort();
-        for &u in topo.iter().rev() {
-            let ui = u.index();
-            reach[ui][ui / 64] |= 1 << (ui % 64);
-            let succs: Vec<usize> = self
-                .successors(u)
-                .expect("node exists")
-                .map(|e| e.to().index())
-                .collect();
-            for s in succs {
-                // reach[u] |= reach[s]; split borrows via split_at_mut.
-                let (a, b) = if ui < s {
-                    let (lo, hi) = reach.split_at_mut(s);
-                    (&mut lo[ui], &hi[0])
-                } else {
-                    let (lo, hi) = reach.split_at_mut(ui);
-                    (&mut hi[0], &lo[s])
-                };
-                for w in 0..words {
-                    a[w] |= b[w];
-                }
-            }
-        }
         let mut out = Vec::new();
         for u in 0..n {
             for v in (u + 1)..n {
-                let u_reaches_v = reach[u][v / 64] & (1 << (v % 64)) != 0;
-                let v_reaches_u = reach[v][u / 64] & (1 << (u % 64)) != 0;
-                if !u_reaches_v && !v_reaches_u {
-                    out.push(RacePair::new(NodeId(u as u32), NodeId(v as u32)));
+                let (u, v) = (NodeId(u as u32), NodeId(v as u32));
+                if idx.races(u, v) {
+                    out.push(RacePair::new(u, v));
                 }
             }
         }
@@ -160,6 +152,9 @@ impl Tsg {
 
     /// The racing pairs among a restricted set of vertices of interest.
     ///
+    /// One cached closure build plus `O(K²)` probes for `K` vertices of
+    /// interest — the seed paid two DFS walks per pair.
+    ///
     /// # Errors
     ///
     /// [`TsgError::UnknownNode`] if any id is not in this graph.
@@ -167,10 +162,11 @@ impl Tsg {
         for &n in nodes {
             self.check_node(n)?;
         }
+        let idx = self.reachability();
         let mut out = Vec::new();
         for (i, &u) in nodes.iter().enumerate() {
             for &v in &nodes[i + 1..] {
-                if self.has_race(u, v)? {
+                if idx.races(u, v) {
                     out.push(RacePair::new(u, v));
                 }
             }
@@ -276,6 +272,37 @@ mod tests {
     fn unknown_node_rejected() {
         let g = Tsg::new();
         assert!(g.has_race(NodeId(0), NodeId(1)).is_err());
+        assert!(g.has_race_dfs(NodeId(0), NodeId(1)).is_err());
         assert!(g.races_among(&[NodeId(0)]).is_err());
+    }
+
+    #[test]
+    fn indexed_and_dfs_verdicts_agree() {
+        let g = crate::examples::fig2();
+        let ids: Vec<NodeId> = g.nodes().map(|n| n.id()).collect();
+        for &u in &ids {
+            for &v in &ids {
+                assert_eq!(g.has_race(u, v).unwrap(), g.has_race_dfs(u, v).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_after_query_invalidates_the_index() {
+        let mut g = Tsg::new();
+        let a = g.add_node("a", NodeKind::Compute);
+        let b = g.add_node("b", NodeKind::Compute);
+        // Query first so the closure is built and cached…
+        assert!(g.has_race(a, b).unwrap());
+        // …then mutate: the stale index must not answer the next query.
+        g.add_edge(a, b, EdgeKind::Data).unwrap();
+        assert!(!g.has_race(a, b).unwrap());
+        // add_node invalidates too: a fresh node races with everything.
+        let c = g.add_node("c", NodeKind::Compute);
+        assert!(g.has_race(a, c).unwrap());
+        assert!(g.has_race(b, c).unwrap());
+        // strip_edges invalidates: removing the edge restores the race.
+        g.strip_edges(EdgeKind::Data);
+        assert!(g.has_race(a, b).unwrap());
     }
 }

@@ -1,0 +1,212 @@
+//! The reachability index: a bitset transitive closure answering
+//! "does `u` reach `v`?" in O(1) after one O(V·E/64) build.
+//!
+//! Theorem 1 reduces race detection to reachability, so *every* verdict
+//! this crate produces — [`Tsg::has_race`](crate::Tsg::has_race), all-pairs
+//! race scans, security-dependency checks — is at heart a reachability
+//! query. The seed implementation paid a fresh DFS per query; campaign
+//! workloads (attack × defense × config matrices) ask thousands of queries
+//! against the same graph, so the closure is computed once per graph and
+//! cached on the [`Tsg`](crate::Tsg) (invalidated on mutation).
+//!
+//! Representation: one `u64` row-slice per vertex, `words = ⌈V/64⌉` words
+//! each, row `u` holding the (reflexive) descendant set of `u`. Rows are
+//! filled in reverse topological order, so each vertex ORs its successors'
+//! already-complete rows — `O(V·E/64)` word operations total.
+
+use crate::graph::Tsg;
+use crate::node::NodeId;
+
+/// A bitset transitive closure of a [`Tsg`].
+///
+/// Built once per graph state via [`ReachabilityIndex::build`] (or lazily
+/// through [`Tsg::reachability`](crate::Tsg::reachability)); queries are
+/// single word-and-mask probes.
+///
+/// ```
+/// use tsg::{Tsg, NodeKind, EdgeKind, ReachabilityIndex};
+/// # fn main() -> Result<(), tsg::TsgError> {
+/// let mut g = Tsg::new();
+/// let a = g.add_node("a", NodeKind::Compute);
+/// let b = g.add_node("b", NodeKind::Compute);
+/// let c = g.add_node("c", NodeKind::Compute);
+/// g.add_edge(a, b, EdgeKind::Data)?;
+/// g.add_edge(b, c, EdgeKind::Data)?;
+/// let idx = ReachabilityIndex::build(&g);
+/// assert!(idx.reaches(a, c));      // transitive
+/// assert!(!idx.reaches(c, a));     // directed
+/// assert!(!idx.races(a, c));       // connected ⇒ no race (Theorem 1)
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReachabilityIndex {
+    nodes: usize,
+    words: usize,
+    /// `nodes × words` row-major closure bits; bit `v` of row `u` means
+    /// `u` reaches `v` (reflexively).
+    bits: Vec<u64>,
+}
+
+impl ReachabilityIndex {
+    /// Computes the transitive closure of `g`.
+    ///
+    /// One pass over the vertices in reverse topological order; each vertex
+    /// ORs the rows of its direct successors.
+    #[must_use]
+    pub fn build(g: &Tsg) -> Self {
+        let nodes = g.node_count();
+        let words = nodes.div_ceil(64);
+        let mut bits = vec![0u64; nodes * words];
+        let topo = g.topological_sort();
+        debug_assert_eq!(topo.len(), nodes, "DAG invariant violated");
+        for &u in topo.iter().rev() {
+            let ui = u.index();
+            bits[ui * words + ui / 64] |= 1 << (ui % 64);
+            let succs: Vec<usize> = g
+                .successors(u)
+                .expect("topo node exists")
+                .map(|e| e.to().index())
+                .collect();
+            for s in succs {
+                debug_assert_ne!(s, ui, "self-loop in DAG");
+                let (uo, so) = (ui * words, s * words);
+                // Disjoint row slices: OR the successor's complete row in.
+                let (dst, src) = if uo < so {
+                    let (lo, hi) = bits.split_at_mut(so);
+                    (&mut lo[uo..uo + words], &hi[..words])
+                } else {
+                    let (lo, hi) = bits.split_at_mut(uo);
+                    (&mut hi[..words], &lo[so..so + words])
+                };
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d |= s;
+                }
+            }
+        }
+        ReachabilityIndex { nodes, words, bits }
+    }
+
+    /// Number of vertices the index covers.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Whether `from` reaches `to` (reflexive: every node reaches itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is outside the indexed graph; callers go through
+    /// [`Tsg`](crate::Tsg) query methods, which validate ids first.
+    #[must_use]
+    pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        let (u, v) = (from.index(), to.index());
+        assert!(u < self.nodes && v < self.nodes, "node outside index");
+        self.bits[u * self.words + v / 64] & (1 << (v % 64)) != 0
+    }
+
+    /// Whether a directed path connects the pair in either direction.
+    #[must_use]
+    pub fn connected(&self, u: NodeId, v: NodeId) -> bool {
+        self.reaches(u, v) || self.reaches(v, u)
+    }
+
+    /// Theorem 1: whether `u` and `v` race (distinct and unconnected).
+    #[must_use]
+    pub fn races(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && !self.connected(u, v)
+    }
+
+    /// How many vertices `from` reaches, including itself.
+    #[must_use]
+    pub fn descendant_count(&self, from: NodeId) -> usize {
+        let u = from.index();
+        assert!(u < self.nodes, "node outside index");
+        self.bits[u * self.words..(u + 1) * self.words]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeKind, NodeKind};
+
+    fn diamond() -> (Tsg, [NodeId; 4]) {
+        let mut g = Tsg::new();
+        let a = g.add_node("a", NodeKind::Compute);
+        let b = g.add_node("b", NodeKind::Compute);
+        let c = g.add_node("c", NodeKind::Compute);
+        let d = g.add_node("d", NodeKind::Compute);
+        g.add_edge(a, b, EdgeKind::Data).unwrap();
+        g.add_edge(a, c, EdgeKind::Data).unwrap();
+        g.add_edge(b, d, EdgeKind::Data).unwrap();
+        g.add_edge(c, d, EdgeKind::Data).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn closure_matches_dfs_on_diamond() {
+        let (g, ids) = diamond();
+        let idx = ReachabilityIndex::build(&g);
+        for &u in &ids {
+            for &v in &ids {
+                assert_eq!(
+                    idx.reaches(u, v),
+                    g.has_path(u, v).unwrap(),
+                    "closure disagrees with DFS for ({u}, {v})"
+                );
+            }
+        }
+        assert!(idx.races(ids[1], ids[2])); // b ⟂ c
+        assert!(!idx.races(ids[0], ids[3]));
+    }
+
+    #[test]
+    fn descendant_counts() {
+        let (g, ids) = diamond();
+        let idx = ReachabilityIndex::build(&g);
+        assert_eq!(idx.descendant_count(ids[0]), 4);
+        assert_eq!(idx.descendant_count(ids[3]), 1);
+    }
+
+    #[test]
+    fn empty_and_single_node_graphs() {
+        let g = Tsg::new();
+        let idx = ReachabilityIndex::build(&g);
+        assert_eq!(idx.node_count(), 0);
+        let mut g = Tsg::new();
+        let a = g.add_node("a", NodeKind::Compute);
+        let idx = ReachabilityIndex::build(&g);
+        assert!(idx.reaches(a, a));
+        assert!(!idx.races(a, a));
+    }
+
+    #[test]
+    fn wide_graph_crosses_word_boundaries() {
+        // 130 nodes in a chain: closure rows span 3 words.
+        let mut g = Tsg::new();
+        let ids: Vec<NodeId> = (0..130)
+            .map(|i| g.add_node(format!("n{i}"), NodeKind::Compute))
+            .collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], EdgeKind::Data).unwrap();
+        }
+        let idx = ReachabilityIndex::build(&g);
+        assert!(idx.reaches(ids[0], ids[129]));
+        assert!(!idx.reaches(ids[129], ids[0]));
+        assert_eq!(idx.descendant_count(ids[0]), 130);
+        assert_eq!(idx.descendant_count(ids[64]), 66);
+    }
+
+    #[test]
+    #[should_panic(expected = "node outside index")]
+    fn out_of_range_panics() {
+        let (g, _) = diamond();
+        let idx = ReachabilityIndex::build(&g);
+        let _ = idx.reaches(NodeId(7), NodeId(0));
+    }
+}

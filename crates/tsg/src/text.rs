@@ -232,7 +232,10 @@ mod tests {
     fn malformed_lines_rejected() {
         assert!(from_text("bogus n0").is_err());
         assert!(from_text("node x0 compute \"a\"").is_err());
-        assert!(from_text("node n1 compute \"a\"").is_err(), "ids must be dense");
+        assert!(
+            from_text("node n1 compute \"a\"").is_err(),
+            "ids must be dense"
+        );
         assert!(from_text("node n0 wat \"a\"").is_err());
         assert!(from_text("node n0 compute \"a\"\nedge n0 -> n9 data").is_err());
         assert!(from_text("node n0 compute \"a\"\nedge n0 <- n0 data").is_err());
@@ -241,13 +244,9 @@ mod tests {
     #[test]
     fn every_catalog_graph_roundtrips() {
         // Full-system property: the serializer handles every figure.
-        for fig in [
-            crate::examples::fig2(),
-        ] {
-            let sa = SecurityAnalysis::from_graph(fig);
-            let sa2 = from_text(&to_text(&sa)).unwrap();
-            assert_eq!(sa2.graph().node_count(), sa.graph().node_count());
-            assert_eq!(sa2.graph().edge_count(), sa.graph().edge_count());
-        }
+        let sa = SecurityAnalysis::from_graph(crate::examples::fig2());
+        let sa2 = from_text(&to_text(&sa)).unwrap();
+        assert_eq!(sa2.graph().node_count(), sa.graph().node_count());
+        assert_eq!(sa2.graph().edge_count(), sa.graph().edge_count());
     }
 }

@@ -1,0 +1,104 @@
+//! The reachability index against the paper's definitional oracle.
+//!
+//! `Tsg::has_race` now answers from the cached bitset transitive closure;
+//! these tests pin it (and the DFS baseline `has_race_dfs`) to
+//! `has_race_by_enumeration` — the literal "two valid orderings disagree"
+//! definition — on randomized DAGs of up to 10 nodes, and verify that
+//! mutation invalidates the cache rather than serving stale reachability.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsg::{EdgeKind, NodeId, NodeKind, Tsg};
+
+/// A random DAG of `n` nodes built from forward edges only (acyclic by
+/// construction), each present with probability `p`. Seeded [`StdRng`],
+/// so failures reproduce byte-for-byte.
+fn random_dag(n: usize, p: f64, rng: &mut StdRng) -> Tsg {
+    let mut g = Tsg::new();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| g.add_node(format!("v{i}"), NodeKind::Compute))
+        .collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(ids[i], ids[j], EdgeKind::Data)
+                    .expect("forward edge cannot cycle");
+            }
+        }
+    }
+    g
+}
+
+#[test]
+fn indexed_has_race_matches_enumeration_oracle_on_random_dags() {
+    let mut rng = StdRng::seed_from_u64(2021);
+    let mut checked_pairs = 0usize;
+    for round in 0..60 {
+        let n = 2 + (round % 9); // 2..=10 nodes
+        let g = random_dag(n, 0.55, &mut rng);
+        // Skip the rare near-empty graph whose linear-extension count makes
+        // per-pair enumeration unreasonably slow; the cap still leaves
+        // plenty of coverage and keeps the test deterministic-fast.
+        if g.count_valid_orderings(12).unwrap() > 50_000 {
+            continue;
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (u, v) = (NodeId::from_index(i), NodeId::from_index(j));
+                let indexed = g.has_race(u, v).unwrap();
+                let dfs = g.has_race_dfs(u, v).unwrap();
+                let oracle = g.has_race_by_enumeration(u, v, 12).unwrap();
+                assert_eq!(
+                    indexed, oracle,
+                    "indexed verdict disagrees with the ordering oracle for \
+                     ({u}, {v}) on graph:\n{g}"
+                );
+                assert_eq!(indexed, dfs, "index and DFS disagree for ({u}, {v})");
+                checked_pairs += 1;
+            }
+        }
+    }
+    assert!(checked_pairs > 500, "only {checked_pairs} pairs checked");
+}
+
+#[test]
+fn add_edge_after_query_must_not_serve_stale_reachability() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for round in 0..40 {
+        let n = 3 + (round % 8);
+        let mut g = random_dag(n, 0.4, &mut rng);
+        // Build and cache the closure.
+        let races = g.all_races();
+        let Some(pair) = races.first().copied() else {
+            continue;
+        };
+        // Patch one racing pair; the stale closure would still report the
+        // race, the rebuilt one must not.
+        g.add_edge(pair.a, pair.b, EdgeKind::Security).unwrap();
+        assert!(
+            !g.has_race(pair.a, pair.b).unwrap(),
+            "stale index served after add_edge on graph:\n{g}"
+        );
+        // Full agreement with a fresh DFS on every pair, post-mutation.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (u, v) = (NodeId::from_index(i), NodeId::from_index(j));
+                assert_eq!(g.has_race(u, v).unwrap(), g.has_race_dfs(u, v).unwrap());
+            }
+        }
+    }
+}
+
+#[test]
+fn add_node_after_query_extends_the_index() {
+    let mut g = Tsg::new();
+    let a = g.add_node("a", NodeKind::Compute);
+    let b = g.add_node("b", NodeKind::Compute);
+    g.add_edge(a, b, EdgeKind::Data).unwrap();
+    assert!(!g.has_race(a, b).unwrap()); // closure cached here
+    let c = g.add_node("c", NodeKind::Compute);
+    // The cached 2-node closure must not be consulted for the 3-node graph.
+    assert!(g.has_race(a, c).unwrap());
+    assert!(g.has_race(b, c).unwrap());
+    assert_eq!(g.reachability().node_count(), 3);
+}

@@ -148,11 +148,11 @@ impl StoreBuffer {
     /// offset — the partial-address match of real store buffers.
     #[must_use]
     pub fn sample_by_offset(&self, page_offset: u64) -> Option<u64> {
-        let off = page_offset % 4096 & !7;
+        let off = (page_offset % 4096) & !7;
         self.entries
             .iter()
             .rev()
-            .find(|e| e.paddr % 4096 & !7 == off)
+            .find(|e| (e.paddr % 4096) & !7 == off)
             .map(|e| e.value)
     }
 

@@ -133,7 +133,11 @@ impl Cache {
 
     /// Inserts (fills) the line containing `paddr` with `data` words.
     /// Returns the base address and data of an evicted line, if any.
-    pub fn fill(&mut self, paddr: u64, data: [u64; WORDS_PER_LINE]) -> Option<(u64, [u64; WORDS_PER_LINE])> {
+    pub fn fill(
+        &mut self,
+        paddr: u64,
+        data: [u64; WORDS_PER_LINE],
+    ) -> Option<(u64, [u64; WORDS_PER_LINE])> {
         self.tick += 1;
         let tick = self.tick;
         self.stats.fills += 1;

@@ -44,7 +44,9 @@ mod tests {
         assert!(UarchError::CycleLimitExceeded { limit: 10 }
             .to_string()
             .contains("10"));
-        assert!(UarchError::Unmapped { vaddr: 0x40 }.to_string().contains("0x40"));
+        assert!(UarchError::Unmapped { vaddr: 0x40 }
+            .to_string()
+            .contains("0x40"));
         assert!(UarchError::UnknownContext(3).to_string().contains('3'));
     }
 }

@@ -244,7 +244,10 @@ mod tests {
                 source: TransientSource::LineFillBuffer,
                 value: 0xff,
             },
-            TraceEvent::SpeculativeFill { cycle: 3, line: 0x40 },
+            TraceEvent::SpeculativeFill {
+                cycle: 3,
+                line: 0x40,
+            },
             TraceEvent::Squash {
                 cycle: 4,
                 cause: SquashCause::BranchMispredict,

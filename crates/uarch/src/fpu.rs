@@ -90,7 +90,7 @@ mod tests {
         // the victim's values.
         assert!(!fpu.owned_by(attacker));
         assert_eq!(fpu.read_physical(0), 0x5ec2e7); // the transient read
-        // Eager switch clears the window.
+                                                    // Eager switch clears the window.
         fpu.switch_to(attacker);
         assert_eq!(fpu.read_physical(0), 0);
         assert!(fpu.owned_by(attacker));

@@ -60,6 +60,10 @@ enum EntryState {
     Done,
 }
 
+/// A victim line displaced by a speculative fill: its base address and
+/// data, or `None` when the fill landed in an empty way.
+type EvictedLine = Option<(u64, [u64; WORDS_PER_LINE])>;
+
 #[derive(Debug, Clone)]
 struct Entry {
     seq: u64,
@@ -88,7 +92,7 @@ struct Entry {
     /// Loads: bypassed at least one older unresolved store (Spectre v4).
     bypassed: bool,
     /// CleanupSpec undo record: (filled line base, evicted victim).
-    filled_line: Option<(u64, Option<(u64, [u64; WORDS_PER_LINE])>)>,
+    filled_line: Option<(u64, EvictedLine)>,
     /// InvisiSpec: fill deferred to retirement for this paddr.
     deferred_fill: Option<u64>,
     /// Fetched inside a transactional region.
@@ -591,9 +595,7 @@ impl Machine {
     /// numbers are strictly increasing but *not* contiguous (squashes leave
     /// gaps), so this is a binary search, not an offset computation.
     fn entry_index(&self, seq: u64) -> Option<usize> {
-        self.rob
-            .binary_search_by_key(&seq, |e| e.seq)
-            .ok()
+        self.rob.binary_search_by_key(&seq, |e| e.seq).ok()
     }
 
     /// Whether the entry at ROB position `idx` is *speculative*: some older
@@ -716,9 +718,7 @@ impl Machine {
                 .copied()
                 .next()
                 .unwrap_or(usize::MAX);
-            let fallback = self
-                .find_tx_fallback(entry.pc)
-                .unwrap_or(fallback);
+            let fallback = self.find_tx_fallback(entry.pc).unwrap_or(fallback);
             self.squash_all(SquashCause::TxAbort, res);
             self.record(TraceEvent::TxAborted {
                 cycle: self.cycle,
@@ -908,7 +908,9 @@ impl Machine {
     }
 
     fn resolve_branch(&mut self, idx: usize, cond: Cond, target: usize, res: &mut RunResult) {
-        let vals = self.src_values(idx).expect("branch executed with ready sources");
+        let vals = self
+            .src_values(idx)
+            .expect("branch executed with ready sources");
         let taken = cond.eval(vals[0].0, vals[1].0);
         let e = &self.rob[idx];
         let pc = e.pc;
@@ -924,7 +926,9 @@ impl Machine {
     }
 
     fn resolve_indirect(&mut self, idx: usize, res: &mut RunResult) {
-        let vals = self.src_values(idx).expect("jmpi executed with ready sources");
+        let vals = self
+            .src_values(idx)
+            .expect("jmpi executed with ready sources");
         let actual = vals[0].0 as usize;
         let e = &self.rob[idx];
         let pc = e.pc;
@@ -1206,9 +1210,7 @@ impl Machine {
                 self.rob[idx].fault = tr.fault;
                 self.rob[idx].tainted = any_tainted;
                 let lat = self.cfg.alu_latency + self.cfg.translation_latency;
-                self.rob[idx].state = EntryState::Executing {
-                    done_at: now + lat,
-                };
+                self.rob[idx].state = EntryState::Executing { done_at: now + lat };
                 // The store's address is now known: check immediately for
                 // younger loads that bypassed it and alias (the Spectre v4
                 // authorization resolving negatively). Real pipelines run
@@ -1281,10 +1283,13 @@ impl Machine {
         // Lazy FP: the FPU-owner check (authorization) races with the
         // physical register read (access).
         self.rob[idx].fault = Some(Fault::FpUnavailable);
-        let forward = self.cfg.lazy_fpu
-            && self.cfg.transient_forwarding
-            && !self.cfg.eager_permission_check;
-        let v = if forward { self.fpu.read_physical(fidx) } else { 0 };
+        let forward =
+            self.cfg.lazy_fpu && self.cfg.transient_forwarding && !self.cfg.eager_permission_check;
+        let v = if forward {
+            self.fpu.read_physical(fidx)
+        } else {
+            0
+        };
         if forward {
             let (cycle, pc) = (self.cycle, self.rob[idx].pc);
             self.record(TraceEvent::TransientForward {
@@ -1379,7 +1384,10 @@ impl Machine {
             self.start(idx, lat, v, tainted_addr || speculative);
             self.rob[idx].spec_load = speculative;
             if speculative {
-                self.record(TraceEvent::SpeculativeExecute { cycle: self.cycle, pc });
+                self.record(TraceEvent::SpeculativeExecute {
+                    cycle: self.cycle,
+                    pc,
+                });
             }
             return true;
         }
@@ -1393,7 +1401,10 @@ impl Machine {
                 return false; // wait for the store address to resolve
             }
             self.rob[idx].bypassed = true;
-            self.record(TraceEvent::DisambiguationBypass { cycle: self.cycle, pc });
+            self.record(TraceEvent::DisambiguationBypass {
+                cycle: self.cycle,
+                pc,
+            });
         }
 
         // ---- Cache / memory access ----
@@ -1438,7 +1449,10 @@ impl Machine {
         }
         self.load_ports.record(value);
         if speculative {
-            self.record(TraceEvent::SpeculativeExecute { cycle: self.cycle, pc });
+            self.record(TraceEvent::SpeculativeExecute {
+                cycle: self.cycle,
+                pc,
+            });
         }
         self.start(idx, lat, value, tainted_addr || speculative);
         self.rob[idx].spec_load = speculative;
@@ -1867,7 +1881,11 @@ mod tests {
 
     #[test]
     fn context_switch_flushes_predictors_when_configured() {
-        let mut m = Machine::new(UarchConfig::builder().flush_predictors_on_switch(true).build());
+        let mut m = Machine::new(
+            UarchConfig::builder()
+                .flush_predictors_on_switch(true)
+                .build(),
+        );
         let other = m.add_context(Privilege::User, ExceptionBehavior::Halt);
         m.predictors_mut().btb.update(3, 7);
         m.switch_context(other).unwrap();

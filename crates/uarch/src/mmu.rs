@@ -158,10 +158,7 @@ impl PageTable {
                 fault: Some(Fault::WriteToReadOnly { vaddr }),
             };
         }
-        Translation {
-            paddr,
-            fault: None,
-        }
+        Translation { paddr, fault: None }
     }
 }
 

@@ -14,6 +14,7 @@ use std::collections::HashMap;
 
 /// Saturating 2-bit counter states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[allow(clippy::enum_variant_names)] // the textbook state names end in Taken
 enum Counter2 {
     StrongNotTaken = 0,
     WeakNotTaken = 1,
@@ -64,10 +65,7 @@ impl PatternHistoryTable {
 
     /// Trains the predictor with the actual outcome.
     pub fn update(&mut self, pc: usize, taken: bool) {
-        let c = self
-            .counters
-            .entry(pc)
-            .or_insert(Counter2::WeakNotTaken);
+        let c = self.counters.entry(pc).or_insert(Counter2::WeakNotTaken);
         *c = c.update(taken);
     }
 

@@ -119,7 +119,9 @@ mod tests {
         assert!(Fault::PrivilegeViolation { vaddr: 0x2000 }
             .to_string()
             .contains("0x2000"));
-        assert!(Fault::MsrPrivilege { msr: 0x10 }.to_string().contains("0x10"));
+        assert!(Fault::MsrPrivilege { msr: 0x10 }
+            .to_string()
+            .contains("0x10"));
         assert!(!Fault::FpUnavailable.to_string().is_empty());
     }
 

@@ -3,42 +3,69 @@
 //! version of the paper's claim that each defense works exactly where its
 //! inserted security dependency matches the attack's missing edge.
 //!
+//! A thin consumer of the campaign engine: one parallel
+//! `CampaignMatrix::run` call produces every verdict, the grid below is
+//! pure formatting, and the §V-B false-sense list is a matrix query.
+//!
 //! Run with: `cargo run --release --example defense_evaluation`
 
 use specgraph::prelude::*;
-use uarch::UarchConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let ds = defenses::catalog();
-    let atks = attacks::catalog();
-    let base = UarchConfig::default();
+    let matrix = CampaignMatrix::run(&CampaignSpec::default())?;
+    let (attacks_n, defenses_n, _) = matrix.shape();
 
-    println!("Defense-effectiveness matrix ({} defenses × {} attacks)\n", ds.len(), atks.len());
+    println!("Defense-effectiveness matrix ({defenses_n} defenses × {attacks_n} attacks)\n");
     println!("legend: '#' blocked, '!' leaked, '.' software-only (graph-level)\n");
 
     // Column header: defense indices.
-    println!("{:32} {}", "attack \\ defense",
-        (0..ds.len()).map(|i| format!("{:>2}", i)).collect::<String>());
-    for a in &atks {
+    println!(
+        "{:32} {}",
+        "attack \\ defense",
+        (0..defenses_n)
+            .map(|i| format!("{i:>2}"))
+            .collect::<String>()
+    );
+    for a in &matrix.attacks {
         let mut row = String::new();
-        for d in &ds {
-            let v = defenses::verify(d, a.as_ref(), &base)?;
-            row.push_str(match v {
+        for d in &matrix.defenses {
+            let cell = matrix.cell(a.name, d.name, 0).expect("full matrix");
+            row.push_str(match cell.evaluation.mechanism {
                 Verdict::Blocked => " #",
                 Verdict::Leaked => " !",
                 Verdict::GraphOnly => " .",
             });
         }
-        println!("{:32}{row}", a.info().name);
+        println!("{:32}{row}", a.name);
     }
 
     println!("\ndefense key:");
-    for (i, d) in ds.iter().enumerate() {
-        println!("  {:>2}  {} — strategy {} ({})", i, d.name, d.strategy.label(), d.origin);
+    for (i, d) in matrix.defenses.iter().enumerate() {
+        println!(
+            "  {:>2}  {} — strategy {} ({})",
+            i,
+            d.name,
+            d.strategy.label(),
+            d.origin
+        );
     }
 
-    println!("\nEach '!' is a defense whose security dependency sits at a");
-    println!("different node than the attack's missing edge — the paper's");
-    println!("'false sense of security' cases (e.g. KPTI vs Spectre v1).");
+    let false_senses = matrix.false_senses();
+    println!(
+        "\n{} of {} cells are §V-B 'false sense of security' pairs — the",
+        false_senses.len(),
+        matrix.cells().len()
+    );
+    println!("strategy would close the leak path, but the mechanism inserts its");
+    println!("ordering at a different node than this attack's missing edge:");
+    for cell in false_senses.iter().take(8) {
+        println!("  - {} vs {}", cell.defense, cell.attack);
+    }
+    if false_senses.len() > 8 {
+        println!(
+            "  … and {} more (see CampaignMatrix::to_csv)",
+            false_senses.len() - 8
+        );
+    }
     Ok(())
 }

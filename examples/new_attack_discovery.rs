@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for p in &novel {
         assert_eq!(p.graph().vulnerabilities()?.len(), 3);
     }
-    println!("\nall {} candidates exhibit the authorization/access race", novel.len());
+    println!(
+        "\nall {} candidates exhibit the authorization/access race",
+        novel.len()
+    );
 
     // …and the same defenses close it.
     let mut sa = novel[0].graph();

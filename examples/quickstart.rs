@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     g.add_edge(access, send, EdgeKind::Data)?;
 
     // --- 2. Theorem 1: no path between authorization and access ⇒ race. -
-    println!("race(authorization, access) = {}", g.has_race(auth, access)?);
+    println!(
+        "race(authorization, access) = {}",
+        g.has_race(auth, access)?
+    );
     assert!(g.has_race(auth, access)?);
 
     // --- 3. Insert the missing security dependency: race gone. ----------

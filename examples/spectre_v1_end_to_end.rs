@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --example spectre_v1_end_to_end`
 
-use attacks::common::{
-    probe_channel, BOUND_CELL, BOUND_PTR, PROBE_BASE, SECRET, VICTIM_ARRAY,
-};
+use attacks::common::{probe_channel, BOUND_CELL, BOUND_PTR, PROBE_BASE, SECRET, VICTIM_ARRAY};
 use specgraph::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -35,8 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         m.set_reg(Reg::R3, PROBE_BASE);
         m.run(&program)?;
     }
-    println!("step 1b: branch predictor trained not-taken ({} branches tracked)",
-        m.predictors().pht.len());
+    println!(
+        "step 1b: branch predictor trained not-taken ({} branches tracked)",
+        m.predictors().pht.len()
+    );
 
     // -- Step 1(a): establish the channel: flush the probe array. --------
     let channel = probe_channel();

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     out:
         halt";
     let program = isa::asm::assemble(spectre_src)?;
-    println!("== Spectre-type input ==\n{}", isa::asm::disassemble(&program));
+    println!(
+        "== Spectre-type input ==\n{}",
+        isa::asm::disassemble(&program)
+    );
 
     let tool = Analyzer::new(AnalysisConfig::default());
     let report = tool.analyze(&program)?;
@@ -31,18 +34,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for v in &report.vulnerabilities {
         println!("vulnerability: {v}");
     }
-    println!("\nattack graph (DOT):\n{}", report.graph.graph().to_dot("tool output"));
+    println!(
+        "\nattack graph (DOT):\n{}",
+        report.graph.graph().to_dot("tool output")
+    );
 
     let patched = report.patch_with_fences(&program)?;
     println!("patched program:\n{}", isa::asm::disassemble(&patched));
     let after = tool.analyze(&patched)?;
-    println!("vulnerabilities after patching: {}", after.vulnerabilities.len());
+    println!(
+        "vulnerabilities after patching: {}",
+        after.vulnerabilities.len()
+    );
     assert!(after.vulnerabilities.is_empty());
 
     // ---- Meltdown-type input (right branch of Figure 9) -----------------
     let meltdown_src = "load r6, [r5]\nmul r7, r6, 0x1040\nadd r7, r7, r3\nload r8, [r7]\nhalt";
     let program = isa::asm::assemble(meltdown_src)?;
-    println!("\n== Meltdown-type input (user mode) ==\n{}", isa::asm::disassemble(&program));
+    println!(
+        "\n== Meltdown-type input (user mode) ==\n{}",
+        isa::asm::disassemble(&program)
+    );
     let tool = Analyzer::new(AnalysisConfig {
         user_mode: true,
         ..AnalysisConfig::default()
@@ -66,5 +78,62 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.patch_with_fences(&program)?.len()
     );
     println!("(Meltdown-type holes need hardware fixes: eager permission checks.)");
+
+    // ---- Campaign cross-check ------------------------------------------
+    // The analyzer patched the Spectre-type input with fences and declared
+    // the Meltdown-type input unfixable in software. One campaign slice
+    // over the registry shows the corresponding hardware verdicts: the
+    // fence mechanism blocks Spectre v1, the eager permission check (the
+    // hardware fix for intra-instruction races) blocks Meltdown — and a
+    // mismatched mechanism (KPTI vs Spectre v1) is flagged as the §V-B
+    // false sense of security.
+    let spec = CampaignSpec {
+        attacks: vec![
+            attacks::find(attacks::names::SPECTRE_V1).expect("registered"),
+            attacks::find(attacks::names::MELTDOWN).expect("registered"),
+        ],
+        defenses: [
+            defenses::names::LFENCE,
+            defenses::names::EAGER_PERMISSION_CHECK,
+            defenses::names::KPTI,
+        ]
+        .iter()
+        .map(|n| *defenses::find(n).expect("registered"))
+        .collect(),
+        ..CampaignSpec::default()
+    };
+    let matrix = CampaignMatrix::run(&spec)?;
+    println!("\ncampaign cross-check (mechanism verdicts):");
+    for cell in matrix.cells() {
+        println!(
+            "  {:<24} vs {:<12} -> {}{}",
+            cell.defense,
+            cell.attack,
+            cell.evaluation.mechanism,
+            if cell.false_sense_of_security() {
+                "  <-- false sense of security"
+            } else {
+                ""
+            }
+        );
+    }
+    let blocked = |attack: &str, defense: &str| {
+        matrix
+            .cell(attack, defense, 0)
+            .expect("cell")
+            .evaluation
+            .mechanism
+            == Verdict::Blocked
+    };
+    assert!(blocked(attacks::names::SPECTRE_V1, defenses::names::LFENCE));
+    assert!(blocked(
+        attacks::names::MELTDOWN,
+        defenses::names::EAGER_PERMISSION_CHECK
+    ));
+    assert!(matrix
+        .cell(attacks::names::SPECTRE_V1, defenses::names::KPTI, 0)
+        .expect("cell")
+        .false_sense_of_security());
+    println!("\nThe executable verdicts agree with the analyzer's graph verdicts.");
     Ok(())
 }

@@ -136,5 +136,8 @@ fn defense_strategy_3_blocks_the_substituted_channel_too() {
     m.set_reg(Reg::R3, SENDER_BASE);
     m.run(&p).unwrap();
     let reading = ch.probe(&mut m).unwrap();
-    assert_eq!(reading.recovered, None, "CleanupSpec must undo the eviction");
+    assert_eq!(
+        reading.recovered, None,
+        "CleanupSpec must undo the eviction"
+    );
 }

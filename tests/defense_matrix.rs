@@ -20,13 +20,7 @@ fn check(defense_name: &str, attack: &dyn Attack, expect_blocked: bool) {
     } else {
         Verdict::Leaked
     };
-    assert_eq!(
-        v,
-        expected,
-        "{} vs {}",
-        defense_name,
-        attack.info().name
-    );
+    assert_eq!(v, expected, "{} vs {}", defense_name, attack.info().name);
 }
 
 #[test]
@@ -44,7 +38,12 @@ fn table2_row_kernel_isolation() {
 
 #[test]
 fn table2_row_prevent_mistraining() {
-    for d in ["IBRS", "STIBP", "IBPB", "BTB invalidation on context switch"] {
+    for d in [
+        "IBRS",
+        "STIBP",
+        "IBPB",
+        "BTB invalidation on context switch",
+    ] {
         check(d, &attacks::spectre_v2::SpectreV2, true);
     }
     check("Retpoline", &attacks::spectre_v2::SpectreV2, true);
@@ -82,7 +81,13 @@ fn academia_strategy2_blocks_everything() {
 
 #[test]
 fn academia_strategy3_blocks_cache_channel_variants() {
-    for d in ["STT", "InvisiSpec", "SafeSpec", "CleanupSpec", "Conditional Speculation"] {
+    for d in [
+        "STT",
+        "InvisiSpec",
+        "SafeSpec",
+        "CleanupSpec",
+        "Conditional Speculation",
+    ] {
         let def = defense(d);
         for a in [
             &attacks::spectre_v1::SpectreV1 as &dyn Attack,
@@ -110,8 +115,12 @@ fn eager_permission_check_blocks_meltdown_family_only() {
     }
     // …but not Spectre v1: its authorization is a *branch*, not the
     // intra-instruction permission check.
-    let v = defenses::verify(&def, &attacks::spectre_v1::SpectreV1, &UarchConfig::default())
-        .unwrap();
+    let v = defenses::verify(
+        &def,
+        &attacks::spectre_v1::SpectreV1,
+        &UarchConfig::default(),
+    )
+    .unwrap();
     assert_eq!(v, Verdict::Leaked);
 }
 

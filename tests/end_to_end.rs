@@ -13,7 +13,7 @@ fn every_variant_leaks_on_the_vulnerable_baseline() {
             "{} must leak on the baseline: {out}",
             attack.info().name
         );
-        assert_eq!(out.recovered.is_some(), true);
+        assert!(out.recovered.is_some());
     }
 }
 

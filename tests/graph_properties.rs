@@ -54,7 +54,9 @@ fn strategies_2_and_3_leave_the_access_race_but_close_the_leak_path() {
         defenses::patch_strategy(&mut sa, defenses::Strategy::PreventSend).unwrap();
         let vulns = sa.vulnerabilities().unwrap();
         assert!(
-            vulns.iter().all(|v| !matches!(v.protected_kind, NodeKind::Send)),
+            vulns
+                .iter()
+                .all(|v| !matches!(v.protected_kind, NodeKind::Send)),
             "{}: send still races after strategy ③",
             attack.info().name
         );
@@ -102,9 +104,13 @@ fn text_serialization_roundtrips_every_catalog_graph() {
     for attack in attacks::catalog() {
         let sa = attack.graph();
         let text = tsg::text::to_text(&sa);
-        let sa2 = tsg::text::from_text(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}
-{text}", attack.info().name));
+        let sa2 = tsg::text::from_text(&text).unwrap_or_else(|e| {
+            panic!(
+                "{}: {e}
+{text}",
+                attack.info().name
+            )
+        });
         assert_eq!(sa2.graph().node_count(), sa.graph().node_count());
         assert_eq!(sa2.graph().edge_count(), sa.graph().edge_count());
         assert_eq!(sa2.requirements(), sa.requirements());

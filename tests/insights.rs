@@ -106,7 +106,10 @@ fn insight5_relaxation_trades_performance() {
     let relaxed_send = run(&UarchConfig::builder().stt(true).build());
     assert!(strict > relaxed_use, "① {strict} vs ② {relaxed_use}");
     assert!(strict > relaxed_send, "① {strict} vs ③ {relaxed_send}");
-    assert!(relaxed_use >= relaxed_send, "② {relaxed_use} vs ③ {relaxed_send}");
+    assert!(
+        relaxed_use >= relaxed_send,
+        "② {relaxed_use} vs ③ {relaxed_send}"
+    );
 }
 
 /// Insight 6: Spectre-type attacks need only inter-instruction modeling;
@@ -131,7 +134,9 @@ fn insight6_modeling_level_split() {
     // (node count > instruction count: micro-op decomposition).
     let src = "load r6, [r5]\nadd r7, r6, r3\nload r8, [r7]\nhalt";
     let p = isa::asm::assemble(src).expect("assembles");
-    let kernel = Analyzer::new(AnalysisConfig::default()).analyze(&p).expect("ok");
+    let kernel = Analyzer::new(AnalysisConfig::default())
+        .analyze(&p)
+        .expect("ok");
     assert!(kernel.gadgets.is_empty(), "no authorization, no gadget");
     let user = Analyzer::new(AnalysisConfig {
         user_mode: true,

@@ -88,8 +88,7 @@ fn address_masking_patch_stops_the_real_leak() {
         .analyze(&program)
         .unwrap();
     let gadget = &report.gadgets[0];
-    let masked =
-        analyzer::mask_index(&program, gadget.auth_pc + 1, Reg::R0, 0x7).unwrap();
+    let masked = analyzer::mask_index(&program, gadget.auth_pc + 1, Reg::R0, 0x7).unwrap();
     assert!(!leaks(&masked), "masked program must not leak the secret");
 }
 
@@ -158,7 +157,10 @@ fn tool_graph_matches_handwritten_figure_for_spectre_v1() {
     // The tool models each ALU transform as its own "use" node, where the
     // hand-drawn Figure 1 merges them into one "Compute load address R" —
     // so the tool reports at least as many races, never fewer.
-    assert!(tool_vulns >= hand_vulns, "tool found {tool_vulns} < {hand_vulns}");
+    assert!(
+        tool_vulns >= hand_vulns,
+        "tool found {tool_vulns} < {hand_vulns}"
+    );
     // Both agree on the critical pair: an access and a send race with the
     // authorization.
     use tsg::NodeKind;

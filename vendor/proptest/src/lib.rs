@@ -1,0 +1,502 @@
+//! Offline stand-in for the `proptest` crate: the API subset this
+//! workspace's property tests use, with deterministic case generation and
+//! no shrinking. See `vendor/README.md` for scope and semantics.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Configuration and the deterministic per-case RNG.
+
+    /// How many cases a property runs, etc.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic generator (SplitMix64) seeded per test case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The RNG for case number `case` of a property.
+        #[must_use]
+        pub fn for_case(case: u32) -> Self {
+            TestRng {
+                state: (u64::from(case)).wrapping_mul(0xA076_1D64_78BD_642F)
+                    ^ 0x2545_F491_4F6C_DD1D,
+            }
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below(0)");
+            self.next_u64() % n
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Generates an intermediate value, then a strategy from it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, f }
+        }
+    }
+
+    /// Boxes a strategy for heterogeneous collections (`prop_oneof!`).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice between boxed strategies (`prop_oneof!`).
+    pub struct OneOf<V> {
+        arms: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> std::fmt::Debug for OneOf<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "OneOf({} arms)", self.arms.len())
+        }
+    }
+
+    impl<V> OneOf<V> {
+        /// A uniform choice among `arms` (must be non-empty).
+        #[must_use]
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { arms }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128) - (self.start as i128);
+                    assert!(span > 0, "empty range strategy");
+                    ((self.start as i128) + (rng.next_u64() as i128).rem_euclid(span)) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                    assert!(span > 0, "empty range strategy");
+                    ((*self.start() as i128) + (rng.next_u64() as i128).rem_euclid(span)) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategies! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` over a small set of primitive types.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            crate::sample::Index::from_raw(rng.next_u64())
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers.
+
+    /// An index into a collection whose size is only known at use time.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index {
+        raw: u64,
+    }
+
+    impl Index {
+        /// Wraps raw randomness.
+        #[must_use]
+        pub fn from_raw(raw: u64) -> Self {
+            Index { raw }
+        }
+
+        /// This index resolved against a collection of `size` elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `size` is zero.
+        #[must_use]
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "Index::index(0)");
+            (self.raw % size as u64) as usize
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive-exclusive length range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_excl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_excl: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_excl: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_excl: *r.end() + 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` of values from `element`, with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_excl - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `prop::…` paths as the prelude exposes them.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::strategy;
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property (here: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property (here: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+/// Binds `pat in strategy` parameters of a property (internal).
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_bind {
+    ($rng:ident; $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $pat:pat in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident;) => {};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` running `cases` deterministic generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch [$cfg] $($rest)*);
+    };
+    (@munch [$cfg:expr] $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(case);
+                $crate::__proptest_bind!(rng; $($params)*);
+                $body
+            }
+        }
+        $crate::proptest!(@munch [$cfg] $($rest)*);
+    };
+    (@munch [$cfg:expr]) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch [$crate::test_runner::ProptestConfig::default()] $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges stay in range; maps apply.
+        #[test]
+        fn ranges_and_maps(v in arb_even(), small in 3u8..7, idx in any::<prop::sample::Index>()) {
+            prop_assert!(v.is_multiple_of(2));
+            prop_assert!((3..7).contains(&small));
+            prop_assert!(idx.index(5) < 5);
+        }
+
+        /// Vectors respect their size range; oneof picks valid arms.
+        #[test]
+        fn vecs_and_oneof(
+            xs in prop::collection::vec(prop_oneof![Just(1u32), Just(2u32), 5u32..8], 2..10),
+        ) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 10);
+            prop_assert!(xs.iter().all(|&x| x == 1 || x == 2 || (5..8).contains(&x)));
+        }
+
+        /// flat_map chains strategies; tuples and mut patterns bind.
+        #[test]
+        fn flat_map_and_tuples(mut pair in (1usize..4).prop_flat_map(|n| (Just(n), 0usize..4))) {
+            pair.1 %= 4;
+            prop_assert!(pair.0 >= 1 && pair.0 < 4);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = crate::test_runner::TestRng::for_case(3);
+        let mut b = crate::test_runner::TestRng::for_case(3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
