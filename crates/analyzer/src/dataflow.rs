@@ -7,6 +7,7 @@
 
 use isa::{Instruction, Program, Reg};
 use std::collections::HashMap;
+use tsg::{EdgeKind, NodeId, NodeKind, Tsg};
 
 /// Def-use and taint information for one program.
 ///
@@ -14,6 +15,16 @@ use std::collections::HashMap;
 /// treated as non-killing (both paths continue with the same definitions):
 /// this over-approximates flows, which is the safe direction for a
 /// vulnerability finder.
+///
+/// Taint is answered *graph-side*: the def-use chains form a DAG (one node
+/// per pc, one edge per resolved def→use), and "which pcs does load L
+/// feed?" is exactly L's descendant set in that DAG. Each load root is
+/// enumerated with one pass of
+/// [`ReachabilityIndex::descendants`](tsg::ReachabilityIndex::descendants)
+/// rather than a `has_path(load, pc)` probe per candidate pc — the same
+/// cached reachability engine that serves the attack-graph queries
+/// downstream. Programs here are gadget-sized, so the closure build cost
+/// is trivial.
 #[derive(Debug, Clone)]
 pub struct ValueFlow {
     /// `defs[pc]` = for each source register of `pc`, the defining pc.
@@ -28,10 +39,14 @@ impl ValueFlow {
     pub fn compute(program: &Program) -> Self {
         let n = program.len();
         let mut last_def: HashMap<Reg, usize> = HashMap::new();
-        // taint[r] = set of load pcs whose result feeds r.
-        let mut taint: HashMap<Reg, Vec<usize>> = HashMap::new();
         let mut defs = Vec::with_capacity(n);
-        let mut loaded = Vec::with_capacity(n);
+        // The def-use DAG: node k = pc k (program order guarantees every
+        // edge points forward, so insertion can never cycle).
+        let mut dug = Tsg::new();
+        let ids: Vec<NodeId> = (0..n)
+            .map(|pc| dug.add_node(format!("pc{pc}"), NodeKind::Compute))
+            .collect();
+        let mut roots: Vec<usize> = Vec::new();
 
         for (pc, inst) in program.iter() {
             let srcs: Vec<(Reg, Option<usize>)> = inst
@@ -39,30 +54,42 @@ impl ValueFlow {
                 .into_iter()
                 .map(|r| (r, last_def.get(&r).copied()))
                 .collect();
-            // The load-derived values feeding this instruction.
-            let mut feed: Vec<usize> = srcs
-                .iter()
-                .flat_map(|(r, _)| taint.get(r).cloned().unwrap_or_default())
-                .collect();
-            feed.sort_unstable();
-            feed.dedup();
+            for &(_, def) in &srcs {
+                if let Some(def_pc) = def {
+                    dug.add_edge(ids[def_pc], ids[pc], EdgeKind::Data)
+                        .expect("forward def-use edge cannot cycle");
+                }
+            }
             defs.push(srcs);
-            loaded.push(feed.clone());
 
             if let Some(dst) = inst.destination() {
                 if !dst.is_zero() {
                     last_def.insert(dst, pc);
-                    let mut t = feed;
                     if matches!(
                         inst,
                         Instruction::Load { .. }
                             | Instruction::ReadMsr { .. }
                             | Instruction::FpMove { .. }
                     ) {
-                        t.push(pc);
+                        roots.push(pc);
                     }
-                    taint.insert(dst, t);
                 }
+            }
+        }
+
+        // One descendants enumeration per load root marks every pc its
+        // value (transitively) feeds. Kills are already encoded: an
+        // overwritten register simply has no def-use edge onward.
+        let mut loaded: Vec<Vec<usize>> = vec![Vec::new(); n];
+        if !roots.is_empty() {
+            let idx = dug.reachability();
+            for &root in &roots {
+                for v in idx.descendants(ids[root]) {
+                    loaded[v.index()].push(root);
+                }
+            }
+            for l in &mut loaded {
+                l.sort_unstable();
             }
         }
         ValueFlow { defs, loaded }

@@ -39,6 +39,7 @@ pub mod lazy_fp;
 pub mod lvi;
 pub mod mds;
 pub mod meltdown;
+pub mod retbleed;
 pub mod spectre_rsb;
 pub mod spectre_v1;
 pub mod spectre_v2;
@@ -214,6 +215,8 @@ pub mod names {
     pub const TAA: &str = "TAA";
     /// CacheOut (L1D eviction sampling).
     pub const CACHEOUT: &str = "CacheOut";
+    /// Retbleed (BTB-fallback return target injection, BHI-style).
+    pub const RETBLEED: &str = "Retbleed";
 }
 
 /// One attack variant: metadata, attack graph, and executable PoC.
@@ -266,6 +269,7 @@ macro_rules! with_attack_list {
             lvi::Lvi,
             tsx::Taa,
             tsx::CacheOut,
+            retbleed::Retbleed,
         )
     };
 }
@@ -283,7 +287,8 @@ macro_rules! as_boxed_catalog {
 }
 
 /// All 17 attack variants of Table III (18 rows: Foreshadow-NG contributes
-/// OS and VMM flavors), in the paper's order, as a `'static` registry.
+/// OS and VMM flavors) in the paper's order, plus post-paper registry
+/// growth (Retbleed) appended at the end, as a `'static` registry.
 ///
 /// This is the canonical iteration surface: the campaign engine, the bench
 /// binaries and the examples all consume this slice, so a new variant
@@ -314,7 +319,8 @@ mod tests {
     #[test]
     fn catalog_covers_table_iii() {
         let c = catalog();
-        assert_eq!(c.len(), 18); // 17 rows; Foreshadow-NG contributes OS+VMM
+        // 17 Table-III rows (Foreshadow-NG contributes OS+VMM) + Retbleed.
+        assert_eq!(c.len(), 19);
         let names: Vec<&str> = c.iter().map(|a| a.info().name).collect();
         for expected in [
             "Spectre v1",
@@ -335,6 +341,7 @@ mod tests {
             "LVI",
             "TAA",
             "CacheOut",
+            "Retbleed",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
@@ -407,10 +414,11 @@ mod tests {
             names::LVI,
             names::TAA,
             names::CACHEOUT,
+            names::RETBLEED,
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
-        assert_eq!(names.len(), 18);
+        assert_eq!(names.len(), 19);
     }
 
     #[test]

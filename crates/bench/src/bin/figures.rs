@@ -12,7 +12,7 @@
 use analyzer::{AnalysisConfig, Analyzer};
 use attacks::names as attack;
 use defenses::Strategy;
-use specgraph::campaign::{CampaignMatrix, CampaignSpec};
+use specgraph::campaign::{CampaignMatrix, CampaignSpec, Hardening, Knob};
 use std::env;
 use tsg::SecurityAnalysis;
 use uarch::UarchConfig;
@@ -155,12 +155,13 @@ fn fig8() {
         println!("strategy {s}: races {before} -> {after} ({inserted} security edge(s))");
     }
     // Executable cross-check: one campaign slice sweeping Spectre v1 over
-    // the per-strategy hardened machines (no defense axis needed).
-    let spec = CampaignSpec {
-        attacks: vec![attacks::find(attack::SPECTRE_V1).expect("registered")],
-        defenses: Vec::new(),
-        ..CampaignSpec::strategy_sweep(&UarchConfig::default())
-    };
+    // the per-strategy hardened machines (no defense axis needed) — the
+    // Figure-8 five slices as one Hardening knob axis.
+    let spec = CampaignSpec::builder(UarchConfig::default())
+        .attacks([attacks::find(attack::SPECTRE_V1).expect("registered")])
+        .defenses(Vec::new())
+        .axis(Knob::Hardening, Hardening::figure8())
+        .build();
     let matrix = CampaignMatrix::run(&spec).expect("campaign runs");
     println!("simulator cross-check (Spectre v1 per hardened machine):");
     for row in matrix.baselines() {

@@ -3,39 +3,19 @@
 //! ① (serialize access) ≥ ② (block use) ≥ ③ (block send) ≥ ④ (flush
 //! predictors), because later strategies relax what speculation may do.
 //!
-//! A thin consumer of the defense registry: instead of a hand-written knob
-//! list, the configurations measured below are the modeled registry
-//! defenses themselves (one representative per distinct mechanism), so a
-//! new catalog entry is measured automatically.
+//! A thin consumer of the campaign builder: the measured machines are the
+//! [`Hardening`] knob axis expanded by `CampaignSpec::builder` — baseline
+//! plus one configuration per distinct registry mechanism — so the grid
+//! and its names come from the same axis every matrix sweep uses.
 
 use bench::{measure_cycles, workload_array_sum, workload_pointer_chase};
-use defenses::names as defense;
+use specgraph::campaign::{CampaignSpec, Hardening, Knob};
 use uarch::UarchConfig;
 
-/// The registry defenses measured, one per distinct hardware mechanism.
-const MEASURED: &[&str] = &[
-    defense::LFENCE,                  // ① no speculative loads
-    defense::EAGER_PERMISSION_CHECK,  // ① eager authorization
-    defense::NDA,                     // ② block speculative forwarding
-    defense::STT,                     // ③ block tainted transmit
-    defense::CONDITIONAL_SPECULATION, // ③ delay on miss
-    defense::INVISISPEC,              // ③ deferred fills
-    defense::CLEANUPSPEC,             // ③ undo on squash
-    defense::IBPB,                    // ④ flush predictors on switch
-];
-
 fn main() {
-    let base = UarchConfig::default();
-    let configs: Vec<(String, UarchConfig)> =
-        std::iter::once(("baseline (no defense)".to_owned(), base.clone()))
-            .chain(MEASURED.iter().map(|name| {
-                let d = defenses::find(name).unwrap_or_else(|| panic!("{name} not in registry"));
-                let cfg = d
-                    .configure(&base)
-                    .unwrap_or_else(|| panic!("{name} has no hardware model"));
-                (format!("{} {}", d.strategy.label(), d.name), cfg)
-            }))
-            .collect();
+    let spec = CampaignSpec::builder(UarchConfig::default())
+        .axis(Knob::Hardening, Hardening::all())
+        .build();
 
     let workloads: Vec<(&str, isa::Program, u64)> = vec![
         ("array-sum (branchy)", workload_array_sum(64), 128),
@@ -51,11 +31,11 @@ fn main() {
     println!("{}", "-".repeat(36 + workloads.len() * 35));
 
     let mut baselines = Vec::new();
-    for (i, (name, cfg)) in configs.iter().enumerate() {
-        print!("{name:<36}");
+    for (i, nc) in spec.configs.iter().enumerate() {
+        print!("{:<36}", nc.name);
         for (w, (_, program, words)) in workloads.iter().enumerate() {
-            let cycles = measure_cycles(cfg, program, *words)
-                .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+            let cycles = measure_cycles(&nc.config, program, *words)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", nc.name));
             if i == 0 {
                 baselines.push(cycles);
             }

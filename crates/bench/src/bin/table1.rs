@@ -7,12 +7,13 @@
 //! axis yields exactly the undefended baseline rows.
 
 use specgraph::campaign::{CampaignMatrix, CampaignSpec};
+use uarch::UarchConfig;
 
 fn main() {
-    let spec = CampaignSpec {
-        defenses: Vec::new(), // Table I is the undefended baseline column
-        ..CampaignSpec::default()
-    };
+    // Table I is the undefended baseline column: no defense axis.
+    let spec = CampaignSpec::builder(UarchConfig::default())
+        .defenses(Vec::new())
+        .build();
     let matrix = CampaignMatrix::run(&spec).unwrap_or_else(|e| panic!("campaign failed: {e}"));
 
     println!("Table I: Speculative attacks and their variants");

@@ -9,6 +9,7 @@
 use attacks::names as attack;
 use defenses::industry_rows;
 use specgraph::campaign::{CampaignMatrix, CampaignSpec};
+use uarch::UarchConfig;
 
 /// The representative executable attack(s) for each Table II row, by
 /// canonical registry name.
@@ -25,7 +26,7 @@ fn row_attacks(row_attack: &str) -> Vec<&'static str> {
 }
 
 fn main() {
-    let matrix = CampaignMatrix::run(&CampaignSpec::default())
+    let matrix = CampaignMatrix::run(&CampaignSpec::builder(UarchConfig::default()).build())
         .unwrap_or_else(|e| panic!("campaign failed: {e}"));
 
     println!("Table II: Industrial defenses against speculative attacks");

@@ -9,12 +9,13 @@
 
 use attacks::AttackClass;
 use specgraph::campaign::{CampaignMatrix, CampaignSpec};
+use uarch::UarchConfig;
 
 fn main() {
-    let spec = CampaignSpec {
-        defenses: Vec::new(), // Table III verifies the undefended graphs
-        ..CampaignSpec::default()
-    };
+    // Table III verifies the undefended graphs: no defense axis.
+    let spec = CampaignSpec::builder(UarchConfig::default())
+        .defenses(Vec::new())
+        .build();
     let matrix = CampaignMatrix::run(&spec).unwrap_or_else(|e| panic!("campaign failed: {e}"));
 
     println!("Table III: Authorization and Access Nodes of Speculative Attacks");

@@ -5,42 +5,344 @@
 //! Figure 8's four strategies, Table II's defense catalog — and the seed
 //! evaluated them one `(attack, defense)` pair at a time with hand-copied
 //! attack lists in every binary. A campaign instead takes the registries
-//! ([`attacks::registry`], [`defenses::registry`]) plus a list of named
-//! machine configurations, evaluates every cell in parallel, and returns a
-//! [`CampaignMatrix`] with deterministic ordering, lookups, the §V-B
+//! ([`attacks::registry`], [`defenses::registry`]) plus a *configuration
+//! grid*, evaluates every cell in parallel, and returns a
+//! [`CampaignMatrix`] with deterministic ordering, O(1) lookups, the §V-B
 //! "false sense of security" extraction, and JSON/CSV export.
 //!
-//! Work is distributed over `std::thread::scope` workers round-robin, and
-//! results are reassembled by cell index, so the output is byte-identical
-//! regardless of thread count or scheduling:
+//! The configuration axis is built from **typed knobs** over
+//! [`UarchConfig`]: each [`Knob`] axis contributes its values to a full
+//! cartesian grid, with auto-generated config names:
 //!
 //! ```
-//! use specgraph::campaign::{CampaignMatrix, CampaignSpec};
+//! use specgraph::campaign::{CampaignMatrix, CampaignSpec, Knob, PredictorFlavor};
+//! use uarch::UarchConfig;
 //!
 //! # fn main() -> Result<(), attacks::AttackError> {
-//! let mut spec = CampaignSpec::default(); // full registries × baseline
-//! spec.defenses.truncate(2);              // keep the doctest quick
-//! spec.attacks.truncate(3);
+//! let spec = CampaignSpec::builder(UarchConfig::default())
+//!     .attacks(attacks::registry().iter().copied().take(2))
+//!     .defenses(defenses::registry().iter().copied().take(2))
+//!     .axis(Knob::RobDepth, [16usize, 64])
+//!     .axis(
+//!         Knob::Predictor,
+//!         [PredictorFlavor::Shared, PredictorFlavor::FlushOnSwitch],
+//!     )
+//!     .build();
 //! let matrix = CampaignMatrix::run(&spec)?;
-//! assert_eq!(matrix.shape(), (3, 2, 1));
-//! assert!(matrix.cells().iter().all(|c| c.config == 0));
+//! assert_eq!(matrix.shape(), (2, 2, 4)); // 2×2 knob grid = 4 config slices
+//! assert_eq!(matrix.configs[0], "rob=16 pred=shared");
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Work is distributed over `std::thread::scope` workers round-robin, and
+//! results are reassembled by cell index, so the output is byte-identical
+//! regardless of thread count or scheduling. That index-addressed,
+//! deterministic cell order is also what makes the cube **shardable**
+//! ([`CampaignSpec::shards`] / [`CampaignMatrix::merge`]: merging is
+//! validated concatenation) and **incrementally re-evaluable**
+//! ([`CampaignMatrix::run_incremental`]: every cell carries a content
+//! fingerprint — attack name, defense name + strategy, config contents —
+//! and cells whose fingerprint appears in a previous matrix, e.g. one
+//! loaded with [`CampaignMatrix::load_json`], are reused instead of
+//! re-simulated).
 
+use crate::jsonio::{self, Json};
 use crate::scenario::{self, Evaluation};
 use attacks::{Attack, AttackError, AttackInfo};
-use defenses::{Defense, Verdict};
+use defenses::{Defense, Strategy, Verdict};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
 use std::fmt::Write as _;
+use std::path::Path;
 use std::thread;
 use tsg::NodeKind;
 use uarch::UarchConfig;
 
+// ---------------------------------------------------------------------------
+// Typed configuration knobs
+// ---------------------------------------------------------------------------
+
+/// A named [`UarchConfig`] dimension a campaign can sweep.
+///
+/// Each knob maps one grid-axis value onto the simulator configuration;
+/// the builder ([`CampaignSpec::builder`]) expands the cartesian product
+/// of all declared axes into the campaign's config slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Knob {
+    /// Re-order buffer capacity (`rob_capacity`).
+    RobDepth,
+    /// Instructions fetched per cycle (`fetch_width`).
+    FetchWidth,
+    /// Instructions issued per cycle (`issue_width`).
+    IssueWidth,
+    /// Cache geometry: number of sets (`cache_sets`).
+    CacheSets,
+    /// Cache geometry: associativity (`cache_ways`).
+    CacheWays,
+    /// Line fill buffer entries (`lfb_entries`).
+    LfbEntries,
+    /// Store buffer entries (`store_buffer_entries`).
+    StoreBufferEntries,
+    /// Return stack buffer depth (`rsb_depth`).
+    RsbDepth,
+    /// L1 hit latency in cycles (`cache_hit_latency`).
+    CacheHitLatency,
+    /// Miss-to-memory latency in cycles (`cache_miss_latency`).
+    CacheMissLatency,
+    /// Privilege/permission check latency (`permission_check_latency`).
+    PermissionCheckLatency,
+    /// Predictor flavor (shared / flushed / retpoline-style / stuffed RSB).
+    Predictor,
+    /// A Figure-8 global hardening mechanism (the axis behind the old
+    /// 5-slice strategy sweep, now one knob among many).
+    Hardening,
+}
+
+impl Knob {
+    /// Applies `value` to `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value kind does not fit the knob (e.g. a numeric
+    /// value for [`Knob::Predictor`]) — a spec-construction bug, caught at
+    /// [`CampaignSpecBuilder::build`] time.
+    fn apply(self, cfg: &mut UarchConfig, value: KnobValue) {
+        match (self, value) {
+            (Knob::RobDepth, KnobValue::Num(n)) => cfg.rob_capacity = to_usize(n),
+            (Knob::FetchWidth, KnobValue::Num(n)) => cfg.fetch_width = to_usize(n),
+            (Knob::IssueWidth, KnobValue::Num(n)) => cfg.issue_width = to_usize(n),
+            (Knob::CacheSets, KnobValue::Num(n)) => cfg.cache_sets = to_usize(n),
+            (Knob::CacheWays, KnobValue::Num(n)) => cfg.cache_ways = to_usize(n),
+            (Knob::LfbEntries, KnobValue::Num(n)) => cfg.lfb_entries = to_usize(n),
+            (Knob::StoreBufferEntries, KnobValue::Num(n)) => {
+                cfg.store_buffer_entries = to_usize(n);
+            }
+            (Knob::RsbDepth, KnobValue::Num(n)) => cfg.rsb_depth = to_usize(n),
+            (Knob::CacheHitLatency, KnobValue::Num(n)) => cfg.cache_hit_latency = n,
+            (Knob::CacheMissLatency, KnobValue::Num(n)) => cfg.cache_miss_latency = n,
+            (Knob::PermissionCheckLatency, KnobValue::Num(n)) => {
+                cfg.permission_check_latency = n;
+            }
+            (Knob::Predictor, KnobValue::Predictor(p)) => p.apply(cfg),
+            (Knob::Hardening, KnobValue::Hardening(h)) => h.apply(cfg),
+            (knob, value) => panic!("knob {knob:?} cannot take value {value:?}"),
+        }
+    }
+
+    /// The axis token this knob contributes to auto-generated config names.
+    fn label(self, value: KnobValue) -> String {
+        match (self, value) {
+            (Knob::RobDepth, KnobValue::Num(n)) => format!("rob={n}"),
+            (Knob::FetchWidth, KnobValue::Num(n)) => format!("fetch={n}"),
+            (Knob::IssueWidth, KnobValue::Num(n)) => format!("issue={n}"),
+            (Knob::CacheSets, KnobValue::Num(n)) => format!("sets={n}"),
+            (Knob::CacheWays, KnobValue::Num(n)) => format!("ways={n}"),
+            (Knob::LfbEntries, KnobValue::Num(n)) => format!("lfb={n}"),
+            (Knob::StoreBufferEntries, KnobValue::Num(n)) => format!("stbuf={n}"),
+            (Knob::RsbDepth, KnobValue::Num(n)) => format!("rsb={n}"),
+            (Knob::CacheHitLatency, KnobValue::Num(n)) => format!("hitlat={n}"),
+            (Knob::CacheMissLatency, KnobValue::Num(n)) => format!("misslat={n}"),
+            (Knob::PermissionCheckLatency, KnobValue::Num(n)) => format!("permlat={n}"),
+            (Knob::Predictor, KnobValue::Predictor(p)) => format!("pred={}", p.token()),
+            // Hardening labels stand alone so single-axis Figure-8 sweeps
+            // keep the paper's slice names ("baseline", "② NDA", …).
+            (Knob::Hardening, KnobValue::Hardening(h)) => h.label().to_owned(),
+            (knob, value) => panic!("knob {knob:?} cannot take value {value:?}"),
+        }
+    }
+}
+
+fn to_usize(n: u64) -> usize {
+    usize::try_from(n).expect("knob value fits in usize")
+}
+
+/// One value on a [`Knob`] axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum KnobValue {
+    /// A numeric knob setting (sizes, widths, latencies).
+    Num(u64),
+    /// A predictor flavor (for [`Knob::Predictor`]).
+    Predictor(PredictorFlavor),
+    /// A hardening mechanism (for [`Knob::Hardening`]).
+    Hardening(Hardening),
+}
+
+impl From<usize> for KnobValue {
+    fn from(n: usize) -> Self {
+        KnobValue::Num(n as u64)
+    }
+}
+
+impl From<PredictorFlavor> for KnobValue {
+    fn from(p: PredictorFlavor) -> Self {
+        KnobValue::Predictor(p)
+    }
+}
+
+impl From<Hardening> for KnobValue {
+    fn from(h: Hardening) -> Self {
+        KnobValue::Hardening(h)
+    }
+}
+
+/// How the front-end predictors behave across contexts — the axis the
+/// branch-history attacks (Spectre v2, Spectre-RSB, Retbleed) are
+/// sensitive to.
+///
+/// A [`Knob::Predictor`] axis *pins* the slice's predictor behavior: it
+/// assigns all three predictor flags
+/// (`flush_predictors_on_switch`/`no_indirect_prediction`/`rsb_stuffing`),
+/// overriding whatever the base configuration set, so every slice is
+/// exactly the flavor its name claims. Because
+/// [`Hardening::FlushPredictors`] sets one of those same flags, the
+/// builder rejects combining the two axes rather than letting one
+/// silently cancel the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum PredictorFlavor {
+    /// Untagged predictors shared across contexts (vulnerable baseline).
+    Shared,
+    /// All predictor state flushed on context switch (IBPB-style, ④).
+    FlushOnSwitch,
+    /// No indirect-branch prediction at all (retpoline effect).
+    NoIndirect,
+    /// RSB refilled with benign entries on switches (RSB stuffing).
+    StuffedRsb,
+}
+
+impl PredictorFlavor {
+    /// All flavors, baseline first.
+    #[must_use]
+    pub fn all() -> [PredictorFlavor; 4] {
+        [
+            PredictorFlavor::Shared,
+            PredictorFlavor::FlushOnSwitch,
+            PredictorFlavor::NoIndirect,
+            PredictorFlavor::StuffedRsb,
+        ]
+    }
+
+    /// Pins the predictor flags to exactly this flavor (see the type-level
+    /// docs: the axis overrides the base, it does not compose with it).
+    fn apply(self, cfg: &mut UarchConfig) {
+        cfg.flush_predictors_on_switch = self == PredictorFlavor::FlushOnSwitch;
+        cfg.no_indirect_prediction = self == PredictorFlavor::NoIndirect;
+        cfg.rsb_stuffing = self == PredictorFlavor::StuffedRsb;
+    }
+
+    /// Stable machine-readable token.
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            PredictorFlavor::Shared => "shared",
+            PredictorFlavor::FlushOnSwitch => "flush",
+            PredictorFlavor::NoIndirect => "no-indirect",
+            PredictorFlavor::StuffedRsb => "stuffed-rsb",
+        }
+    }
+}
+
+/// A globally applied Figure-8 hardening mechanism (one per distinct
+/// simulator knob) — the configuration axis behind the overhead and
+/// insufficiency discussions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Hardening {
+    /// No hardening: the vulnerable baseline.
+    None,
+    /// ① loads wait for all older control flow (ubiquitous fencing).
+    NoSpeculativeLoads,
+    /// ① intra-instruction: permission checks complete before forwarding.
+    EagerPermissionCheck,
+    /// ② speculative load results are not forwarded (NDA family).
+    Nda,
+    /// ③ tainted transmitters wait until non-speculative (STT).
+    Stt,
+    /// ③ speculative misses are delayed (Conditional Speculation).
+    DelayOnMiss,
+    /// ③ speculative fills go to shadow structures (InvisiSpec/SafeSpec).
+    InvisibleSpec,
+    /// ③ speculative cache changes undone on squash (CleanupSpec).
+    CleanupSpec,
+    /// ④ predictor state flushed on context switches (IBPB).
+    FlushPredictors,
+}
+
+impl Hardening {
+    /// Every mechanism, baseline first.
+    #[must_use]
+    pub fn all() -> [Hardening; 9] {
+        [
+            Hardening::None,
+            Hardening::NoSpeculativeLoads,
+            Hardening::EagerPermissionCheck,
+            Hardening::Nda,
+            Hardening::Stt,
+            Hardening::DelayOnMiss,
+            Hardening::InvisibleSpec,
+            Hardening::CleanupSpec,
+            Hardening::FlushPredictors,
+        ]
+    }
+
+    /// The paper's Figure-8 five-slice sweep: baseline plus one machine
+    /// per strategy ①–④ (the old hand-rolled `strategy_sweep`).
+    #[must_use]
+    pub fn figure8() -> [Hardening; 5] {
+        [
+            Hardening::None,
+            Hardening::NoSpeculativeLoads,
+            Hardening::Nda,
+            Hardening::Stt,
+            Hardening::FlushPredictors,
+        ]
+    }
+
+    fn apply(self, cfg: &mut UarchConfig) {
+        match self {
+            Hardening::None => {}
+            Hardening::NoSpeculativeLoads => cfg.no_speculative_loads = true,
+            Hardening::EagerPermissionCheck => cfg.eager_permission_check = true,
+            Hardening::Nda => cfg.nda = true,
+            Hardening::Stt => cfg.stt = true,
+            Hardening::DelayOnMiss => cfg.delay_on_miss = true,
+            Hardening::InvisibleSpec => cfg.invisible_spec = true,
+            Hardening::CleanupSpec => cfg.cleanup_spec = true,
+            Hardening::FlushPredictors => cfg.flush_predictors_on_switch = true,
+        }
+    }
+
+    /// Display label (the paper's circled-strategy slice names).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Hardening::None => "baseline",
+            Hardening::NoSpeculativeLoads => "① no speculative loads",
+            Hardening::EagerPermissionCheck => "① eager permission check",
+            Hardening::Nda => "② NDA",
+            Hardening::Stt => "③ STT",
+            Hardening::DelayOnMiss => "③ delay-on-miss",
+            Hardening::InvisibleSpec => "③ InvisiSpec",
+            Hardening::CleanupSpec => "③ CleanupSpec",
+            Hardening::FlushPredictors => "④ flush predictors",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spec and builder
+// ---------------------------------------------------------------------------
+
 /// A machine configuration with a human-readable name (one slice of the
-/// campaign cube's third axis).
+/// campaign cube's third axis). Produced by the builder's grid expansion;
+/// hand-construction remains possible for irregular slices.
 #[derive(Debug, Clone)]
 pub struct NamedConfig {
-    /// Display name, e.g. `"baseline"` or `"② NDA hardened"`.
+    /// Display name, e.g. `"baseline"` or `"rob=16 pred=shared"`.
     pub name: String,
     /// The simulator configuration evaluated under that name.
     pub config: UarchConfig,
@@ -57,7 +359,7 @@ impl NamedConfig {
 }
 
 /// What to evaluate: the three axes of the cube plus the worker count.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CampaignSpec {
     /// Attack axis; defaults to the full [`attacks::registry`].
     pub attacks: Vec<&'static dyn Attack>,
@@ -71,51 +373,221 @@ pub struct CampaignSpec {
 
 impl Default for CampaignSpec {
     fn default() -> Self {
-        CampaignSpec {
-            attacks: attacks::registry().to_vec(),
-            defenses: defenses::registry().to_vec(),
-            configs: vec![NamedConfig::new("baseline", UarchConfig::default())],
-            threads: 0,
-        }
+        CampaignSpec::builder(UarchConfig::default()).build()
     }
 }
 
 impl CampaignSpec {
-    /// Full registries over a single caller-chosen base configuration.
+    /// Starts building a campaign over `base`: full registries, no grid
+    /// axes yet. Without any [`axis`](CampaignSpecBuilder::axis) call the
+    /// spec has the single config slice `"baseline"`.
     #[must_use]
-    pub fn with_base(base: &UarchConfig) -> Self {
-        CampaignSpec {
-            configs: vec![NamedConfig::new("base", base.clone())],
-            ..CampaignSpec::default()
+    pub fn builder(base: UarchConfig) -> CampaignSpecBuilder {
+        CampaignSpecBuilder {
+            base,
+            attacks: attacks::registry().to_vec(),
+            defenses: defenses::registry().to_vec(),
+            axes: Vec::new(),
+            threads: 0,
         }
     }
 
-    /// Full registries swept over the baseline plus one globally hardened
-    /// machine per Figure-8 strategy knob (①–④) — the configuration sweep
-    /// behind the overhead/insufficiency discussions.
+    /// Total number of evaluation tasks (baseline runs + matrix cells).
     #[must_use]
-    pub fn strategy_sweep(base: &UarchConfig) -> Self {
-        let knob = |name: &str, f: fn(&mut UarchConfig)| {
-            let mut cfg = base.clone();
-            f(&mut cfg);
-            NamedConfig::new(name, cfg)
+    pub fn total_tasks(&self) -> usize {
+        let (a, d, c) = (self.attacks.len(), self.defenses.len(), self.configs.len());
+        a * c + a * d * c
+    }
+
+    /// Splits the cube into `n` independently runnable shards covering
+    /// contiguous, balanced ranges of the deterministic task order.
+    /// `CampaignMatrix::merge` over all the parts reproduces
+    /// [`CampaignMatrix::run`] bit for bit. `n = 0` is treated as 1.
+    #[must_use]
+    pub fn shards(&self, n: usize) -> Vec<CampaignShard> {
+        let n = n.max(1);
+        let total = self.total_tasks();
+        (0..n)
+            .map(|i| CampaignShard {
+                index: i,
+                of: n,
+                start: i * total / n,
+                end: (i + 1) * total / n,
+                spec: self.clone(),
+            })
+            .collect()
+    }
+}
+
+/// Builder for [`CampaignSpec`]: registries by default, restrictable
+/// attack/defense axes, and a cartesian configuration grid over typed
+/// [`Knob`] axes.
+#[derive(Debug)]
+pub struct CampaignSpecBuilder {
+    base: UarchConfig,
+    attacks: Vec<&'static dyn Attack>,
+    defenses: Vec<Defense>,
+    axes: Vec<(Knob, Vec<KnobValue>)>,
+    threads: usize,
+}
+
+impl CampaignSpecBuilder {
+    /// Replaces the attack axis (defaults to the full registry).
+    #[must_use]
+    pub fn attacks(mut self, attacks: impl IntoIterator<Item = &'static dyn Attack>) -> Self {
+        self.attacks = attacks.into_iter().collect();
+        self
+    }
+
+    /// Replaces the defense axis (defaults to the full registry); pass
+    /// `[]` for baseline-only campaigns (Tables I and III).
+    #[must_use]
+    pub fn defenses(mut self, defenses: impl IntoIterator<Item = Defense>) -> Self {
+        self.defenses = defenses.into_iter().collect();
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = all available parallelism).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Declares a configuration axis: the grid sweeps `knob` over
+    /// `values`. Axes multiply — each `axis` call multiplies the config
+    /// count by `values.len()`, first-declared axis varying slowest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains a duplicate (the duplicate
+    /// slices would share one name and fingerprint), `knob` was already
+    /// declared, or the
+    /// grid would combine a [`Knob::Predictor`] axis with a
+    /// [`Hardening::FlushPredictors`] value — the predictor axis pins the
+    /// very flag that hardening sets, so such a slice would not be the
+    /// machine its name claims.
+    #[must_use]
+    pub fn axis<V: Into<KnobValue>>(
+        mut self,
+        knob: Knob,
+        values: impl IntoIterator<Item = V>,
+    ) -> Self {
+        let values: Vec<KnobValue> = values.into_iter().map(Into::into).collect();
+        assert!(!values.is_empty(), "axis {knob:?} needs at least one value");
+        for (i, v) in values.iter().enumerate() {
+            assert!(
+                !values[..i].contains(v),
+                "axis {knob:?} lists value {v:?} twice — the duplicate slices \
+                 would share one name and one fingerprint"
+            );
+        }
+        assert!(
+            self.axes.iter().all(|(k, _)| *k != knob),
+            "axis {knob:?} declared twice"
+        );
+        self.axes.push((knob, values));
+        let has_predictor = self.axes.iter().any(|(k, _)| *k == Knob::Predictor);
+        let has_flush_hardening = self
+            .axes
+            .iter()
+            .any(|(_, vs)| vs.contains(&KnobValue::Hardening(Hardening::FlushPredictors)));
+        assert!(
+            !(has_predictor && has_flush_hardening),
+            "Knob::Predictor pins the predictor flags and would silently \
+             override Hardening::FlushPredictors; drop one of the two axes \
+             (PredictorFlavor::FlushOnSwitch covers the ④ slice)"
+        );
+        self
+    }
+
+    /// Expands the declared axes into the full cartesian configuration
+    /// grid and finishes the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an axis value does not fit its knob (e.g. a numeric
+    /// value on [`Knob::Predictor`]).
+    #[must_use]
+    pub fn build(self) -> CampaignSpec {
+        let configs = if self.axes.is_empty() {
+            vec![NamedConfig::new("baseline", self.base.clone())]
+        } else {
+            let count: usize = self.axes.iter().map(|(_, v)| v.len()).product();
+            (0..count)
+                .map(|index| {
+                    // Mixed-radix decode of the grid index: first axis is
+                    // the most significant digit (varies slowest).
+                    let mut rest = index;
+                    let mut positions = vec![0usize; self.axes.len()];
+                    for (pos, (_, values)) in positions.iter_mut().zip(&self.axes).rev() {
+                        *pos = rest % values.len();
+                        rest /= values.len();
+                    }
+                    let mut cfg = self.base.clone();
+                    let mut parts = Vec::with_capacity(self.axes.len());
+                    for (pos, (knob, values)) in positions.iter().zip(&self.axes) {
+                        let value = values[*pos];
+                        knob.apply(&mut cfg, value);
+                        parts.push(knob.label(value));
+                    }
+                    NamedConfig::new(parts.join(" "), cfg)
+                })
+                .collect()
         };
         CampaignSpec {
-            configs: vec![
-                NamedConfig::new("baseline", base.clone()),
-                knob("① no speculative loads", |c| {
-                    c.no_speculative_loads = true
-                }),
-                knob("② NDA", |c| c.nda = true),
-                knob("③ STT", |c| c.stt = true),
-                knob("④ flush predictors", |c| {
-                    c.flush_predictors_on_switch = true
-                }),
-            ],
-            ..CampaignSpec::default()
+            attacks: self.attacks,
+            defenses: self.defenses,
+            configs,
+            threads: self.threads,
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A stable 64-bit digest of a machine configuration's *contents* (every
+/// field, in declaration order).
+///
+/// Hashing the canonical `Debug` rendering covers all knobs, so any
+/// change — a grid-axis value or a base-field tweak — changes the digest;
+/// adding a field to `UarchConfig` deliberately invalidates every stored
+/// fingerprint (the conservative direction for incremental re-evaluation).
+#[must_use]
+pub fn config_digest(cfg: &UarchConfig) -> u64 {
+    fnv1a(format!("{cfg:?}").as_bytes(), FNV_OFFSET)
+}
+
+fn baseline_fingerprint(attack: &str, digest: u64) -> u64 {
+    let h = fnv1a(b"baseline\0", FNV_OFFSET);
+    let h = fnv1a(attack.as_bytes(), h);
+    fnv1a(&digest.to_le_bytes(), fnv1a(b"\0", h))
+}
+
+fn cell_fingerprint(attack: &str, defense: &str, strategy: Strategy, digest: u64) -> u64 {
+    let h = fnv1a(b"cell\0", FNV_OFFSET);
+    let h = fnv1a(attack.as_bytes(), h);
+    let h = fnv1a(defense.as_bytes(), fnv1a(b"\0", h));
+    let h = fnv1a(strategy_token(strategy).as_bytes(), fnv1a(b"\0", h));
+    fnv1a(&digest.to_le_bytes(), fnv1a(b"\0", h))
+}
+
+// ---------------------------------------------------------------------------
+// Cells
+// ---------------------------------------------------------------------------
 
 /// One attack run with *no* defense on one configuration: the leak ground
 /// truth (Table I/III rows), plus the Theorem-1 graph verdict.
@@ -135,6 +607,9 @@ pub struct BaselineCell {
     /// race with a secret access? (Answered from the graph's cached
     /// reachability index.)
     pub graph_race: bool,
+    /// Content fingerprint (attack name + config contents) keying
+    /// incremental reuse.
+    pub fingerprint: u64,
 }
 
 /// One (attack, defense, configuration) evaluation.
@@ -148,6 +623,9 @@ pub struct MatrixCell {
     pub config: usize,
     /// The two-level verdict for the cell.
     pub evaluation: Evaluation,
+    /// Content fingerprint (attack + defense name/strategy + config
+    /// contents) keying incremental reuse.
+    pub fingerprint: u64,
 }
 
 impl MatrixCell {
@@ -158,21 +636,9 @@ impl MatrixCell {
     }
 }
 
-/// The evaluated cube, in deterministic attack-major order.
-#[derive(Debug, Clone)]
-pub struct CampaignMatrix {
-    /// Attack axis metadata, in evaluation order.
-    pub attacks: Vec<AttackInfo>,
-    /// Defense axis, in evaluation order.
-    pub defenses: Vec<Defense>,
-    /// Configuration axis names, in evaluation order.
-    pub configs: Vec<String>,
-    /// Undefended runs: `attacks.len() × configs.len()`, attack-major.
-    baselines: Vec<BaselineCell>,
-    /// Defense evaluations: `attacks.len() × defenses.len() ×
-    /// configs.len()`, ordered `((a·D)+d)·C + c`.
-    cells: Vec<MatrixCell>,
-}
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
 
 enum TaskOut {
     Base(BaselineCell),
@@ -195,6 +661,7 @@ fn graph_race_of(attack: &dyn Attack) -> bool {
 fn run_task(
     spec: &CampaignSpec,
     graph_races: &[bool],
+    digests: &[u64],
     task: usize,
 ) -> Result<TaskOut, AttackError> {
     let c = spec.configs.len();
@@ -204,13 +671,15 @@ fn run_task(
         let attack = spec.attacks[task / c];
         let config = task % c;
         let out = attack.run(&spec.configs[config].config)?;
+        let info = attack.info();
         Ok(TaskOut::Base(BaselineCell {
-            info: attack.info(),
+            info,
             config,
             leaked: out.leaked,
             recovered: out.recovered,
             cycles: out.cycles,
             graph_race: graph_races[task / c],
+            fingerprint: baseline_fingerprint(info.name, digests[config]),
         }))
     } else {
         let j = task - base_tasks;
@@ -218,16 +687,340 @@ fn run_task(
         let defense = &spec.defenses[(j / c) % d];
         let config = j % c;
         let evaluation = scenario::evaluate(attack, defense, &spec.configs[config].config)?;
+        let fingerprint = cell_fingerprint(
+            evaluation.attack,
+            defense.name,
+            defense.strategy,
+            digests[config],
+        );
         Ok(TaskOut::Cell(MatrixCell {
             attack: evaluation.attack,
             defense: evaluation.defense,
             config,
             evaluation,
+            fingerprint,
         }))
     }
 }
 
+/// Graph verdicts for exactly the attacks whose *baseline* tasks appear
+/// in `ids` — a shard whose range falls entirely in the cells region
+/// builds no graphs at all. Positions never read stay `false`.
+fn graph_races_for(spec: &CampaignSpec, ids: &[usize]) -> Vec<bool> {
+    let c = spec.configs.len();
+    let base_tasks = spec.attacks.len() * c;
+    let mut needed = vec![false; spec.attacks.len()];
+    for &task in ids {
+        if task < base_tasks {
+            needed[task / c] = true;
+        }
+    }
+    spec.attacks
+        .iter()
+        .zip(&needed)
+        .map(|(at, &need)| need && graph_race_of(*at))
+        .collect()
+}
+
+fn effective_threads(requested: usize, tasks: usize) -> usize {
+    match requested {
+        0 => thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        t => t,
+    }
+    .min(tasks.max(1))
+}
+
+/// Runs the given task ids (need not be contiguous, must be sorted for the
+/// error-order guarantee) on scoped workers, round-robin by list position;
+/// results come back in list order. The first error by task order wins.
+fn execute(
+    spec: &CampaignSpec,
+    graph_races: &[bool],
+    digests: &[u64],
+    ids: &[usize],
+) -> Result<Vec<TaskOut>, AttackError> {
+    let threads = effective_threads(spec.threads, ids.len());
+    let mut slots: Vec<Option<Result<TaskOut, AttackError>>> = Vec::new();
+    slots.resize_with(ids.len(), || None);
+    if threads <= 1 {
+        for (k, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(run_task(spec, graph_races, digests, ids[k]));
+        }
+    } else {
+        let worker = move |start: usize| {
+            let mut out = Vec::new();
+            let mut k = start;
+            while k < ids.len() {
+                out.push((k, run_task(spec, graph_races, digests, ids[k])));
+                k += threads;
+            }
+            out
+        };
+        let batches = thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|start| scope.spawn(move || worker(start)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for batch in batches {
+            for (k, result) in batch {
+                slots[k] = Some(result);
+            }
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every task ran"))
+        .collect()
+}
+
+fn split_outputs(outs: Vec<TaskOut>) -> (Vec<BaselineCell>, Vec<MatrixCell>) {
+    let mut baselines = Vec::new();
+    let mut cells = Vec::new();
+    for out in outs {
+        match out {
+            TaskOut::Base(b) => baselines.push(b),
+            TaskOut::Cell(cell) => cells.push(cell),
+        }
+    }
+    (baselines, cells)
+}
+
+// ---------------------------------------------------------------------------
+// Shards
+// ---------------------------------------------------------------------------
+
+/// One independently runnable slice of a campaign cube — a contiguous
+/// range of the deterministic task order. Produced by
+/// [`CampaignSpec::shards`].
+#[derive(Debug, Clone)]
+pub struct CampaignShard {
+    index: usize,
+    of: usize,
+    start: usize,
+    end: usize,
+    spec: CampaignSpec,
+}
+
+impl CampaignShard {
+    /// This shard's position in `0..of`.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// How many shards the cube was split into.
+    #[must_use]
+    pub fn of(&self) -> usize {
+        self.of
+    }
+
+    /// Number of tasks this shard evaluates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the shard has no tasks (more shards than tasks).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Evaluates this shard's task range (in parallel, like
+    /// [`CampaignMatrix::run`]) and returns the partial result for
+    /// [`CampaignMatrix::merge`].
+    ///
+    /// # Errors
+    ///
+    /// The first [`AttackError`] any simulation produced (by task order).
+    pub fn run(&self) -> Result<CampaignPart, AttackError> {
+        let digests: Vec<u64> = self
+            .spec
+            .configs
+            .iter()
+            .map(|nc| config_digest(&nc.config))
+            .collect();
+        let ids: Vec<usize> = (self.start..self.end).collect();
+        let graph_races = graph_races_for(&self.spec, &ids);
+        let (baselines, cells) = split_outputs(execute(&self.spec, &graph_races, &digests, &ids)?);
+        Ok(CampaignPart {
+            index: self.index,
+            of: self.of,
+            start: self.start,
+            end: self.end,
+            total: self.spec.total_tasks(),
+            attacks: self.spec.attacks.iter().map(|at| at.info()).collect(),
+            defenses: self.spec.defenses.clone(),
+            configs: self.spec.configs.iter().map(|nc| nc.name.clone()).collect(),
+            baselines,
+            cells,
+        })
+    }
+}
+
+/// The evaluated output of one [`CampaignShard`]: axis metadata plus the
+/// cells of its task range, in task order.
+#[derive(Debug, Clone)]
+pub struct CampaignPart {
+    index: usize,
+    of: usize,
+    start: usize,
+    end: usize,
+    total: usize,
+    attacks: Vec<AttackInfo>,
+    defenses: Vec<Defense>,
+    configs: Vec<String>,
+    baselines: Vec<BaselineCell>,
+    cells: Vec<MatrixCell>,
+}
+
+impl CampaignPart {
+    /// This part's shard position.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The baseline rows this part evaluated.
+    #[must_use]
+    pub fn baselines(&self) -> &[BaselineCell] {
+        &self.baselines
+    }
+
+    /// The matrix cells this part evaluated.
+    #[must_use]
+    pub fn cells(&self) -> &[MatrixCell] {
+        &self.cells
+    }
+}
+
+/// Why [`CampaignMatrix::merge`] rejected a set of parts.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MergeError {
+    /// No parts were given.
+    Empty,
+    /// The number of parts does not match their declared shard count.
+    WrongCount {
+        /// Shard count declared by the parts.
+        expected: usize,
+        /// Parts actually given.
+        got: usize,
+    },
+    /// After sorting, a shard index is missing or duplicated.
+    ShardIndex {
+        /// The index expected at this position.
+        expected: usize,
+        /// The index found.
+        got: usize,
+    },
+    /// A part's attack/defense/config axes differ from the first part's.
+    AxisMismatch {
+        /// Shard index of the offending part.
+        index: usize,
+    },
+    /// The parts' task ranges do not tile the cube exactly.
+    Coverage {
+        /// Task index where contiguous coverage was expected.
+        expected: usize,
+        /// Task index actually found.
+        got: usize,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Empty => f.write_str("no campaign parts to merge"),
+            MergeError::WrongCount { expected, got } => {
+                write!(f, "expected {expected} parts, got {got}")
+            }
+            MergeError::ShardIndex { expected, got } => {
+                write!(f, "expected shard index {expected}, got {got}")
+            }
+            MergeError::AxisMismatch { index } => {
+                write!(f, "shard {index} was evaluated over different axes")
+            }
+            MergeError::Coverage { expected, got } => {
+                write!(
+                    f,
+                    "parts do not tile the cube: expected task {expected}, got {got}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for MergeError {}
+
+// ---------------------------------------------------------------------------
+// Matrix
+// ---------------------------------------------------------------------------
+
+/// The evaluated cube, in deterministic attack-major order.
+#[derive(Debug, Clone)]
+pub struct CampaignMatrix {
+    /// Attack axis metadata, in evaluation order.
+    pub attacks: Vec<AttackInfo>,
+    /// Defense axis, in evaluation order.
+    pub defenses: Vec<Defense>,
+    /// Configuration axis names, in evaluation order.
+    pub configs: Vec<String>,
+    /// Undefended runs: `attacks.len() × configs.len()`, attack-major.
+    baselines: Vec<BaselineCell>,
+    /// Defense evaluations: `attacks.len() × defenses.len() ×
+    /// configs.len()`, ordered `((a·D)+d)·C + c`.
+    cells: Vec<MatrixCell>,
+    /// Name → axis position, for O(1) [`CampaignMatrix::cell`] lookups.
+    attack_index: HashMap<&'static str, usize>,
+    /// Name → axis position, for O(1) [`CampaignMatrix::cell`] lookups.
+    defense_index: HashMap<&'static str, usize>,
+}
+
+/// How much work an incremental run actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncrementalReport {
+    /// Tasks (baselines + cells) that were re-simulated.
+    pub evaluated: usize,
+    /// Tasks reused from the previous matrix by fingerprint.
+    pub reused: usize,
+}
+
 impl CampaignMatrix {
+    fn assemble(
+        attacks: Vec<AttackInfo>,
+        defenses: Vec<Defense>,
+        configs: Vec<String>,
+        baselines: Vec<BaselineCell>,
+        cells: Vec<MatrixCell>,
+    ) -> Self {
+        debug_assert_eq!(baselines.len(), attacks.len() * configs.len());
+        debug_assert_eq!(cells.len(), attacks.len() * defenses.len() * configs.len());
+        let attack_index = attacks
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.name, i))
+            .collect();
+        let defense_index = defenses
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.name, i))
+            .collect();
+        CampaignMatrix {
+            attacks,
+            defenses,
+            configs,
+            baselines,
+            cells,
+            attack_index,
+            defense_index,
+        }
+    }
+
     /// Evaluates the full cube described by `spec`.
     ///
     /// Tasks (one per baseline run, one per matrix cell) are dealt to
@@ -243,66 +1036,211 @@ impl CampaignMatrix {
     /// Panics if a worker thread itself panics (i.e. a bug, not a
     /// simulation failure).
     pub fn run(spec: &CampaignSpec) -> Result<Self, AttackError> {
+        Ok(Self::run_incremental(spec, None)?.0)
+    }
+
+    /// Evaluates the cube, reusing every cell of `prev` whose content
+    /// fingerprint (attack name + defense name/strategy + config
+    /// contents) matches a cell of the new spec; only stale cells are
+    /// re-simulated. With an unchanged spec this evaluates **zero** cells;
+    /// changing one knob value re-evaluates exactly the affected config
+    /// slices. `prev` typically comes from [`CampaignMatrix::load_json`].
+    ///
+    /// Fingerprints cover the *spec*, not the simulator implementation:
+    /// discard saved matrices when the simulator or an attack PoC changes.
+    ///
+    /// # Errors
+    ///
+    /// The first [`AttackError`] any re-simulation produced (by task
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread itself panics.
+    pub fn run_incremental(
+        spec: &CampaignSpec,
+        prev: Option<&CampaignMatrix>,
+    ) -> Result<(Self, IncrementalReport), AttackError> {
         let (a, d, c) = (spec.attacks.len(), spec.defenses.len(), spec.configs.len());
         let total = a * c + a * d * c;
-        let threads = match spec.threads {
-            0 => thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
-            t => t,
-        }
-        .min(total.max(1));
-
-        // The graph verdict is config-independent: one closure build per
-        // attack, shared by every config slice's baseline row.
+        let digests: Vec<u64> = spec
+            .configs
+            .iter()
+            .map(|nc| config_digest(&nc.config))
+            .collect();
+        // The Theorem-1 graph verdict is recomputed live for every attack
+        // (cheap, config-independent) and stamped onto reused baselines
+        // below, so a changed graph() never serves a stale verdict even
+        // when the simulation itself is reused.
         let graph_races: Vec<bool> = spec.attacks.iter().map(|at| graph_race_of(*at)).collect();
 
-        let mut slots: Vec<Option<Result<TaskOut, AttackError>>> = Vec::new();
-        slots.resize_with(total, || None);
-        if threads <= 1 {
-            for (task, slot) in slots.iter_mut().enumerate() {
-                *slot = Some(run_task(spec, &graph_races, task));
+        let mut prev_bases: HashMap<u64, &BaselineCell> = HashMap::new();
+        let mut prev_cells: HashMap<u64, &MatrixCell> = HashMap::new();
+        if let Some(p) = prev {
+            for b in &p.baselines {
+                prev_bases.insert(b.fingerprint, b);
             }
-        } else {
-            let graph_races = &graph_races;
-            let worker = move |start: usize| {
-                let mut out = Vec::new();
-                let mut task = start;
-                while task < total {
-                    out.push((task, run_task(spec, graph_races, task)));
-                    task += threads;
-                }
-                out
-            };
-            let batches = thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|start| scope.spawn(move || worker(start)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("campaign worker panicked"))
-                    .collect::<Vec<_>>()
-            });
-            for batch in batches {
-                for (task, result) in batch {
-                    slots[task] = Some(result);
-                }
+            for cell in &p.cells {
+                prev_cells.insert(cell.fingerprint, cell);
             }
         }
 
-        let mut baselines = Vec::with_capacity(a * c);
-        let mut cells = Vec::with_capacity(a * d * c);
-        for slot in slots {
-            match slot.expect("every task ran")? {
-                TaskOut::Base(b) => baselines.push(b),
-                TaskOut::Cell(cell) => cells.push(cell),
+        let mut slots: Vec<Option<TaskOut>> = Vec::with_capacity(total);
+        let mut stale: Vec<usize> = Vec::new();
+        for task in 0..total {
+            let reused = if task < a * c {
+                let name = spec.attacks[task / c].info().name;
+                let config = task % c;
+                prev_bases
+                    .get(&baseline_fingerprint(name, digests[config]))
+                    .map(|b| {
+                        TaskOut::Base(BaselineCell {
+                            config,
+                            graph_race: graph_races[task / c],
+                            ..(*b).clone()
+                        })
+                    })
+            } else {
+                let j = task - a * c;
+                let name = spec.attacks[j / (d * c)].info().name;
+                let defense = &spec.defenses[(j / c) % d];
+                let config = j % c;
+                prev_cells
+                    .get(&cell_fingerprint(
+                        name,
+                        defense.name,
+                        defense.strategy,
+                        digests[config],
+                    ))
+                    .map(|cell| {
+                        TaskOut::Cell(MatrixCell {
+                            config,
+                            ..(*cell).clone()
+                        })
+                    })
+            };
+            if reused.is_none() {
+                stale.push(task);
+            }
+            slots.push(reused);
+        }
+
+        let fresh = execute(spec, &graph_races, &digests, &stale)?;
+        for (&task, out) in stale.iter().zip(fresh) {
+            slots[task] = Some(out);
+        }
+        let (baselines, cells) = split_outputs(
+            slots
+                .into_iter()
+                .map(|s| s.expect("every task filled"))
+                .collect(),
+        );
+        let report = IncrementalReport {
+            evaluated: stale.len(),
+            reused: total - stale.len(),
+        };
+        Ok((
+            Self::assemble(
+                spec.attacks.iter().map(|at| at.info()).collect(),
+                spec.defenses.clone(),
+                spec.configs.iter().map(|nc| nc.name.clone()).collect(),
+                baselines,
+                cells,
+            ),
+            report,
+        ))
+    }
+
+    /// Runs the cube as `n` shards (sequentially, each internally
+    /// parallel) and merges — a self-test of the shard path and a
+    /// convenience for memory-bounded hosts.
+    ///
+    /// # Errors
+    ///
+    /// The first [`AttackError`] any simulation produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if self-produced shards fail to merge (a bug).
+    pub fn run_sharded(spec: &CampaignSpec, n: usize) -> Result<Self, AttackError> {
+        let parts = spec
+            .shards(n)
+            .iter()
+            .map(CampaignShard::run)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::merge(parts).expect("self-produced shards always merge"))
+    }
+
+    /// Reassembles a full matrix from every shard's [`CampaignPart`].
+    ///
+    /// Because the cell order is index-addressed and deterministic, the
+    /// merge is *validated concatenation*: parts are sorted by shard
+    /// index, checked for identical axes and exact contiguous coverage of
+    /// the task range, then concatenated. The result is bit-identical
+    /// (CSV and JSON) to a single-shot [`CampaignMatrix::run`].
+    ///
+    /// # Errors
+    ///
+    /// [`MergeError`] if the parts are incomplete, overlapping, or were
+    /// produced from different specs.
+    pub fn merge(mut parts: Vec<CampaignPart>) -> Result<Self, MergeError> {
+        if parts.is_empty() {
+            return Err(MergeError::Empty);
+        }
+        parts.sort_by_key(|p| p.index);
+        let of = parts[0].of;
+        if parts.len() != of {
+            return Err(MergeError::WrongCount {
+                expected: of,
+                got: parts.len(),
+            });
+        }
+        for (i, p) in parts.iter().enumerate() {
+            if p.index != i || p.of != of {
+                return Err(MergeError::ShardIndex {
+                    expected: i,
+                    got: p.index,
+                });
+            }
+            let first = &parts[0];
+            let same_axes = p.attacks == first.attacks
+                && p.configs == first.configs
+                && p.total == first.total
+                && p.defenses.len() == first.defenses.len()
+                && p.defenses
+                    .iter()
+                    .zip(&first.defenses)
+                    .all(|(x, y)| x.name == y.name && x.strategy == y.strategy);
+            if !same_axes {
+                return Err(MergeError::AxisMismatch { index: p.index });
             }
         }
-        Ok(CampaignMatrix {
-            attacks: spec.attacks.iter().map(|at| at.info()).collect(),
-            defenses: spec.defenses.clone(),
-            configs: spec.configs.iter().map(|nc| nc.name.clone()).collect(),
-            baselines,
-            cells,
-        })
+        let mut next = 0;
+        for p in &parts {
+            if p.start != next {
+                return Err(MergeError::Coverage {
+                    expected: next,
+                    got: p.start,
+                });
+            }
+            next = p.end;
+        }
+        if next != parts[0].total {
+            return Err(MergeError::Coverage {
+                expected: parts[0].total,
+                got: next,
+            });
+        }
+        let attacks = parts[0].attacks.clone();
+        let defenses = parts[0].defenses.clone();
+        let configs = parts[0].configs.clone();
+        let mut baselines = Vec::new();
+        let mut cells = Vec::new();
+        for p in parts {
+            baselines.extend(p.baselines);
+            cells.extend(p.cells);
+        }
+        Ok(Self::assemble(attacks, defenses, configs, baselines, cells))
     }
 
     /// `(attacks, defenses, configs)` axis lengths.
@@ -323,11 +1261,13 @@ impl CampaignMatrix {
         &self.baselines
     }
 
-    /// The cell for `(attack, defense)` under configuration index `config`.
+    /// The cell for `(attack, defense)` under configuration index
+    /// `config` — O(1): hash-map axis lookups plus index arithmetic into
+    /// the attack-major cell layout.
     #[must_use]
     pub fn cell(&self, attack: &str, defense: &str, config: usize) -> Option<&MatrixCell> {
-        let a = self.attacks.iter().position(|i| i.name == attack)?;
-        let d = self.defenses.iter().position(|de| de.name == defense)?;
+        let a = *self.attack_index.get(attack)?;
+        let d = *self.defense_index.get(defense)?;
         if config >= self.configs.len() {
             return None;
         }
@@ -335,10 +1275,14 @@ impl CampaignMatrix {
             .get((a * self.defenses.len() + d) * self.configs.len() + config)
     }
 
-    /// The undefended run of `attack` under configuration index `config`.
+    /// The undefended run of `attack` under configuration index `config`
+    /// — O(1), like [`CampaignMatrix::cell`].
     #[must_use]
     pub fn baseline(&self, attack: &str, config: usize) -> Option<&BaselineCell> {
-        let a = self.attacks.iter().position(|i| i.name == attack)?;
+        let a = *self.attack_index.get(attack)?;
+        if config >= self.configs.len() {
+            return None;
+        }
         self.baselines.get(a * self.configs.len() + config)
     }
 
@@ -379,10 +1323,12 @@ impl CampaignMatrix {
         out
     }
 
-    /// The matrix as a JSON document (axes, baselines, cells).
+    /// The matrix as a JSON document (axes, baselines, cells, and the
+    /// per-cell fingerprints that key incremental re-evaluation).
+    /// Round-trips through [`CampaignMatrix::from_json`].
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"configs\": [");
+        let mut out = String::from("{\n  \"version\": 2,\n  \"configs\": [");
         push_json_list(&mut out, self.configs.iter().map(String::as_str));
         out.push_str("],\n  \"attacks\": [");
         push_json_list(&mut out, self.attacks.iter().map(|i| i.name));
@@ -395,12 +1341,15 @@ impl CampaignMatrix {
             }
             let _ = write!(
                 out,
-                "\n    {{\"attack\": {}, \"config\": {}, \"leaked\": {}, \"cycles\": {}, \"graph_race\": {}}}",
+                "\n    {{\"attack\": {}, \"config\": {}, \"leaked\": {}, \"recovered\": {}, \"cycles\": {}, \"graph_race\": {}, \"fingerprint\": \"{:#018x}\"}}",
                 json_str(b.info.name),
                 json_str(&self.configs[b.config]),
                 b.leaked,
+                b.recovered
+                    .map_or_else(|| "null".to_owned(), |v| v.to_string()),
                 b.cycles,
                 b.graph_race,
+                b.fingerprint,
             );
         }
         out.push_str("\n  ],\n  \"cells\": [");
@@ -411,7 +1360,7 @@ impl CampaignMatrix {
             let e = &cell.evaluation;
             let _ = write!(
                 out,
-                "\n    {{\"attack\": {}, \"defense\": {}, \"config\": {}, \"strategy\": {}, \"strategy_sufficient\": {}, \"mechanism\": {}, \"false_sense\": {}}}",
+                "\n    {{\"attack\": {}, \"defense\": {}, \"config\": {}, \"strategy\": {}, \"strategy_sufficient\": {}, \"mechanism\": {}, \"false_sense\": {}, \"fingerprint\": \"{:#018x}\"}}",
                 json_str(cell.attack),
                 json_str(cell.defense),
                 json_str(&self.configs[cell.config]),
@@ -420,22 +1369,279 @@ impl CampaignMatrix {
                     .map_or_else(|| "null".to_owned(), |b| b.to_string()),
                 json_str(verdict_token(e.mechanism)),
                 cell.false_sense_of_security(),
+                cell.fingerprint,
             );
         }
         out.push_str("\n  ]\n}\n");
         out
     }
+
+    /// Writes [`CampaignMatrix::to_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from writing the file.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads a matrix saved with [`CampaignMatrix::save_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignIoError`] on I/O failure, malformed JSON, or names that
+    /// no longer resolve in the attack/defense registries.
+    pub fn load_json(path: impl AsRef<Path>) -> Result<Self, CampaignIoError> {
+        Self::from_json(&std::fs::read_to_string(path)?)
+    }
+
+    /// Parses a matrix from its [`CampaignMatrix::to_json`] document.
+    ///
+    /// Attack and defense names are resolved against the live registries
+    /// (the matrix stores `&'static` metadata); axis order and cell counts
+    /// are validated against the attack-major layout.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignIoError`] on malformed JSON, unknown names/tokens, or a
+    /// cell count that does not match the declared axes.
+    pub fn from_json(text: &str) -> Result<Self, CampaignIoError> {
+        let doc = jsonio::parse(text).map_err(CampaignIoError::Parse)?;
+        if doc.get("version").and_then(Json::as_u64) != Some(2) {
+            return Err(CampaignIoError::Parse(
+                "unsupported or missing matrix version".to_owned(),
+            ));
+        }
+        let str_list = |key: &str| -> Result<Vec<String>, CampaignIoError> {
+            doc.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| CampaignIoError::Parse(format!("missing '{key}' list")))?
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| CampaignIoError::Parse(format!("non-string in '{key}'")))
+                })
+                .collect()
+        };
+        let configs = str_list("configs")?;
+        let attacks: Vec<AttackInfo> = str_list("attacks")?
+            .into_iter()
+            .map(|name| {
+                attacks::find(&name)
+                    .map(|a| a.info())
+                    .ok_or(CampaignIoError::UnknownAttack(name))
+            })
+            .collect::<Result<_, _>>()?;
+        let defenses: Vec<Defense> = str_list("defenses")?
+            .into_iter()
+            .map(|name| {
+                defenses::find(&name)
+                    .copied()
+                    .ok_or(CampaignIoError::UnknownDefense(name))
+            })
+            .collect::<Result<_, _>>()?;
+        let (a, d, c) = (attacks.len(), defenses.len(), configs.len());
+
+        let entries = |key: &str| -> Result<&[Json], CampaignIoError> {
+            doc.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| CampaignIoError::Parse(format!("missing '{key}' list")))
+        };
+        let baseline_rows = entries("baselines")?;
+        if baseline_rows.len() != a * c {
+            return Err(CampaignIoError::Shape(format!(
+                "expected {} baselines, found {}",
+                a * c,
+                baseline_rows.len()
+            )));
+        }
+        let mut baselines = Vec::with_capacity(a * c);
+        for (k, row) in baseline_rows.iter().enumerate() {
+            let info = attacks[k / c.max(1)];
+            let name = field_str(row, "attack")?;
+            if name != info.name {
+                return Err(CampaignIoError::Shape(format!(
+                    "baseline {k} names '{name}', expected '{}' (attack-major order)",
+                    info.name
+                )));
+            }
+            let cfg_name = field_str(row, "config")?;
+            if cfg_name != configs[k % c.max(1)] {
+                return Err(CampaignIoError::Shape(format!(
+                    "baseline {k} names config '{cfg_name}', expected '{}' (attack-major order)",
+                    configs[k % c.max(1)]
+                )));
+            }
+            baselines.push(BaselineCell {
+                info,
+                config: k % c.max(1),
+                leaked: field_bool(row, "leaked")?,
+                recovered: match row.get("recovered") {
+                    Some(Json::Null) | None => None,
+                    Some(v) => Some(v.as_u64().ok_or_else(|| {
+                        CampaignIoError::Parse("non-integer 'recovered'".to_owned())
+                    })?),
+                },
+                cycles: field_u64(row, "cycles")?,
+                graph_race: field_bool(row, "graph_race")?,
+                fingerprint: field_fingerprint(row)?,
+            });
+        }
+
+        let cell_rows = entries("cells")?;
+        if cell_rows.len() != a * d * c {
+            return Err(CampaignIoError::Shape(format!(
+                "expected {} cells, found {}",
+                a * d * c,
+                cell_rows.len()
+            )));
+        }
+        let mut cells = Vec::with_capacity(a * d * c);
+        for (j, row) in cell_rows.iter().enumerate() {
+            let info = attacks[j / (d * c).max(1)];
+            let defense = defenses[(j / c.max(1)) % d.max(1)];
+            let (aname, dname) = (field_str(row, "attack")?, field_str(row, "defense")?);
+            if aname != info.name || dname != defense.name {
+                return Err(CampaignIoError::Shape(format!(
+                    "cell {j} names ('{aname}', '{dname}'), expected ('{}', '{}')",
+                    info.name, defense.name
+                )));
+            }
+            let cfg_name = field_str(row, "config")?;
+            if cfg_name != configs[j % c.max(1)] {
+                return Err(CampaignIoError::Shape(format!(
+                    "cell {j} names config '{cfg_name}', expected '{}' (attack-major order)",
+                    configs[j % c.max(1)]
+                )));
+            }
+            let strategy = strategy_from_token(field_str(row, "strategy")?).ok_or_else(|| {
+                CampaignIoError::UnknownToken(
+                    field_str(row, "strategy").unwrap_or_default().to_owned(),
+                )
+            })?;
+            let mechanism = verdict_from_token(field_str(row, "mechanism")?).ok_or_else(|| {
+                CampaignIoError::UnknownToken(
+                    field_str(row, "mechanism").unwrap_or_default().to_owned(),
+                )
+            })?;
+            let strategy_sufficient = match row.get("strategy_sufficient") {
+                Some(Json::Null) | None => None,
+                Some(v) => Some(v.as_bool().ok_or_else(|| {
+                    CampaignIoError::Parse("non-boolean 'strategy_sufficient'".to_owned())
+                })?),
+            };
+            cells.push(MatrixCell {
+                attack: info.name,
+                defense: defense.name,
+                config: j % c.max(1),
+                evaluation: Evaluation {
+                    attack: info.name,
+                    defense: defense.name,
+                    strategy,
+                    strategy_sufficient,
+                    mechanism,
+                },
+                fingerprint: field_fingerprint(row)?,
+            });
+        }
+        Ok(Self::assemble(attacks, defenses, configs, baselines, cells))
+    }
+}
+
+fn field_str<'a>(row: &'a Json, key: &str) -> Result<&'a str, CampaignIoError> {
+    row.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| CampaignIoError::Parse(format!("missing string field '{key}'")))
+}
+
+fn field_bool(row: &Json, key: &str) -> Result<bool, CampaignIoError> {
+    row.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| CampaignIoError::Parse(format!("missing boolean field '{key}'")))
+}
+
+fn field_u64(row: &Json, key: &str) -> Result<u64, CampaignIoError> {
+    row.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| CampaignIoError::Parse(format!("missing integer field '{key}'")))
+}
+
+fn field_fingerprint(row: &Json) -> Result<u64, CampaignIoError> {
+    let s = field_str(row, "fingerprint")?;
+    s.strip_prefix("0x")
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .ok_or_else(|| CampaignIoError::Parse(format!("bad fingerprint '{s}'")))
+}
+
+/// Errors from campaign-matrix persistence
+/// ([`CampaignMatrix::save_json`] / [`CampaignMatrix::load_json`]).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CampaignIoError {
+    /// File I/O failed.
+    Io(std::io::Error),
+    /// The document is not valid matrix JSON.
+    Parse(String),
+    /// An attack name no longer resolves in [`attacks::registry`].
+    UnknownAttack(String),
+    /// A defense name no longer resolves in [`defenses::registry`].
+    UnknownDefense(String),
+    /// An unknown strategy/verdict token.
+    UnknownToken(String),
+    /// Cell counts do not match the declared axes.
+    Shape(String),
+}
+
+impl fmt::Display for CampaignIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignIoError::Io(e) => write!(f, "matrix I/O failed: {e}"),
+            CampaignIoError::Parse(msg) => write!(f, "malformed matrix JSON: {msg}"),
+            CampaignIoError::UnknownAttack(name) => {
+                write!(f, "attack '{name}' is not in the registry")
+            }
+            CampaignIoError::UnknownDefense(name) => {
+                write!(f, "defense '{name}' is not in the registry")
+            }
+            CampaignIoError::UnknownToken(token) => write!(f, "unknown token '{token}'"),
+            CampaignIoError::Shape(msg) => write!(f, "inconsistent matrix shape: {msg}"),
+        }
+    }
+}
+
+impl Error for CampaignIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CampaignIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CampaignIoError {
+    fn from(e: std::io::Error) -> Self {
+        CampaignIoError::Io(e)
+    }
 }
 
 /// Stable machine-readable token for a strategy.
 #[must_use]
-pub fn strategy_token(s: defenses::Strategy) -> &'static str {
+pub fn strategy_token(s: Strategy) -> &'static str {
     match s {
-        defenses::Strategy::PreventAccess => "prevent_access",
-        defenses::Strategy::PreventUse => "prevent_use",
-        defenses::Strategy::PreventSend => "prevent_send",
-        defenses::Strategy::ClearPredictions => "clear_predictions",
+        Strategy::PreventAccess => "prevent_access",
+        Strategy::PreventUse => "prevent_use",
+        Strategy::PreventSend => "prevent_send",
+        Strategy::ClearPredictions => "clear_predictions",
     }
+}
+
+/// The [`Strategy`] for a [`strategy_token`] string.
+#[must_use]
+pub fn strategy_from_token(token: &str) -> Option<Strategy> {
+    Strategy::all()
+        .into_iter()
+        .find(|&s| strategy_token(s) == token)
 }
 
 /// Stable machine-readable token for a verdict.
@@ -446,6 +1652,14 @@ pub fn verdict_token(v: Verdict) -> &'static str {
         Verdict::Leaked => "leaked",
         Verdict::GraphOnly => "graph_only",
     }
+}
+
+/// The [`Verdict`] for a [`verdict_token`] string.
+#[must_use]
+pub fn verdict_from_token(token: &str) -> Option<Verdict> {
+    [Verdict::Blocked, Verdict::Leaked, Verdict::GraphOnly]
+        .into_iter()
+        .find(|&v| verdict_token(v) == token)
 }
 
 fn csv_field(s: &str) -> String {
@@ -497,6 +1711,19 @@ mod tests {
         spec
     }
 
+    fn tiny_grid(threads: usize) -> CampaignSpec {
+        CampaignSpec::builder(UarchConfig::default())
+            .attacks(attacks::registry().iter().copied().take(3))
+            .defenses(defenses::registry().iter().copied().take(2))
+            .axis(Knob::RobDepth, [16usize, 64])
+            .axis(
+                Knob::Predictor,
+                [PredictorFlavor::Shared, PredictorFlavor::FlushOnSwitch],
+            )
+            .threads(threads)
+            .build()
+    }
+
     #[test]
     fn shape_and_order_are_attack_major() {
         let m = CampaignMatrix::run(&small_spec(2)).unwrap();
@@ -535,15 +1762,42 @@ mod tests {
         let b = m.baseline(attacks::names::SPECTRE_V1, 0).expect("baseline");
         assert!(b.leaked && b.graph_race);
         assert!(b.cycles > 0);
+        assert!(m.baseline(attacks::names::SPECTRE_V1, 9).is_none());
+        assert!(m.baseline("nope", 0).is_none());
     }
 
     #[test]
-    fn sweep_adds_config_axis() {
-        let mut spec = CampaignSpec::strategy_sweep(&UarchConfig::default());
-        spec.attacks.truncate(2);
-        spec.defenses.truncate(1);
+    fn builder_expands_cartesian_grids_with_stable_names() {
+        let spec = tiny_grid(0);
+        assert_eq!(spec.configs.len(), 4);
+        let names: Vec<&str> = spec.configs.iter().map(|nc| nc.name.as_str()).collect();
+        // First axis varies slowest.
+        assert_eq!(
+            names,
+            [
+                "rob=16 pred=shared",
+                "rob=16 pred=flush",
+                "rob=64 pred=shared",
+                "rob=64 pred=flush",
+            ]
+        );
+        assert_eq!(spec.configs[0].config.rob_capacity, 16);
+        assert!(!spec.configs[0].config.flush_predictors_on_switch);
+        assert!(spec.configs[1].config.flush_predictors_on_switch);
+        assert_eq!(spec.configs[2].config.rob_capacity, 64);
+    }
+
+    #[test]
+    fn hardening_axis_reproduces_the_figure8_sweep() {
+        let spec = CampaignSpec::builder(UarchConfig::default())
+            .attacks(attacks::registry().iter().copied().take(2))
+            .defenses(defenses::registry().iter().copied().take(1))
+            .axis(Knob::Hardening, Hardening::figure8())
+            .build();
         let m = CampaignMatrix::run(&spec).unwrap();
         assert_eq!(m.shape(), (2, 1, 5));
+        assert_eq!(m.configs[0], "baseline");
+        assert_eq!(m.configs[2], "② NDA");
         // Hardened slices must not report more leaks than the baseline.
         for a in &m.attacks {
             let base = m.baseline(a.name, 0).unwrap();
@@ -554,6 +1808,209 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "declared twice")]
+    fn duplicate_axis_panics() {
+        let _ = CampaignSpec::builder(UarchConfig::default())
+            .axis(Knob::RobDepth, [16usize])
+            .axis(Knob::RobDepth, [32usize]);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn duplicate_axis_value_panics() {
+        let _ = CampaignSpec::builder(UarchConfig::default()).axis(Knob::RobDepth, [16usize, 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_axis_panics() {
+        let _ = CampaignSpec::builder(UarchConfig::default())
+            .axis(Knob::CacheSets, Vec::<usize>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot take value")]
+    fn mismatched_knob_value_panics() {
+        let _ = CampaignSpec::builder(UarchConfig::default())
+            .axis(Knob::Predictor, [KnobValue::Num(3)])
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "pins the predictor flags")]
+    fn predictor_axis_rejects_flush_hardening_axis() {
+        // A "④ flush predictors pred=shared" slice would be a lie: the
+        // predictor axis pins the very flag the hardening sets.
+        let _ = CampaignSpec::builder(UarchConfig::default())
+            .axis(Knob::Hardening, Hardening::figure8())
+            .axis(Knob::Predictor, [PredictorFlavor::Shared]);
+    }
+
+    #[test]
+    fn predictor_axis_pins_the_flavor_over_the_base() {
+        // The axis overrides base predictor flags, so every slice is the
+        // machine its name claims regardless of the base configuration.
+        let hardened_base = UarchConfig::builder()
+            .flush_predictors_on_switch(true)
+            .rsb_stuffing(true)
+            .build();
+        let spec = CampaignSpec::builder(hardened_base)
+            .axis(Knob::Predictor, [PredictorFlavor::Shared])
+            .build();
+        let cfg = &spec.configs[0].config;
+        assert!(!cfg.flush_predictors_on_switch);
+        assert!(!cfg.no_indirect_prediction);
+        assert!(!cfg.rsb_stuffing);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_distinguish_axes() {
+        let base = UarchConfig::default();
+        let digest = config_digest(&base);
+        assert_eq!(digest, config_digest(&base.clone()));
+        let other = UarchConfig::builder().rob_capacity(16).build();
+        assert_ne!(digest, config_digest(&other));
+        assert_ne!(
+            baseline_fingerprint("Spectre v1", digest),
+            baseline_fingerprint("Spectre v2", digest)
+        );
+        assert_ne!(
+            cell_fingerprint("Spectre v1", "NDA", Strategy::PreventUse, digest),
+            cell_fingerprint(
+                "Spectre v1",
+                "NDA",
+                Strategy::PreventUse,
+                config_digest(&other)
+            )
+        );
+        assert_ne!(
+            cell_fingerprint("Spectre v1", "NDA", Strategy::PreventUse, digest),
+            baseline_fingerprint("Spectre v1", digest)
+        );
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical() {
+        let spec = small_spec(2);
+        let whole = CampaignMatrix::run(&spec).unwrap();
+        for n in [1, 2, 5, 16, 100] {
+            let shards = spec.shards(n);
+            assert_eq!(shards.len(), n.max(1));
+            assert_eq!(
+                shards.iter().map(CampaignShard::len).sum::<usize>(),
+                spec.total_tasks()
+            );
+            let parts: Vec<CampaignPart> = shards.iter().map(|s| s.run().unwrap()).collect();
+            let merged = CampaignMatrix::merge(parts).unwrap();
+            assert_eq!(merged.to_csv(), whole.to_csv());
+            assert_eq!(merged.to_json(), whole.to_json());
+        }
+    }
+
+    #[test]
+    fn merge_rejects_bad_part_sets() {
+        let spec = small_spec(1);
+        let parts: Vec<CampaignPart> = spec.shards(3).iter().map(|s| s.run().unwrap()).collect();
+        assert!(matches!(
+            CampaignMatrix::merge(Vec::new()),
+            Err(MergeError::Empty)
+        ));
+        assert!(matches!(
+            CampaignMatrix::merge(parts[..2].to_vec()),
+            Err(MergeError::WrongCount {
+                expected: 3,
+                got: 2
+            })
+        ));
+        let mut dup = parts.clone();
+        dup[2] = dup[1].clone();
+        assert!(matches!(
+            CampaignMatrix::merge(dup),
+            Err(MergeError::ShardIndex { .. })
+        ));
+        // A shard of a different spec cannot sneak in.
+        let mut mixed = parts.clone();
+        let mut foreign = tiny_grid(1).shards(3)[1].run().unwrap();
+        foreign.index = 1;
+        mixed[1] = foreign;
+        assert!(matches!(
+            CampaignMatrix::merge(mixed),
+            Err(MergeError::AxisMismatch { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn incremental_rerun_of_unchanged_spec_evaluates_nothing() {
+        let spec = small_spec(0);
+        let (first, initial) = CampaignMatrix::run_incremental(&spec, None).unwrap();
+        assert_eq!(initial.evaluated, spec.total_tasks());
+        assert_eq!(initial.reused, 0);
+        let (again, report) = CampaignMatrix::run_incremental(&spec, Some(&first)).unwrap();
+        assert_eq!(report.evaluated, 0);
+        assert_eq!(report.reused, spec.total_tasks());
+        assert_eq!(again.to_json(), first.to_json());
+    }
+
+    #[test]
+    fn incremental_reevaluates_only_the_changed_config_slice() {
+        let grid = |rob2: usize| {
+            CampaignSpec::builder(UarchConfig::default())
+                .attacks(attacks::registry().iter().copied().take(3))
+                .defenses(defenses::registry().iter().copied().take(2))
+                .axis(Knob::RobDepth, [16usize, rob2])
+                .build()
+        };
+        let (first, _) = CampaignMatrix::run_incremental(&grid(64), None).unwrap();
+        let changed = grid(48);
+        let (second, report) = CampaignMatrix::run_incremental(&changed, Some(&first)).unwrap();
+        // Only the rob=48 slice is stale: 3 baselines + 3×2 cells.
+        let (a, d, _) = second.shape();
+        assert_eq!(report.evaluated, a + a * d);
+        assert_eq!(report.reused, changed.total_tasks() - report.evaluated);
+        // The reused slice is byte-identical to a fresh run.
+        let fresh = CampaignMatrix::run(&changed).unwrap();
+        assert_eq!(second.to_json(), fresh.to_json());
+    }
+
+    #[test]
+    fn json_round_trips_through_from_json() {
+        let m = CampaignMatrix::run(&small_spec(0)).unwrap();
+        let loaded = CampaignMatrix::from_json(&m.to_json()).unwrap();
+        assert_eq!(loaded.to_json(), m.to_json());
+        assert_eq!(loaded.to_csv(), m.to_csv());
+        // A loaded matrix feeds run_incremental exactly like a live one.
+        let spec = small_spec(0);
+        let (_, report) = CampaignMatrix::run_incremental(&spec, Some(&loaded)).unwrap();
+        assert_eq!(report.evaluated, 0);
+    }
+
+    #[test]
+    fn from_json_rejects_foreign_documents() {
+        assert!(matches!(
+            CampaignMatrix::from_json("{}"),
+            Err(CampaignIoError::Parse(_))
+        ));
+        assert!(CampaignMatrix::from_json("not json").is_err());
+        let m = CampaignMatrix::run(&small_spec(0)).unwrap();
+        let doc = m.to_json().replace("Spectre v1", "Spectre v99");
+        assert!(matches!(
+            CampaignMatrix::from_json(&doc),
+            Err(CampaignIoError::UnknownAttack(_))
+        ));
+        // A reordered/renamed configs list must not silently remap rows.
+        let grid = CampaignMatrix::run(&tiny_grid(0)).unwrap();
+        let doc = grid.to_json().replacen(
+            "\"rob=16 pred=shared\", \"rob=16 pred=flush\"",
+            "\"rob=16 pred=flush\", \"rob=16 pred=shared\"",
+            1,
+        );
+        assert!(matches!(
+            CampaignMatrix::from_json(&doc),
+            Err(CampaignIoError::Shape(_))
+        ));
+    }
+
+    #[test]
     fn exports_are_well_formed() {
         let m = CampaignMatrix::run(&small_spec(0)).unwrap();
         let csv = m.to_csv();
@@ -561,10 +2018,23 @@ mod tests {
         assert!(csv.starts_with("attack,defense,config,"));
         let json = m.to_json();
         assert!(json.contains("\"cells\""));
+        assert!(json.contains("\"version\": 2"));
         assert_eq!(json.matches("{\"attack\"").count(), 12 + 4);
         // Escaping: a quote in a config name must not break the document.
         assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
         assert_eq!(csv_field("a,b"), "\"a,b\"");
         assert_eq!(csv_field("plain"), "plain");
+    }
+
+    #[test]
+    fn token_round_trips() {
+        for s in Strategy::all() {
+            assert_eq!(strategy_from_token(strategy_token(s)), Some(s));
+        }
+        for v in [Verdict::Blocked, Verdict::Leaked, Verdict::GraphOnly] {
+            assert_eq!(verdict_from_token(verdict_token(v)), Some(v));
+        }
+        assert!(strategy_from_token("nope").is_none());
+        assert!(verdict_from_token("nope").is_none());
     }
 }

@@ -43,6 +43,7 @@
 pub mod campaign;
 pub mod discovery;
 pub mod insufficiency;
+mod jsonio;
 pub mod scenario;
 
 pub use analyzer;
@@ -55,7 +56,10 @@ pub use uarch;
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::campaign::{self, CampaignMatrix, CampaignSpec, NamedConfig};
+    pub use crate::campaign::{
+        self, CampaignMatrix, CampaignPart, CampaignShard, CampaignSpec, Hardening,
+        IncrementalReport, Knob, KnobValue, NamedConfig, PredictorFlavor,
+    };
     pub use crate::discovery::{self, AttackPoint, Channel, DelayMechanism, SecretSourceDim};
     pub use crate::scenario::{self, Evaluation};
     pub use analyzer::{AnalysisConfig, Analyzer};

@@ -126,8 +126,8 @@ pub fn evaluate(
 ///
 /// Propagates [`AttackError`] from any simulation.
 pub fn evaluate_all(base: &UarchConfig) -> Result<(Vec<Evaluation>, usize), AttackError> {
-    let matrix =
-        crate::campaign::CampaignMatrix::run(&crate::campaign::CampaignSpec::with_base(base))?;
+    let spec = crate::campaign::CampaignSpec::builder(base.clone()).build();
+    let matrix = crate::campaign::CampaignMatrix::run(&spec)?;
     let false_sense = matrix.false_senses().len();
     let out = matrix
         .cells()

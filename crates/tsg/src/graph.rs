@@ -257,29 +257,16 @@ impl Tsg {
         false
     }
 
-    /// The set of all nodes reachable from `from` (excluding `from` itself).
+    /// The set of all nodes reachable from `from` (excluding `from` itself),
+    /// ascending by id — answered from the cached reachability index's
+    /// [`descendants`](crate::ReachabilityIndex::descendants) iterator.
     ///
     /// # Errors
     ///
     /// [`TsgError::UnknownNode`] if the id is not in this graph.
     pub fn descendants(&self, from: NodeId) -> Result<Vec<NodeId>, TsgError> {
         self.check_node(from)?;
-        let mut visited = vec![false; self.nodes.len()];
-        let mut stack = vec![from];
-        visited[from.index()] = true;
-        let mut out = Vec::new();
-        while let Some(u) = stack.pop() {
-            for &ei in &self.succ[u.index()] {
-                let v = self.edges[ei as usize].to;
-                if !visited[v.index()] {
-                    visited[v.index()] = true;
-                    out.push(v);
-                    stack.push(v);
-                }
-            }
-        }
-        out.sort_unstable();
-        Ok(out)
+        Ok(self.reachability().descendants(from).collect())
     }
 
     /// The set of all nodes that reach `to` (excluding `to` itself).

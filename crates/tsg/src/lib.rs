@@ -69,6 +69,6 @@ pub use error::TsgError;
 pub use graph::Tsg;
 pub use node::{Node, NodeId, NodeKind, SecretSource};
 pub use race::RacePair;
-pub use reach::ReachabilityIndex;
+pub use reach::{Descendants, ReachabilityIndex};
 
 pub use analysis::{SecurityAnalysis, SecurityDependency, Vulnerability};

@@ -1646,7 +1646,19 @@ impl Machine {
                     self.fetch_pc = Some(target);
                 }
                 Instruction::Ret => {
-                    let predicted = self.predictors.rsb.pop();
+                    // On RSB underflow real front-ends fall back to the
+                    // indirect-branch predictor — the Retbleed/BHI root
+                    // cause: the *untagged, shared* BTB then supplies the
+                    // return target, so cross-context training reaches
+                    // returns too. Retpoline-style `no_indirect_prediction`
+                    // also disables this fallback.
+                    let predicted = self.predictors.rsb.pop().or_else(|| {
+                        if self.cfg.no_indirect_prediction {
+                            None
+                        } else {
+                            self.predictors.btb.predict(pc)
+                        }
+                    });
                     entry.predicted_next = predicted;
                     match predicted {
                         Some(t) => self.fetch_pc = Some(t),

@@ -12,7 +12,7 @@
 use specgraph::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let matrix = CampaignMatrix::run(&CampaignSpec::default())?;
+    let matrix = CampaignMatrix::run(&CampaignSpec::builder(UarchConfig::default()).build())?;
     let (attacks_n, defenses_n, _) = matrix.shape();
 
     println!("Defense-effectiveness matrix ({defenses_n} defenses × {attacks_n} attacks)\n");
@@ -65,6 +65,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  … and {} more (see CampaignMatrix::to_csv)",
             false_senses.len() - 8
+        );
+    }
+
+    // A multi-axis knob grid on top of the same registries: the
+    // branch-history rows (Spectre v2 / Retbleed) swept over predictor
+    // flavors — the slice where the two variants diverge (RSB stuffing
+    // stops neither a poisoned BTB nor Retbleed's underflow fallback;
+    // flushing stops both).
+    let grid = CampaignSpec::builder(UarchConfig::default())
+        .attacks([
+            attacks::find(attacks::names::SPECTRE_V2).expect("registered"),
+            attacks::find(attacks::names::RETBLEED).expect("registered"),
+        ])
+        .defenses(Vec::new())
+        .axis(Knob::Predictor, PredictorFlavor::all())
+        .build();
+    let grid_matrix = CampaignMatrix::run(&grid)?;
+    println!("\npredictor-flavor grid (undefended leak verdicts):");
+    for row in grid_matrix.baselines() {
+        println!(
+            "  {:<12} {:<18} leaked = {}",
+            row.info.name, grid_matrix.configs[row.config], row.leaked
         );
     }
     Ok(())

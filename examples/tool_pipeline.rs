@@ -87,21 +87,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // hardware fix for intra-instruction races) blocks Meltdown — and a
     // mismatched mechanism (KPTI vs Spectre v1) is flagged as the §V-B
     // false sense of security.
-    let spec = CampaignSpec {
-        attacks: vec![
+    let spec = CampaignSpec::builder(UarchConfig::default())
+        .attacks([
             attacks::find(attacks::names::SPECTRE_V1).expect("registered"),
             attacks::find(attacks::names::MELTDOWN).expect("registered"),
-        ],
-        defenses: [
-            defenses::names::LFENCE,
-            defenses::names::EAGER_PERMISSION_CHECK,
-            defenses::names::KPTI,
-        ]
-        .iter()
-        .map(|n| *defenses::find(n).expect("registered"))
-        .collect(),
-        ..CampaignSpec::default()
-    };
+        ])
+        .defenses(
+            [
+                defenses::names::LFENCE,
+                defenses::names::EAGER_PERMISSION_CHECK,
+                defenses::names::KPTI,
+            ]
+            .iter()
+            .map(|n| *defenses::find(n).expect("registered")),
+        )
+        .build();
     let matrix = CampaignMatrix::run(&spec)?;
     println!("\ncampaign cross-check (mechanism verdicts):");
     for cell in matrix.cells() {

@@ -9,7 +9,7 @@ use uarch::UarchConfig;
 #[test]
 fn one_campaign_call_reproduces_the_per_pair_evaluation_path() {
     let base = UarchConfig::default();
-    let matrix = CampaignMatrix::run(&CampaignSpec::with_base(&base)).unwrap();
+    let matrix = CampaignMatrix::run(&CampaignSpec::builder(base.clone()).build()).unwrap();
     let (a, d, c) = matrix.shape();
     assert_eq!(a, attacks::registry().len());
     assert_eq!(d, defenses::registry().len());
@@ -111,4 +111,120 @@ fn filter_extracts_strategy_slices() {
         .filter(|d| d.strategy == Strategy::PreventSend)
         .count();
     assert_eq!(send_cells.len(), send_defenses * attacks::registry().len());
+}
+
+mod sharding_and_incremental {
+    use proptest::prelude::*;
+    use specgraph::campaign::{CampaignShard, Knob};
+    use specgraph::prelude::*;
+    use uarch::UarchConfig;
+
+    /// A 3×2×2 subcube: big enough that every shard split is non-trivial,
+    /// small enough for repeated property cases.
+    fn grid_spec() -> CampaignSpec {
+        CampaignSpec::builder(UarchConfig::default())
+            .attacks(attacks::registry().iter().copied().take(3))
+            .defenses(defenses::registry().iter().copied().take(2))
+            .axis(Knob::CacheSets, [64usize, 32])
+            .build()
+    }
+
+    #[test]
+    fn acceptance_merge_is_bit_identical_for_2_3_7_shards() {
+        let spec = CampaignSpec::builder(UarchConfig::default())
+            .attacks(attacks::registry().iter().copied().take(5))
+            .defenses(defenses::registry().iter().copied().take(4))
+            .axis(Knob::RobDepth, [32usize, 64])
+            .build();
+        let whole = CampaignMatrix::run(&spec).unwrap();
+        for n in [2usize, 3, 7] {
+            let parts = spec
+                .shards(n)
+                .iter()
+                .map(|s| s.run().expect("shard runs"))
+                .collect::<Vec<_>>();
+            let merged = CampaignMatrix::merge(parts).expect("shards merge");
+            assert_eq!(merged.to_csv(), whole.to_csv(), "CSV differs for n={n}");
+            assert_eq!(merged.to_json(), whole.to_json(), "JSON differs for n={n}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// merge(shards(n)) equals one single-shot run cell for cell, for
+        /// arbitrary shard counts (including more shards than tasks).
+        #[test]
+        fn merge_of_any_shard_split_equals_single_shot(n in 1usize..40) {
+            let spec = grid_spec();
+            let whole = CampaignMatrix::run(&spec).unwrap();
+            let shards = spec.shards(n);
+            prop_assert_eq!(shards.len(), n);
+            prop_assert_eq!(
+                shards.iter().map(CampaignShard::len).sum::<usize>(),
+                spec.total_tasks()
+            );
+            let parts = shards
+                .iter()
+                .map(|s| s.run().expect("shard runs"))
+                .collect::<Vec<_>>();
+            let merged = CampaignMatrix::merge(parts).expect("shards merge");
+            prop_assert_eq!(merged.to_json(), whole.to_json());
+        }
+
+        /// Re-running an unchanged spec against its own saved matrix
+        /// recomputes zero cells, regardless of shard-split history.
+        #[test]
+        fn incremental_rerun_against_saved_matrix_is_free(n in 1usize..8) {
+            let spec = grid_spec();
+            let parts = spec
+                .shards(n)
+                .iter()
+                .map(|s| s.run().expect("shard runs"))
+                .collect::<Vec<_>>();
+            let merged = CampaignMatrix::merge(parts).expect("shards merge");
+            let (again, report) =
+                CampaignMatrix::run_incremental(&spec, Some(&merged)).unwrap();
+            prop_assert_eq!(report.evaluated, 0);
+            prop_assert_eq!(report.reused, spec.total_tasks());
+            prop_assert_eq!(again.to_json(), merged.to_json());
+        }
+    }
+
+    #[test]
+    fn acceptance_incremental_via_json_file_round_trip() {
+        let spec = grid_spec();
+        let first = CampaignMatrix::run(&spec).unwrap();
+        let path =
+            std::env::temp_dir().join(format!("specgraph-campaign-{}.json", std::process::id()));
+        first.save_json(&path).expect("matrix saves");
+        let loaded = CampaignMatrix::load_json(&path).expect("matrix loads");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.to_json(), first.to_json());
+
+        // Unchanged spec against the *file-loaded* matrix: zero evaluations.
+        let (_, report) = CampaignMatrix::run_incremental(&spec, Some(&loaded)).unwrap();
+        assert_eq!(report.evaluated, 0);
+
+        // One knob value changes: exactly the new config slice is
+        // recomputed (its baselines plus its cells), everything else reused.
+        let changed = CampaignSpec::builder(UarchConfig::default())
+            .attacks(attacks::registry().iter().copied().take(3))
+            .defenses(defenses::registry().iter().copied().take(2))
+            .axis(Knob::CacheSets, [64usize, 16]) // 32 -> 16
+            .build();
+        let (matrix, report) = CampaignMatrix::run_incremental(&changed, Some(&loaded)).unwrap();
+        let (a, d, _) = matrix.shape();
+        assert_eq!(
+            report.evaluated,
+            a + a * d,
+            "only the sets=16 slice is stale"
+        );
+        assert_eq!(report.reused, changed.total_tasks() - report.evaluated);
+        assert_eq!(
+            matrix.to_json(),
+            CampaignMatrix::run(&changed).unwrap().to_json(),
+            "incremental result must equal a fresh run"
+        );
+    }
 }
