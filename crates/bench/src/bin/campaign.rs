@@ -1,0 +1,22 @@
+//! The `campaign` binary: a thin shell around [`bench::campaign_cli`],
+//! which holds all parsing and command logic so the integration tests
+//! exercise the exact code path this binary runs.
+//!
+//! Usage: `cargo run -p bench --bin campaign -- --help`
+
+use bench::campaign_cli::{main_with, CliError, USAGE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match main_with(&args) {
+        Ok(_) => {}
+        Err(e @ CliError::Usage(_)) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

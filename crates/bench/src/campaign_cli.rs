@@ -1,0 +1,707 @@
+//! The `campaign` command-line tool: campaigns as a **multi-process
+//! artifact pipeline**.
+//!
+//! ```text
+//! campaign run    --axis hardening=figure8 --shard 0/2 --out part0.json
+//! campaign run    --axis hardening=figure8 --shard 1/2 --out part1.json
+//! campaign merge  part0.json part1.json --out matrix.json
+//! campaign render --figure8 matrix.json --csv fig8.csv --svg fig8.svg
+//! campaign run    --axis hardening=figure8 --incremental --prev matrix.json --out matrix.json
+//! ```
+//!
+//! Every subcommand is a thin wrapper over `specgraph::campaign`: `run`
+//! evaluates a whole cube (or one `--shard i/n` slice, written as a
+//! [`CampaignPart`] file), `merge` validates and concatenates part files
+//! into a matrix (spec-fingerprint, shard-index and coverage mismatches
+//! are hard errors), and `render --figure8` regenerates the Figure-8
+//! hardening heatmaps from a *saved* matrix with zero re-simulation.
+//!
+//! Argument parsing is hand-rolled (the workspace builds offline, no
+//! `clap`), and lives here — in the library — so the integration tests
+//! drive the exact code path the binary runs.
+
+use crate::heatmap::Figure8View;
+use specgraph::attacks::{self, Attack, AttackError};
+use specgraph::campaign::{
+    CampaignIoError, CampaignMatrix, CampaignPart, CampaignSpec, Hardening, IncrementalReport,
+    Knob, KnobValue, MergeError, PredictorFlavor,
+};
+use specgraph::defenses::{self, Defense};
+use std::error::Error;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use uarch::UarchConfig;
+
+/// The usage text `campaign --help` (and every usage error) prints.
+pub const USAGE: &str = "\
+campaign — run, shard, merge and render attack×defense×config campaigns
+
+USAGE:
+  campaign run    [SPEC] [--shard I/N] [--out FILE] [--csv FILE]
+                  [--incremental --prev MATRIX.json]
+  campaign merge  PART.json... --out FILE [--csv FILE]
+  campaign render --figure8 MATRIX.json [--csv FILE] [--svg FILE]
+
+SPEC (must be identical for every shard of one campaign):
+  --attacks NAMES    comma-separated attack names (default: full registry)
+  --defenses NAMES   comma-separated defense names, or 'none' (default: full registry)
+  --axis KNOB=V,V..  add a config axis (repeatable; axes multiply):
+                     numeric: rob fetch issue sets ways lfb stbuf rsb
+                              hitlat misslat permlat
+                     pred=shared|flush|no-indirect|stuffed-rsb|all
+                     hardening=baseline|no-spec-loads|eager-permcheck|nda|stt|
+                               delay-on-miss|invisispec|cleanup-spec|
+                               flush-predictors|figure8|all
+  --threads N        worker threads (default: all cores)
+
+  `campaign run --shard I/N` writes shard I of N as a part file; run all
+  N shards (any machines, any order), then `campaign merge` the parts —
+  the result is bit-identical to a single-process run. With
+  `--incremental --prev`, only cells whose fingerprint is absent from
+  the previous matrix are re-simulated.
+";
+
+/// What a successfully executed subcommand did (the binary prints this;
+/// tests assert on it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// `run` over the full cube (fresh or incremental).
+    Ran {
+        /// Tasks actually simulated.
+        evaluated: usize,
+        /// Tasks reused from `--prev` by fingerprint.
+        reused: usize,
+    },
+    /// `run --shard i/n`: one part evaluated.
+    RanShard {
+        /// Shard position.
+        index: usize,
+        /// Shard count.
+        of: usize,
+        /// Tasks this shard evaluated.
+        tasks: usize,
+    },
+    /// `merge`: parts combined into a matrix.
+    Merged {
+        /// Number of part files merged.
+        parts: usize,
+        /// Total tasks in the merged matrix.
+        tasks: usize,
+    },
+    /// `render`: heatmaps regenerated from a saved matrix.
+    Rendered {
+        /// Heatmap rows (defenses + the undefended row).
+        rows: usize,
+        /// Config-slice columns.
+        configs: usize,
+    },
+    /// `--help` was requested; usage was printed.
+    Help,
+}
+
+/// Why a `campaign` invocation failed.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line; the message says what to fix.
+    Usage(String),
+    /// A simulation failed.
+    Attack(AttackError),
+    /// Reading or writing a campaign artifact failed.
+    Artifact {
+        /// The file involved.
+        path: PathBuf,
+        /// What went wrong.
+        source: CampaignIoError,
+    },
+    /// Part files do not assemble into one campaign.
+    Merge(MergeError),
+    /// Plain file I/O (e.g. writing a CSV) failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// What went wrong.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Attack(e) => write!(f, "simulation failed: {e}"),
+            CliError::Artifact { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            CliError::Merge(e) => write!(f, "cannot merge parts: {e}"),
+            CliError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Attack(e) => Some(e),
+            CliError::Artifact { source, .. } => Some(source),
+            CliError::Merge(e) => Some(e),
+            CliError::Io { source, .. } => Some(source),
+            CliError::Usage(_) => None,
+        }
+    }
+}
+
+impl From<AttackError> for CliError {
+    fn from(e: AttackError) -> Self {
+        CliError::Attack(e)
+    }
+}
+
+impl From<MergeError> for CliError {
+    fn from(e: MergeError) -> Self {
+        CliError::Merge(e)
+    }
+}
+
+/// Parses and executes one `campaign` invocation (everything after the
+/// program name). This is the exact entry point the binary calls.
+///
+/// # Errors
+///
+/// [`CliError`] — usage problems, simulation failures, artifact I/O, or
+/// merge validation.
+pub fn main_with(args: &[String]) -> Result<Outcome, CliError> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        None | Some("--help" | "-h" | "help") => {
+            write_stdout(USAGE)?;
+            write_stdout("\n")?;
+            Ok(Outcome::Help)
+        }
+        Some("run") => cmd_run(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
+        Some("render") => cmd_render(&args[1..]),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown subcommand '{other}' (expected run, merge or render)"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spec flags
+// ---------------------------------------------------------------------------
+
+/// The spec-defining flags, collected before expansion so every shard
+/// process can rebuild the identical [`CampaignSpec`] (enforced at merge
+/// time by the spec fingerprint).
+#[derive(Debug, Default)]
+struct SpecArgs {
+    attacks: Option<Vec<String>>,
+    defenses: Option<Vec<String>>,
+    axes: Vec<(Knob, Vec<KnobValue>)>,
+    threads: usize,
+}
+
+impl SpecArgs {
+    /// Consumes a spec flag if `flag` is one; returns whether it was.
+    fn take(
+        &mut self,
+        flag: &str,
+        value: &mut dyn FnMut() -> Result<String, CliError>,
+    ) -> Result<bool, CliError> {
+        // A repeated flag silently overriding (or surprising a user who
+        // expected accumulation) would produce a shard of a different
+        // spec than intended — reject repeats outright, like a repeated
+        // axis knob.
+        let once = |taken: bool| -> Result<(), CliError> {
+            if taken {
+                Err(CliError::Usage(format!("flag '{flag}' given twice")))
+            } else {
+                Ok(())
+            }
+        };
+        match flag {
+            "--attacks" => {
+                once(self.attacks.is_some())?;
+                self.attacks = Some(split_list(&value()?));
+            }
+            "--defenses" => {
+                once(self.defenses.is_some())?;
+                let v = value()?;
+                self.defenses = Some(if v == "none" {
+                    Vec::new()
+                } else {
+                    split_list(&v)
+                });
+            }
+            "--axis" => {
+                let v = value()?;
+                let (knob, values) = parse_axis(&v)?;
+                if self.axes.iter().any(|(k, _)| *k == knob) {
+                    return Err(CliError::Usage(format!(
+                        "axis '{}' given twice",
+                        knob_token(knob)
+                    )));
+                }
+                self.axes.push((knob, values));
+            }
+            "--threads" => {
+                once(self.threads != 0)?;
+                let v = value()?;
+                self.threads = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("--threads needs a number, got '{v}'")))?;
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Expands the flags into a spec, with every builder panic turned
+    /// into a usage error first.
+    fn build(self) -> Result<CampaignSpec, CliError> {
+        let mut builder = CampaignSpec::builder(UarchConfig::default());
+        if let Some(names) = &self.attacks {
+            let mut list: Vec<&'static dyn Attack> = Vec::new();
+            for name in names {
+                list.push(attacks::find(name).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "unknown attack '{name}'; the registry has: {}",
+                        attacks::registry()
+                            .iter()
+                            .map(|a| a.info().name)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ))
+                })?);
+            }
+            builder = builder.attacks(list);
+        }
+        if let Some(names) = &self.defenses {
+            let mut list: Vec<Defense> = Vec::new();
+            for name in names {
+                list.push(*defenses::find(name).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "unknown defense '{name}'; the registry has: {}",
+                        defenses::registry()
+                            .iter()
+                            .map(|d| d.name)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ))
+                })?);
+            }
+            builder = builder.defenses(list);
+        }
+        let pins_predictor = self.axes.iter().any(|(k, _)| *k == Knob::Predictor);
+        let flush_hardening = self
+            .axes
+            .iter()
+            .any(|(_, vs)| vs.contains(&KnobValue::Hardening(Hardening::FlushPredictors)));
+        if pins_predictor && flush_hardening {
+            return Err(CliError::Usage(
+                "--axis pred=… pins the predictor flags and cannot combine with \
+                 an 'flush-predictors' hardening value (pred=flush covers that \
+                 slice)"
+                    .to_owned(),
+            ));
+        }
+        for (knob, values) in self.axes {
+            builder = builder.axis(knob, values);
+        }
+        Ok(builder.threads(self.threads).build())
+    }
+}
+
+fn split_list(s: &str) -> Vec<String> {
+    s.split(',')
+        .map(|p| p.trim().to_owned())
+        .filter(|p| !p.is_empty())
+        .collect()
+}
+
+fn knob_token(knob: Knob) -> &'static str {
+    match knob {
+        Knob::RobDepth => "rob",
+        Knob::FetchWidth => "fetch",
+        Knob::IssueWidth => "issue",
+        Knob::CacheSets => "sets",
+        Knob::CacheWays => "ways",
+        Knob::LfbEntries => "lfb",
+        Knob::StoreBufferEntries => "stbuf",
+        Knob::RsbDepth => "rsb",
+        Knob::CacheHitLatency => "hitlat",
+        Knob::CacheMissLatency => "misslat",
+        Knob::PermissionCheckLatency => "permlat",
+        Knob::Predictor => "pred",
+        Knob::Hardening => "hardening",
+        _ => "?",
+    }
+}
+
+fn parse_axis(arg: &str) -> Result<(Knob, Vec<KnobValue>), CliError> {
+    let (token, list) = arg
+        .split_once('=')
+        .ok_or_else(|| CliError::Usage(format!("--axis needs KNOB=V1,V2,…, got '{arg}'")))?;
+    let numeric = |knob: Knob| -> Result<(Knob, Vec<KnobValue>), CliError> {
+        let values = split_list(list)
+            .iter()
+            .map(|v| {
+                v.parse::<u64>().map(KnobValue::Num).map_err(|_| {
+                    CliError::Usage(format!("axis '{token}' needs numbers, got '{v}'"))
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((knob, values))
+    };
+    let (knob, values) = match token {
+        "rob" => numeric(Knob::RobDepth)?,
+        "fetch" => numeric(Knob::FetchWidth)?,
+        "issue" => numeric(Knob::IssueWidth)?,
+        "sets" => numeric(Knob::CacheSets)?,
+        "ways" => numeric(Knob::CacheWays)?,
+        "lfb" => numeric(Knob::LfbEntries)?,
+        "stbuf" => numeric(Knob::StoreBufferEntries)?,
+        "rsb" => numeric(Knob::RsbDepth)?,
+        "hitlat" => numeric(Knob::CacheHitLatency)?,
+        "misslat" => numeric(Knob::CacheMissLatency)?,
+        "permlat" => numeric(Knob::PermissionCheckLatency)?,
+        "pred" => {
+            let values = if list == "all" {
+                PredictorFlavor::all().map(KnobValue::Predictor).to_vec()
+            } else {
+                split_list(list)
+                    .iter()
+                    .map(|v| {
+                        PredictorFlavor::from_token(v)
+                            .map(KnobValue::Predictor)
+                            .ok_or_else(|| {
+                                CliError::Usage(format!(
+                                    "unknown predictor flavor '{v}' (shared, flush, \
+                                     no-indirect, stuffed-rsb, all)"
+                                ))
+                            })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?
+            };
+            (Knob::Predictor, values)
+        }
+        "hardening" => {
+            let values = match list {
+                "figure8" => Hardening::figure8().map(KnobValue::Hardening).to_vec(),
+                "all" => Hardening::all().map(KnobValue::Hardening).to_vec(),
+                _ => split_list(list)
+                    .iter()
+                    .map(|v| {
+                        Hardening::from_token(v)
+                            .map(KnobValue::Hardening)
+                            .ok_or_else(|| {
+                                CliError::Usage(format!(
+                                    "unknown hardening '{v}' (try one of: {}, figure8, all)",
+                                    Hardening::all().map(Hardening::token).join(", ")
+                                ))
+                            })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            };
+            (Knob::Hardening, values)
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown axis knob '{other}' (see campaign --help)"
+            )))
+        }
+    };
+    if values.is_empty() {
+        return Err(CliError::Usage(format!("axis '{token}' has no values")));
+    }
+    for (i, v) in values.iter().enumerate() {
+        if values[..i].contains(v) {
+            return Err(CliError::Usage(format!(
+                "axis '{token}' lists a value twice"
+            )));
+        }
+    }
+    Ok((knob, values))
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands
+// ---------------------------------------------------------------------------
+
+fn cmd_run(args: &[String]) -> Result<Outcome, CliError> {
+    let mut spec_args = SpecArgs::default();
+    let mut shard: Option<(usize, usize)> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut csv: Option<PathBuf> = None;
+    let mut incremental = false;
+    let mut prev: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = || -> Result<String, CliError> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("flag '{flag}' needs a value")))
+        };
+        let once = |taken: bool| -> Result<(), CliError> {
+            if taken {
+                Err(CliError::Usage(format!("flag '{flag}' given twice")))
+            } else {
+                Ok(())
+            }
+        };
+        match flag {
+            "--shard" => {
+                once(shard.is_some())?;
+                let v = value()?;
+                shard = Some(parse_shard(&v)?);
+            }
+            "--out" => {
+                once(out.is_some())?;
+                out = Some(PathBuf::from(value()?));
+            }
+            "--csv" => {
+                once(csv.is_some())?;
+                csv = Some(PathBuf::from(value()?));
+            }
+            "--incremental" => incremental = true,
+            "--prev" => {
+                once(prev.is_some())?;
+                prev = Some(PathBuf::from(value()?));
+            }
+            other => {
+                if !spec_args.take(other, &mut value)? {
+                    return Err(CliError::Usage(format!(
+                        "unknown flag '{other}' for 'campaign run'"
+                    )));
+                }
+            }
+        }
+        i += 1;
+    }
+    if incremental != prev.is_some() {
+        return Err(CliError::Usage(
+            "--incremental and --prev MATRIX.json go together".to_owned(),
+        ));
+    }
+    let spec = spec_args.build()?;
+    if let Some((index, of)) = shard {
+        if incremental {
+            return Err(CliError::Usage(
+                "--shard and --incremental do not combine; merge the parts, \
+                 then re-run incrementally against the merged matrix"
+                    .to_owned(),
+            ));
+        }
+        if csv.is_some() {
+            return Err(CliError::Usage(
+                "--csv applies to full matrices; merge the parts first".to_owned(),
+            ));
+        }
+        let part = spec.shards(of).swap_remove(index).run()?;
+        emit(out.as_deref(), &part.to_json())?;
+        eprintln!(
+            "campaign: shard {index}/{of} evaluated {} of {} task(s) \
+             (spec fingerprint {:#018x})",
+            part.len(),
+            spec.total_tasks(),
+            part.spec_fingerprint(),
+        );
+        Ok(Outcome::RanShard {
+            index,
+            of,
+            tasks: part.len(),
+        })
+    } else {
+        let previous = prev.as_deref().map(load_matrix).transpose()?;
+        let (matrix, report) = CampaignMatrix::run_incremental(&spec, previous.as_ref())?;
+        emit(out.as_deref(), &matrix.to_json())?;
+        if let Some(path) = &csv {
+            write_file(path, &matrix.to_csv())?;
+        }
+        describe_report(report);
+        Ok(Outcome::Ran {
+            evaluated: report.evaluated,
+            reused: report.reused,
+        })
+    }
+}
+
+fn cmd_merge(args: &[String]) -> Result<Outcome, CliError> {
+    let mut part_paths: Vec<PathBuf> = Vec::new();
+    let mut out: Option<PathBuf> = None;
+    let mut csv: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = Some(PathBuf::from(args.get(i).ok_or_else(|| {
+                    CliError::Usage("flag '--out' needs a value".to_owned())
+                })?));
+            }
+            "--csv" => {
+                i += 1;
+                csv = Some(PathBuf::from(args.get(i).ok_or_else(|| {
+                    CliError::Usage("flag '--csv' needs a value".to_owned())
+                })?));
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!(
+                    "unknown flag '{flag}' for 'campaign merge'"
+                )))
+            }
+            path => part_paths.push(PathBuf::from(path)),
+        }
+        i += 1;
+    }
+    if part_paths.is_empty() {
+        return Err(CliError::Usage(
+            "campaign merge needs at least one PART.json".to_owned(),
+        ));
+    }
+    let parts = part_paths
+        .iter()
+        .map(|p| {
+            CampaignPart::load_json(p).map_err(|source| CliError::Artifact {
+                path: p.clone(),
+                source,
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let n = parts.len();
+    let matrix = CampaignMatrix::merge(parts)?;
+    let (a, d, c) = matrix.shape();
+    emit(out.as_deref(), &matrix.to_json())?;
+    if let Some(path) = &csv {
+        write_file(path, &matrix.to_csv())?;
+    }
+    let tasks = a * c + a * d * c;
+    eprintln!("campaign: merged {n} part(s) into a {a}×{d}×{c} matrix ({tasks} task(s))");
+    Ok(Outcome::Merged { parts: n, tasks })
+}
+
+fn cmd_render(args: &[String]) -> Result<Outcome, CliError> {
+    let mut figure8 = false;
+    let mut matrix_path: Option<PathBuf> = None;
+    let mut csv: Option<PathBuf> = None;
+    let mut svg: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--figure8" => figure8 = true,
+            "--csv" => {
+                i += 1;
+                csv = Some(PathBuf::from(args.get(i).ok_or_else(|| {
+                    CliError::Usage("flag '--csv' needs a value".to_owned())
+                })?));
+            }
+            "--svg" => {
+                i += 1;
+                svg = Some(PathBuf::from(args.get(i).ok_or_else(|| {
+                    CliError::Usage("flag '--svg' needs a value".to_owned())
+                })?));
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!(
+                    "unknown flag '{flag}' for 'campaign render'"
+                )))
+            }
+            path if matrix_path.is_none() => matrix_path = Some(PathBuf::from(path)),
+            extra => {
+                return Err(CliError::Usage(format!(
+                    "unexpected extra argument '{extra}'"
+                )))
+            }
+        }
+        i += 1;
+    }
+    if !figure8 {
+        return Err(CliError::Usage(
+            "campaign render needs a mode; only --figure8 exists today".to_owned(),
+        ));
+    }
+    let path = matrix_path.ok_or_else(|| {
+        CliError::Usage("campaign render needs a MATRIX.json to render".to_owned())
+    })?;
+    let matrix = load_matrix(&path)?;
+    let view = Figure8View::from_matrix(&matrix);
+    write_stdout(&view.to_ascii())?;
+    if let Some(p) = &csv {
+        write_file(p, &view.to_csv())?;
+    }
+    if let Some(p) = &svg {
+        write_file(p, &view.to_svg())?;
+    }
+    eprintln!(
+        "campaign: rendered {} row(s) × {} config(s) from the saved matrix — \
+         0 cell(s) re-simulated",
+        view.rows.len(),
+        view.configs.len()
+    );
+    Ok(Outcome::Rendered {
+        rows: view.rows.len(),
+        configs: view.configs.len(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Small helpers
+// ---------------------------------------------------------------------------
+
+fn parse_shard(v: &str) -> Result<(usize, usize), CliError> {
+    let bad = || CliError::Usage(format!("--shard needs I/N with I < N, got '{v}'"));
+    let (i, n) = v.split_once('/').ok_or_else(bad)?;
+    let (i, n): (usize, usize) = (i.parse().map_err(|_| bad())?, n.parse().map_err(|_| bad())?);
+    if n == 0 || i >= n {
+        return Err(bad());
+    }
+    Ok((i, n))
+}
+
+fn load_matrix(path: &Path) -> Result<CampaignMatrix, CliError> {
+    CampaignMatrix::load_json(path).map_err(|source| CliError::Artifact {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+fn write_file(path: &Path, content: &str) -> Result<(), CliError> {
+    std::fs::write(path, content).map_err(|source| CliError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+/// Writes `content` to `path`, or to stdout when no path was given.
+fn emit(path: Option<&Path>, content: &str) -> Result<(), CliError> {
+    match path {
+        Some(p) => write_file(p, content),
+        None => write_stdout(content),
+    }
+}
+
+/// Writes to stdout, treating a closed pipe (`campaign … | head`) as
+/// normal early termination instead of the default `print!` panic.
+fn write_stdout(content: &str) -> Result<(), CliError> {
+    use std::io::Write as _;
+    let mut out = std::io::stdout().lock();
+    match out.write_all(content.as_bytes()).and_then(|()| out.flush()) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => std::process::exit(0),
+        Err(source) => Err(CliError::Io {
+            path: PathBuf::from("<stdout>"),
+            source,
+        }),
+    }
+}
+
+fn describe_report(report: IncrementalReport) {
+    eprintln!(
+        "campaign: evaluated {} task(s), reused {} from the previous matrix",
+        report.evaluated, report.reused
+    );
+}

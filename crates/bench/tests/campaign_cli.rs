@@ -1,0 +1,339 @@
+//! Cross-process campaign acceptance: drive the `campaign` CLI code path
+//! (the same [`bench::campaign_cli::main_with`] entry the binary calls)
+//! to write shard part files to a temp dir, merge them, and assert the
+//! merged CSV/JSON is **bit-identical** to a single-shot `spec.run()` —
+//! for n ∈ {1, 2, 5} and a seeded-random n — plus the incremental no-op
+//! and the merge/render failure modes.
+
+use bench::campaign_cli::{main_with, CliError, Outcome};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use specgraph::campaign::{CampaignIoError, CampaignMatrix, CampaignSpec, Knob, MergeError};
+use specgraph::{attacks, defenses};
+use std::fs;
+use std::path::PathBuf;
+use uarch::UarchConfig;
+
+/// The spec flags under test: 3 attacks × 2 defenses × 2 ROB depths.
+const SPEC_FLAGS: &[&str] = &[
+    "--attacks",
+    "Spectre v1,Spectre v2,Meltdown",
+    "--defenses",
+    "LFENCE,NDA",
+    "--axis",
+    "rob=16,64",
+];
+
+/// The equivalent in-process spec, for the single-shot oracle.
+fn oracle_spec() -> CampaignSpec {
+    CampaignSpec::builder(UarchConfig::default())
+        .attacks(
+            ["Spectre v1", "Spectre v2", "Meltdown"]
+                .iter()
+                .map(|n| attacks::find(n).expect("registered")),
+        )
+        .defenses(
+            ["LFENCE", "NDA"]
+                .iter()
+                .map(|n| *defenses::find(n).expect("registered")),
+        )
+        .axis(Knob::RobDepth, [16usize, 64])
+        .build()
+}
+
+fn run(list: &[&str]) -> Result<Outcome, CliError> {
+    main_with(&list.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>())
+}
+
+/// `extra` (subcommand first) followed by the shared spec flags.
+fn with_spec<'a>(extra: &[&'a str]) -> Vec<&'a str> {
+    extra
+        .iter()
+        .copied()
+        .chain(SPEC_FLAGS.iter().copied())
+        .collect()
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("campaign-cli-{tag}-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("tempdir");
+    dir
+}
+
+#[test]
+fn sharded_cli_pipeline_is_bit_identical_to_single_shot() {
+    let spec = oracle_spec();
+    let whole = CampaignMatrix::run(&spec).unwrap();
+    let (expected_json, expected_csv) = (whole.to_json(), whole.to_csv());
+    let mut rng = StdRng::seed_from_u64(u64::from(std::process::id()));
+    let random_n = usize::try_from(rng.gen_range(6..20)).unwrap();
+    let dir = tempdir("shards");
+    for n in [1usize, 2, 5, random_n] {
+        let mut part_args: Vec<String> = vec!["merge".to_owned()];
+        for i in 0..n {
+            let part = dir.join(format!("part-{i}-of-{n}.json"));
+            let shard = format!("{i}/{n}");
+            let outcome = run(&with_spec(&[
+                "run",
+                "--shard",
+                &shard,
+                "--out",
+                part.to_str().unwrap(),
+            ]))
+            .expect("shard runs");
+            assert!(
+                matches!(outcome, Outcome::RanShard { index, of, .. } if index == i && of == n),
+                "unexpected outcome {outcome:?}"
+            );
+            part_args.push(part.to_str().unwrap().to_owned());
+        }
+        let (matrix, csv) = (dir.join("matrix.json"), dir.join("matrix.csv"));
+        part_args.extend([
+            "--out".to_owned(),
+            matrix.to_str().unwrap().to_owned(),
+            "--csv".to_owned(),
+            csv.to_str().unwrap().to_owned(),
+        ]);
+        let outcome = main_with(&part_args).expect("parts merge");
+        assert_eq!(
+            outcome,
+            Outcome::Merged {
+                parts: n,
+                tasks: spec.total_tasks()
+            }
+        );
+        assert_eq!(
+            fs::read_to_string(&matrix).unwrap(),
+            expected_json,
+            "JSON differs from single-shot for n={n}"
+        );
+        assert_eq!(
+            fs::read_to_string(&csv).unwrap(),
+            expected_csv,
+            "CSV differs from single-shot for n={n}"
+        );
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn incremental_rerun_across_the_cli_boundary_is_free() {
+    let dir = tempdir("incremental");
+    let matrix = dir.join("matrix.json");
+    let outcome = run(&with_spec(&["run", "--out", matrix.to_str().unwrap()])).expect("full run");
+    let total = oracle_spec().total_tasks();
+    assert_eq!(
+        outcome,
+        Outcome::Ran {
+            evaluated: total,
+            reused: 0
+        }
+    );
+    let first = fs::read_to_string(&matrix).unwrap();
+
+    // Unchanged spec, previous matrix from disk: zero cells evaluated,
+    // byte-identical output.
+    let again = dir.join("again.json");
+    let outcome = run(&with_spec(&[
+        "run",
+        "--incremental",
+        "--prev",
+        matrix.to_str().unwrap(),
+        "--out",
+        again.to_str().unwrap(),
+    ]))
+    .expect("incremental run");
+    assert_eq!(
+        outcome,
+        Outcome::Ran {
+            evaluated: 0,
+            reused: total
+        }
+    );
+    assert_eq!(fs::read_to_string(&again).unwrap(), first);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn render_regenerates_heatmaps_from_disk() {
+    let dir = tempdir("render");
+    let matrix = dir.join("matrix.json");
+    run(&with_spec(&["run", "--out", matrix.to_str().unwrap()])).expect("full run");
+    let (csv, svg) = (dir.join("fig8.csv"), dir.join("fig8.svg"));
+    let outcome = run(&[
+        "render",
+        "--figure8",
+        matrix.to_str().unwrap(),
+        "--csv",
+        csv.to_str().unwrap(),
+        "--svg",
+        svg.to_str().unwrap(),
+    ])
+    .expect("render");
+    // 1 undefended row + 2 defenses; 2 config slices (rob=16, rob=64).
+    assert_eq!(
+        outcome,
+        Outcome::Rendered {
+            rows: 3,
+            configs: 2
+        }
+    );
+    let csv = fs::read_to_string(&csv).unwrap();
+    assert!(csv.starts_with("defense,config,attacks,leaked,leak_rate,"));
+    assert_eq!(csv.lines().count(), 1 + 3 * 2);
+    let svg = fs::read_to_string(&svg).unwrap();
+    assert!(svg.starts_with("<svg") && svg.trim_end().ends_with("</svg>"));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merge_rejects_gaps_foreign_parts_and_non_parts() {
+    let dir = tempdir("badmerge");
+    let p0 = dir.join("p0.json");
+    let p1 = dir.join("p1.json");
+    run(&with_spec(&[
+        "run",
+        "--shard",
+        "0/2",
+        "--out",
+        p0.to_str().unwrap(),
+    ]))
+    .unwrap();
+    run(&with_spec(&[
+        "run",
+        "--shard",
+        "1/2",
+        "--out",
+        p1.to_str().unwrap(),
+    ]))
+    .unwrap();
+
+    // A missing shard is a hard error naming the count mismatch.
+    let out = dir.join("m.json");
+    match run(&[
+        "merge",
+        p0.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+    ]) {
+        Err(CliError::Merge(MergeError::WrongCount {
+            expected: 2,
+            got: 1,
+        })) => {}
+        other => panic!("expected WrongCount, got {other:?}"),
+    }
+
+    // A shard of a *different* spec (one knob value changed) is refused
+    // by spec fingerprint even though shard geometry matches.
+    let foreign = dir.join("foreign.json");
+    run(&[
+        "run",
+        "--attacks",
+        "Spectre v1,Spectre v2,Meltdown",
+        "--defenses",
+        "LFENCE,NDA",
+        "--axis",
+        "rob=16,48",
+        "--shard",
+        "1/2",
+        "--out",
+        foreign.to_str().unwrap(),
+    ])
+    .unwrap();
+    match run(&[
+        "merge",
+        p0.to_str().unwrap(),
+        foreign.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+    ]) {
+        Err(CliError::Merge(MergeError::SpecMismatch { index: 1, .. })) => {}
+        other => panic!("expected SpecMismatch, got {other:?}"),
+    }
+
+    // Handing a matrix where a part belongs is a typed kind error.
+    let matrix = dir.join("matrix.json");
+    run(&with_spec(&["run", "--out", matrix.to_str().unwrap()])).unwrap();
+    match run(&[
+        "merge",
+        matrix.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+    ]) {
+        Err(CliError::Artifact {
+            source: CampaignIoError::Kind { expected, .. },
+            ..
+        }) => assert_eq!(expected, "campaign-part"),
+        other => panic!("expected a Kind error, got {other:?}"),
+    }
+
+    // …and rendering a part instead of a matrix is equally typed.
+    match run(&["render", "--figure8", p0.to_str().unwrap()]) {
+        Err(CliError::Artifact {
+            source: CampaignIoError::Kind { expected, .. },
+            ..
+        }) => assert_eq!(expected, "campaign-matrix"),
+        other => panic!("expected a Kind error, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn usage_errors_are_actionable() {
+    for (args, needle) in [
+        (vec!["run", "--shard", "3/2"], "I < N"),
+        (vec!["run", "--shard", "nope"], "I < N"),
+        (vec!["run", "--attacks", "NoSuchAttack"], "registry has"),
+        (vec!["run", "--defenses", "NoSuchDefense"], "registry has"),
+        (vec!["run", "--axis", "rob"], "KNOB=V1,V2"),
+        (vec!["run", "--axis", "warp=9"], "unknown axis knob"),
+        (vec!["run", "--axis", "rob=16,16"], "twice"),
+        (
+            vec!["run", "--axis", "pred=quantum"],
+            "unknown predictor flavor",
+        ),
+        (
+            vec!["run", "--axis", "hardening=magic"],
+            "unknown hardening",
+        ),
+        (vec!["run", "--incremental"], "--prev"),
+        (
+            // Repeated flags never silently override each other.
+            vec!["run", "--attacks", "Meltdown", "--attacks", "RIDL"],
+            "given twice",
+        ),
+        (
+            vec!["run", "--shard", "0/2", "--shard", "1/2"],
+            "given twice",
+        ),
+        (
+            vec!["run", "--shard", "0/2", "--incremental", "--prev", "x.json"],
+            "merge the parts",
+        ),
+        (vec!["render", "matrix.json"], "--figure8"),
+        (vec!["merge"], "at least one"),
+        (vec!["explode"], "unknown subcommand"),
+    ] {
+        match run(&args) {
+            Err(CliError::Usage(msg)) => {
+                assert!(
+                    msg.contains(needle),
+                    "usage message for {args:?} should mention '{needle}', got: {msg}"
+                );
+            }
+            other => panic!("expected a usage error for {args:?}, got {other:?}"),
+        }
+    }
+    // Conflicting predictor/hardening axes are caught before the builder
+    // could panic.
+    match run(&[
+        "run",
+        "--axis",
+        "pred=shared",
+        "--axis",
+        "hardening=flush-predictors",
+    ]) {
+        Err(CliError::Usage(msg)) => assert!(msg.contains("pred=flush")),
+        other => panic!("expected a usage error, got {other:?}"),
+    }
+}

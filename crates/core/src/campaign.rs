@@ -46,8 +46,52 @@
 //! and cells whose fingerprint appears in a previous matrix, e.g. one
 //! loaded with [`CampaignMatrix::load_json`], are reused instead of
 //! re-simulated).
+//!
+//! ## Cross-process sharding
+//!
+//! Shards are *artifacts*, not just in-process values: a
+//! [`CampaignPart`] serializes to JSON (schema version
+//! [`SCHEMA_VERSION`], with a shard header carrying the spec fingerprint
+//! and the shard's slot in the task range), so `n` independent processes
+//! — or machines — can each run one shard, write its part file, and a
+//! final process can merge the parts bit-identically to a single-shot
+//! run. [`CampaignMatrix::merge`] refuses parts whose
+//! [`CampaignSpec::fingerprint`] differs, so shards of *different*
+//! campaigns (different attack lists, knob values, or base
+//! configurations) cannot be combined silently:
+//!
+//! ```
+//! use specgraph::campaign::{CampaignMatrix, CampaignPart, CampaignSpec};
+//! use uarch::UarchConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = CampaignSpec::builder(UarchConfig::default())
+//!     .attacks(attacks::registry().iter().copied().take(2))
+//!     .defenses(defenses::registry().iter().copied().take(1))
+//!     .build();
+//!
+//! // Each of these runs could happen in its own process:
+//! // `part.save_json(path)` there, `CampaignPart::load_json(path)` here.
+//! let parts: Vec<CampaignPart> = spec
+//!     .shards(2)
+//!     .iter()
+//!     .map(|shard| {
+//!         let part = shard.run()?;
+//!         Ok(CampaignPart::from_json(&part.to_json())?) // disk round trip
+//!     })
+//!     .collect::<Result<_, Box<dyn std::error::Error>>>()?;
+//!
+//! let merged = CampaignMatrix::merge(parts)?;
+//! assert_eq!(merged.to_json(), CampaignMatrix::run(&spec)?.to_json());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Saved matrices feed [`CampaignMatrix::run_incremental`] across the
+//! same process boundary: re-running an unchanged spec against a loaded
+//! matrix evaluates zero cells.
 
-use crate::jsonio::{self, Json};
+use crate::jsonio::{self, Json, JsonError};
 use crate::scenario::{self, Evaluation};
 use attacks::{Attack, AttackError, AttackInfo};
 use defenses::{Defense, Strategy, Verdict};
@@ -59,6 +103,17 @@ use std::path::Path;
 use std::thread;
 use tsg::NodeKind;
 use uarch::UarchConfig;
+
+/// Schema version stamped on every matrix and part document this module
+/// writes (`"version"` plus a `"kind"` discriminator:
+/// `"campaign-matrix"` or `"campaign-part"`). Version-2 matrices —
+/// written before parts existed, no `kind` header — still load;
+/// any other version is a typed [`CampaignIoError::Version`].
+pub const SCHEMA_VERSION: u64 = 3;
+
+/// The pre-part matrix schema ([`SCHEMA_VERSION`] minus the headers);
+/// accepted on load for backward compatibility, never written.
+const LEGACY_MATRIX_VERSION: u64 = 2;
 
 // ---------------------------------------------------------------------------
 // Typed configuration knobs
@@ -244,6 +299,13 @@ impl PredictorFlavor {
             PredictorFlavor::StuffedRsb => "stuffed-rsb",
         }
     }
+
+    /// The flavor for a [`PredictorFlavor::token`] string (how the
+    /// `campaign` CLI parses `--axis pred=…` values).
+    #[must_use]
+    pub fn from_token(token: &str) -> Option<PredictorFlavor> {
+        Self::all().into_iter().find(|f| f.token() == token)
+    }
 }
 
 /// A globally applied Figure-8 hardening mechanism (one per distinct
@@ -331,6 +393,30 @@ impl Hardening {
             Hardening::FlushPredictors => "④ flush predictors",
         }
     }
+
+    /// Stable ASCII token (how the `campaign` CLI spells `--axis
+    /// hardening=…` values; the display [`Hardening::label`] keeps the
+    /// paper's circled-strategy names).
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            Hardening::None => "baseline",
+            Hardening::NoSpeculativeLoads => "no-spec-loads",
+            Hardening::EagerPermissionCheck => "eager-permcheck",
+            Hardening::Nda => "nda",
+            Hardening::Stt => "stt",
+            Hardening::DelayOnMiss => "delay-on-miss",
+            Hardening::InvisibleSpec => "invisispec",
+            Hardening::CleanupSpec => "cleanup-spec",
+            Hardening::FlushPredictors => "flush-predictors",
+        }
+    }
+
+    /// The mechanism for a [`Hardening::token`] string.
+    #[must_use]
+    pub fn from_token(token: &str) -> Option<Hardening> {
+        Self::all().into_iter().find(|h| h.token() == token)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -397,6 +483,39 @@ impl CampaignSpec {
     pub fn total_tasks(&self) -> usize {
         let (a, d, c) = (self.attacks.len(), self.defenses.len(), self.configs.len());
         a * c + a * d * c
+    }
+
+    /// A stable 64-bit digest of the spec's *contents*: attack names,
+    /// defense names + strategies, and config names + full config
+    /// contents ([`config_digest`]), all in axis order. The worker-thread
+    /// count is deliberately excluded — it changes scheduling, never
+    /// results.
+    ///
+    /// Every [`CampaignPart`] records its producing spec's fingerprint,
+    /// and [`CampaignMatrix::merge`] refuses to combine parts whose
+    /// fingerprints differ: shards are only meaningful relative to one
+    /// exact task order, and that order is a function of these contents.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv1a(b"campaign-spec\0", FNV_OFFSET);
+        for at in &self.attacks {
+            h = fnv1a(at.info().name.as_bytes(), h);
+            h = fnv1a(b"\0", h);
+        }
+        h = fnv1a(b"\x01", h);
+        for d in &self.defenses {
+            h = fnv1a(d.name.as_bytes(), h);
+            h = fnv1a(b"\0", h);
+            h = fnv1a(strategy_token(d.strategy).as_bytes(), h);
+            h = fnv1a(b"\0", h);
+        }
+        h = fnv1a(b"\x01", h);
+        for nc in &self.configs {
+            h = fnv1a(nc.name.as_bytes(), h);
+            h = fnv1a(b"\0", h);
+            h = fnv1a(&config_digest(&nc.config).to_le_bytes(), h);
+        }
+        h
     }
 
     /// Splits the cube into `n` independently runnable shards covering
@@ -848,6 +967,7 @@ impl CampaignShard {
         let graph_races = graph_races_for(&self.spec, &ids);
         let (baselines, cells) = split_outputs(execute(&self.spec, &graph_races, &digests, &ids)?);
         Ok(CampaignPart {
+            spec_fingerprint: self.spec.fingerprint(),
             index: self.index,
             of: self.of,
             start: self.start,
@@ -862,10 +982,19 @@ impl CampaignShard {
     }
 }
 
-/// The evaluated output of one [`CampaignShard`]: axis metadata plus the
-/// cells of its task range, in task order.
+/// The evaluated output of one [`CampaignShard`]: a shard header (spec
+/// fingerprint plus the shard's slot in the task range), the axis
+/// metadata, and the cells of its task range, in task order.
+///
+/// A part is the unit of **cross-process** shard transport: it
+/// serializes to JSON ([`CampaignPart::save_json`], schema version
+/// [`SCHEMA_VERSION`] with `"kind": "campaign-part"`), so each shard can
+/// run in its own process — or on its own machine — and a final process
+/// can [`CampaignPart::load_json`] every part and
+/// [`CampaignMatrix::merge`] them bit-identically to a single-shot run.
 #[derive(Debug, Clone)]
 pub struct CampaignPart {
+    spec_fingerprint: u64,
     index: usize,
     of: usize,
     start: usize,
@@ -885,6 +1014,31 @@ impl CampaignPart {
         self.index
     }
 
+    /// How many shards the cube was split into.
+    #[must_use]
+    pub fn of(&self) -> usize {
+        self.of
+    }
+
+    /// The [`CampaignSpec::fingerprint`] of the spec that produced this
+    /// part. [`CampaignMatrix::merge`] only combines parts that agree.
+    #[must_use]
+    pub fn spec_fingerprint(&self) -> u64 {
+        self.spec_fingerprint
+    }
+
+    /// Number of tasks (baselines + cells) this part evaluated.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether this part's task range is empty (more shards than tasks).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
     /// The baseline rows this part evaluated.
     #[must_use]
     pub fn baselines(&self) -> &[BaselineCell] {
@@ -895,6 +1049,136 @@ impl CampaignPart {
     #[must_use]
     pub fn cells(&self) -> &[MatrixCell] {
         &self.cells
+    }
+
+    /// The part as a JSON document: shard header first, then axes and
+    /// rows. Round-trips through [`CampaignPart::from_json`].
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": ");
+        let _ = write!(out, "{SCHEMA_VERSION},\n  \"kind\": \"campaign-part\",");
+        let _ = write!(
+            out,
+            "\n  \"spec_fingerprint\": \"{:#018x}\",",
+            self.spec_fingerprint
+        );
+        let _ = write!(
+            out,
+            "\n  \"shard\": {{\"index\": {}, \"of\": {}, \"start\": {}, \"end\": {}, \"total\": {}}},",
+            self.index, self.of, self.start, self.end, self.total
+        );
+        out.push_str("\n  \"configs\": [");
+        push_json_list(&mut out, self.configs.iter().map(String::as_str));
+        out.push_str("],\n  \"attacks\": [");
+        push_json_list(&mut out, self.attacks.iter().map(|i| i.name));
+        out.push_str("],\n  \"defenses\": [");
+        push_json_list(&mut out, self.defenses.iter().map(|d| d.name));
+        out.push_str("],\n  \"baselines\": [");
+        for (i, b) in self.baselines.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_baseline_row(&mut out, b, &self.configs);
+        }
+        out.push_str("\n  ],\n  \"cells\": [");
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_cell_row(&mut out, cell, &self.configs);
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Writes [`CampaignPart::to_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from writing the file.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads a part saved with [`CampaignPart::save_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignIoError`] on I/O failure, malformed JSON, a wrong
+    /// version/kind, or names that no longer resolve in the registries.
+    pub fn load_json(path: impl AsRef<Path>) -> Result<Self, CampaignIoError> {
+        Self::from_json(&std::fs::read_to_string(path)?)
+    }
+
+    /// Parses a part from its [`CampaignPart::to_json`] document.
+    ///
+    /// The shard header is validated for internal consistency (index
+    /// within the shard count, task range within — and consistent with —
+    /// the declared axes), and every row's names are checked against the
+    /// task position it claims, exactly like
+    /// [`CampaignMatrix::from_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignIoError`] on malformed JSON, a wrong version or kind
+    /// (e.g. a *matrix* document — parts and matrices do not
+    /// interchange), unknown names/tokens, or an inconsistent header.
+    pub fn from_json(text: &str) -> Result<Self, CampaignIoError> {
+        let doc = jsonio::parse(text)?;
+        check_version_and_kind(&doc, "campaign-part", false)?;
+        let spec_fingerprint = header_fingerprint(&doc)?;
+        let shard = doc
+            .get("shard")
+            .ok_or_else(|| CampaignIoError::Parse("missing 'shard' header".to_owned()))?;
+        let shard_field = |key: &str| -> Result<usize, CampaignIoError> {
+            let n = shard
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| CampaignIoError::Parse(format!("missing shard field '{key}'")))?;
+            usize::try_from(n)
+                .map_err(|_| CampaignIoError::Parse(format!("shard field '{key}' out of range")))
+        };
+        let (index, of) = (shard_field("index")?, shard_field("of")?);
+        let (start, end, total) = (
+            shard_field("start")?,
+            shard_field("end")?,
+            shard_field("total")?,
+        );
+        if of == 0 || index >= of || start > end || end > total {
+            return Err(CampaignIoError::Shape(format!(
+                "inconsistent shard header: index {index} of {of}, tasks {start}..{end} of {total}"
+            )));
+        }
+        let (attacks, defenses, configs) = parse_axes(&doc)?;
+        let (a, d, c) = (attacks.len(), defenses.len(), configs.len());
+        if total != a * c + a * d * c {
+            return Err(CampaignIoError::Shape(format!(
+                "shard header declares {total} total tasks, axes imply {}",
+                a * c + a * d * c
+            )));
+        }
+        let (baselines, cells) = parse_rows(
+            &attacks,
+            &defenses,
+            &configs,
+            start,
+            end,
+            entries(&doc, "baselines")?,
+            entries(&doc, "cells")?,
+        )?;
+        Ok(CampaignPart {
+            spec_fingerprint,
+            index,
+            of,
+            start,
+            end,
+            total,
+            attacks,
+            defenses,
+            configs,
+            baselines,
+            cells,
+        })
     }
 }
 
@@ -917,6 +1201,17 @@ pub enum MergeError {
         expected: usize,
         /// The index found.
         got: usize,
+    },
+    /// A part was produced by a spec with a different
+    /// [`CampaignSpec::fingerprint`] (different attacks, defenses, knob
+    /// values, or base configuration — even when the axis *names* agree).
+    SpecMismatch {
+        /// Shard index of the offending part.
+        index: usize,
+        /// Fingerprint of the first part's spec.
+        expected: u64,
+        /// Fingerprint the offending part declares.
+        got: u64,
     },
     /// A part's attack/defense/config axes differ from the first part's.
     AxisMismatch {
@@ -941,6 +1236,19 @@ impl fmt::Display for MergeError {
             }
             MergeError::ShardIndex { expected, got } => {
                 write!(f, "expected shard index {expected}, got {got}")
+            }
+            MergeError::SpecMismatch {
+                index,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "shard {index} was produced by a different campaign spec \
+                     (fingerprint {got:#018x}, expected {expected:#018x}); \
+                     re-run every shard with identical attack/defense/axis \
+                     settings before merging"
+                )
             }
             MergeError::AxisMismatch { index } => {
                 write!(f, "shard {index} was evaluated over different axes")
@@ -1203,6 +1511,13 @@ impl CampaignMatrix {
                 });
             }
             let first = &parts[0];
+            if p.spec_fingerprint != first.spec_fingerprint {
+                return Err(MergeError::SpecMismatch {
+                    index: p.index,
+                    expected: first.spec_fingerprint,
+                    got: p.spec_fingerprint,
+                });
+            }
             let same_axes = p.attacks == first.attacks
                 && p.configs == first.configs
                 && p.total == first.total
@@ -1328,7 +1643,9 @@ impl CampaignMatrix {
     /// Round-trips through [`CampaignMatrix::from_json`].
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"version\": 2,\n  \"configs\": [");
+        let mut out = String::from("{\n  \"version\": ");
+        let _ = write!(out, "{SCHEMA_VERSION},\n  \"kind\": \"campaign-matrix\",");
+        out.push_str("\n  \"configs\": [");
         push_json_list(&mut out, self.configs.iter().map(String::as_str));
         out.push_str("],\n  \"attacks\": [");
         push_json_list(&mut out, self.attacks.iter().map(|i| i.name));
@@ -1339,38 +1656,14 @@ impl CampaignMatrix {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(
-                out,
-                "\n    {{\"attack\": {}, \"config\": {}, \"leaked\": {}, \"recovered\": {}, \"cycles\": {}, \"graph_race\": {}, \"fingerprint\": \"{:#018x}\"}}",
-                json_str(b.info.name),
-                json_str(&self.configs[b.config]),
-                b.leaked,
-                b.recovered
-                    .map_or_else(|| "null".to_owned(), |v| v.to_string()),
-                b.cycles,
-                b.graph_race,
-                b.fingerprint,
-            );
+            write_baseline_row(&mut out, b, &self.configs);
         }
         out.push_str("\n  ],\n  \"cells\": [");
         for (i, cell) in self.cells.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            let e = &cell.evaluation;
-            let _ = write!(
-                out,
-                "\n    {{\"attack\": {}, \"defense\": {}, \"config\": {}, \"strategy\": {}, \"strategy_sufficient\": {}, \"mechanism\": {}, \"false_sense\": {}, \"fingerprint\": \"{:#018x}\"}}",
-                json_str(cell.attack),
-                json_str(cell.defense),
-                json_str(&self.configs[cell.config]),
-                json_str(strategy_token(e.strategy)),
-                e.strategy_sufficient
-                    .map_or_else(|| "null".to_owned(), |b| b.to_string()),
-                json_str(verdict_token(e.mechanism)),
-                cell.false_sense_of_security(),
-                cell.fingerprint,
-            );
+            write_cell_row(&mut out, cell, &self.configs);
         }
         out.push_str("\n  ]\n}\n");
         out
@@ -1399,83 +1692,172 @@ impl CampaignMatrix {
     ///
     /// Attack and defense names are resolved against the live registries
     /// (the matrix stores `&'static` metadata); axis order and cell counts
-    /// are validated against the attack-major layout.
+    /// are validated against the attack-major layout. Version-2 documents
+    /// (written before [`SCHEMA_VERSION`] introduced the `kind` header)
+    /// load unchanged.
     ///
     /// # Errors
     ///
-    /// [`CampaignIoError`] on malformed JSON, unknown names/tokens, or a
-    /// cell count that does not match the declared axes.
+    /// [`CampaignIoError`] on malformed JSON, a wrong version or kind
+    /// (e.g. a shard *part* document — merge parts first), unknown
+    /// names/tokens, or a cell count that does not match the declared
+    /// axes.
     pub fn from_json(text: &str) -> Result<Self, CampaignIoError> {
-        let doc = jsonio::parse(text).map_err(CampaignIoError::Parse)?;
-        if doc.get("version").and_then(Json::as_u64) != Some(2) {
-            return Err(CampaignIoError::Parse(
-                "unsupported or missing matrix version".to_owned(),
-            ));
-        }
-        let str_list = |key: &str| -> Result<Vec<String>, CampaignIoError> {
-            doc.get(key)
-                .and_then(Json::as_arr)
-                .ok_or_else(|| CampaignIoError::Parse(format!("missing '{key}' list")))?
-                .iter()
-                .map(|v| {
-                    v.as_str()
-                        .map(str::to_owned)
-                        .ok_or_else(|| CampaignIoError::Parse(format!("non-string in '{key}'")))
-                })
-                .collect()
-        };
-        let configs = str_list("configs")?;
-        let attacks: Vec<AttackInfo> = str_list("attacks")?
-            .into_iter()
-            .map(|name| {
-                attacks::find(&name)
-                    .map(|a| a.info())
-                    .ok_or(CampaignIoError::UnknownAttack(name))
-            })
-            .collect::<Result<_, _>>()?;
-        let defenses: Vec<Defense> = str_list("defenses")?
-            .into_iter()
-            .map(|name| {
-                defenses::find(&name)
-                    .copied()
-                    .ok_or(CampaignIoError::UnknownDefense(name))
-            })
-            .collect::<Result<_, _>>()?;
+        let doc = jsonio::parse(text)?;
+        check_version_and_kind(&doc, "campaign-matrix", true)?;
+        let (attacks, defenses, configs) = parse_axes(&doc)?;
         let (a, d, c) = (attacks.len(), defenses.len(), configs.len());
+        let total = a * c + a * d * c;
+        let (baselines, cells) = parse_rows(
+            &attacks,
+            &defenses,
+            &configs,
+            0,
+            total,
+            entries(&doc, "baselines")?,
+            entries(&doc, "cells")?,
+        )?;
+        Ok(Self::assemble(attacks, defenses, configs, baselines, cells))
+    }
+}
 
-        let entries = |key: &str| -> Result<&[Json], CampaignIoError> {
-            doc.get(key)
-                .and_then(Json::as_arr)
-                .ok_or_else(|| CampaignIoError::Parse(format!("missing '{key}' list")))
-        };
-        let baseline_rows = entries("baselines")?;
-        if baseline_rows.len() != a * c {
-            return Err(CampaignIoError::Shape(format!(
-                "expected {} baselines, found {}",
-                a * c,
-                baseline_rows.len()
-            )));
+/// Checks the `version`/`kind` headers of a campaign document.
+/// `allow_legacy` accepts the pre-part version-2 matrix schema (which has
+/// no `kind` field).
+fn check_version_and_kind(
+    doc: &Json,
+    kind: &'static str,
+    allow_legacy: bool,
+) -> Result<(), CampaignIoError> {
+    let version = doc.get("version").and_then(Json::as_u64);
+    match version {
+        Some(SCHEMA_VERSION) => {}
+        Some(LEGACY_MATRIX_VERSION) if allow_legacy && doc.get("kind").is_none() => {
+            return Ok(());
         }
-        let mut baselines = Vec::with_capacity(a * c);
-        for (k, row) in baseline_rows.iter().enumerate() {
-            let info = attacks[k / c.max(1)];
+        found => return Err(CampaignIoError::Version { found }),
+    }
+    match doc.get("kind").and_then(Json::as_str) {
+        Some(k) if k == kind => Ok(()),
+        Some(other) => Err(CampaignIoError::Kind {
+            expected: kind,
+            found: other.to_owned(),
+        }),
+        None => Err(CampaignIoError::Parse("missing 'kind' header".to_owned())),
+    }
+}
+
+/// Reads the `spec_fingerprint` header of a part document.
+fn header_fingerprint(doc: &Json) -> Result<u64, CampaignIoError> {
+    let s = doc
+        .get("spec_fingerprint")
+        .and_then(Json::as_str)
+        .ok_or_else(|| CampaignIoError::Parse("missing 'spec_fingerprint' header".to_owned()))?;
+    parse_hex_u64(s).ok_or_else(|| CampaignIoError::Parse(format!("bad spec fingerprint '{s}'")))
+}
+
+/// The resolved `(attacks, defenses, configs)` axis lists of a campaign
+/// document.
+type ParsedAxes = (Vec<AttackInfo>, Vec<Defense>, Vec<String>);
+
+/// Resolves the `attacks`/`defenses`/`configs` axis lists of a campaign
+/// document against the live registries.
+fn parse_axes(doc: &Json) -> Result<ParsedAxes, CampaignIoError> {
+    let str_list = |key: &str| -> Result<Vec<String>, CampaignIoError> {
+        doc.get(key)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| CampaignIoError::Parse(format!("missing '{key}' list")))?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| CampaignIoError::Parse(format!("non-string in '{key}'")))
+            })
+            .collect()
+    };
+    let configs = str_list("configs")?;
+    let attacks: Vec<AttackInfo> = str_list("attacks")?
+        .into_iter()
+        .map(|name| {
+            attacks::find(&name)
+                .map(|a| a.info())
+                .ok_or(CampaignIoError::UnknownAttack(name))
+        })
+        .collect::<Result<_, _>>()?;
+    let defenses: Vec<Defense> = str_list("defenses")?
+        .into_iter()
+        .map(|name| {
+            defenses::find(&name)
+                .copied()
+                .ok_or(CampaignIoError::UnknownDefense(name))
+        })
+        .collect::<Result<_, _>>()?;
+    Ok((attacks, defenses, configs))
+}
+
+/// The array under `key`, as parsed rows.
+fn entries<'a>(doc: &'a Json, key: &str) -> Result<&'a [Json], CampaignIoError> {
+    doc.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| CampaignIoError::Parse(format!("missing '{key}' list")))
+}
+
+/// Parses the baseline/cell rows covering tasks `start..end` of the cube
+/// described by the axes, validating that every row names exactly the
+/// attack/defense/config its task position implies (attack-major order).
+/// For a full matrix `start..end` is the whole task range; for a part it
+/// is the shard's slice.
+fn parse_rows(
+    attacks: &[AttackInfo],
+    defenses: &[Defense],
+    configs: &[String],
+    start: usize,
+    end: usize,
+    baseline_rows: &[Json],
+    cell_rows: &[Json],
+) -> Result<(Vec<BaselineCell>, Vec<MatrixCell>), CampaignIoError> {
+    let (d, c) = (defenses.len(), configs.len());
+    let base_tasks = attacks.len() * c;
+    let expected_baselines = end.min(base_tasks).saturating_sub(start.min(base_tasks));
+    let expected_cells = (end - start) - expected_baselines;
+    if baseline_rows.len() != expected_baselines {
+        return Err(CampaignIoError::Shape(format!(
+            "expected {expected_baselines} baselines, found {}",
+            baseline_rows.len()
+        )));
+    }
+    if cell_rows.len() != expected_cells {
+        return Err(CampaignIoError::Shape(format!(
+            "expected {expected_cells} cells, found {}",
+            cell_rows.len()
+        )));
+    }
+    let mut baselines = Vec::with_capacity(expected_baselines);
+    let mut cells = Vec::with_capacity(expected_cells);
+    for task in start..end {
+        if task < base_tasks {
+            let row = &baseline_rows[task - start];
+            let info = attacks[task / c];
+            let config = task % c;
             let name = field_str(row, "attack")?;
             if name != info.name {
                 return Err(CampaignIoError::Shape(format!(
-                    "baseline {k} names '{name}', expected '{}' (attack-major order)",
+                    "baseline for task {task} names '{name}', expected '{}' \
+                     (attack-major order)",
                     info.name
                 )));
             }
             let cfg_name = field_str(row, "config")?;
-            if cfg_name != configs[k % c.max(1)] {
+            if cfg_name != configs[config] {
                 return Err(CampaignIoError::Shape(format!(
-                    "baseline {k} names config '{cfg_name}', expected '{}' (attack-major order)",
-                    configs[k % c.max(1)]
+                    "baseline for task {task} names config '{cfg_name}', expected '{}' \
+                     (attack-major order)",
+                    configs[config]
                 )));
             }
             baselines.push(BaselineCell {
                 info,
-                config: k % c.max(1),
+                config,
                 leaked: field_bool(row, "leaked")?,
                 recovered: match row.get("recovered") {
                     Some(Json::Null) | None => None,
@@ -1487,32 +1869,26 @@ impl CampaignMatrix {
                 graph_race: field_bool(row, "graph_race")?,
                 fingerprint: field_fingerprint(row)?,
             });
-        }
-
-        let cell_rows = entries("cells")?;
-        if cell_rows.len() != a * d * c {
-            return Err(CampaignIoError::Shape(format!(
-                "expected {} cells, found {}",
-                a * d * c,
-                cell_rows.len()
-            )));
-        }
-        let mut cells = Vec::with_capacity(a * d * c);
-        for (j, row) in cell_rows.iter().enumerate() {
-            let info = attacks[j / (d * c).max(1)];
-            let defense = defenses[(j / c.max(1)) % d.max(1)];
+        } else {
+            let j = task - base_tasks;
+            let row = &cell_rows[task - base_tasks.max(start)];
+            let info = attacks[j / (d * c)];
+            let defense = defenses[(j / c) % d];
+            let config = j % c;
             let (aname, dname) = (field_str(row, "attack")?, field_str(row, "defense")?);
             if aname != info.name || dname != defense.name {
                 return Err(CampaignIoError::Shape(format!(
-                    "cell {j} names ('{aname}', '{dname}'), expected ('{}', '{}')",
+                    "cell for task {task} names ('{aname}', '{dname}'), \
+                     expected ('{}', '{}')",
                     info.name, defense.name
                 )));
             }
             let cfg_name = field_str(row, "config")?;
-            if cfg_name != configs[j % c.max(1)] {
+            if cfg_name != configs[config] {
                 return Err(CampaignIoError::Shape(format!(
-                    "cell {j} names config '{cfg_name}', expected '{}' (attack-major order)",
-                    configs[j % c.max(1)]
+                    "cell for task {task} names config '{cfg_name}', expected '{}' \
+                     (attack-major order)",
+                    configs[config]
                 )));
             }
             let strategy = strategy_from_token(field_str(row, "strategy")?).ok_or_else(|| {
@@ -1534,7 +1910,7 @@ impl CampaignMatrix {
             cells.push(MatrixCell {
                 attack: info.name,
                 defense: defense.name,
-                config: j % c.max(1),
+                config,
                 evaluation: Evaluation {
                     attack: info.name,
                     defense: defense.name,
@@ -1545,8 +1921,42 @@ impl CampaignMatrix {
                 fingerprint: field_fingerprint(row)?,
             });
         }
-        Ok(Self::assemble(attacks, defenses, configs, baselines, cells))
     }
+    Ok((baselines, cells))
+}
+
+/// Writes one baseline row in the shared matrix/part JSON row format.
+fn write_baseline_row(out: &mut String, b: &BaselineCell, configs: &[String]) {
+    let _ = write!(
+        out,
+        "\n    {{\"attack\": {}, \"config\": {}, \"leaked\": {}, \"recovered\": {}, \"cycles\": {}, \"graph_race\": {}, \"fingerprint\": \"{:#018x}\"}}",
+        json_str(b.info.name),
+        json_str(&configs[b.config]),
+        b.leaked,
+        b.recovered
+            .map_or_else(|| "null".to_owned(), |v| v.to_string()),
+        b.cycles,
+        b.graph_race,
+        b.fingerprint,
+    );
+}
+
+/// Writes one matrix-cell row in the shared matrix/part JSON row format.
+fn write_cell_row(out: &mut String, cell: &MatrixCell, configs: &[String]) {
+    let e = &cell.evaluation;
+    let _ = write!(
+        out,
+        "\n    {{\"attack\": {}, \"defense\": {}, \"config\": {}, \"strategy\": {}, \"strategy_sufficient\": {}, \"mechanism\": {}, \"false_sense\": {}, \"fingerprint\": \"{:#018x}\"}}",
+        json_str(cell.attack),
+        json_str(cell.defense),
+        json_str(&configs[cell.config]),
+        json_str(strategy_token(e.strategy)),
+        e.strategy_sufficient
+            .map_or_else(|| "null".to_owned(), |b| b.to_string()),
+        json_str(verdict_token(e.mechanism)),
+        cell.false_sense_of_security(),
+        cell.fingerprint,
+    );
 }
 
 fn field_str<'a>(row: &'a Json, key: &str) -> Result<&'a str, CampaignIoError> {
@@ -1567,22 +1977,46 @@ fn field_u64(row: &Json, key: &str) -> Result<u64, CampaignIoError> {
         .ok_or_else(|| CampaignIoError::Parse(format!("missing integer field '{key}'")))
 }
 
-fn field_fingerprint(row: &Json) -> Result<u64, CampaignIoError> {
-    let s = field_str(row, "fingerprint")?;
+fn parse_hex_u64(s: &str) -> Option<u64> {
     s.strip_prefix("0x")
         .and_then(|h| u64::from_str_radix(h, 16).ok())
-        .ok_or_else(|| CampaignIoError::Parse(format!("bad fingerprint '{s}'")))
 }
 
-/// Errors from campaign-matrix persistence
-/// ([`CampaignMatrix::save_json`] / [`CampaignMatrix::load_json`]).
+fn field_fingerprint(row: &Json) -> Result<u64, CampaignIoError> {
+    let s = field_str(row, "fingerprint")?;
+    parse_hex_u64(s).ok_or_else(|| CampaignIoError::Parse(format!("bad fingerprint '{s}'")))
+}
+
+/// Errors from campaign persistence ([`CampaignMatrix::save_json`] /
+/// [`CampaignMatrix::load_json`] and the [`CampaignPart`] equivalents).
+///
+/// Every failure mode is typed: callers (the `campaign` CLI in
+/// particular) can distinguish a truncated file ([`Json`](Self::Json))
+/// from a version skew ([`Version`](Self::Version)) from handing a part
+/// to a matrix reader ([`Kind`](Self::Kind)) and say so.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum CampaignIoError {
     /// File I/O failed.
     Io(std::io::Error),
-    /// The document is not valid matrix JSON.
+    /// The document is not syntactically valid JSON (malformed or
+    /// truncated input; the error carries the byte offset).
+    Json(JsonError),
+    /// The document is valid JSON but not a valid campaign document.
     Parse(String),
+    /// The document declares an unsupported schema version (or none).
+    Version {
+        /// The version the document declares, if any.
+        found: Option<u64>,
+    },
+    /// The document is a different kind of campaign artifact (e.g. a
+    /// shard part handed to the matrix reader, or vice versa).
+    Kind {
+        /// The kind the reader needed.
+        expected: &'static str,
+        /// The kind the document declares.
+        found: String,
+    },
     /// An attack name no longer resolves in [`attacks::registry`].
     UnknownAttack(String),
     /// A defense name no longer resolves in [`defenses::registry`].
@@ -1596,8 +2030,23 @@ pub enum CampaignIoError {
 impl fmt::Display for CampaignIoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CampaignIoError::Io(e) => write!(f, "matrix I/O failed: {e}"),
-            CampaignIoError::Parse(msg) => write!(f, "malformed matrix JSON: {msg}"),
+            CampaignIoError::Io(e) => write!(f, "campaign I/O failed: {e}"),
+            CampaignIoError::Json(e) => write!(f, "malformed JSON: {e}"),
+            CampaignIoError::Parse(msg) => write!(f, "malformed campaign document: {msg}"),
+            CampaignIoError::Version { found: Some(v) } => write!(
+                f,
+                "unsupported schema version {v} (this build reads versions \
+                 {LEGACY_MATRIX_VERSION} and {SCHEMA_VERSION})"
+            ),
+            CampaignIoError::Version { found: None } => {
+                f.write_str("missing schema version header")
+            }
+            CampaignIoError::Kind { expected, found } => write!(
+                f,
+                "expected a '{expected}' document, found '{found}' \
+                 (campaign parts and matrices do not interchange; merge \
+                 parts into a matrix first)"
+            ),
             CampaignIoError::UnknownAttack(name) => {
                 write!(f, "attack '{name}' is not in the registry")
             }
@@ -1605,7 +2054,7 @@ impl fmt::Display for CampaignIoError {
                 write!(f, "defense '{name}' is not in the registry")
             }
             CampaignIoError::UnknownToken(token) => write!(f, "unknown token '{token}'"),
-            CampaignIoError::Shape(msg) => write!(f, "inconsistent matrix shape: {msg}"),
+            CampaignIoError::Shape(msg) => write!(f, "inconsistent campaign shape: {msg}"),
         }
     }
 }
@@ -1614,6 +2063,7 @@ impl Error for CampaignIoError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CampaignIoError::Io(e) => Some(e),
+            CampaignIoError::Json(e) => Some(e),
             _ => None,
         }
     }
@@ -1622,6 +2072,12 @@ impl Error for CampaignIoError {
 impl From<std::io::Error> for CampaignIoError {
     fn from(e: std::io::Error) -> Self {
         CampaignIoError::Io(e)
+    }
+}
+
+impl From<JsonError> for CampaignIoError {
+    fn from(e: JsonError) -> Self {
+        CampaignIoError::Json(e)
     }
 }
 
@@ -1928,15 +2384,138 @@ mod tests {
             CampaignMatrix::merge(dup),
             Err(MergeError::ShardIndex { .. })
         ));
-        // A shard of a different spec cannot sneak in.
+        // A shard of a different spec cannot sneak in: the fingerprint
+        // check catches it before any axis comparison.
         let mut mixed = parts.clone();
         let mut foreign = tiny_grid(1).shards(3)[1].run().unwrap();
         foreign.index = 1;
         mixed[1] = foreign;
         assert!(matches!(
             CampaignMatrix::merge(mixed),
-            Err(MergeError::AxisMismatch { index: 1 })
+            Err(MergeError::SpecMismatch { index: 1, .. })
         ));
+        // Same axis *names*, different base config: only the fingerprint
+        // (which digests config contents) can tell these shards apart.
+        let mut sneaky_spec = small_spec(1);
+        for nc in &mut sneaky_spec.configs {
+            nc.config.rob_capacity = 7;
+        }
+        let mut sneaky = parts.clone();
+        let mut foreign = sneaky_spec.shards(3)[1].run().unwrap();
+        foreign.index = 1;
+        sneaky[1] = foreign;
+        assert!(matches!(
+            CampaignMatrix::merge(sneaky),
+            Err(MergeError::SpecMismatch { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn spec_fingerprints_cover_every_axis_but_not_threads() {
+        let spec = small_spec(1);
+        assert_eq!(spec.fingerprint(), small_spec(8).fingerprint());
+        let mut fewer = spec.clone();
+        fewer.attacks.truncate(3);
+        assert_ne!(spec.fingerprint(), fewer.fingerprint());
+        let mut fewer = spec.clone();
+        fewer.defenses.truncate(2);
+        assert_ne!(spec.fingerprint(), fewer.fingerprint());
+        let mut rebased = spec.clone();
+        rebased.configs[0].config.rob_capacity = 7;
+        assert_ne!(spec.fingerprint(), rebased.fingerprint());
+    }
+
+    #[test]
+    fn part_json_round_trips_and_merges_bit_identically() {
+        let spec = small_spec(2);
+        let whole = CampaignMatrix::run(&spec).unwrap();
+        let parts: Vec<CampaignPart> = spec
+            .shards(3)
+            .iter()
+            .map(|s| {
+                let part = s.run().unwrap();
+                let reloaded = CampaignPart::from_json(&part.to_json()).unwrap();
+                assert_eq!(reloaded.to_json(), part.to_json());
+                assert_eq!(reloaded.spec_fingerprint(), spec.fingerprint());
+                assert_eq!(reloaded.len(), part.len());
+                reloaded
+            })
+            .collect();
+        let merged = CampaignMatrix::merge(parts).unwrap();
+        assert_eq!(merged.to_json(), whole.to_json());
+        assert_eq!(merged.to_csv(), whole.to_csv());
+    }
+
+    #[test]
+    fn part_reader_rejects_inconsistent_headers() {
+        let spec = small_spec(1);
+        let part = spec.shards(2)[0].run().unwrap();
+        let doc = part.to_json();
+        // Tampered shard slot: index out of the declared count.
+        let bad = doc.replacen("\"index\": 0, \"of\": 2", "\"index\": 5, \"of\": 2", 1);
+        assert!(matches!(
+            CampaignPart::from_json(&bad),
+            Err(CampaignIoError::Shape(_))
+        ));
+        // Tampered total: header disagrees with the axes.
+        let bad = doc.replacen(
+            &format!("\"total\": {}", spec.total_tasks()),
+            "\"total\": 9999",
+            1,
+        );
+        assert!(matches!(
+            CampaignPart::from_json(&bad),
+            Err(CampaignIoError::Shape(_))
+        ));
+        // A matrix document is not a part, and vice versa.
+        let matrix = CampaignMatrix::run(&spec).unwrap();
+        assert!(matches!(
+            CampaignPart::from_json(&matrix.to_json()),
+            Err(CampaignIoError::Kind {
+                expected: "campaign-part",
+                ..
+            })
+        ));
+        assert!(matches!(
+            CampaignMatrix::from_json(&doc),
+            Err(CampaignIoError::Kind {
+                expected: "campaign-matrix",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn legacy_version2_matrices_still_load() {
+        let m = CampaignMatrix::run(&small_spec(0)).unwrap();
+        let legacy = m.to_json().replacen(
+            "\"version\": 3,\n  \"kind\": \"campaign-matrix\",",
+            "\"version\": 2,",
+            1,
+        );
+        let loaded = CampaignMatrix::from_json(&legacy).unwrap();
+        // Loading upgrades: the re-serialized document is version 3.
+        assert_eq!(loaded.to_json(), m.to_json());
+    }
+
+    #[test]
+    fn version_and_syntax_errors_are_typed() {
+        assert!(matches!(
+            CampaignMatrix::from_json("{}"),
+            Err(CampaignIoError::Version { found: None })
+        ));
+        let m = CampaignMatrix::run(&small_spec(0)).unwrap();
+        let doc = m.to_json().replacen("\"version\": 3", "\"version\": 99", 1);
+        assert!(matches!(
+            CampaignMatrix::from_json(&doc),
+            Err(CampaignIoError::Version { found: Some(99) })
+        ));
+        // Truncation surfaces the JSON layer's typed error with an offset.
+        let whole = m.to_json();
+        match CampaignMatrix::from_json(&whole[..whole.len() / 2]) {
+            Err(CampaignIoError::Json(e)) => assert!(e.offset() <= whole.len() / 2),
+            other => panic!("expected a Json error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -1987,10 +2566,9 @@ mod tests {
     #[test]
     fn from_json_rejects_foreign_documents() {
         assert!(matches!(
-            CampaignMatrix::from_json("{}"),
-            Err(CampaignIoError::Parse(_))
+            CampaignMatrix::from_json("not json"),
+            Err(CampaignIoError::Json(_))
         ));
-        assert!(CampaignMatrix::from_json("not json").is_err());
         let m = CampaignMatrix::run(&small_spec(0)).unwrap();
         let doc = m.to_json().replace("Spectre v1", "Spectre v99");
         assert!(matches!(
@@ -2018,7 +2596,8 @@ mod tests {
         assert!(csv.starts_with("attack,defense,config,"));
         let json = m.to_json();
         assert!(json.contains("\"cells\""));
-        assert!(json.contains("\"version\": 2"));
+        assert!(json.contains("\"version\": 3"));
+        assert!(json.contains("\"kind\": \"campaign-matrix\""));
         assert_eq!(json.matches("{\"attack\"").count(), 12 + 4);
         // Escaping: a quote in a config name must not break the document.
         assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");

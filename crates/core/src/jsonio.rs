@@ -1,22 +1,55 @@
-//! A minimal JSON reader for campaign-matrix persistence.
+//! A minimal, dependency-free JSON reader for campaign persistence.
 //!
 //! The workspace builds fully offline (no `serde`), so the subset of JSON
-//! that [`CampaignMatrix::to_json`](crate::campaign::CampaignMatrix::to_json)
-//! emits — objects, arrays, strings, unsigned integers, booleans, `null` —
-//! is parsed by hand here. This is a *reader for our own writer*: signed
+//! that the campaign writers emit
+//! ([`CampaignMatrix::to_json`](crate::campaign::CampaignMatrix::to_json),
+//! [`CampaignPart::to_json`](crate::campaign::CampaignPart::to_json)) —
+//! objects, arrays, strings, unsigned integers, booleans, `null` — is
+//! parsed by hand here. This is a *reader for our own writers*: signed
 //! numbers, floats and surrogate-pair escapes are rejected rather than
 //! supported.
+//!
+//! Robustness guarantees, because matrix/part files cross process and
+//! machine boundaries and may arrive truncated or hand-edited:
+//!
+//! * every malformed input returns a typed [`JsonError`] carrying the byte
+//!   offset of the problem — parsing never panics;
+//! * nesting depth is capped at [`MAX_DEPTH`], so a pathological
+//!   `[[[[…` document errors out instead of overflowing the stack;
+//! * numbers that do not fit `u64` are an error, not a wrap-around.
+//!
+//! ```
+//! use specgraph::jsonio::{parse, Json};
+//!
+//! let doc = parse(r#"{"version": 3, "cells": [1, 2], "ok": true}"#)?;
+//! assert_eq!(doc.get("version").and_then(Json::as_u64), Some(3));
+//! assert_eq!(doc.get("cells").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+//! assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+//!
+//! // Truncated or malformed input is a typed error, never a panic:
+//! let err = parse(r#"{"version": 3, "cells": [1,"#).unwrap_err();
+//! assert!(err.to_string().contains("byte"));
+//! # Ok::<(), specgraph::jsonio::JsonError>(())
+//! ```
 
 use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
 
-/// A parsed JSON value (the subset the campaign writer emits).
+/// Maximum nesting depth [`parse`] accepts before reporting an error.
+///
+/// The campaign writers emit at most three levels; the cap only exists so
+/// adversarial input cannot overflow the parser's recursion.
+pub const MAX_DEPTH: usize = 128;
+
+/// A parsed JSON value (the subset the campaign writers emit).
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
     /// `null`.
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// An unsigned integer (the only number form the writer emits).
+    /// An unsigned integer (the only number form the writers emit).
     Num(u64),
     /// A string.
     Str(String),
@@ -27,35 +60,45 @@ pub(crate) enum Json {
 }
 
 impl Json {
-    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+    /// The value at `key`, if `self` is an object that has one.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(m) => m.get(key),
             _ => None,
         }
     }
 
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    /// The string content, if `self` is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    pub(crate) fn as_u64(&self) -> Option<u64> {
+    /// The numeric value, if `self` is a number.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(n) => Some(*n),
             _ => None,
         }
     }
 
-    pub(crate) fn as_bool(&self) -> Option<bool> {
+    /// The boolean value, if `self` is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
         match self {
             Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
 
-    pub(crate) fn as_arr(&self) -> Option<&[Json]> {
+    /// The elements, if `self` is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(v) => Some(v),
             _ => None,
@@ -63,14 +106,56 @@ impl Json {
     }
 }
 
+/// A JSON syntax error: what went wrong and the byte offset where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    offset: usize,
+    message: String,
+}
+
+impl JsonError {
+    fn new(offset: usize, message: impl Into<String>) -> Self {
+        JsonError {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    /// Byte offset into the input where the problem was detected.
+    #[must_use]
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Human-readable description of the problem.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl Error for JsonError {}
+
 /// Parses one JSON document; trailing non-whitespace is an error.
-pub(crate) fn parse(text: &str) -> Result<Json, String> {
+///
+/// # Errors
+///
+/// A [`JsonError`] (with byte offset) on any syntax problem, unsupported
+/// construct (floats, signed numbers, surrogate escapes), number overflow,
+/// or nesting deeper than [`MAX_DEPTH`]. Never panics.
+pub fn parse(text: &str) -> Result<Json, JsonError> {
     let bytes = text.as_bytes();
     let mut pos = 0;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
+        return Err(JsonError::new(pos, "trailing data"));
     }
     Ok(value)
 }
@@ -81,75 +166,84 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), JsonError> {
     if *pos < b.len() && b[*pos] == ch {
         *pos += 1;
         Ok(())
     } else {
-        Err(format!(
-            "expected '{}' at byte {pos}",
-            char::from(ch),
-            pos = *pos
+        Err(JsonError::new(
+            *pos,
+            format!("expected '{}'", char::from(ch)),
         ))
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    if depth > MAX_DEPTH {
+        return Err(JsonError::new(
+            *pos,
+            format!("nesting deeper than {MAX_DEPTH} levels"),
+        ));
+    }
     skip_ws(b, pos);
     match b.get(*pos) {
-        None => Err("unexpected end of input".to_owned()),
-        Some(b'{') => parse_object(b, pos),
-        Some(b'[') => parse_array(b, pos),
+        None => Err(JsonError::new(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(b, pos, depth),
+        Some(b'[') => parse_array(b, pos, depth),
         Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
         Some(b'0'..=b'9') => parse_number(b, pos),
         Some(b't') => parse_literal(b, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_literal(b, pos, "false", Json::Bool(false)),
         Some(b'n') => parse_literal(b, pos, "null", Json::Null),
-        Some(&c) => Err(format!(
-            "unexpected '{}' at byte {pos}",
-            char::from(c),
-            pos = *pos
+        Some(&c) => Err(JsonError::new(
+            *pos,
+            format!("unexpected '{}'", char::from(c)),
         )),
     }
 }
 
-fn parse_literal(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, JsonError> {
     if b[*pos..].starts_with(lit.as_bytes()) {
         *pos += lit.len();
         Ok(value)
     } else {
-        Err(format!("bad literal at byte {pos}", pos = *pos))
+        Err(JsonError::new(*pos, "bad literal"))
     }
 }
 
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     let start = *pos;
     while *pos < b.len() && b[*pos].is_ascii_digit() {
         *pos += 1;
     }
     if matches!(b.get(*pos), Some(b'.' | b'e' | b'E' | b'-' | b'+')) {
-        return Err(format!("only unsigned integers supported (byte {start})"));
+        return Err(JsonError::new(
+            start,
+            "only unsigned integers are supported",
+        ));
     }
     std::str::from_utf8(&b[start..*pos])
-        .map_err(|e| e.to_string())?
+        .map_err(|e| JsonError::new(start, e.to_string()))?
         .parse::<u64>()
         .map(Json::Num)
-        .map_err(|e| format!("bad number at byte {start}: {e}"))
+        .map_err(|e| JsonError::new(start, format!("bad number: {e}")))
 }
 
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     expect(b, pos, b'"')?;
     let mut out = Vec::new();
     loop {
         match b.get(*pos) {
-            None => return Err("unterminated string".to_owned()),
+            None => return Err(JsonError::new(*pos, "unterminated string")),
             Some(b'"') => {
                 *pos += 1;
-                return String::from_utf8(out).map_err(|e| e.to_string());
+                return String::from_utf8(out).map_err(|e| JsonError::new(*pos, e.to_string()));
             }
             Some(b'\\') => {
                 *pos += 1;
-                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                let esc = *b
+                    .get(*pos)
+                    .ok_or_else(|| JsonError::new(*pos, "unterminated escape"))?;
                 *pos += 1;
                 match esc {
                     b'"' => out.push(b'"'),
@@ -161,20 +255,27 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     b'b' => out.push(0x08),
                     b'f' => out.push(0x0C),
                     b'u' => {
-                        let hex = b.get(*pos..*pos + 4).ok_or("truncated \\u escape")?;
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| JsonError::new(*pos, "truncated \\u escape"))?;
                         *pos += 4;
                         let code = u32::from_str_radix(
-                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            std::str::from_utf8(hex)
+                                .map_err(|e| JsonError::new(*pos, e.to_string()))?,
                             16,
                         )
-                        .map_err(|e| e.to_string())?;
-                        let ch =
-                            char::from_u32(code).ok_or("surrogate \\u escapes not supported")?;
+                        .map_err(|e| JsonError::new(*pos, e.to_string()))?;
+                        let ch = char::from_u32(code).ok_or_else(|| {
+                            JsonError::new(*pos, "surrogate \\u escapes not supported")
+                        })?;
                         let mut buf = [0u8; 4];
                         out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
                     }
                     other => {
-                        return Err(format!("bad escape '\\{}'", char::from(other)));
+                        return Err(JsonError::new(
+                            *pos,
+                            format!("bad escape '\\{}'", char::from(other)),
+                        ));
                     }
                 }
             }
@@ -186,7 +287,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_array(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     expect(b, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(b, pos);
@@ -195,7 +296,7 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         return Ok(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(b, pos)?);
+        items.push(parse_value(b, pos, depth + 1)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -203,12 +304,12 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 *pos += 1;
                 return Ok(Json::Arr(items));
             }
-            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+            _ => return Err(JsonError::new(*pos, "expected ',' or ']'")),
         }
     }
 }
 
-fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_object(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     expect(b, pos, b'{')?;
     let mut map = BTreeMap::new();
     skip_ws(b, pos);
@@ -221,7 +322,7 @@ fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         let key = parse_string(b, pos)?;
         skip_ws(b, pos);
         expect(b, pos, b':')?;
-        let value = parse_value(b, pos)?;
+        let value = parse_value(b, pos, depth + 1)?;
         map.insert(key, value);
         skip_ws(b, pos);
         match b.get(*pos) {
@@ -230,7 +331,7 @@ fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 *pos += 1;
                 return Ok(Json::Obj(map));
             }
-            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+            _ => return Err(JsonError::new(*pos, "expected ',' or '}'")),
         }
     }
 }
@@ -272,5 +373,56 @@ mod tests {
         assert!(parse("\"open").is_err());
         assert!(parse(r#""\q""#).is_err());
         assert!(parse(r#""\ud800""#).is_err());
+    }
+
+    #[test]
+    fn errors_carry_byte_offsets() {
+        let err = parse("[1, x]").unwrap_err();
+        assert_eq!(err.offset(), 4);
+        assert!(err.message().contains("unexpected 'x'"));
+        assert_eq!(err.to_string(), "unexpected 'x' at byte 4");
+    }
+
+    #[test]
+    fn truncated_documents_are_errors_not_panics() {
+        for doc in [
+            "",
+            "{",
+            "[",
+            "[1",
+            "[1,",
+            "{\"a\"",
+            "{\"a\":",
+            "{\"a\": 1",
+            "\"abc",
+            "\"abc\\",
+            "\"abc\\u00",
+            "tru",
+        ] {
+            assert!(parse(doc).is_err(), "truncated {doc:?} must error");
+        }
+    }
+
+    #[test]
+    fn number_overflow_is_an_error() {
+        // u64::MAX is 18446744073709551615; one more digit must not wrap.
+        assert_eq!(parse("18446744073709551615").unwrap(), Json::Num(u64::MAX));
+        assert!(parse("184467440737095516150").is_err());
+    }
+
+    #[test]
+    fn nesting_depth_is_capped() {
+        let deep_ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&deep_ok).is_ok());
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = parse(&too_deep).unwrap_err();
+        assert!(err.message().contains("nesting"));
+        // A pathological unclosed prefix must also error, not overflow.
+        assert!(parse(&"[".repeat(100_000)).is_err());
+        assert!(parse(&"{\"k\":".repeat(100_000)).is_err());
     }
 }

@@ -43,7 +43,7 @@
 pub mod campaign;
 pub mod discovery;
 pub mod insufficiency;
-mod jsonio;
+pub mod jsonio;
 pub mod scenario;
 
 pub use analyzer;
@@ -57,8 +57,8 @@ pub use uarch;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::campaign::{
-        self, CampaignMatrix, CampaignPart, CampaignShard, CampaignSpec, Hardening,
-        IncrementalReport, Knob, KnobValue, NamedConfig, PredictorFlavor,
+        self, CampaignIoError, CampaignMatrix, CampaignPart, CampaignShard, CampaignSpec,
+        Hardening, IncrementalReport, Knob, KnobValue, MergeError, NamedConfig, PredictorFlavor,
     };
     pub use crate::discovery::{self, AttackPoint, Channel, DelayMechanism, SecretSourceDim};
     pub use crate::scenario::{self, Evaluation};

@@ -8,7 +8,7 @@
 //!   predictions*;
 //! * a [`Defense`] catalog covering every industry defense of Table II and
 //!   every academic defense discussed in §V-B, each mapped to its strategy;
-//! * graph-level application ([`Defense::patch_graph`]): inserting the
+//! * graph-level application ([`patch_strategy`]): inserting the
 //!   missing security-dependency edge the strategy corresponds to, so
 //!   Theorem 1 can *prove* the race is gone;
 //! * machine-level application ([`Defense::configure`]): the corresponding

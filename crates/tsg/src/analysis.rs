@@ -10,7 +10,7 @@
 //! requirement with Theorem 1: if the authorization and the protected
 //! operation race, the security dependency is *missing* and the pair is
 //! reported as a [`Vulnerability`]. Patching a vulnerability inserts the
-//! missing [`EdgeKind::Security`](crate::EdgeKind::Security) edge — exactly
+//! missing [`EdgeKind::Security`] edge — exactly
 //! what the paper's defense strategies ①–③ do at different nodes.
 
 use crate::edge::EdgeKind;

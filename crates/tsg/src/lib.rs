@@ -11,7 +11,7 @@
 //!
 //! * **Valid orderings** ([`Tsg::is_valid_ordering`], [`Tsg::valid_orderings`])
 //!   are the linear extensions of the partial order induced by the edges.
-//! * **Race condition** ([`Tsg::races`]): vertices `u`, `v` race iff two valid
+//! * **Race condition** ([`Tsg::has_race`]): vertices `u`, `v` race iff two valid
 //!   orderings disagree on their relative order.
 //! * **Theorem 1** ([`Tsg::has_race`]): `u` and `v` are race-free **iff** a
 //!   directed path connects them. Race detection therefore reduces to two

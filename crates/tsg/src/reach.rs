@@ -7,7 +7,7 @@
 //! query. The seed implementation paid a fresh DFS per query; campaign
 //! workloads (attack × defense × config matrices) ask thousands of queries
 //! against the same graph, so the closure is computed once per graph and
-//! cached on the [`Tsg`](crate::Tsg) (invalidated on mutation).
+//! cached on the [`Tsg`] (invalidated on mutation).
 //!
 //! Representation: one `u64` row-slice per vertex, `words = ⌈V/64⌉` words
 //! each, row `u` holding the (reflexive) descendant set of `u`. Rows are
@@ -98,7 +98,7 @@ impl ReachabilityIndex {
     /// # Panics
     ///
     /// Panics if either id is outside the indexed graph; callers go through
-    /// [`Tsg`](crate::Tsg) query methods, which validate ids first.
+    /// [`Tsg`] query methods, which validate ids first.
     #[must_use]
     pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
         let (u, v) = (from.index(), to.index());

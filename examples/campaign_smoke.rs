@@ -37,15 +37,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("matrix: {a} attacks × {d} defenses × {c} configs");
     assert_eq!((a, d, c), (3, 2, 4));
 
-    // Sharded execution merges to the identical matrix.
+    // Sharded execution merges to the identical matrix — with every part
+    // round-tripped through its JSON file, exactly as the `campaign` CLI
+    // ships shards between processes.
     let parts = spec
         .shards(3)
         .iter()
-        .map(CampaignShard::run)
+        .enumerate()
+        .map(
+            |(i, shard)| -> Result<CampaignPart, Box<dyn std::error::Error>> {
+                let path = std::env::temp_dir().join(format!(
+                    "campaign-smoke-part{i}-{}.json",
+                    std::process::id()
+                ));
+                shard.run()?.save_json(&path)?;
+                let part = CampaignPart::load_json(&path)?;
+                std::fs::remove_file(&path).ok();
+                assert_eq!(part.spec_fingerprint(), spec.fingerprint());
+                Ok(part)
+            },
+        )
         .collect::<Result<Vec<_>, _>>()?;
     let merged = CampaignMatrix::merge(parts)?;
     assert_eq!(merged.to_json(), matrix.to_json());
-    println!("shard/merge: 3 shards merged bit-identically");
+    println!("shard/merge: 3 part files merged bit-identically");
 
     // JSON round trip through a file.
     let path = std::env::temp_dir().join(format!("campaign-smoke-{}.json", std::process::id()));
