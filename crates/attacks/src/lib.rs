@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bhi;
 pub mod common;
 pub mod foreshadow;
 pub mod graphs;
@@ -217,6 +218,8 @@ pub mod names {
     pub const CACHEOUT: &str = "CacheOut";
     /// Retbleed (BTB-fallback return target injection, BHI-style).
     pub const RETBLEED: &str = "Retbleed";
+    /// BHI (same-context branch history injection, no RSB underflow).
+    pub const BHI: &str = "BHI";
 }
 
 /// One attack variant: metadata, attack graph, and executable PoC.
@@ -270,6 +273,7 @@ macro_rules! with_attack_list {
             tsx::Taa,
             tsx::CacheOut,
             retbleed::Retbleed,
+            bhi::Bhi,
         )
     };
 }
@@ -288,7 +292,7 @@ macro_rules! as_boxed_catalog {
 
 /// All 17 attack variants of Table III (18 rows: Foreshadow-NG contributes
 /// OS and VMM flavors) in the paper's order, plus post-paper registry
-/// growth (Retbleed) appended at the end, as a `'static` registry.
+/// growth (Retbleed, BHI) appended at the end, as a `'static` registry.
 ///
 /// This is the canonical iteration surface: the campaign engine, the bench
 /// binaries and the examples all consume this slice, so a new variant
@@ -319,8 +323,9 @@ mod tests {
     #[test]
     fn catalog_covers_table_iii() {
         let c = catalog();
-        // 17 Table-III rows (Foreshadow-NG contributes OS+VMM) + Retbleed.
-        assert_eq!(c.len(), 19);
+        // 17 Table-III rows (Foreshadow-NG contributes OS+VMM) + Retbleed
+        // and BHI from post-paper registry growth.
+        assert_eq!(c.len(), 20);
         let names: Vec<&str> = c.iter().map(|a| a.info().name).collect();
         for expected in [
             "Spectre v1",
@@ -342,6 +347,7 @@ mod tests {
             "TAA",
             "CacheOut",
             "Retbleed",
+            "BHI",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
@@ -415,10 +421,11 @@ mod tests {
             names::TAA,
             names::CACHEOUT,
             names::RETBLEED,
+            names::BHI,
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
-        assert_eq!(names.len(), 19);
+        assert_eq!(names.len(), 20);
     }
 
     #[test]

@@ -67,8 +67,10 @@ fn main() {
         }
     }
     println!("\nStrategy mapping (the paper's Figure-8 taxonomy):");
-    for d in &matrix.defenses {
-        println!("  {:<40} -> {} ({})", d.name, d.strategy, d.origin);
+    for stack in &matrix.defenses {
+        for d in stack.members() {
+            println!("  {:<40} -> {} ({})", d.name, d.strategy, d.origin);
+        }
     }
     println!(
         "\nAcross the whole campaign matrix: {} of {} cells are §V-B",

@@ -24,27 +24,34 @@ use crate::heatmap::Figure8View;
 use specgraph::attacks::{self, Attack, AttackError};
 use specgraph::campaign::{
     CampaignIoError, CampaignMatrix, CampaignPart, CampaignSpec, Hardening, IncrementalReport,
-    Knob, KnobValue, MergeError, PredictorFlavor,
+    Knob, KnobValue, MatrixDiff, MergeError, PredictorFlavor, TaskEvent,
 };
-use specgraph::defenses::{self, Defense};
+use specgraph::defenses::{self, presets, DefenseStack};
 use std::error::Error;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 use uarch::UarchConfig;
 
 /// The usage text `campaign --help` (and every usage error) prints.
 pub const USAGE: &str = "\
-campaign — run, shard, merge and render attack×defense×config campaigns
+campaign — run, shard, merge, render and diff attack×defense-stack×config campaigns
 
 USAGE:
-  campaign run    [SPEC] [--shard I/N] [--out FILE] [--csv FILE]
+  campaign run    [SPEC] [--shard I/N] [--out FILE] [--csv FILE] [--progress]
                   [--incremental --prev MATRIX.json]
   campaign merge  PART.json... --out FILE [--csv FILE]
   campaign render --figure8 MATRIX.json [--csv FILE] [--svg FILE]
+  campaign diff   OLD.json NEW.json
 
 SPEC (must be identical for every shard of one campaign):
   --attacks NAMES    comma-separated attack names (default: full registry)
-  --defenses NAMES   comma-separated defense names, or 'none' (default: full registry)
+  --defenses STACKS  comma-separated defense stacks, or 'none'
+                     (default: full registry, one singleton stack each).
+                     Each stack joins catalog defenses with '+', by short
+                     token or full name: kpti+retpoline+ibpb. Preset
+                     bundles: linux-default, microcode-only, academic-stt,
+                     academic-invisible.
   --axis KNOB=V,V..  add a config axis (repeatable; axes multiply):
                      numeric: rob fetch issue sets ways lfb stbuf rsb
                               hitlat misslat permlat
@@ -53,12 +60,15 @@ SPEC (must be identical for every shard of one campaign):
                                delay-on-miss|invisispec|cleanup-spec|
                                flush-predictors|figure8|all
   --threads N        worker threads (default: all cores)
+  --progress         print per-slice completed/total + ETA lines to stderr
 
   `campaign run --shard I/N` writes shard I of N as a part file; run all
   N shards (any machines, any order), then `campaign merge` the parts —
   the result is bit-identical to a single-process run. With
   `--incremental --prev`, only cells whose fingerprint is absent from
-  the previous matrix are re-simulated.
+  the previous matrix are re-simulated. `campaign diff` compares two
+  saved matrices: verdict flips, baseline cycle deltas, added/removed
+  cells.
 ";
 
 /// What a successfully executed subcommand did (the binary prints this;
@@ -90,10 +100,25 @@ pub enum Outcome {
     },
     /// `render`: heatmaps regenerated from a saved matrix.
     Rendered {
-        /// Heatmap rows (defenses + the undefended row).
+        /// Heatmap rows (defense stacks + the undefended row).
         rows: usize,
         /// Config-slice columns.
         configs: usize,
+    },
+    /// `diff`: two saved matrices compared.
+    Diffed {
+        /// Cells whose verdict changed.
+        flips: usize,
+        /// Baselines whose leak verdict changed.
+        baseline_flips: usize,
+        /// Baselines whose cycle count changed.
+        cycle_deltas: usize,
+        /// Cell/baseline keys only in the newer matrix.
+        added: usize,
+        /// Cell/baseline keys only in the older matrix.
+        removed: usize,
+        /// Whether the matrices are identical.
+        identical: bool,
     },
     /// `--help` was requested; usage was printed.
     Help,
@@ -182,8 +207,9 @@ pub fn main_with(args: &[String]) -> Result<Outcome, CliError> {
         Some("run") => cmd_run(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
         Some("render") => cmd_render(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
         Some(other) => Err(CliError::Usage(format!(
-            "unknown subcommand '{other}' (expected run, merge or render)"
+            "unknown subcommand '{other}' (expected run, merge, render or diff)"
         ))),
     }
 }
@@ -278,21 +304,12 @@ impl SpecArgs {
             }
             builder = builder.attacks(list);
         }
-        if let Some(names) = &self.defenses {
-            let mut list: Vec<Defense> = Vec::new();
-            for name in names {
-                list.push(*defenses::find(name).ok_or_else(|| {
-                    CliError::Usage(format!(
-                        "unknown defense '{name}'; the registry has: {}",
-                        defenses::registry()
-                            .iter()
-                            .map(|d| d.name)
-                            .collect::<Vec<_>>()
-                            .join(", ")
-                    ))
-                })?);
+        if let Some(exprs) = &self.defenses {
+            let mut list: Vec<DefenseStack> = Vec::new();
+            for expr in exprs {
+                list.push(resolve_stack(expr)?);
             }
-            builder = builder.defenses(list);
+            builder = builder.defense_stacks(list);
         }
         let pins_predictor = self.axes.iter().any(|(k, _)| *k == Knob::Predictor);
         let flush_hardening = self
@@ -319,6 +336,30 @@ fn split_list(s: &str) -> Vec<String> {
         .map(|p| p.trim().to_owned())
         .filter(|p| !p.is_empty())
         .collect()
+}
+
+/// Resolves one `--defenses` item: a preset token (`linux-default`) or a
+/// `+`-joined stack expression over catalog tokens/names
+/// (`kpti+retpoline`, `NDA`).
+fn resolve_stack(expr: &str) -> Result<DefenseStack, CliError> {
+    if let Some(preset) = presets::find(expr) {
+        return Ok(preset);
+    }
+    DefenseStack::parse(expr).map_err(|e| {
+        CliError::Usage(format!(
+            "bad defense stack '{expr}': {e}\n  catalog tokens: {}\n  presets: {}",
+            defenses::registry()
+                .iter()
+                .map(|d| d.token)
+                .collect::<Vec<_>>()
+                .join(", "),
+            presets::all()
+                .iter()
+                .map(|(t, _)| *t)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    })
 }
 
 fn knob_token(knob: Knob) -> &'static str {
@@ -436,6 +477,7 @@ fn cmd_run(args: &[String]) -> Result<Outcome, CliError> {
     let mut out: Option<PathBuf> = None;
     let mut csv: Option<PathBuf> = None;
     let mut incremental = false;
+    let mut progress = false;
     let mut prev: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
@@ -468,6 +510,7 @@ fn cmd_run(args: &[String]) -> Result<Outcome, CliError> {
                 csv = Some(PathBuf::from(value()?));
             }
             "--incremental" => incremental = true,
+            "--progress" => progress = true,
             "--prev" => {
                 once(prev.is_some())?;
                 prev = Some(PathBuf::from(value()?));
@@ -501,7 +544,14 @@ fn cmd_run(args: &[String]) -> Result<Outcome, CliError> {
                 "--csv applies to full matrices; merge the parts first".to_owned(),
             ));
         }
-        let part = spec.shards(of).swap_remove(index).run()?;
+        // Within one shard the per-slice quota is range-dependent: report
+        // milestone progress only.
+        let printer = progress.then(|| ProgressPrinter::new(&spec, None));
+        let observer = printer.as_ref().map(ProgressPrinter::observer);
+        let part = spec
+            .shards(of)
+            .swap_remove(index)
+            .run_observed(observer.as_ref().map(|f| f as &(dyn Fn(TaskEvent) + Sync)))?;
         emit(out.as_deref(), &part.to_json())?;
         eprintln!(
             "campaign: shard {index}/{of} evaluated {} of {} task(s) \
@@ -517,7 +567,18 @@ fn cmd_run(args: &[String]) -> Result<Outcome, CliError> {
         })
     } else {
         let previous = prev.as_deref().map(load_matrix).transpose()?;
-        let (matrix, report) = CampaignMatrix::run_incremental(&spec, previous.as_ref())?;
+        // A fresh full run evaluates every slice completely, so the
+        // per-slice quota is known; an incremental run's stale counts are
+        // fingerprint-dependent, so fall back to milestone lines.
+        let per_slice = (previous.is_none())
+            .then(|| spec.attacks.len() + spec.attacks.len() * spec.defenses.len());
+        let printer = progress.then(|| ProgressPrinter::new(&spec, per_slice));
+        let observer = printer.as_ref().map(ProgressPrinter::observer);
+        let (matrix, report) = CampaignMatrix::run_incremental_observed(
+            &spec,
+            previous.as_ref(),
+            observer.as_ref().map(|f| f as &(dyn Fn(TaskEvent) + Sync)),
+        )?;
         emit(out.as_deref(), &matrix.to_json())?;
         if let Some(path) = &csv {
             write_file(path, &matrix.to_csv())?;
@@ -526,6 +587,127 @@ fn cmd_run(args: &[String]) -> Result<Outcome, CliError> {
         Ok(Outcome::Ran {
             evaluated: report.evaluated,
             reused: report.reused,
+        })
+    }
+}
+
+fn cmd_diff(args: &[String]) -> Result<Outcome, CliError> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in args {
+        if arg.starts_with("--") {
+            return Err(CliError::Usage(format!(
+                "unknown flag '{arg}' for 'campaign diff'"
+            )));
+        }
+        paths.push(PathBuf::from(arg));
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return Err(CliError::Usage(
+            "campaign diff needs exactly two files: OLD.json NEW.json".to_owned(),
+        ));
+    };
+    let old = load_matrix(old_path)?;
+    let new = load_matrix(new_path)?;
+    let diff = old.diff(&new);
+    write_stdout(&diff.to_text())?;
+    summarize_diff(&diff, old_path, new_path);
+    Ok(Outcome::Diffed {
+        flips: diff.flips.len(),
+        baseline_flips: diff.baseline_flips.len(),
+        cycle_deltas: diff.cycle_deltas.len(),
+        added: diff.added.len(),
+        removed: diff.removed.len(),
+        identical: diff.is_empty(),
+    })
+}
+
+fn summarize_diff(diff: &MatrixDiff, old_path: &Path, new_path: &Path) {
+    if diff.is_empty() {
+        eprintln!(
+            "campaign: {} and {} agree on every cell",
+            old_path.display(),
+            new_path.display()
+        );
+    } else {
+        eprintln!(
+            "campaign: {} change(s) between {} and {}",
+            diff.flips.len()
+                + diff.baseline_flips.len()
+                + diff.cycle_deltas.len()
+                + diff.added.len()
+                + diff.removed.len(),
+            old_path.display(),
+            new_path.display()
+        );
+    }
+}
+
+/// Stderr progress for `campaign run --progress`: one line per completed
+/// config slice when the per-slice quota is known (fresh full runs), and
+/// ~10 milestone lines otherwise (shards, incremental runs), each with an
+/// elapsed-rate ETA.
+struct ProgressPrinter {
+    start: std::time::Instant,
+    configs: Vec<String>,
+    per_slice: Option<usize>,
+    slice_done: Mutex<Vec<usize>>,
+}
+
+impl ProgressPrinter {
+    fn new(spec: &CampaignSpec, per_slice: Option<usize>) -> Self {
+        ProgressPrinter {
+            start: std::time::Instant::now(),
+            configs: spec.configs.iter().map(|nc| nc.name.clone()).collect(),
+            per_slice,
+            slice_done: Mutex::new(vec![0; spec.configs.len()]),
+        }
+    }
+
+    /// The observer closure to hand to the campaign engine.
+    fn observer(&self) -> impl Fn(TaskEvent) + Sync + '_ {
+        move |event| {
+            if let Some(line) = self.line_for(event) {
+                eprintln!("{line}");
+            }
+        }
+    }
+
+    /// The progress line for one completed task, if it is worth printing.
+    fn line_for(&self, event: TaskEvent) -> Option<String> {
+        let slice_done = {
+            let mut done = self.slice_done.lock().expect("progress lock");
+            done[event.config] += 1;
+            done[event.config]
+        };
+        let worth_printing = match self.per_slice {
+            Some(quota) => slice_done == quota,
+            None => {
+                let step = (event.total / 10).max(1);
+                event.completed % step == 0 || event.completed == event.total
+            }
+        };
+        if !worth_printing {
+            return None;
+        }
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let eta = if event.completed == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)] // task counts << 2^52
+            {
+                elapsed * (event.total - event.completed) as f64 / event.completed as f64
+            }
+        };
+        Some(match self.per_slice {
+            Some(quota) => format!(
+                "campaign: slice '{}' {slice_done}/{quota} task(s) done — \
+                 {}/{} total, ETA {eta:.1}s",
+                self.configs[event.config], event.completed, event.total
+            ),
+            None => format!(
+                "campaign: {}/{} task(s) done (last slice '{}'), ETA {eta:.1}s",
+                event.completed, event.total, self.configs[event.config]
+            ),
         })
     }
 }
@@ -704,4 +886,79 @@ fn describe_report(report: IncrementalReport) {
         "campaign: evaluated {} task(s), reused {} from the previous matrix",
         report.evaluated, report.reused
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec::builder(UarchConfig::default())
+            .attacks([attacks::find("Meltdown").unwrap()])
+            .defenses([*defenses::find("NDA").unwrap()])
+            .axis(Knob::RobDepth, [16usize, 64])
+            .build()
+    }
+
+    #[test]
+    fn progress_lines_fire_per_completed_slice() {
+        let spec = tiny_spec();
+        // Per-slice quota: 1 baseline + 1 cell per config slice.
+        let printer = ProgressPrinter::new(&spec, Some(2));
+        let event = |completed, config| TaskEvent {
+            completed,
+            total: 4,
+            config,
+        };
+        // First task of slice 0: below quota, silent.
+        assert!(printer.line_for(event(1, 0)).is_none());
+        // Second task of slice 0 completes the slice: a line, with the
+        // slice name and per-slice + total counts.
+        let line = printer.line_for(event(2, 0)).expect("slice-done line");
+        assert!(line.contains("slice 'rob=16'"), "{line}");
+        assert!(line.contains("2/2"), "{line}");
+        assert!(line.contains("2/4 total"), "{line}");
+        assert!(line.contains("ETA"), "{line}");
+        // Slice 1 likewise.
+        assert!(printer.line_for(event(3, 1)).is_none());
+        assert!(printer
+            .line_for(event(4, 1))
+            .expect("final line")
+            .contains("slice 'rob=64'"));
+    }
+
+    #[test]
+    fn progress_without_quota_prints_milestones() {
+        let spec = tiny_spec();
+        let printer = ProgressPrinter::new(&spec, None);
+        // total 40 → step 4: only every 4th completion (and the last)
+        // prints.
+        let mut lines = 0;
+        for completed in 1..=40usize {
+            if let Some(line) = printer.line_for(TaskEvent {
+                completed,
+                total: 40,
+                config: completed % 2,
+            }) {
+                lines += 1;
+                assert!(line.contains("task(s) done"), "{line}");
+            }
+        }
+        assert_eq!(lines, 10);
+    }
+
+    #[test]
+    fn stack_expressions_resolve_like_the_library_grammar() {
+        assert_eq!(
+            resolve_stack("kpti+retpoline").unwrap().name(),
+            "KAISER/KPTI+Retpoline"
+        );
+        assert_eq!(
+            resolve_stack("linux-default").unwrap(),
+            presets::linux_default()
+        );
+        let err = resolve_stack("kpti+warp-drive").unwrap_err();
+        assert!(err.to_string().contains("catalog tokens"));
+        assert!(err.to_string().contains("presets"));
+    }
 }

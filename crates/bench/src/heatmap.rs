@@ -87,7 +87,7 @@ impl Figure8View {
             leaked: baseline_leaks,
         }];
         rows.extend(m.defenses.iter().map(|defense| HeatRow {
-            defense: defense.name.to_owned(),
+            defense: defense.name().to_owned(),
             leaked: vec![0usize; c],
         }));
         // One pass over the attack-major cell layout (((a·D)+d)·C + c):

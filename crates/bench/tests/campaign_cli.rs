@@ -284,7 +284,15 @@ fn usage_errors_are_actionable() {
         (vec!["run", "--shard", "3/2"], "I < N"),
         (vec!["run", "--shard", "nope"], "I < N"),
         (vec!["run", "--attacks", "NoSuchAttack"], "registry has"),
-        (vec!["run", "--defenses", "NoSuchDefense"], "registry has"),
+        (vec!["run", "--defenses", "NoSuchDefense"], "catalog tokens"),
+        (
+            // A conflicting or malformed stack expression is caught in
+            // argument parsing, with the grammar spelled out.
+            vec!["run", "--defenses", "kpti+kpti"],
+            "appears twice",
+        ),
+        (vec!["diff", "only-one.json"], "exactly two"),
+        (vec!["diff", "a.json", "b.json", "--flag"], "unknown flag"),
         (vec!["run", "--axis", "rob"], "KNOB=V1,V2"),
         (vec!["run", "--axis", "warp=9"], "unknown axis knob"),
         (vec!["run", "--axis", "rob=16,16"], "twice"),
@@ -336,4 +344,188 @@ fn usage_errors_are_actionable() {
         Err(CliError::Usage(msg)) => assert!(msg.contains("pred=flush")),
         other => panic!("expected a usage error, got {other:?}"),
     }
+}
+
+#[test]
+fn stacked_defense_pipeline_shards_merges_and_renders() {
+    // `--defenses` takes stack expressions (token grammar) and preset
+    // names; the cross-process pipeline stays bit-identical to the
+    // in-process stack oracle.
+    let stack_flags: &[&str] = &[
+        "--attacks",
+        "Spectre v1,Spectre v2,BHI",
+        "--defenses",
+        "kpti+retpoline+ibpb,stt,linux-default",
+    ];
+    let oracle = CampaignSpec::builder(UarchConfig::default())
+        .attacks(
+            ["Spectre v1", "Spectre v2", "BHI"]
+                .iter()
+                .map(|n| attacks::find(n).expect("registered")),
+        )
+        .defense_stacks([
+            defenses::DefenseStack::parse("kpti+retpoline+ibpb").unwrap(),
+            defenses::DefenseStack::parse("stt").unwrap(),
+            defenses::presets::linux_default(),
+        ])
+        .build();
+    let expected = CampaignMatrix::run(&oracle).unwrap();
+
+    let dir = tempdir("stacks");
+    let with_stack_spec = |extra: &[&str]| -> Vec<String> {
+        extra
+            .iter()
+            .chain(stack_flags.iter())
+            .map(|s| (*s).to_owned())
+            .collect()
+    };
+    let (p0, p1) = (dir.join("s0.json"), dir.join("s1.json"));
+    main_with(&with_stack_spec(&[
+        "run",
+        "--shard",
+        "0/2",
+        "--out",
+        p0.to_str().unwrap(),
+    ]))
+    .expect("stack shard 0");
+    main_with(&with_stack_spec(&[
+        "run",
+        "--shard",
+        "1/2",
+        "--out",
+        p1.to_str().unwrap(),
+    ]))
+    .expect("stack shard 1");
+    let (matrix, csv) = (dir.join("m.json"), dir.join("m.csv"));
+    main_with(
+        &[
+            "merge",
+            p0.to_str().unwrap(),
+            p1.to_str().unwrap(),
+            "--out",
+            matrix.to_str().unwrap(),
+            "--csv",
+            csv.to_str().unwrap(),
+        ]
+        .map(str::to_owned),
+    )
+    .expect("stack parts merge");
+    assert_eq!(fs::read_to_string(&matrix).unwrap(), expected.to_json());
+    let csv = fs::read_to_string(&csv).unwrap();
+    assert_eq!(csv, expected.to_csv());
+    assert!(csv.contains("KAISER/KPTI+Retpoline+IBPB"));
+    assert!(csv.contains("prevent_access+clear_predictions"));
+
+    // Render: stack names become heatmap rows.
+    let fig_csv = dir.join("fig8.csv");
+    let outcome = run(&[
+        "render",
+        "--figure8",
+        matrix.to_str().unwrap(),
+        "--csv",
+        fig_csv.to_str().unwrap(),
+    ])
+    .expect("render stacks");
+    assert_eq!(
+        outcome,
+        Outcome::Rendered {
+            rows: 1 + 3,
+            configs: 1
+        }
+    );
+    let fig = fs::read_to_string(&fig_csv).unwrap();
+    assert!(fig.contains("KAISER/KPTI+Retpoline+IBPB+RSB stuffing"));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn diff_compares_saved_matrices() {
+    let dir = tempdir("diff");
+    let (a, b, c) = (dir.join("a.json"), dir.join("b.json"), dir.join("c.json"));
+    run(&with_spec(&["run", "--out", a.to_str().unwrap()])).expect("run a");
+    run(&with_spec(&["run", "--out", b.to_str().unwrap()])).expect("run b");
+    // Same spec twice: identical.
+    let outcome = run(&["diff", a.to_str().unwrap(), b.to_str().unwrap()]).expect("diff");
+    assert_eq!(
+        outcome,
+        Outcome::Diffed {
+            flips: 0,
+            baseline_flips: 0,
+            cycle_deltas: 0,
+            added: 0,
+            removed: 0,
+            identical: true
+        }
+    );
+    // A third matrix over a different knob grid: the rob=64 slice is
+    // shared, the rob=16 vs rob=48 slices appear as removed/added.
+    main_with(
+        &[
+            "run",
+            "--attacks",
+            "Spectre v1,Spectre v2,Meltdown",
+            "--defenses",
+            "LFENCE,NDA",
+            "--axis",
+            "rob=48,64",
+            "--out",
+            c.to_str().unwrap(),
+        ]
+        .map(str::to_owned),
+    )
+    .expect("run c");
+    match run(&["diff", a.to_str().unwrap(), c.to_str().unwrap()]).expect("diff a c") {
+        Outcome::Diffed {
+            added,
+            removed,
+            identical,
+            ..
+        } => {
+            // 3 baselines + 6 cells per config slice.
+            assert_eq!(added, 9);
+            assert_eq!(removed, 9);
+            assert!(!identical);
+        }
+        other => panic!("expected Diffed, got {other:?}"),
+    }
+    // Diffing a missing file is a typed artifact error.
+    match run(&["diff", a.to_str().unwrap(), "no-such.json"]) {
+        Err(CliError::Artifact { .. }) => {}
+        other => panic!("expected an artifact error, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn progress_flag_is_accepted_on_every_run_mode() {
+    // --progress must not change any outcome or artifact; the lines go to
+    // stderr. (Line formatting is unit-tested in bench::campaign_cli.)
+    let dir = tempdir("progress");
+    let quiet = dir.join("quiet.json");
+    let loud = dir.join("loud.json");
+    run(&with_spec(&["run", "--out", quiet.to_str().unwrap()])).expect("quiet run");
+    let outcome = run(&with_spec(&[
+        "run",
+        "--progress",
+        "--out",
+        loud.to_str().unwrap(),
+    ]))
+    .expect("progress run");
+    assert!(matches!(outcome, Outcome::Ran { .. }));
+    assert_eq!(
+        fs::read_to_string(&quiet).unwrap(),
+        fs::read_to_string(&loud).unwrap()
+    );
+    // Shard mode takes it too.
+    let part = dir.join("p.json");
+    run(&with_spec(&[
+        "run",
+        "--progress",
+        "--shard",
+        "0/2",
+        "--out",
+        part.to_str().unwrap(),
+    ]))
+    .expect("progress shard");
+    fs::remove_dir_all(&dir).ok();
 }

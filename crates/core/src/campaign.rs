@@ -10,6 +10,13 @@
 //! [`CampaignMatrix`] with deterministic ordering, O(1) lookups, the §V-B
 //! "false sense of security" extraction, and JSON/CSV export.
 //!
+//! The defense axis is a list of [`DefenseStack`]s: singleton stacks give
+//! the classic one-defense-per-column sweep (the registry default), and
+//! curated bundles — [`defenses::presets::linux_default`], parsed
+//! `"kpti+retpoline"` expressions — make the **attack × stack** matrix the
+//! paper's §V-B discussion calls for, via
+//! [`CampaignSpecBuilder::defense_stacks`].
+//!
 //! The configuration axis is built from **typed knobs** over
 //! [`UarchConfig`]: each [`Knob`] axis contributes its values to a full
 //! cartesian grid, with auto-generated config names:
@@ -94,7 +101,7 @@
 use crate::jsonio::{self, Json, JsonError};
 use crate::scenario::{self, Evaluation};
 use attacks::{Attack, AttackError, AttackInfo};
-use defenses::{Defense, Strategy, Verdict};
+use defenses::{Defense, DefenseStack, Strategy, Verdict};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -106,13 +113,21 @@ use uarch::UarchConfig;
 
 /// Schema version stamped on every matrix and part document this module
 /// writes (`"version"` plus a `"kind"` discriminator:
-/// `"campaign-matrix"` or `"campaign-part"`). Version-2 matrices —
-/// written before parts existed, no `kind` header — still load;
-/// any other version is a typed [`CampaignIoError::Version`].
-pub const SCHEMA_VERSION: u64 = 3;
+/// `"campaign-matrix"` or `"campaign-part"`). Version 4 generalizes the
+/// defense axis to **stacks** (`"KAISER/KPTI+Retpoline"` entries in the
+/// `defenses` list and cells); a singleton-stack document is
+/// byte-identical to a version-3 one except for the version number, so
+/// version-3 documents (and headerless version-2 matrices) still load.
+/// Any other version is a typed [`CampaignIoError::Version`].
+pub const SCHEMA_VERSION: u64 = 4;
 
-/// The pre-part matrix schema ([`SCHEMA_VERSION`] minus the headers);
-/// accepted on load for backward compatibility, never written.
+/// The pre-stack schema: single-defense documents with `kind` headers.
+/// Accepted on load (a single defense name parses as a singleton stack),
+/// never written.
+const SINGLE_DEFENSE_VERSION: u64 = 3;
+
+/// The pre-part matrix schema (no `kind` header); accepted on load for
+/// backward compatibility, never written.
 const LEGACY_MATRIX_VERSION: u64 = 2;
 
 // ---------------------------------------------------------------------------
@@ -449,8 +464,11 @@ impl NamedConfig {
 pub struct CampaignSpec {
     /// Attack axis; defaults to the full [`attacks::registry`].
     pub attacks: Vec<&'static dyn Attack>,
-    /// Defense axis; defaults to the full [`defenses::registry`].
-    pub defenses: Vec<Defense>,
+    /// Defense axis: each entry is a [`DefenseStack`] — a singleton for a
+    /// classic one-defense column, or a bundle
+    /// (`"KAISER/KPTI+Retpoline+IBPB"`) evaluated as one deployment.
+    /// Defaults to the full [`defenses::registry`], one singleton each.
+    pub defenses: Vec<DefenseStack>,
     /// Configuration axis; defaults to one baseline machine.
     pub configs: Vec<NamedConfig>,
     /// Worker threads; `0` means "all available parallelism".
@@ -472,7 +490,10 @@ impl CampaignSpec {
         CampaignSpecBuilder {
             base,
             attacks: attacks::registry().to_vec(),
-            defenses: defenses::registry().to_vec(),
+            defenses: defenses::registry()
+                .iter()
+                .map(|d| DefenseStack::single(*d))
+                .collect(),
             axes: Vec::new(),
             threads: 0,
         }
@@ -504,9 +525,9 @@ impl CampaignSpec {
         }
         h = fnv1a(b"\x01", h);
         for d in &self.defenses {
-            h = fnv1a(d.name.as_bytes(), h);
+            h = fnv1a(d.name().as_bytes(), h);
             h = fnv1a(b"\0", h);
-            h = fnv1a(strategy_token(d.strategy).as_bytes(), h);
+            h = fnv1a(d.strategy_token().as_bytes(), h);
             h = fnv1a(b"\0", h);
         }
         h = fnv1a(b"\x01", h);
@@ -545,7 +566,7 @@ impl CampaignSpec {
 pub struct CampaignSpecBuilder {
     base: UarchConfig,
     attacks: Vec<&'static dyn Attack>,
-    defenses: Vec<Defense>,
+    defenses: Vec<DefenseStack>,
     axes: Vec<(Knob, Vec<KnobValue>)>,
     threads: usize,
 }
@@ -558,11 +579,36 @@ impl CampaignSpecBuilder {
         self
     }
 
-    /// Replaces the defense axis (defaults to the full registry); pass
-    /// `[]` for baseline-only campaigns (Tables I and III).
+    /// Replaces the defense axis with *singleton* stacks, one per given
+    /// defense (the classic one-defense-per-column sweep); pass `[]` for
+    /// baseline-only campaigns (Tables I and III). For bundles, use
+    /// [`defense_stacks`](Self::defense_stacks).
     #[must_use]
     pub fn defenses(mut self, defenses: impl IntoIterator<Item = Defense>) -> Self {
-        self.defenses = defenses.into_iter().collect();
+        self.defenses = defenses.into_iter().map(DefenseStack::single).collect();
+        self
+    }
+
+    /// Replaces the defense axis with explicit [`DefenseStack`]s —
+    /// curated bundles ([`defenses::presets`]), parsed
+    /// `"kpti+retpoline"` expressions, and singletons can mix freely:
+    ///
+    /// ```
+    /// use specgraph::campaign::CampaignSpec;
+    /// use specgraph::defenses::{presets, DefenseStack};
+    /// use uarch::UarchConfig;
+    ///
+    /// let spec = CampaignSpec::builder(UarchConfig::default())
+    ///     .defense_stacks([
+    ///         presets::linux_default(),
+    ///         DefenseStack::parse("stt").unwrap(),
+    ///     ])
+    ///     .build();
+    /// assert_eq!(spec.defenses.len(), 2);
+    /// ```
+    #[must_use]
+    pub fn defense_stacks(mut self, stacks: impl IntoIterator<Item = DefenseStack>) -> Self {
+        self.defenses = stacks.into_iter().collect();
         self
     }
 
@@ -696,11 +742,15 @@ fn baseline_fingerprint(attack: &str, digest: u64) -> u64 {
     fnv1a(&digest.to_le_bytes(), fnv1a(b"\0", h))
 }
 
-fn cell_fingerprint(attack: &str, defense: &str, strategy: Strategy, digest: u64) -> u64 {
+/// The cell fingerprint hashes the stack's display name and joined
+/// strategy token, so a singleton stack's fingerprint equals the
+/// pre-stack (schema v3) single-defense fingerprint — saved matrices keep
+/// feeding incremental runs across the schema bump.
+fn cell_fingerprint(attack: &str, defense: &str, strategy_token: &str, digest: u64) -> u64 {
     let h = fnv1a(b"cell\0", FNV_OFFSET);
     let h = fnv1a(attack.as_bytes(), h);
     let h = fnv1a(defense.as_bytes(), fnv1a(b"\0", h));
-    let h = fnv1a(strategy_token(strategy).as_bytes(), fnv1a(b"\0", h));
+    let h = fnv1a(strategy_token.as_bytes(), fnv1a(b"\0", h));
     fnv1a(&digest.to_le_bytes(), fnv1a(b"\0", h))
 }
 
@@ -731,18 +781,20 @@ pub struct BaselineCell {
     pub fingerprint: u64,
 }
 
-/// One (attack, defense, configuration) evaluation.
+/// One (attack, defense stack, configuration) evaluation.
 #[derive(Debug, Clone)]
 pub struct MatrixCell {
     /// Attack name (row).
     pub attack: &'static str,
-    /// Defense name (column).
-    pub defense: &'static str,
+    /// Defense-stack display name (column): a defense name for singleton
+    /// stacks, members joined with `+` for bundles.
+    pub defense: String,
     /// Index into [`CampaignMatrix::configs`] (slice).
     pub config: usize,
-    /// The two-level verdict for the cell.
+    /// The two-level verdict for the cell (carries the full
+    /// [`DefenseStack`]).
     pub evaluation: Evaluation,
-    /// Content fingerprint (attack + defense name/strategy + config
+    /// Content fingerprint (attack + stack name/strategies + config
     /// contents) keying incremental reuse.
     pub fingerprint: u64,
 }
@@ -805,16 +857,16 @@ fn run_task(
         let attack = spec.attacks[j / (d * c)];
         let defense = &spec.defenses[(j / c) % d];
         let config = j % c;
-        let evaluation = scenario::evaluate(attack, defense, &spec.configs[config].config)?;
+        let evaluation = scenario::evaluate_stack(attack, defense, &spec.configs[config].config)?;
         let fingerprint = cell_fingerprint(
             evaluation.attack,
-            defense.name,
-            defense.strategy,
+            defense.name(),
+            &defense.strategy_token(),
             digests[config],
         );
         Ok(TaskOut::Cell(MatrixCell {
             attack: evaluation.attack,
-            defense: evaluation.defense,
+            defense: defense.name().to_owned(),
             config,
             evaluation,
             fingerprint,
@@ -849,28 +901,74 @@ fn effective_threads(requested: usize, tasks: usize) -> usize {
     .min(tasks.max(1))
 }
 
+/// One completed evaluation task, as reported to a [`ProgressObserver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskEvent {
+    /// Tasks completed so far in this run, including this one. Completion
+    /// order is scheduling-dependent; the counter is monotonic.
+    pub completed: usize,
+    /// Tasks this run evaluates in total (stale tasks only, for an
+    /// incremental run).
+    pub total: usize,
+    /// Config-slice index (into [`CampaignSpec::configs`]) of the
+    /// completed task.
+    pub config: usize,
+}
+
+/// Live progress callback for campaign runs: invoked once per evaluated
+/// task, possibly concurrently from worker threads (hence `Sync`). Reused
+/// (fingerprint-matched) tasks are never reported — they cost nothing.
+pub type ProgressObserver<'a> = &'a (dyn Fn(TaskEvent) + Sync);
+
+/// The config-slice index of a task id (baseline or cell region).
+fn task_config(spec: &CampaignSpec, task: usize) -> usize {
+    let c = spec.configs.len();
+    let base_tasks = spec.attacks.len() * c;
+    if task < base_tasks {
+        task % c
+    } else {
+        (task - base_tasks) % c
+    }
+}
+
 /// Runs the given task ids (need not be contiguous, must be sorted for the
 /// error-order guarantee) on scoped workers, round-robin by list position;
 /// results come back in list order. The first error by task order wins.
+/// `progress`, if given, observes every completed task as it finishes.
 fn execute(
     spec: &CampaignSpec,
     graph_races: &[bool],
     digests: &[u64],
     ids: &[usize],
+    progress: Option<ProgressObserver<'_>>,
 ) -> Result<Vec<TaskOut>, AttackError> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
     let threads = effective_threads(spec.threads, ids.len());
+    let done = AtomicUsize::new(0);
+    let observe = |task: usize| {
+        if let Some(f) = progress {
+            f(TaskEvent {
+                completed: done.fetch_add(1, Ordering::Relaxed) + 1,
+                total: ids.len(),
+                config: task_config(spec, task),
+            });
+        }
+    };
     let mut slots: Vec<Option<Result<TaskOut, AttackError>>> = Vec::new();
     slots.resize_with(ids.len(), || None);
     if threads <= 1 {
         for (k, slot) in slots.iter_mut().enumerate() {
             *slot = Some(run_task(spec, graph_races, digests, ids[k]));
+            observe(ids[k]);
         }
     } else {
+        let observe = &observe;
         let worker = move |start: usize| {
             let mut out = Vec::new();
             let mut k = start;
             while k < ids.len() {
                 out.push((k, run_task(spec, graph_races, digests, ids[k])));
+                observe(ids[k]);
                 k += threads;
             }
             out
@@ -957,6 +1055,19 @@ impl CampaignShard {
     ///
     /// The first [`AttackError`] any simulation produced (by task order).
     pub fn run(&self) -> Result<CampaignPart, AttackError> {
+        self.run_observed(None)
+    }
+
+    /// [`CampaignShard::run`] with a live [`ProgressObserver`] reporting
+    /// each completed task.
+    ///
+    /// # Errors
+    ///
+    /// The first [`AttackError`] any simulation produced (by task order).
+    pub fn run_observed(
+        &self,
+        progress: Option<ProgressObserver<'_>>,
+    ) -> Result<CampaignPart, AttackError> {
         let digests: Vec<u64> = self
             .spec
             .configs
@@ -965,7 +1076,8 @@ impl CampaignShard {
             .collect();
         let ids: Vec<usize> = (self.start..self.end).collect();
         let graph_races = graph_races_for(&self.spec, &ids);
-        let (baselines, cells) = split_outputs(execute(&self.spec, &graph_races, &digests, &ids)?);
+        let (baselines, cells) =
+            split_outputs(execute(&self.spec, &graph_races, &digests, &ids, progress)?);
         Ok(CampaignPart {
             spec_fingerprint: self.spec.fingerprint(),
             index: self.index,
@@ -1001,7 +1113,7 @@ pub struct CampaignPart {
     end: usize,
     total: usize,
     attacks: Vec<AttackInfo>,
-    defenses: Vec<Defense>,
+    defenses: Vec<DefenseStack>,
     configs: Vec<String>,
     baselines: Vec<BaselineCell>,
     cells: Vec<MatrixCell>,
@@ -1072,7 +1184,7 @@ impl CampaignPart {
         out.push_str("],\n  \"attacks\": [");
         push_json_list(&mut out, self.attacks.iter().map(|i| i.name));
         out.push_str("],\n  \"defenses\": [");
-        push_json_list(&mut out, self.defenses.iter().map(|d| d.name));
+        push_json_list(&mut out, self.defenses.iter().map(DefenseStack::name));
         out.push_str("],\n  \"baselines\": [");
         for (i, b) in self.baselines.iter().enumerate() {
             if i > 0 {
@@ -1274,8 +1386,9 @@ impl Error for MergeError {}
 pub struct CampaignMatrix {
     /// Attack axis metadata, in evaluation order.
     pub attacks: Vec<AttackInfo>,
-    /// Defense axis, in evaluation order.
-    pub defenses: Vec<Defense>,
+    /// Defense-stack axis, in evaluation order (singleton stacks for
+    /// classic single-defense campaigns).
+    pub defenses: Vec<DefenseStack>,
     /// Configuration axis names, in evaluation order.
     pub configs: Vec<String>,
     /// Undefended runs: `attacks.len() × configs.len()`, attack-major.
@@ -1285,8 +1398,9 @@ pub struct CampaignMatrix {
     cells: Vec<MatrixCell>,
     /// Name → axis position, for O(1) [`CampaignMatrix::cell`] lookups.
     attack_index: HashMap<&'static str, usize>,
-    /// Name → axis position, for O(1) [`CampaignMatrix::cell`] lookups.
-    defense_index: HashMap<&'static str, usize>,
+    /// Stack name → axis position, for O(1) [`CampaignMatrix::cell`]
+    /// lookups.
+    defense_index: HashMap<String, usize>,
 }
 
 /// How much work an incremental run actually did.
@@ -1301,7 +1415,7 @@ pub struct IncrementalReport {
 impl CampaignMatrix {
     fn assemble(
         attacks: Vec<AttackInfo>,
-        defenses: Vec<Defense>,
+        defenses: Vec<DefenseStack>,
         configs: Vec<String>,
         baselines: Vec<BaselineCell>,
         cells: Vec<MatrixCell>,
@@ -1316,7 +1430,7 @@ impl CampaignMatrix {
         let defense_index = defenses
             .iter()
             .enumerate()
-            .map(|(i, d)| (d.name, i))
+            .map(|(i, d)| (d.name().to_owned(), i))
             .collect();
         CampaignMatrix {
             attacks,
@@ -1369,6 +1483,26 @@ impl CampaignMatrix {
         spec: &CampaignSpec,
         prev: Option<&CampaignMatrix>,
     ) -> Result<(Self, IncrementalReport), AttackError> {
+        Self::run_incremental_observed(spec, prev, None)
+    }
+
+    /// [`CampaignMatrix::run_incremental`] with a live
+    /// [`ProgressObserver`]: the observer sees every *evaluated* task as
+    /// it completes (reused tasks are silent — they cost nothing).
+    ///
+    /// # Errors
+    ///
+    /// The first [`AttackError`] any re-simulation produced (by task
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread itself panics.
+    pub fn run_incremental_observed(
+        spec: &CampaignSpec,
+        prev: Option<&CampaignMatrix>,
+        progress: Option<ProgressObserver<'_>>,
+    ) -> Result<(Self, IncrementalReport), AttackError> {
         let (a, d, c) = (spec.attacks.len(), spec.defenses.len(), spec.configs.len());
         let total = a * c + a * d * c;
         let digests: Vec<u64> = spec
@@ -1416,8 +1550,8 @@ impl CampaignMatrix {
                 prev_cells
                     .get(&cell_fingerprint(
                         name,
-                        defense.name,
-                        defense.strategy,
+                        defense.name(),
+                        &defense.strategy_token(),
                         digests[config],
                     ))
                     .map(|cell| {
@@ -1433,7 +1567,7 @@ impl CampaignMatrix {
             slots.push(reused);
         }
 
-        let fresh = execute(spec, &graph_races, &digests, &stale)?;
+        let fresh = execute(spec, &graph_races, &digests, &stale, progress)?;
         for (&task, out) in stale.iter().zip(fresh) {
             slots[task] = Some(out);
         }
@@ -1521,11 +1655,7 @@ impl CampaignMatrix {
             let same_axes = p.attacks == first.attacks
                 && p.configs == first.configs
                 && p.total == first.total
-                && p.defenses.len() == first.defenses.len()
-                && p.defenses
-                    .iter()
-                    .zip(&first.defenses)
-                    .all(|(x, y)| x.name == y.name && x.strategy == y.strategy);
+                && p.defenses == first.defenses;
             if !same_axes {
                 return Err(MergeError::AxisMismatch { index: p.index });
             }
@@ -1626,9 +1756,9 @@ impl CampaignMatrix {
                 out,
                 "{},{},{},{},{},{},{}",
                 csv_field(cell.attack),
-                csv_field(cell.defense),
+                csv_field(&cell.defense),
                 csv_field(&self.configs[cell.config]),
-                strategy_token(e.strategy),
+                e.stack.strategy_token(),
                 e.strategy_sufficient
                     .map_or("n/a", |b| if b { "yes" } else { "no" }),
                 verdict_token(e.mechanism),
@@ -1650,7 +1780,7 @@ impl CampaignMatrix {
         out.push_str("],\n  \"attacks\": [");
         push_json_list(&mut out, self.attacks.iter().map(|i| i.name));
         out.push_str("],\n  \"defenses\": [");
-        push_json_list(&mut out, self.defenses.iter().map(|d| d.name));
+        push_json_list(&mut out, self.defenses.iter().map(DefenseStack::name));
         out.push_str("],\n  \"baselines\": [");
         for (i, b) in self.baselines.iter().enumerate() {
             if i > 0 {
@@ -1721,9 +1851,311 @@ impl CampaignMatrix {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Diff
+// ---------------------------------------------------------------------------
+
+/// One cell whose verdict changed between two matrices — the machine
+/// verdict, the graph (strategy-sufficiency) verdict, or both.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerdictFlip {
+    /// Attack name.
+    pub attack: String,
+    /// Defense-stack name.
+    pub defense: String,
+    /// Config-slice name.
+    pub config: String,
+    /// Machine verdict in the older matrix.
+    pub from: Verdict,
+    /// Machine verdict in the newer matrix.
+    pub to: Verdict,
+    /// Graph sufficiency verdict in the older matrix.
+    pub sufficient_from: Option<bool>,
+    /// Graph sufficiency verdict in the newer matrix.
+    pub sufficient_to: Option<bool>,
+    /// Whether the cell was a §V-B false sense of security before.
+    pub false_sense_from: bool,
+    /// Whether it is one now.
+    pub false_sense_to: bool,
+}
+
+impl fmt::Display for VerdictFlip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sufficiency = |s: Option<bool>| match s {
+            Some(true) => "sufficient",
+            Some(false) => "insufficient",
+            None => "n/a",
+        };
+        write!(f, "{} vs {} @ {}:", self.defense, self.attack, self.config)?;
+        if self.from != self.to {
+            write!(
+                f,
+                " {} -> {}",
+                verdict_token(self.from),
+                verdict_token(self.to)
+            )?;
+        }
+        if self.sufficient_from != self.sufficient_to {
+            write!(
+                f,
+                " (strategy: {} -> {})",
+                sufficiency(self.sufficient_from),
+                sufficiency(self.sufficient_to)
+            )?;
+        }
+        if self.false_sense_from != self.false_sense_to {
+            write!(
+                f,
+                " (false sense: {} -> {})",
+                self.false_sense_from, self.false_sense_to
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One undefended baseline whose leak verdict changed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineFlip {
+    /// Attack name.
+    pub attack: String,
+    /// Config-slice name.
+    pub config: String,
+    /// Whether the attack leaked in the older matrix.
+    pub from_leaked: bool,
+    /// Whether it leaks in the newer matrix.
+    pub to_leaked: bool,
+}
+
+/// One undefended baseline whose cycle count changed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleDelta {
+    /// Attack name.
+    pub attack: String,
+    /// Config-slice name.
+    pub config: String,
+    /// Cycles in the older matrix.
+    pub from: u64,
+    /// Cycles in the newer matrix.
+    pub to: u64,
+}
+
+impl CycleDelta {
+    /// Relative change, `to` vs `from` (`0.05` = 5 % slower).
+    #[must_use]
+    pub fn relative(&self) -> f64 {
+        if self.from == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)] // cycle counts << 2^52
+            {
+                (self.to as f64 - self.from as f64) / self.from as f64
+            }
+        }
+    }
+}
+
+/// Everything that changed between two campaign matrices — the engine
+/// behind `campaign diff OLD.json NEW.json`.
+///
+/// Cells and baselines are matched by *content key* (attack, defense
+/// stack, config name), so the two matrices may have different axes:
+/// keys present on one side only are reported as added/removed rather
+/// than compared.
+#[derive(Debug, Clone, Default)]
+pub struct MatrixDiff {
+    /// Cells whose machine verdict or graph sufficiency changed.
+    pub flips: Vec<VerdictFlip>,
+    /// Baselines whose leak verdict changed.
+    pub baseline_flips: Vec<BaselineFlip>,
+    /// Baselines whose cycle count changed (leak verdict aside).
+    pub cycle_deltas: Vec<CycleDelta>,
+    /// Keys present only in the newer matrix.
+    pub added: Vec<String>,
+    /// Keys present only in the older matrix.
+    pub removed: Vec<String>,
+    /// Cells and baselines present in both and identical.
+    pub unchanged: usize,
+}
+
+impl MatrixDiff {
+    /// Whether the two matrices are identical over their shared keys and
+    /// have the same keys.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.flips.is_empty()
+            && self.baseline_flips.is_empty()
+            && self.cycle_deltas.is_empty()
+            && self.added.is_empty()
+            && self.removed.is_empty()
+    }
+
+    /// A human-readable multi-line report (one summary line, then one
+    /// line per change, deterministic order).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "campaign diff: {} verdict flip(s), {} baseline flip(s), \
+             {} cycle delta(s), {} added, {} removed, {} unchanged\n",
+            self.flips.len(),
+            self.baseline_flips.len(),
+            self.cycle_deltas.len(),
+            self.added.len(),
+            self.removed.len(),
+            self.unchanged
+        );
+        for flip in &self.flips {
+            let _ = writeln!(out, "  flip: {flip}");
+        }
+        for b in &self.baseline_flips {
+            let _ = writeln!(
+                out,
+                "  baseline: {} @ {}: leaked {} -> {}",
+                b.attack, b.config, b.from_leaked, b.to_leaked
+            );
+        }
+        for d in &self.cycle_deltas {
+            let _ = writeln!(
+                out,
+                "  cycles: {} @ {}: {} -> {} ({:+.1}%)",
+                d.attack,
+                d.config,
+                d.from,
+                d.to,
+                d.relative() * 100.0
+            );
+        }
+        for key in &self.added {
+            let _ = writeln!(out, "  added: {key}");
+        }
+        for key in &self.removed {
+            let _ = writeln!(out, "  removed: {key}");
+        }
+        out
+    }
+}
+
+impl CampaignMatrix {
+    /// Compares `self` (the older matrix) against `newer`, by content key.
+    /// See [`MatrixDiff`].
+    #[must_use]
+    pub fn diff(&self, newer: &CampaignMatrix) -> MatrixDiff {
+        type CellKey<'a> = (&'a str, &'a str, &'a str);
+        let cell_key = |cell: &MatrixCell, configs: &[String]| -> String {
+            format!(
+                "{} vs {} @ {}",
+                cell.defense, cell.attack, configs[cell.config]
+            )
+        };
+        let mut diff = MatrixDiff::default();
+
+        let old_cells: HashMap<CellKey<'_>, &MatrixCell> = self
+            .cells
+            .iter()
+            .map(|cell| {
+                (
+                    (
+                        cell.attack,
+                        cell.defense.as_str(),
+                        self.configs[cell.config].as_str(),
+                    ),
+                    cell,
+                )
+            })
+            .collect();
+        let mut seen_cells: std::collections::HashSet<CellKey<'_>> =
+            std::collections::HashSet::new();
+        for cell in &newer.cells {
+            let key = (
+                cell.attack,
+                cell.defense.as_str(),
+                newer.configs[cell.config].as_str(),
+            );
+            match old_cells.get(&key) {
+                None => diff.added.push(cell_key(cell, &newer.configs)),
+                Some(old) => {
+                    seen_cells.insert(key);
+                    let (oe, ne) = (&old.evaluation, &cell.evaluation);
+                    if oe.mechanism != ne.mechanism
+                        || oe.strategy_sufficient != ne.strategy_sufficient
+                    {
+                        diff.flips.push(VerdictFlip {
+                            attack: cell.attack.to_owned(),
+                            defense: cell.defense.clone(),
+                            config: newer.configs[cell.config].clone(),
+                            from: oe.mechanism,
+                            to: ne.mechanism,
+                            sufficient_from: oe.strategy_sufficient,
+                            sufficient_to: ne.strategy_sufficient,
+                            false_sense_from: old.false_sense_of_security(),
+                            false_sense_to: cell.false_sense_of_security(),
+                        });
+                    } else {
+                        diff.unchanged += 1;
+                    }
+                }
+            }
+        }
+        for cell in &self.cells {
+            let key = (
+                cell.attack,
+                cell.defense.as_str(),
+                self.configs[cell.config].as_str(),
+            );
+            if !seen_cells.contains(&key) {
+                diff.removed.push(cell_key(cell, &self.configs));
+            }
+        }
+
+        let old_bases: HashMap<(&str, &str), &BaselineCell> = self
+            .baselines
+            .iter()
+            .map(|b| ((b.info.name, self.configs[b.config].as_str()), b))
+            .collect();
+        let mut seen_bases: std::collections::HashSet<(&str, &str)> =
+            std::collections::HashSet::new();
+        for b in &newer.baselines {
+            let key = (b.info.name, newer.configs[b.config].as_str());
+            match old_bases.get(&key) {
+                None => diff.added.push(format!("{} @ {} (baseline)", key.0, key.1)),
+                Some(old) => {
+                    seen_bases.insert(key);
+                    if old.leaked != b.leaked {
+                        diff.baseline_flips.push(BaselineFlip {
+                            attack: b.info.name.to_owned(),
+                            config: key.1.to_owned(),
+                            from_leaked: old.leaked,
+                            to_leaked: b.leaked,
+                        });
+                    } else if old.cycles != b.cycles {
+                        diff.cycle_deltas.push(CycleDelta {
+                            attack: b.info.name.to_owned(),
+                            config: key.1.to_owned(),
+                            from: old.cycles,
+                            to: b.cycles,
+                        });
+                    } else {
+                        diff.unchanged += 1;
+                    }
+                }
+            }
+        }
+        for b in &self.baselines {
+            let key = (b.info.name, self.configs[b.config].as_str());
+            if !seen_bases.contains(&key) {
+                diff.removed
+                    .push(format!("{} @ {} (baseline)", key.0, key.1));
+            }
+        }
+        diff
+    }
+}
+
 /// Checks the `version`/`kind` headers of a campaign document.
 /// `allow_legacy` accepts the pre-part version-2 matrix schema (which has
-/// no `kind` field).
+/// no `kind` field). Version-3 documents (single-defense columns, with
+/// `kind` headers) always load: their defense names parse as singleton
+/// stacks.
 fn check_version_and_kind(
     doc: &Json,
     kind: &'static str,
@@ -1731,7 +2163,7 @@ fn check_version_and_kind(
 ) -> Result<(), CampaignIoError> {
     let version = doc.get("version").and_then(Json::as_u64);
     match version {
-        Some(SCHEMA_VERSION) => {}
+        Some(SCHEMA_VERSION | SINGLE_DEFENSE_VERSION) => {}
         Some(LEGACY_MATRIX_VERSION) if allow_legacy && doc.get("kind").is_none() => {
             return Ok(());
         }
@@ -1758,10 +2190,12 @@ fn header_fingerprint(doc: &Json) -> Result<u64, CampaignIoError> {
 
 /// The resolved `(attacks, defenses, configs)` axis lists of a campaign
 /// document.
-type ParsedAxes = (Vec<AttackInfo>, Vec<Defense>, Vec<String>);
+type ParsedAxes = (Vec<AttackInfo>, Vec<DefenseStack>, Vec<String>);
 
 /// Resolves the `attacks`/`defenses`/`configs` axis lists of a campaign
-/// document against the live registries.
+/// document against the live registries. Defense entries are stack
+/// expressions (`"NDA"`, `"KAISER/KPTI+Retpoline"`), so version-3
+/// single-defense documents resolve to singleton stacks.
 fn parse_axes(doc: &Json) -> Result<ParsedAxes, CampaignIoError> {
     let str_list = |key: &str| -> Result<Vec<String>, CampaignIoError> {
         doc.get(key)
@@ -1784,13 +2218,9 @@ fn parse_axes(doc: &Json) -> Result<ParsedAxes, CampaignIoError> {
                 .ok_or(CampaignIoError::UnknownAttack(name))
         })
         .collect::<Result<_, _>>()?;
-    let defenses: Vec<Defense> = str_list("defenses")?
+    let defenses: Vec<DefenseStack> = str_list("defenses")?
         .into_iter()
-        .map(|name| {
-            defenses::find(&name)
-                .copied()
-                .ok_or(CampaignIoError::UnknownDefense(name))
-        })
+        .map(|name| DefenseStack::parse(&name).map_err(|_| CampaignIoError::UnknownDefense(name)))
         .collect::<Result<_, _>>()?;
     Ok((attacks, defenses, configs))
 }
@@ -1809,7 +2239,7 @@ fn entries<'a>(doc: &'a Json, key: &str) -> Result<&'a [Json], CampaignIoError> 
 /// is the shard's slice.
 fn parse_rows(
     attacks: &[AttackInfo],
-    defenses: &[Defense],
+    defenses: &[DefenseStack],
     configs: &[String],
     start: usize,
     end: usize,
@@ -1873,14 +2303,15 @@ fn parse_rows(
             let j = task - base_tasks;
             let row = &cell_rows[task - base_tasks.max(start)];
             let info = attacks[j / (d * c)];
-            let defense = defenses[(j / c) % d];
+            let defense = &defenses[(j / c) % d];
             let config = j % c;
             let (aname, dname) = (field_str(row, "attack")?, field_str(row, "defense")?);
-            if aname != info.name || dname != defense.name {
+            if aname != info.name || dname != defense.name() {
                 return Err(CampaignIoError::Shape(format!(
                     "cell for task {task} names ('{aname}', '{dname}'), \
                      expected ('{}', '{}')",
-                    info.name, defense.name
+                    info.name,
+                    defense.name()
                 )));
             }
             let cfg_name = field_str(row, "config")?;
@@ -1891,11 +2322,17 @@ fn parse_rows(
                     configs[config]
                 )));
             }
-            let strategy = strategy_from_token(field_str(row, "strategy")?).ok_or_else(|| {
-                CampaignIoError::UnknownToken(
-                    field_str(row, "strategy").unwrap_or_default().to_owned(),
-                )
-            })?;
+            // The declared strategy must be the stack's own joined token —
+            // a mismatch means the row was written for a different stack.
+            let strategy = field_str(row, "strategy")?;
+            if strategy != defense.strategy_token() {
+                return Err(CampaignIoError::Shape(format!(
+                    "cell for task {task} declares strategy '{strategy}', \
+                     stack '{}' implements '{}'",
+                    defense.name(),
+                    defense.strategy_token()
+                )));
+            }
             let mechanism = verdict_from_token(field_str(row, "mechanism")?).ok_or_else(|| {
                 CampaignIoError::UnknownToken(
                     field_str(row, "mechanism").unwrap_or_default().to_owned(),
@@ -1909,12 +2346,11 @@ fn parse_rows(
             };
             cells.push(MatrixCell {
                 attack: info.name,
-                defense: defense.name,
+                defense: defense.name().to_owned(),
                 config,
                 evaluation: Evaluation {
                     attack: info.name,
-                    defense: defense.name,
-                    strategy,
+                    stack: defense.clone(),
                     strategy_sufficient,
                     mechanism,
                 },
@@ -1948,9 +2384,9 @@ fn write_cell_row(out: &mut String, cell: &MatrixCell, configs: &[String]) {
         out,
         "\n    {{\"attack\": {}, \"defense\": {}, \"config\": {}, \"strategy\": {}, \"strategy_sufficient\": {}, \"mechanism\": {}, \"false_sense\": {}, \"fingerprint\": \"{:#018x}\"}}",
         json_str(cell.attack),
-        json_str(cell.defense),
+        json_str(&cell.defense),
         json_str(&configs[cell.config]),
-        json_str(strategy_token(e.strategy)),
+        json_str(&e.stack.strategy_token()),
         e.strategy_sufficient
             .map_or_else(|| "null".to_owned(), |b| b.to_string()),
         json_str(verdict_token(e.mechanism)),
@@ -2036,7 +2472,8 @@ impl fmt::Display for CampaignIoError {
             CampaignIoError::Version { found: Some(v) } => write!(
                 f,
                 "unsupported schema version {v} (this build reads versions \
-                 {LEGACY_MATRIX_VERSION} and {SCHEMA_VERSION})"
+                 {LEGACY_MATRIX_VERSION}, {SINGLE_DEFENSE_VERSION} and \
+                 {SCHEMA_VERSION})"
             ),
             CampaignIoError::Version { found: None } => {
                 f.write_str("missing schema version header")
@@ -2081,23 +2518,18 @@ impl From<JsonError> for CampaignIoError {
     }
 }
 
-/// Stable machine-readable token for a strategy.
+/// Stable machine-readable token for a strategy (delegates to
+/// [`Strategy::token`]; a stack's `strategy` column joins its distinct
+/// members' tokens with `+`).
 #[must_use]
 pub fn strategy_token(s: Strategy) -> &'static str {
-    match s {
-        Strategy::PreventAccess => "prevent_access",
-        Strategy::PreventUse => "prevent_use",
-        Strategy::PreventSend => "prevent_send",
-        Strategy::ClearPredictions => "clear_predictions",
-    }
+    s.token()
 }
 
 /// The [`Strategy`] for a [`strategy_token`] string.
 #[must_use]
 pub fn strategy_from_token(token: &str) -> Option<Strategy> {
-    Strategy::all()
-        .into_iter()
-        .find(|&s| strategy_token(s) == token)
+    Strategy::from_token(token)
 }
 
 /// Stable machine-readable token for a verdict.
@@ -2189,10 +2621,14 @@ mod tests {
         let mut expected = Vec::new();
         for a in &m.attacks {
             for d in &m.defenses {
-                expected.push((a.name, d.name));
+                expected.push((a.name, d.name().to_owned()));
             }
         }
-        let got: Vec<_> = m.cells().iter().map(|c| (c.attack, c.defense)).collect();
+        let got: Vec<_> = m
+            .cells()
+            .iter()
+            .map(|c| (c.attack, c.defense.clone()))
+            .collect();
         assert_eq!(got, expected);
     }
 
@@ -2331,16 +2767,11 @@ mod tests {
             baseline_fingerprint("Spectre v2", digest)
         );
         assert_ne!(
-            cell_fingerprint("Spectre v1", "NDA", Strategy::PreventUse, digest),
-            cell_fingerprint(
-                "Spectre v1",
-                "NDA",
-                Strategy::PreventUse,
-                config_digest(&other)
-            )
+            cell_fingerprint("Spectre v1", "NDA", "prevent_use", digest),
+            cell_fingerprint("Spectre v1", "NDA", "prevent_use", config_digest(&other))
         );
         assert_ne!(
-            cell_fingerprint("Spectre v1", "NDA", Strategy::PreventUse, digest),
+            cell_fingerprint("Spectre v1", "NDA", "prevent_use", digest),
             baseline_fingerprint("Spectre v1", digest)
         );
     }
@@ -2489,13 +2920,36 @@ mod tests {
     fn legacy_version2_matrices_still_load() {
         let m = CampaignMatrix::run(&small_spec(0)).unwrap();
         let legacy = m.to_json().replacen(
-            "\"version\": 3,\n  \"kind\": \"campaign-matrix\",",
+            "\"version\": 4,\n  \"kind\": \"campaign-matrix\",",
             "\"version\": 2,",
             1,
         );
         let loaded = CampaignMatrix::from_json(&legacy).unwrap();
-        // Loading upgrades: the re-serialized document is version 3.
+        // Loading upgrades: the re-serialized document is version 4.
         assert_eq!(loaded.to_json(), m.to_json());
+    }
+
+    #[test]
+    fn version3_single_defense_documents_still_load() {
+        // A singleton-stack campaign writes byte-identical rows to the
+        // pre-stack schema, so rewriting the version header alone yields
+        // exactly what a version-3 build produced — and it must load.
+        let m = CampaignMatrix::run(&small_spec(0)).unwrap();
+        let v3 = m.to_json().replacen("\"version\": 4", "\"version\": 3", 1);
+        let loaded = CampaignMatrix::from_json(&v3).unwrap();
+        assert_eq!(loaded.to_json(), m.to_json());
+        // The same holds for shard parts.
+        let part = small_spec(0).shards(2)[0].run().unwrap();
+        let v3 = part
+            .to_json()
+            .replacen("\"version\": 4", "\"version\": 3", 1);
+        let loaded = CampaignPart::from_json(&v3).unwrap();
+        assert_eq!(loaded.to_json(), part.to_json());
+        // And a v3 matrix feeds incremental reuse without re-simulation.
+        let v3 = m.to_json().replacen("\"version\": 4", "\"version\": 3", 1);
+        let prev = CampaignMatrix::from_json(&v3).unwrap();
+        let (_, report) = CampaignMatrix::run_incremental(&small_spec(0), Some(&prev)).unwrap();
+        assert_eq!(report.evaluated, 0);
     }
 
     #[test]
@@ -2505,7 +2959,7 @@ mod tests {
             Err(CampaignIoError::Version { found: None })
         ));
         let m = CampaignMatrix::run(&small_spec(0)).unwrap();
-        let doc = m.to_json().replacen("\"version\": 3", "\"version\": 99", 1);
+        let doc = m.to_json().replacen("\"version\": 4", "\"version\": 99", 1);
         assert!(matches!(
             CampaignMatrix::from_json(&doc),
             Err(CampaignIoError::Version { found: Some(99) })
@@ -2596,7 +3050,7 @@ mod tests {
         assert!(csv.starts_with("attack,defense,config,"));
         let json = m.to_json();
         assert!(json.contains("\"cells\""));
-        assert!(json.contains("\"version\": 3"));
+        assert!(json.contains("\"version\": 4"));
         assert!(json.contains("\"kind\": \"campaign-matrix\""));
         assert_eq!(json.matches("{\"attack\"").count(), 12 + 4);
         // Escaping: a quote in a config name must not break the document.
@@ -2615,5 +3069,158 @@ mod tests {
         }
         assert!(strategy_from_token("nope").is_none());
         assert!(verdict_from_token("nope").is_none());
+    }
+
+    fn stack_spec() -> CampaignSpec {
+        CampaignSpec::builder(UarchConfig::default())
+            .attacks([
+                attacks::find(attacks::names::SPECTRE_V1).unwrap(),
+                attacks::find(attacks::names::SPECTRE_V2).unwrap(),
+                attacks::find(attacks::names::MELTDOWN).unwrap(),
+            ])
+            .defense_stacks([
+                defenses::presets::linux_default(),
+                DefenseStack::parse("stt").unwrap(),
+            ])
+            .build()
+    }
+
+    #[test]
+    fn defense_stack_axis_runs_and_round_trips() {
+        let m = CampaignMatrix::run(&stack_spec()).unwrap();
+        assert_eq!(m.shape(), (3, 2, 1));
+        let linux = "KAISER/KPTI+Retpoline+IBPB+RSB stuffing";
+        // O(1) lookup by stack name.
+        let v2 = m.cell(attacks::names::SPECTRE_V2, linux, 0).unwrap();
+        assert_eq!(v2.evaluation.mechanism, Verdict::Blocked);
+        assert_eq!(v2.evaluation.stack.members().len(), 4);
+        // The bundle is the §V-B false sense vs Spectre v1.
+        let v1 = m.cell(attacks::names::SPECTRE_V1, linux, 0).unwrap();
+        assert!(v1.false_sense_of_security());
+        // CSV carries the stack name and the joined strategy token.
+        let csv = m.to_csv();
+        assert!(csv.contains(linux));
+        assert!(csv.contains("prevent_access+clear_predictions"));
+        // JSON round-trips: the stack expression resolves on load.
+        let loaded = CampaignMatrix::from_json(&m.to_json()).unwrap();
+        assert_eq!(loaded.to_json(), m.to_json());
+        assert_eq!(loaded.to_csv(), m.to_csv());
+        // …and feeds incremental reuse.
+        let (_, report) = CampaignMatrix::run_incremental(&stack_spec(), Some(&loaded)).unwrap();
+        assert_eq!(report.evaluated, 0);
+    }
+
+    #[test]
+    fn stack_member_order_never_changes_verdicts() {
+        let spec_for = |expr: &str| {
+            CampaignSpec::builder(UarchConfig::default())
+                .attacks(attacks::registry().iter().copied().take(4))
+                .defense_stacks([DefenseStack::parse(expr).unwrap()])
+                .build()
+        };
+        let fwd = CampaignMatrix::run(&spec_for("kpti+retpoline+ibpb")).unwrap();
+        let rev = CampaignMatrix::run(&spec_for("ibpb+retpoline+kpti")).unwrap();
+        let verdicts = |m: &CampaignMatrix| -> Vec<(String, Verdict, Option<bool>)> {
+            m.cells()
+                .iter()
+                .map(|cell| {
+                    (
+                        cell.attack.to_owned(),
+                        cell.evaluation.mechanism,
+                        cell.evaluation.strategy_sufficient,
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(verdicts(&fwd), verdicts(&rev));
+        // Only the display name differs.
+        assert_ne!(fwd.cells()[0].defense, rev.cells()[0].defense);
+    }
+
+    #[test]
+    fn singleton_stack_sweep_is_identical_to_defense_sweep() {
+        // The .defenses() path (singleton stacks) and an explicit
+        // singleton .defense_stacks() path are byte-identical artifacts.
+        let picked: Vec<Defense> = defenses::registry().iter().copied().take(3).collect();
+        let via_defenses = CampaignSpec::builder(UarchConfig::default())
+            .attacks(attacks::registry().iter().copied().take(3))
+            .defenses(picked.clone())
+            .build();
+        let via_stacks = CampaignSpec::builder(UarchConfig::default())
+            .attacks(attacks::registry().iter().copied().take(3))
+            .defense_stacks(picked.into_iter().map(DefenseStack::single))
+            .build();
+        assert_eq!(via_defenses.fingerprint(), via_stacks.fingerprint());
+        let a = CampaignMatrix::run(&via_defenses).unwrap();
+        let b = CampaignMatrix::run(&via_stacks).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_csv(), b.to_csv());
+    }
+
+    #[test]
+    fn progress_observer_sees_every_evaluated_task() {
+        use std::sync::Mutex;
+        let spec = small_spec(2);
+        let events: Mutex<Vec<TaskEvent>> = Mutex::new(Vec::new());
+        let observer = |e: TaskEvent| events.lock().unwrap().push(e);
+        let (m, report) =
+            CampaignMatrix::run_incremental_observed(&spec, None, Some(&observer)).unwrap();
+        let seen = events.into_inner().unwrap();
+        assert_eq!(seen.len(), spec.total_tasks());
+        assert_eq!(report.evaluated, spec.total_tasks());
+        // The completion counter covers 1..=total exactly once, and every
+        // event names a real config slice.
+        let mut completed: Vec<usize> = seen.iter().map(|e| e.completed).collect();
+        completed.sort_unstable();
+        assert_eq!(completed, (1..=spec.total_tasks()).collect::<Vec<_>>());
+        assert!(seen.iter().all(|e| e.total == spec.total_tasks()));
+        assert!(seen.iter().all(|e| e.config < spec.configs.len()));
+        // A no-op incremental rerun reports nothing: nothing is evaluated.
+        let again: Mutex<Vec<TaskEvent>> = Mutex::new(Vec::new());
+        let observer = |e: TaskEvent| again.lock().unwrap().push(e);
+        CampaignMatrix::run_incremental_observed(&spec, Some(&m), Some(&observer)).unwrap();
+        assert!(again.into_inner().unwrap().is_empty());
+    }
+
+    #[test]
+    fn diff_reports_flips_deltas_and_axis_changes() {
+        let spec = small_spec(0);
+        let m1 = CampaignMatrix::run(&spec).unwrap();
+        // Identical runs: an empty diff, everything unchanged.
+        let same = m1.diff(&CampaignMatrix::run(&spec).unwrap());
+        assert!(same.is_empty(), "{}", same.to_text());
+        assert_eq!(same.unchanged, spec.total_tasks());
+        // A hardened base flips baselines (leak → no leak) and cells,
+        // under the *same* config name.
+        let hardened = CampaignSpec {
+            configs: vec![NamedConfig::new(
+                "baseline",
+                UarchConfig::builder().nda(true).build(),
+            )],
+            ..small_spec(0)
+        };
+        let m2 = CampaignMatrix::run(&hardened).unwrap();
+        let diff = m1.diff(&m2);
+        assert!(!diff.is_empty());
+        assert!(!diff.baseline_flips.is_empty());
+        assert!(diff
+            .baseline_flips
+            .iter()
+            .all(|b| b.from_leaked && !b.to_leaked));
+        assert!(diff.added.is_empty());
+        assert!(diff.removed.is_empty());
+        let text = diff.to_text();
+        assert!(text.starts_with("campaign diff:"));
+        assert!(text.contains("baseline:"));
+        // A different defense axis shows up as added + removed cells.
+        let fewer = CampaignSpec {
+            defenses: spec.defenses[..2].to_vec(),
+            ..small_spec(0)
+        };
+        let m3 = CampaignMatrix::run(&fewer).unwrap();
+        let diff = m1.diff(&m3);
+        assert!(diff.added.is_empty());
+        assert_eq!(diff.removed.len(), spec.attacks.len());
+        assert!(diff.to_text().contains("removed:"));
     }
 }

@@ -58,14 +58,15 @@ pub use uarch;
 pub mod prelude {
     pub use crate::campaign::{
         self, CampaignIoError, CampaignMatrix, CampaignPart, CampaignShard, CampaignSpec,
-        Hardening, IncrementalReport, Knob, KnobValue, MergeError, NamedConfig, PredictorFlavor,
+        Hardening, IncrementalReport, Knob, KnobValue, MatrixDiff, MergeError, NamedConfig,
+        PredictorFlavor, TaskEvent,
     };
     pub use crate::discovery::{self, AttackPoint, Channel, DelayMechanism, SecretSourceDim};
     pub use crate::scenario::{self, Evaluation};
     pub use analyzer::{AnalysisConfig, Analyzer};
     pub use attacks::{self, Attack, AttackClass, AttackOutcome};
     pub use channels::flush_reload::FlushReload;
-    pub use defenses::{self, Defense, Strategy, Verdict};
+    pub use defenses::{self, Defense, DefenseStack, StackError, Strategy, Verdict};
     pub use isa::{self, Program, ProgramBuilder, Reg};
     pub use tsg::{
         EdgeKind, NodeKind, SecretSource, SecurityAnalysis, SecurityDependency, Tsg, TsgError,

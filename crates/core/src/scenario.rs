@@ -1,43 +1,65 @@
-//! High-level scenario API: evaluate attack × defense combinations with
-//! both the graph-level and machine-level verdicts side by side — the
+//! High-level scenario API: evaluate attack × defense-stack combinations
+//! with both the graph-level and machine-level verdicts side by side — the
 //! paper's methodology ("show *why* a defense works") as a library call.
+//!
+//! The unit of evaluation is a [`DefenseStack`] — an ordered bundle of
+//! catalog defenses. A single defense is just a singleton stack
+//! ([`evaluate`] wraps one for you), and a singleton evaluation is
+//! byte-identical to the historical single-defense output; a real bundle
+//! (`"KAISER/KPTI+Retpoline+IBPB"`) is patched into the graph with *all*
+//! its member strategies and deployed onto the machine as one folded,
+//! conflict-checked configuration.
 
 use attacks::{Attack, AttackError};
-use defenses::{patch_strategy, Defense, PatchError, Strategy, Verdict};
+use defenses::{Defense, DefenseStack, Strategy, Verdict};
 use std::fmt;
 use uarch::UarchConfig;
 
-/// The two verdicts for one (attack, defense) pair.
+/// The two verdicts for one (attack, defense stack) pair.
 ///
 /// `strategy_sufficient` answers the *graph-level* question: "if this
-/// defense's strategy edges were enforced on this attack's graph, would
-/// the leak path close?" — an idealized claim about the strategy.
-/// `mechanism` answers the *machine-level* question: "does this concrete
-/// mechanism actually stop this attack?". When the strategy would suffice
-/// but the mechanism leaks, the defense is a **false sense of security**
-/// for this attack (the paper's §V-B warning): the mechanism inserts its
-/// ordering somewhere other than this attack's missing edge.
+/// stack's strategy edges were enforced on this attack's graph, would the
+/// leak path close?" — an idealized claim about the strategies, proved by
+/// Theorem 1. `mechanism` answers the *machine-level* question: "does this
+/// concrete bundle actually stop this attack?". When the strategies would
+/// suffice but the mechanisms leak, the stack is a **false sense of
+/// security** for this attack (the paper's §V-B warning): the bundle
+/// inserts its ordering somewhere other than this attack's missing edge.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Evaluation {
     /// Attack name.
     pub attack: &'static str,
-    /// Defense name.
-    pub defense: &'static str,
-    /// The strategy the defense implements.
-    pub strategy: Strategy,
-    /// Graph verdict: would the strategy, enforced on this graph, close
-    /// the leak path? `None` when the strategy has no insertion point in
-    /// this graph.
+    /// The evaluated defense stack (a singleton for classic single-defense
+    /// cells).
+    pub stack: DefenseStack,
+    /// Graph verdict: would the stack's strategies, enforced on this
+    /// graph, close the leak path? `None` when no member strategy has an
+    /// insertion point in this graph.
     pub strategy_sufficient: Option<bool>,
-    /// Machine verdict from actually running the attack under the defense.
+    /// Machine verdict from actually running the attack under the
+    /// deployed stack.
     pub mechanism: Verdict,
 }
 
 impl Evaluation {
-    /// The §V-B "false sense of security" pattern: the strategy would work
-    /// here, but this mechanism does not implement it *for this attack*
-    /// (e.g. KPTI is strategy ① for kernel pages — useless against the
-    /// user-space Spectre v1 access).
+    /// The stack's canonical display name (`"NDA"`,
+    /// `"KAISER/KPTI+Retpoline"`): the `defense` column of every table.
+    #[must_use]
+    pub fn defense(&self) -> &str {
+        self.stack.name()
+    }
+
+    /// The distinct strategies the stack exercises, in member order.
+    #[must_use]
+    pub fn strategies(&self) -> Vec<Strategy> {
+        self.stack.strategies()
+    }
+
+    /// The §V-B "false sense of security" pattern: the strategies would
+    /// work here, but this bundle does not implement them *for this
+    /// attack* (e.g. KPTI is strategy ① for kernel pages — useless against
+    /// the user-space Spectre v1 access; stacking retpoline next to it
+    /// does not change that).
     #[must_use]
     pub fn false_sense_of_security(&self) -> bool {
         self.strategy_sufficient == Some(true) && self.mechanism == Verdict::Leaked
@@ -49,7 +71,7 @@ impl fmt::Display for Evaluation {
         write!(
             f,
             "{} vs {}: strategy-sufficient={} mechanism={}{}",
-            self.defense,
+            self.defense(),
             self.attack,
             self.strategy_sufficient
                 .map_or_else(|| "n/a".to_owned(), |b| b.to_string()),
@@ -63,16 +85,39 @@ impl fmt::Display for Evaluation {
     }
 }
 
-/// Evaluates one (attack, defense) pair at both levels.
+/// Evaluates one (attack, defense stack) pair at both levels.
 ///
-/// The *graph* level inserts the defense's strategy edges into the attack's
-/// graph and asks Theorem 1 whether the leak path closes. The *machine*
-/// level configures the simulator with the defense and re-runs the attack.
+/// The *graph* level inserts every distinct member strategy's edges into
+/// the attack's graph and asks Theorem 1 whether the leak path closes
+/// ([`DefenseStack::graph_sufficient`]). The *machine* level folds the
+/// stack's overlays onto the simulator configuration and re-runs the
+/// attack ([`defenses::verify_stack`]).
 ///
 /// A strategy-② or -③ graph patch leaves the access race by design (the
 /// paper's relaxed security model), so graph sufficiency for those is
 /// defined as "no race on the *send* node" — the exfiltration is what they
-/// promise to stop.
+/// promise to stop. A stack containing a ① member must close every race.
+///
+/// # Errors
+///
+/// Propagates [`AttackError`] from the simulation.
+pub fn evaluate_stack(
+    attack: &dyn Attack,
+    stack: &DefenseStack,
+    base: &UarchConfig,
+) -> Result<Evaluation, AttackError> {
+    let strategy_sufficient = stack.graph_sufficient(attack)?;
+    let mechanism = defenses::verify_stack(stack, attack, base)?;
+    Ok(Evaluation {
+        attack: attack.info().name,
+        stack: stack.clone(),
+        strategy_sufficient,
+        mechanism,
+    })
+}
+
+/// Evaluates one (attack, single defense) pair: a singleton-stack
+/// [`evaluate_stack`], bit-identical to the historical per-defense path.
 ///
 /// # Errors
 ///
@@ -82,40 +127,13 @@ pub fn evaluate(
     defense: &Defense,
     base: &UarchConfig,
 ) -> Result<Evaluation, AttackError> {
-    let mut sa = attack.graph();
-    let strategy_sufficient = match patch_strategy(&mut sa, defense.strategy) {
-        Ok(_) => {
-            let vulns = sa.vulnerabilities()?;
-            let secure = match defense.strategy {
-                Strategy::PreventAccess => vulns.is_empty(),
-                Strategy::PreventUse | Strategy::PreventSend => !vulns
-                    .iter()
-                    .any(|v| matches!(v.protected_kind, tsg::NodeKind::Send)),
-                // ④ acts on the mis-training channel, which the static
-                // graph only represents as setup ordering: treat insertion
-                // success as the graph-level claim.
-                Strategy::ClearPredictions => true,
-            };
-            Some(secure)
-        }
-        Err(PatchError::Graph(e)) => return Err(AttackError::Tsg(e)),
-        // No insertion point for this strategy in this graph.
-        Err(_) => None,
-    };
-    let mechanism = defenses::verify(defense, attack, base)?;
-    Ok(Evaluation {
-        attack: attack.info().name,
-        defense: defense.name,
-        strategy: defense.strategy,
-        strategy_sufficient,
-        mechanism,
-    })
+    evaluate_stack(attack, &DefenseStack::single(*defense), base)
 }
 
-/// Evaluates every (attack, defense) pair; returns the evaluations plus
-/// the count of §V-B "false sense of security" pairs (strategy would work,
-/// mechanism does not — expected to be plentiful: that is the paper's
-/// warning).
+/// Evaluates every (attack, defense) pair of the registries; returns the
+/// evaluations plus the count of §V-B "false sense of security" pairs
+/// (strategy would work, mechanism does not — expected to be plentiful:
+/// that is the paper's warning).
 ///
 /// This is a thin consumer of the [`campaign`](crate::campaign) engine:
 /// one parallel matrix run over the registries, flattened back to the
@@ -160,6 +178,8 @@ mod tests {
         assert_eq!(e.mechanism, Verdict::Blocked);
         assert!(!e.false_sense_of_security());
         assert!(e.to_string().contains("NDA"));
+        assert_eq!(e.defense(), "NDA");
+        assert_eq!(e.strategies(), vec![Strategy::PreventUse]);
     }
 
     #[test]
@@ -186,6 +206,40 @@ mod tests {
         .unwrap();
         assert!(e.false_sense_of_security());
         assert!(e.to_string().contains("false sense"));
+    }
+
+    #[test]
+    fn singleton_stack_evaluation_is_identical_to_single_defense() {
+        let base = UarchConfig::default();
+        for d in defenses::registry().iter().take(6) {
+            let single = evaluate(&attacks::spectre_v2::SpectreV2, d, &base).unwrap();
+            let stacked = evaluate_stack(
+                &attacks::spectre_v2::SpectreV2,
+                &DefenseStack::single(*d),
+                &base,
+            )
+            .unwrap();
+            assert_eq!(single, stacked, "{}", d.name);
+            assert_eq!(single.defense(), d.name);
+        }
+    }
+
+    #[test]
+    fn bundle_evaluation_is_a_first_class_citizen() {
+        let base = UarchConfig::default();
+        let linux = defenses::presets::linux_default();
+        // Blocked by the bundle even though KPTI alone leaks it: the
+        // retpoline member closes Spectre v2's edge.
+        let v2 = evaluate_stack(&attacks::spectre_v2::SpectreV2, &linux, &base).unwrap();
+        assert_eq!(v2.mechanism, Verdict::Blocked);
+        assert_eq!(v2.defense(), "KAISER/KPTI+Retpoline+IBPB+RSB stuffing");
+        assert!(!v2.false_sense_of_security());
+        // Stack-level false sense: the bundle's ① member would close
+        // Spectre v1's graph, but none of the mechanisms does.
+        let v1 = evaluate_stack(&attacks::spectre_v1::SpectreV1, &linux, &base).unwrap();
+        assert_eq!(v1.mechanism, Verdict::Leaked);
+        assert!(v1.false_sense_of_security());
+        assert!(v1.to_string().contains("false sense"));
     }
 
     #[test]

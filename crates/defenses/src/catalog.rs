@@ -1,6 +1,8 @@
 //! The defense catalog: Table II (industry) plus the §V-B academia
-//! defenses, each mapped to one of the four strategies.
+//! defenses, each mapped to one of the four strategies, with its
+//! machine-level effect recorded as a typed [`Overlay`].
 
+use crate::overlay::{KnobWrite, Overlay, OverlayKnob};
 use crate::Strategy;
 use std::fmt;
 use uarch::UarchConfig;
@@ -28,33 +30,44 @@ impl fmt::Display for Origin {
 pub struct Defense {
     /// Canonical name, e.g. `"LFENCE"` or `"InvisiSpec"`.
     pub name: &'static str,
+    /// Short ASCII token for the stack grammar (`"kpti"`, `"retpoline"`):
+    /// what `DefenseStack::parse` and the `campaign` CLI accept in
+    /// `--defenses kpti+retpoline` stack expressions.
+    pub token: &'static str,
     /// Industry or academia.
     pub origin: Origin,
     /// The paper strategy the defense implements.
     pub strategy: Strategy,
     /// One-line mechanism description.
     pub mechanism: &'static str,
-    /// How the defense is realized on the simulator, if it has a hardware
+    /// The recorded machine-level effect, if the defense has a hardware
     /// model (`None` for purely software rewrites like address masking,
     /// which are demonstrated at the program level by the `analyzer`
     /// crate).
-    configure: Option<fn(&mut UarchConfig)>,
+    pub(crate) overlay: Option<Overlay>,
 }
 
 impl Defense {
     /// Whether the defense has an executable hardware model.
     #[must_use]
     pub fn is_modeled(&self) -> bool {
-        self.configure.is_some()
+        self.overlay.is_some()
+    }
+
+    /// The recorded machine-level overlay — the exact knob writes this
+    /// defense performs — or `None` for software-only defenses.
+    #[must_use]
+    pub fn overlay(&self) -> Option<Overlay> {
+        self.overlay
     }
 
     /// Produces the machine configuration with this defense enabled on top
     /// of `base`. Returns `None` for software-only defenses.
     #[must_use]
     pub fn configure(&self, base: &UarchConfig) -> Option<UarchConfig> {
-        self.configure.map(|f| {
+        self.overlay.map(|overlay| {
             let mut cfg = base.clone();
-            f(&mut cfg);
+            overlay.apply(&mut cfg);
             cfg
         })
     }
@@ -138,23 +151,25 @@ pub mod names {
     pub const DAWG: &str = "DAWG";
 }
 
-macro_rules! defense {
-    ($name:expr, $origin:ident, $strategy:ident, $mech:literal, |$cfg:ident| $body:expr) => {
-        Defense {
-            name: $name,
-            origin: Origin::$origin,
-            strategy: Strategy::$strategy,
-            mechanism: $mech,
-            configure: Some(|$cfg: &mut UarchConfig| $body),
-        }
+/// Builds the `'static` write list of an overlay.
+macro_rules! overlay {
+    ($($knob:ident => $value:expr),+ $(,)?) => {
+        Some(Overlay(&[$(KnobWrite {
+            knob: OverlayKnob::$knob,
+            value: $value,
+        }),+]))
     };
-    ($name:expr, $origin:ident, $strategy:ident, $mech:literal, software) => {
+}
+
+macro_rules! defense {
+    ($name:expr, $token:literal, $origin:ident, $strategy:ident, $mech:literal, $overlay:expr) => {
         Defense {
             name: $name,
+            token: $token,
             origin: Origin::$origin,
             strategy: Strategy::$strategy,
             mechanism: $mech,
-            configure: None,
+            overlay: $overlay,
         }
     };
 }
@@ -171,218 +186,248 @@ pub fn registry() -> &'static [Defense] {
         // ---- Industry (Table II) ----
         defense!(
             names::LFENCE,
+            "lfence",
             Industry,
             PreventAccess,
             "serialize: no younger instruction executes before the fence retires",
-            |c| c.no_speculative_loads = true
+            overlay![NoSpeculativeLoads => true]
         ),
         defense!(
             names::MFENCE,
+            "mfence",
             Industry,
             PreventAccess,
             "serialize memory operations across the fence",
-            |c| c.no_speculative_loads = true
+            overlay![NoSpeculativeLoads => true]
         ),
         defense!(
             names::KPTI,
+            "kpti",
             Industry,
             PreventAccess,
             "unmap kernel pages in user mode: no PTE, no transient data path",
-            |c| c.kpti = true
+            overlay![Kpti => true]
         ),
         defense!(
             names::IBRS,
+            "ibrs",
             Industry,
             ClearPredictions,
             "restrict indirect-branch speculation across privilege modes",
-            |c| c.flush_predictors_on_switch = true
+            overlay![FlushPredictorsOnSwitch => true]
         ),
         defense!(
             names::STIBP,
+            "stibp",
             Industry,
             ClearPredictions,
             "do not share indirect-branch predictions between sibling threads",
-            |c| c.flush_predictors_on_switch = true
+            overlay![FlushPredictorsOnSwitch => true]
         ),
         defense!(
             names::IBPB,
+            "ibpb",
             Industry,
             ClearPredictions,
             "barrier: flush the branch target buffer on context switch",
-            |c| c.flush_predictors_on_switch = true
+            overlay![FlushPredictorsOnSwitch => true]
         ),
         defense!(
             names::BTB_INVALIDATION,
+            "btb-inval",
             Industry,
             ClearPredictions,
             "AMD option: invalidate predictor state when switching contexts",
-            |c| c.flush_predictors_on_switch = true
+            overlay![FlushPredictorsOnSwitch => true]
         ),
         defense!(
             names::RETPOLINE,
+            "retpoline",
             Industry,
             ClearPredictions,
             "replace indirect branches with return sequences that never use the BTB",
-            |c| c.no_indirect_prediction = true
+            overlay![NoIndirectPrediction => true]
         ),
         defense!(
             names::ADDRESS_MASKING_COARSE,
+            "mask-coarse",
             Industry,
             PreventAccess,
             "software: mask indices so out-of-bounds addresses are unrepresentable",
-            software
+            None
         ),
         defense!(
             names::ADDRESS_MASKING_DATA_DEPENDENT,
+            "mask-data",
             Industry,
             PreventAccess,
             "software: conditional masking against the actual bound (V8/Linux)",
-            software
+            None
         ),
         defense!(
             names::SSBB,
+            "ssbb",
             Industry,
             PreventAccess,
             "barrier: loads after it may not bypass stores before it",
-            |c| c.ssb_disable = true
+            overlay![SsbDisable => true]
         ),
         defense!(
             names::SSBS,
+            "ssbs",
             Industry,
             PreventAccess,
             "mode bit: loads never bypass stores with unresolved addresses",
-            |c| c.ssb_disable = true
+            overlay![SsbDisable => true]
         ),
         defense!(
             names::RSB_STUFFING,
+            "rsb-stuffing",
             Industry,
             ClearPredictions,
             "refill the return stack buffer with benign entries on switches",
-            |c| c.rsb_stuffing = true
+            overlay![RsbStuffing => true]
         ),
         defense!(
             names::EAGER_FPU_SWITCH,
+            "eager-fpu",
             Industry,
             PreventAccess,
             "save/restore FP registers eagerly on every context switch",
-            |c| c.lazy_fpu = false
+            overlay![LazyFpu => false]
         ),
         defense!(
             names::IN_SILICON_FIX,
+            "silicon-fix",
             Industry,
             PreventAccess,
             "faulting accesses return zeros: no transient forwarding at all",
-            |c| {
-                c.transient_forwarding = false;
-                c.mds_forwarding = false;
-                c.l1tf_forwarding = false;
-            }
+            overlay![
+                TransientForwarding => false,
+                MdsForwarding => false,
+                L1tfForwarding => false,
+            ]
         ),
         // ---- Academia (§V-B) ----
         defense!(
             names::CONTEXT_SENSITIVE_FENCING,
+            "csf",
             Academia,
             PreventAccess,
             "hardware-injected micro-op fences between branches and loads",
-            |c| c.no_speculative_loads = true
+            overlay![NoSpeculativeLoads => true]
         ),
         defense!(
             names::SABC,
+            "sabc",
             Academia,
             PreventAccess,
             "software: inject data dependencies serializing branch and access",
-            software
+            None
         ),
         defense!(
             names::EAGER_PERMISSION_CHECK,
+            "eager-permcheck",
             Academia,
             PreventAccess,
             "complete the intra-instruction authorization before forwarding data",
-            |c| c.eager_permission_check = true
+            overlay![EagerPermissionCheck => true]
         ),
         defense!(
             names::NDA,
+            "nda",
             Academia,
             PreventUse,
             "no forwarding of speculative load results to dependents",
-            |c| c.nda = true
+            overlay![Nda => true]
         ),
         defense!(
             names::SPECSHIELD,
+            "specshield",
             Academia,
             PreventUse,
             "shield speculative data from forwarding to covert-channel-capable ops",
-            |c| c.nda = true
+            overlay![Nda => true]
         ),
         defense!(
             names::SPECTREGUARD,
+            "spectreguard",
             Academia,
             PreventUse,
             "software-marked secrets; forwarding of marked data blocked while speculative",
-            |c| c.nda = true
+            overlay![Nda => true]
         ),
         defense!(
             names::CONTEXT,
+            "context",
             Academia,
             PreventUse,
             "taint secret memory; transient use of tainted data blocked",
-            |c| c.nda = true
+            overlay![Nda => true]
         ),
         defense!(
             names::STT,
+            "stt",
             Academia,
             PreventSend,
             "taint speculative data; block transmitters (loads/branches) on tainted operands",
-            |c| c.stt = true
+            overlay![Stt => true]
         ),
         defense!(
             names::SPECSHIELD_ERP,
+            "specshield-erp",
             Academia,
             PreventSend,
             "block loads whose address derives from speculative data",
-            |c| c.stt = true
+            overlay![Stt => true]
         ),
         defense!(
             names::CONDITIONAL_SPECULATION,
+            "cond-spec",
             Academia,
             PreventSend,
             "allow speculative cache hits, delay speculative misses",
-            |c| c.delay_on_miss = true
+            overlay![DelayOnMiss => true]
         ),
         defense!(
             names::EFFICIENT_INVISIBLE_SPECULATION,
+            "eise",
             Academia,
             PreventSend,
             "selective delay of state-changing speculative loads",
-            |c| c.delay_on_miss = true
+            overlay![DelayOnMiss => true]
         ),
         defense!(
             names::INVISISPEC,
+            "invisispec",
             Academia,
             PreventSend,
             "speculative loads fill a shadow buffer; the cache changes only at commit",
-            |c| c.invisible_spec = true
+            overlay![InvisibleSpec => true]
         ),
         defense!(
             names::SAFESPEC,
+            "safespec",
             Academia,
             PreventSend,
             "shadow structures for speculative state, discarded on squash",
-            |c| c.invisible_spec = true
+            overlay![InvisibleSpec => true]
         ),
         defense!(
             names::CLEANUPSPEC,
+            "cleanup-spec",
             Academia,
             PreventSend,
             "undo speculative cache modifications on squash",
-            |c| c.cleanup_spec = true
+            overlay![CleanupSpec => true]
         ),
         defense!(
             names::DAWG,
+            "dawg",
             Academia,
             PreventSend,
             "partition cache ways between protection domains: no cross-domain hits/evictions",
-            |c| c.dawg = true
+            overlay![Dawg => true]
         ),
     ];
     REGISTRY
@@ -392,6 +437,16 @@ pub fn registry() -> &'static [Defense] {
 #[must_use]
 pub fn find(name: &str) -> Option<&'static Defense> {
     registry().iter().find(|d| d.name == name)
+}
+
+/// Looks up a registry defense by either its short [`Defense::token`]
+/// (case-insensitive) or its full canonical name — the per-member
+/// resolution rule of the stack grammar.
+#[must_use]
+pub fn resolve(name_or_token: &str) -> Option<&'static Defense> {
+    registry()
+        .iter()
+        .find(|d| d.name == name_or_token || d.token.eq_ignore_ascii_case(name_or_token))
 }
 
 /// The defense catalog as an owned `Vec` (same list and order as
@@ -528,6 +583,35 @@ mod tests {
     }
 
     #[test]
+    fn tokens_are_unique_and_resolve() {
+        for (i, d) in registry().iter().enumerate() {
+            assert!(
+                d.token
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "token '{}' is not lowercase-ascii-kebab",
+                d.token
+            );
+            // Tokens must be unique (the stack grammar resolves by token)
+            // and must not collide with another defense's full name.
+            for other in &registry()[..i] {
+                assert_ne!(d.token, other.token, "duplicate token");
+                assert_ne!(d.token, other.name, "token shadows a name");
+            }
+            assert_eq!(resolve(d.token).expect("token resolves").name, d.name);
+            assert_eq!(resolve(d.name).expect("name resolves").name, d.name);
+            // Tokens are case-insensitive; names are not.
+            assert_eq!(
+                resolve(&d.token.to_ascii_uppercase())
+                    .expect("resolves")
+                    .name,
+                d.name
+            );
+        }
+        assert!(resolve("magic-bullet").is_none());
+    }
+
+    #[test]
     fn configure_produces_modified_config() {
         let base = UarchConfig::default();
         let kpti = catalog()
@@ -543,6 +627,27 @@ mod tests {
             .unwrap();
         assert!(masking.configure(&base).is_none());
         assert!(!masking.is_modeled());
+        assert!(masking.overlay().is_none());
+    }
+
+    #[test]
+    fn overlays_record_the_exact_writes() {
+        let base = UarchConfig::default();
+        for d in registry() {
+            let Some(overlay) = d.overlay() else { continue };
+            assert!(!overlay.writes().is_empty(), "{} records nothing", d.name);
+            // configure() and the recorded writes agree by construction —
+            // this pins that the overlay actually changes the baseline.
+            let cfg = d.configure(&base).unwrap();
+            assert_ne!(cfg, base, "{} overlay is a no-op on the baseline", d.name);
+            assert_eq!(
+                overlay.diff(&base).len(),
+                overlay.writes().len(),
+                "{} writes values the baseline already has",
+                d.name
+            );
+            assert!(overlay.diff(&cfg).is_empty());
+        }
     }
 
     #[test]

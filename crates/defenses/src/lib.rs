@@ -27,11 +27,18 @@
 
 mod apply;
 mod catalog;
+pub mod cover;
+mod overlay;
+mod stack;
 mod verify;
 
 pub use apply::{patch_strategy, PatchError};
-pub use catalog::{catalog, find, industry_rows, names, registry, Defense, IndustryRow, Origin};
-pub use verify::{verify, verify_matrix, Verdict};
+pub use catalog::{
+    catalog, find, industry_rows, names, registry, resolve, Defense, IndustryRow, Origin,
+};
+pub use overlay::{KnobWrite, Overlay, OverlayKnob};
+pub use stack::{presets, DefenseStack, StackError};
+pub use verify::{verify, verify_matrix, verify_stack, Verdict};
 
 use std::fmt;
 
@@ -80,6 +87,24 @@ impl Strategy {
             Strategy::PreventSend,
             Strategy::ClearPredictions,
         ]
+    }
+
+    /// Stable machine-readable token, used in campaign CSV/JSON artifacts
+    /// and joined with `+` for multi-strategy defense stacks.
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            Strategy::PreventAccess => "prevent_access",
+            Strategy::PreventUse => "prevent_use",
+            Strategy::PreventSend => "prevent_send",
+            Strategy::ClearPredictions => "clear_predictions",
+        }
+    }
+
+    /// The [`Strategy`] for a [`Strategy::token`] string.
+    #[must_use]
+    pub fn from_token(token: &str) -> Option<Strategy> {
+        Self::all().into_iter().find(|s| s.token() == token)
     }
 }
 

@@ -55,6 +55,30 @@ pub fn verify(
     })
 }
 
+/// Runs `attack` on a machine with the whole `stack` deployed over
+/// `base`, and reports the verdict — the stack-level analogue of
+/// [`verify`]. For a singleton stack this is byte-for-byte the single
+/// defense verdict.
+///
+/// # Errors
+///
+/// Propagates [`AttackError`] if the simulation itself fails.
+pub fn verify_stack(
+    stack: &crate::DefenseStack,
+    attack: &dyn Attack,
+    base: &UarchConfig,
+) -> Result<Verdict, AttackError> {
+    let Some(cfg) = stack.apply(base) else {
+        return Ok(Verdict::GraphOnly);
+    };
+    let out = attack.run(&cfg)?;
+    Ok(if out.leaked {
+        Verdict::Leaked
+    } else {
+        Verdict::Blocked
+    })
+}
+
 /// One row of the defense-effectiveness matrix.
 #[derive(Debug, Clone)]
 pub struct MatrixRow {
@@ -213,6 +237,44 @@ mod tests {
         for row in &m {
             assert_eq!(row.verdicts[1], Verdict::Blocked, "{}", row.attack);
         }
+    }
+
+    #[test]
+    fn stack_verify_matches_singleton_and_evaluates_bundles() {
+        let base = UarchConfig::default();
+        // Singleton stack ≡ single defense, verdict for verdict.
+        let kpti_stack = crate::DefenseStack::single(defense("KAISER/KPTI"));
+        for attack in [
+            &attacks::meltdown::Meltdown as &dyn Attack,
+            &attacks::spectre_v1::SpectreV1,
+        ] {
+            assert_eq!(
+                verify_stack(&kpti_stack, attack, &base).unwrap(),
+                verify(&defense("KAISER/KPTI"), attack, &base).unwrap()
+            );
+        }
+        // The Linux bundle blocks what its members block…
+        let linux = crate::presets::linux_default();
+        assert_eq!(
+            verify_stack(&linux, &attacks::meltdown::Meltdown, &base).unwrap(),
+            Verdict::Blocked
+        );
+        assert_eq!(
+            verify_stack(&linux, &attacks::spectre_v2::SpectreV2, &base).unwrap(),
+            Verdict::Blocked
+        );
+        // …but same-context bounds bypass still leaks through the bundle
+        // (address masking is software): the §V-B point, now stack-shaped.
+        assert_eq!(
+            verify_stack(&linux, &attacks::spectre_v1::SpectreV1, &base).unwrap(),
+            Verdict::Leaked
+        );
+        // All-software stacks are graph-only, like software-only defenses.
+        let software = crate::DefenseStack::parse("mask-coarse").unwrap();
+        assert_eq!(
+            verify_stack(&software, &attacks::spectre_v1::SpectreV1, &base).unwrap(),
+            Verdict::GraphOnly
+        );
     }
 
     #[test]

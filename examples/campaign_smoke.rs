@@ -79,5 +79,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "incremental: 0 evaluated, {} reused — campaign smoke OK",
         report.reused
     );
+
+    // Defense-stack sweep: the Linux bundle and STT side by side, with
+    // the stack cells round-tripping through JSON like singletons do.
+    let stacked = CampaignSpec::builder(UarchConfig::default())
+        .attacks([
+            attacks::find(attacks::names::SPECTRE_V1).expect("registered"),
+            attacks::find(attacks::names::SPECTRE_V2).expect("registered"),
+            attacks::find(attacks::names::BHI).expect("registered"),
+        ])
+        .defense_stacks([
+            defenses::presets::linux_default(),
+            DefenseStack::parse("stt").expect("parses"),
+        ])
+        .build();
+    let stack_matrix = CampaignMatrix::run(&stacked)?;
+    let linux = defenses::presets::linux_default();
+    let v2 = stack_matrix
+        .cell(attacks::names::SPECTRE_V2, linux.name(), 0)
+        .expect("stack cell");
+    assert_eq!(v2.evaluation.mechanism, Verdict::Blocked);
+    let v1 = stack_matrix
+        .cell(attacks::names::SPECTRE_V1, linux.name(), 0)
+        .expect("stack cell");
+    assert!(
+        v1.false_sense_of_security(),
+        "the Linux bundle is the stack-level §V-B false sense vs v1"
+    );
+    let reloaded = CampaignMatrix::from_json(&stack_matrix.to_json())?;
+    assert_eq!(reloaded.to_json(), stack_matrix.to_json());
+    println!(
+        "stacks: '{}' blocks Spectre v2, still leaks Spectre v1 (false sense) — stack smoke OK",
+        linux.name()
+    );
     Ok(())
 }

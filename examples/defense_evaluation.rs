@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for a in &matrix.attacks {
         let mut row = String::new();
         for d in &matrix.defenses {
-            let cell = matrix.cell(a.name, d.name, 0).expect("full matrix");
+            let cell = matrix.cell(a.name, d.name(), 0).expect("full matrix");
             row.push_str(match cell.evaluation.mechanism {
                 Verdict::Blocked => " #",
                 Verdict::Leaked => " !",
@@ -41,12 +41,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\ndefense key:");
     for (i, d) in matrix.defenses.iter().enumerate() {
+        let member = &d.members()[0];
         println!(
             "  {:>2}  {} — strategy {} ({})",
             i,
-            d.name,
-            d.strategy.label(),
-            d.origin
+            d.name(),
+            member.strategy.label(),
+            member.origin
         );
     }
 

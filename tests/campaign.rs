@@ -49,7 +49,7 @@ fn evaluate_all_is_a_thin_campaign_consumer_with_the_seed_shape() {
     );
     // Same order as the seed's attack-major nested loop.
     assert_eq!(evals[0].attack, attacks::names::SPECTRE_V1);
-    assert_eq!(evals[0].defense, defenses::names::LFENCE);
+    assert_eq!(evals[0].defense(), defenses::names::LFENCE);
 }
 
 #[test]
@@ -105,12 +105,113 @@ fn known_verdicts_surface_through_matrix_lookups() {
 #[test]
 fn filter_extracts_strategy_slices() {
     let matrix = CampaignMatrix::run(&CampaignSpec::default()).unwrap();
-    let send_cells = matrix.filter(|cell| cell.evaluation.strategy == Strategy::PreventSend);
+    let send_cells = matrix.filter(|cell| cell.evaluation.strategies() == [Strategy::PreventSend]);
     let send_defenses = defenses::registry()
         .iter()
         .filter(|d| d.strategy == Strategy::PreventSend)
         .count();
     assert_eq!(send_cells.len(), send_defenses * attacks::registry().len());
+}
+
+mod defense_stacks {
+    use proptest::prelude::*;
+    use specgraph::prelude::*;
+    use uarch::UarchConfig;
+
+    /// A deterministic permutation of `names` drawn from `seed`.
+    fn permuted(names: &[&str], mut seed: u64) -> Vec<Defense> {
+        let mut pool: Vec<Defense> = names
+            .iter()
+            .map(|n| *defenses::resolve(n).expect("registered"))
+            .collect();
+        let mut out = Vec::with_capacity(pool.len());
+        while !pool.is_empty() {
+            seed = seed
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let idx = usize::try_from(seed % pool.len() as u64).unwrap();
+            out.push(pool.swap_remove(idx));
+        }
+        out
+    }
+
+    fn verdicts_for(members: Vec<Defense>) -> Vec<(&'static str, Verdict, Option<bool>)> {
+        let stack = DefenseStack::new(members).expect("catalog members compose");
+        let spec = CampaignSpec::builder(UarchConfig::default())
+            .attacks(attacks::registry().iter().copied().take(4))
+            .defense_stacks([stack])
+            .build();
+        CampaignMatrix::run(&spec)
+            .expect("campaign runs")
+            .cells()
+            .iter()
+            .map(|cell| {
+                (
+                    cell.attack,
+                    cell.evaluation.mechanism,
+                    cell.evaluation.strategy_sufficient,
+                )
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        /// Deploying the same members in any order yields the same
+        /// machine and graph verdicts: stacking is declarative, not
+        /// procedural.
+        #[test]
+        fn stack_order_never_changes_verdicts(seed in 0u64..u64::MAX) {
+            let pool = ["kpti", "retpoline", "ibpb", "ssbs", "eager-fpu"];
+            let baseline = verdicts_for(permuted(&pool, 0));
+            prop_assert_eq!(verdicts_for(permuted(&pool, seed)), baseline);
+        }
+    }
+
+    #[test]
+    fn conflicting_members_are_rejected_not_folded() {
+        // Duplicates are the API-level conflict every consumer can hit;
+        // opposing overlay writes are covered by the defenses crate's
+        // ConflictingKnob tests (they need a non-catalog member).
+        assert!(matches!(
+            DefenseStack::parse("nda+nda"),
+            Err(StackError::Duplicate(_))
+        ));
+        assert!(matches!(
+            DefenseStack::new(Vec::new()),
+            Err(StackError::Empty)
+        ));
+    }
+
+    #[test]
+    fn singleton_stacks_reproduce_the_legacy_artifacts_bit_for_bit() {
+        // One spec built through the legacy .defenses() path, one through
+        // explicit singleton stacks: CSV and JSON must be identical, and
+        // the JSON must load back under the v3 header too.
+        let defenses_list: Vec<Defense> = defenses::registry().iter().copied().take(4).collect();
+        let legacy = CampaignSpec::builder(UarchConfig::default())
+            .attacks(attacks::registry().iter().copied().take(3))
+            .defenses(defenses_list.clone())
+            .build();
+        let stacked = CampaignSpec::builder(UarchConfig::default())
+            .attacks(attacks::registry().iter().copied().take(3))
+            .defense_stacks(defenses_list.into_iter().map(DefenseStack::single))
+            .build();
+        let a = CampaignMatrix::run(&legacy).unwrap();
+        let b = CampaignMatrix::run(&stacked).unwrap();
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert_eq!(a.to_json(), b.to_json());
+
+        // v3 → v4 round trip: rewriting the version header yields exactly
+        // what a pre-stack build wrote for singleton campaigns, and it
+        // loads, re-serializes as v4, and feeds incremental reuse.
+        let v3 = a.to_json().replacen("\"version\": 4", "\"version\": 3", 1);
+        let loaded = CampaignMatrix::from_json(&v3).expect("v3 loads");
+        assert_eq!(loaded.to_json(), a.to_json());
+        let (_, report) = CampaignMatrix::run_incremental(&legacy, Some(&loaded)).unwrap();
+        assert_eq!(report.evaluated, 0);
+    }
 }
 
 mod sharding_and_incremental {
