@@ -70,11 +70,21 @@ fn main() {
         }
     }
 
-    // Preset audit: the bundles people actually deploy.
+    if !turf.false_sense_stacks.is_empty() {
+        println!(
+            "  ({} candidate bundle(s) were sufficient on paper but leaked in \
+             simulation — §V-B false senses the union arithmetic missed)",
+            turf.false_sense_stacks.len()
+        );
+    }
+
+    // Preset audit: the bundles people actually deploy. One shared graph
+    // session per attack serves every preset's false-sense checks.
     println!("\npreset bundles vs all {} attacks:", attacks_list.len());
-    for (token, stack) in presets::all() {
-        let audit = cover::audit_stack(&stack, attacks_list, &base)
-            .unwrap_or_else(|e| panic!("audit failed: {e}"));
+    let (tokens, stacks): (Vec<_>, Vec<_>) = presets::all().into_iter().unzip();
+    let audits = cover::audit_stacks(&stacks, attacks_list, &base)
+        .unwrap_or_else(|e| panic!("audit failed: {e}"));
+    for (token, audit) in tokens.iter().zip(&audits) {
         println!("  [{token}] {audit}");
     }
 

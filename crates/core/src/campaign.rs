@@ -99,7 +99,7 @@
 //! matrix evaluates zero cells.
 
 use crate::jsonio::{self, Json, JsonError};
-use crate::scenario::{self, Evaluation};
+use crate::scenario::Evaluation;
 use attacks::{Attack, AttackError, AttackInfo};
 use defenses::{Defense, DefenseStack, Strategy, Verdict};
 use std::collections::HashMap;
@@ -108,7 +108,6 @@ use std::fmt;
 use std::fmt::Write as _;
 use std::path::Path;
 use std::thread;
-use tsg::NodeKind;
 use uarch::UarchConfig;
 
 /// Schema version stamped on every matrix and part document this module
@@ -816,22 +815,82 @@ enum TaskOut {
     Cell(MatrixCell),
 }
 
-/// Theorem 1 on one attack's graph: does an authorization race with a
-/// secret access? Config-independent, so computed once per attack.
-fn graph_race_of(attack: &dyn Attack) -> bool {
-    let sa = attack.graph();
-    let g = sa.graph();
-    let idx = g.reachability();
-    let auths = g.nodes_of_kind(NodeKind::is_authorization);
-    let accesses = g.nodes_of_kind(NodeKind::is_secret_access);
-    auths
-        .iter()
-        .any(|&a| accesses.iter().any(|&s| idx.races(a, s)))
+/// Every graph-level verdict a run needs, hoisted out of the config loop.
+///
+/// Both kinds of graph verdict — the baseline Theorem-1 race and a
+/// stack's strategy sufficiency — depend only on the attack's graph and
+/// the stack's strategies, never on the machine configuration. A knob
+/// grid therefore needs `A + A×S` graph verdicts, not `A×C + A×S×C`:
+/// they are computed here once, per (attack) and per (attack, stack)
+/// pair, and shared across every config slice (the workers then only
+/// simulate).
+struct GraphVerdicts {
+    /// Per attack: does an authorization race with a secret access?
+    /// Positions never requested stay `false`.
+    races: Vec<bool>,
+    /// Per `(attack, stack)` pair (`attack_index * defenses + defense_index`):
+    /// the hoisted `strategy_sufficient` verdict. `None` for pairs no
+    /// requested task needs.
+    pairs: Vec<Option<Option<bool>>>,
+    /// How many (attack, stack) strategy verdicts were actually computed
+    /// — exactly the number of needed pairs, surfaced as
+    /// [`IncrementalReport::graph_verdicts`] so tests can pin the A×S
+    /// (not A×S×C) bound.
+    evaluated: usize,
+}
+
+/// Computes the graph verdicts the task list `ids` needs: baseline races
+/// for attacks with baseline tasks (or all attacks when `races_for_all` —
+/// the matrix path stamps races onto *reused* baselines too), and one
+/// strategy-sufficiency verdict per (attack, stack) pair with at least
+/// one cell task. One [`defenses::PatchSession`] per attack serves all of
+/// its stacks: the graph is built and indexed once, and every stack's
+/// strategy edges are applied and rolled back incrementally.
+fn graph_verdicts_for(
+    spec: &CampaignSpec,
+    ids: &[usize],
+    races_for_all: bool,
+) -> Result<GraphVerdicts, AttackError> {
+    let (a, d, c) = (spec.attacks.len(), spec.defenses.len(), spec.configs.len());
+    let base_tasks = a * c;
+    let mut race_needed = vec![races_for_all; a];
+    let mut pair_needed = vec![false; a * d];
+    for &task in ids {
+        if task < base_tasks {
+            race_needed[task / c] = true;
+        } else {
+            pair_needed[task_pair(spec, task)] = true;
+        }
+    }
+    let mut races = vec![false; a];
+    let mut pairs: Vec<Option<Option<bool>>> = vec![None; a * d];
+    let mut evaluated = 0usize;
+    for (ai, attack) in spec.attacks.iter().enumerate() {
+        let wants_pairs = pair_needed[ai * d..(ai + 1) * d].iter().any(|&n| n);
+        if !race_needed[ai] && !wants_pairs {
+            continue;
+        }
+        let mut session = defenses::PatchSession::new(*attack);
+        if race_needed[ai] {
+            races[ai] = session.graph_race();
+        }
+        for (di, defense) in spec.defenses.iter().enumerate() {
+            if pair_needed[ai * d + di] {
+                pairs[ai * d + di] = Some(session.graph_sufficient(defense)?);
+                evaluated += 1;
+            }
+        }
+    }
+    Ok(GraphVerdicts {
+        races,
+        pairs,
+        evaluated,
+    })
 }
 
 fn run_task(
     spec: &CampaignSpec,
-    graph_races: &[bool],
+    graph: &GraphVerdicts,
     digests: &[u64],
     task: usize,
 ) -> Result<TaskOut, AttackError> {
@@ -849,7 +908,7 @@ fn run_task(
             leaked: out.leaked,
             recovered: out.recovered,
             cycles: out.cycles,
-            graph_race: graph_races[task / c],
+            graph_race: graph.races[task / c],
             fingerprint: baseline_fingerprint(info.name, digests[config]),
         }))
     } else {
@@ -857,7 +916,17 @@ fn run_task(
         let attack = spec.attacks[j / (d * c)];
         let defense = &spec.defenses[(j / c) % d];
         let config = j % c;
-        let evaluation = scenario::evaluate_stack(attack, defense, &spec.configs[config].config)?;
+        // The graph verdict was hoisted out of the config loop (it is
+        // config-invariant); only the machine runs per slice.
+        let strategy_sufficient =
+            graph.pairs[task_pair(spec, task)].expect("pair verdict precomputed");
+        let mechanism = defenses::verify_stack(defense, attack, &spec.configs[config].config)?;
+        let evaluation = Evaluation {
+            attack: attack.info().name,
+            stack: defense.clone(),
+            strategy_sufficient,
+            mechanism,
+        };
         let fingerprint = cell_fingerprint(
             evaluation.attack,
             defense.name(),
@@ -872,25 +941,6 @@ fn run_task(
             fingerprint,
         }))
     }
-}
-
-/// Graph verdicts for exactly the attacks whose *baseline* tasks appear
-/// in `ids` — a shard whose range falls entirely in the cells region
-/// builds no graphs at all. Positions never read stay `false`.
-fn graph_races_for(spec: &CampaignSpec, ids: &[usize]) -> Vec<bool> {
-    let c = spec.configs.len();
-    let base_tasks = spec.attacks.len() * c;
-    let mut needed = vec![false; spec.attacks.len()];
-    for &task in ids {
-        if task < base_tasks {
-            needed[task / c] = true;
-        }
-    }
-    spec.attacks
-        .iter()
-        .zip(&needed)
-        .map(|(at, &need)| need && graph_race_of(*at))
-        .collect()
 }
 
 fn effective_threads(requested: usize, tasks: usize) -> usize {
@@ -931,13 +981,25 @@ fn task_config(spec: &CampaignSpec, task: usize) -> usize {
     }
 }
 
+/// The `(attack, stack)` pair index (`attack_index * defenses +
+/// defense_index`) of a *cell-region* task id — the key into
+/// [`GraphVerdicts::pairs`], shared by the precompute and the workers so
+/// the two decodes cannot drift.
+///
+/// Callers guarantee `task` lies in the cell region (`task >= A×C`).
+fn task_pair(spec: &CampaignSpec, task: usize) -> usize {
+    let (d, c) = (spec.defenses.len(), spec.configs.len());
+    let j = task - spec.attacks.len() * c;
+    (j / (d * c)) * d + (j / c) % d
+}
+
 /// Runs the given task ids (need not be contiguous, must be sorted for the
 /// error-order guarantee) on scoped workers, round-robin by list position;
 /// results come back in list order. The first error by task order wins.
 /// `progress`, if given, observes every completed task as it finishes.
 fn execute(
     spec: &CampaignSpec,
-    graph_races: &[bool],
+    graph: &GraphVerdicts,
     digests: &[u64],
     ids: &[usize],
     progress: Option<ProgressObserver<'_>>,
@@ -958,7 +1020,7 @@ fn execute(
     slots.resize_with(ids.len(), || None);
     if threads <= 1 {
         for (k, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(run_task(spec, graph_races, digests, ids[k]));
+            *slot = Some(run_task(spec, graph, digests, ids[k]));
             observe(ids[k]);
         }
     } else {
@@ -967,7 +1029,7 @@ fn execute(
             let mut out = Vec::new();
             let mut k = start;
             while k < ids.len() {
-                out.push((k, run_task(spec, graph_races, digests, ids[k])));
+                out.push((k, run_task(spec, graph, digests, ids[k])));
                 observe(ids[k]);
                 k += threads;
             }
@@ -1075,9 +1137,13 @@ impl CampaignShard {
             .map(|nc| config_digest(&nc.config))
             .collect();
         let ids: Vec<usize> = (self.start..self.end).collect();
-        let graph_races = graph_races_for(&self.spec, &ids);
+        // Graph verdicts only for this shard's attacks and (attack, stack)
+        // pairs — a shard whose range misses an attack builds no graph
+        // for it; pairs are computed once and shared across the shard's
+        // config slices.
+        let graph = graph_verdicts_for(&self.spec, &ids, false)?;
         let (baselines, cells) =
-            split_outputs(execute(&self.spec, &graph_races, &digests, &ids, progress)?);
+            split_outputs(execute(&self.spec, &graph, &digests, &ids, progress)?);
         Ok(CampaignPart {
             spec_fingerprint: self.spec.fingerprint(),
             index: self.index,
@@ -1410,6 +1476,12 @@ pub struct IncrementalReport {
     pub evaluated: usize,
     /// Tasks reused from the previous matrix by fingerprint.
     pub reused: usize,
+    /// Strategy-sufficiency graph verdicts computed for this run. Graph
+    /// verdicts are config-invariant and hoisted out of the config loop,
+    /// so a full run of an `A×S×C` cube computes exactly `A×S` of these
+    /// (one per (attack, stack) pair), and an all-reused incremental run
+    /// computes zero.
+    pub graph_verdicts: usize,
 }
 
 impl CampaignMatrix {
@@ -1510,11 +1582,6 @@ impl CampaignMatrix {
             .iter()
             .map(|nc| config_digest(&nc.config))
             .collect();
-        // The Theorem-1 graph verdict is recomputed live for every attack
-        // (cheap, config-independent) and stamped onto reused baselines
-        // below, so a changed graph() never serves a stale verdict even
-        // when the simulation itself is reused.
-        let graph_races: Vec<bool> = spec.attacks.iter().map(|at| graph_race_of(*at)).collect();
 
         let mut prev_bases: HashMap<u64, &BaselineCell> = HashMap::new();
         let mut prev_cells: HashMap<u64, &MatrixCell> = HashMap::new();
@@ -1538,7 +1605,6 @@ impl CampaignMatrix {
                     .map(|b| {
                         TaskOut::Base(BaselineCell {
                             config,
-                            graph_race: graph_races[task / c],
                             ..(*b).clone()
                         })
                     })
@@ -1567,7 +1633,19 @@ impl CampaignMatrix {
             slots.push(reused);
         }
 
-        let fresh = execute(spec, &graph_races, &digests, &stale, progress)?;
+        // Graph verdicts, hoisted: strategy sufficiency only for the
+        // (attack, stack) pairs with stale cells, Theorem-1 races for
+        // *every* attack — races are recomputed live (cheap) and stamped
+        // onto reused baselines below, so a changed graph() never serves
+        // a stale verdict even when the simulation itself is reused.
+        let graph = graph_verdicts_for(spec, &stale, true)?;
+        for (task, slot) in slots.iter_mut().enumerate() {
+            if let Some(TaskOut::Base(b)) = slot {
+                b.graph_race = graph.races[task / c];
+            }
+        }
+
+        let fresh = execute(spec, &graph, &digests, &stale, progress)?;
         for (&task, out) in stale.iter().zip(fresh) {
             slots[task] = Some(out);
         }
@@ -1580,6 +1658,7 @@ impl CampaignMatrix {
         let report = IncrementalReport {
             evaluated: stale.len(),
             reused: total - stale.len(),
+            graph_verdicts: graph.evaluated,
         };
         Ok((
             Self::assemble(

@@ -29,6 +29,7 @@ mod apply;
 mod catalog;
 pub mod cover;
 mod overlay;
+mod session;
 mod stack;
 mod verify;
 
@@ -37,6 +38,7 @@ pub use catalog::{
     catalog, find, industry_rows, names, registry, resolve, Defense, IndustryRow, Origin,
 };
 pub use overlay::{KnobWrite, Overlay, OverlayKnob};
+pub use session::PatchSession;
 pub use stack::{presets, DefenseStack, StackError};
 pub use verify::{verify, verify_matrix, verify_stack, Verdict};
 

@@ -31,7 +31,7 @@
 //! ```
 
 use crate::overlay::{KnobWrite, OverlayKnob};
-use crate::{patch_strategy, Defense, PatchError, Strategy};
+use crate::{Defense, Strategy};
 use attacks::{Attack, AttackError};
 use std::error::Error;
 use std::fmt;
@@ -339,38 +339,16 @@ impl DefenseStack {
     /// insertion itself (the mis-training channel exists only as setup
     /// ordering in the static graph).
     ///
+    /// Asking the same attack about many stacks? A
+    /// [`PatchSession`](crate::PatchSession) builds the graph once and
+    /// applies/rolls back each stack's edges incrementally instead.
+    ///
     /// # Errors
     ///
     /// [`AttackError::Tsg`] if the graph rejects an inserted edge.
     pub fn graph_sufficient(&self, attack: &dyn Attack) -> Result<Option<bool>, AttackError> {
         let mut sa = attack.graph();
-        let mut inserted: Vec<Strategy> = Vec::new();
-        for strategy in self.strategies() {
-            match patch_strategy(&mut sa, strategy) {
-                Ok(_) => inserted.push(strategy),
-                Err(PatchError::Graph(e)) => return Err(AttackError::Tsg(e)),
-                // No insertion point for this strategy in this graph.
-                Err(_) => {}
-            }
-        }
-        if inserted.is_empty() {
-            return Ok(None);
-        }
-        let vulns = sa.vulnerabilities()?;
-        let secure = if inserted.contains(&Strategy::PreventAccess) {
-            vulns.is_empty()
-        } else if inserted
-            .iter()
-            .any(|s| matches!(s, Strategy::PreventUse | Strategy::PreventSend))
-        {
-            !vulns
-                .iter()
-                .any(|v| matches!(v.protected_kind, tsg::NodeKind::Send))
-        } else {
-            // ④ only: see the doc comment above.
-            true
-        };
-        Ok(Some(secure))
+        crate::session::graph_verdict(&mut sa, self)
     }
 }
 

@@ -42,8 +42,25 @@ pub struct Tsg {
     succ: Vec<Vec<u32>>,
     /// Incoming adjacency: `pred[v]` lists edge indices entering `v`.
     pred: Vec<Vec<u32>>,
-    /// Lazily built transitive closure; cleared by every mutation.
+    /// Lazily built transitive closure. Two-tier maintenance: an edge
+    /// insertion into an already-built index updates it in place
+    /// ([`ReachabilityIndex::insert_edge`]); node additions and
+    /// [`Tsg::strip_edges`] clear it and the next query pays a full
+    /// rebuild.
     reach: OnceLock<ReachabilityIndex>,
+}
+
+/// A restore point for [`Tsg::rollback`]: the graph's size at
+/// [`Tsg::checkpoint`] time plus a snapshot of its transitive closure (if
+/// one was built). The patch-heavy loops — campaign graph verdicts, the
+/// defense-cover search — apply candidate security-edge sets on top of a
+/// checkpoint and roll back per candidate instead of cloning and
+/// re-indexing the graph every time.
+#[derive(Debug, Clone)]
+pub struct TsgCheckpoint {
+    nodes: usize,
+    edges: usize,
+    reach: Option<ReachabilityIndex>,
 }
 
 impl Tsg {
@@ -85,6 +102,9 @@ impl Tsg {
 
     /// Adds an operation vertex and returns its id.
     pub fn add_node(&mut self, label: impl Into<String>, kind: NodeKind) -> NodeId {
+        // Node additions take the full-rebuild tier of the cache: the row
+        // layout changes, so the cached closure is dropped rather than
+        // patched (edge insertions are the incrementally maintained tier).
         self.reach.take();
         let id = NodeId(u32::try_from(self.nodes.len()).expect("node count fits in u32"));
         self.nodes.push(Node {
@@ -128,16 +148,77 @@ impl Tsg {
             return Ok(existing.id);
         }
         // Cycle check: the new edge closes a cycle iff `to` already reaches
-        // `from`.
-        if self.reaches(to, from) {
+        // `from` — an O(1) probe when the closure is cached, a DFS otherwise.
+        let would_cycle = match self.reach.get() {
+            Some(idx) => idx.reaches(to, from),
+            None => self.reaches(to, from),
+        };
+        if would_cycle {
             return Err(TsgError::WouldCycle { from, to });
         }
-        self.reach.take();
+        // Keep the cached closure *live*: fold the edge in incrementally
+        // instead of discarding the index and rebuilding on the next query.
+        if let Some(idx) = self.reach.get_mut() {
+            idx.insert_edge(from, to);
+        }
         let id = EdgeId(u32::try_from(self.edges.len()).expect("edge count fits in u32"));
         self.edges.push(Edge { id, from, to, kind });
         self.succ[from.index()].push(id.0);
         self.pred[to.index()].push(id.0);
         Ok(id)
+    }
+
+    /// Captures a restore point: the current node/edge counts plus a
+    /// snapshot of the cached transitive closure (if built). Pair with
+    /// [`Tsg::rollback`] to undo a batch of [`Tsg::add_node`] /
+    /// [`Tsg::add_edge`] mutations cheaply. To make the later rollbacks
+    /// restore a *warm* cache, query the graph (e.g.
+    /// [`Tsg::reachability`]) before checkpointing.
+    #[must_use]
+    pub fn checkpoint(&self) -> TsgCheckpoint {
+        TsgCheckpoint {
+            nodes: self.nodes.len(),
+            edges: self.edges.len(),
+            reach: self.reach.get().cloned(),
+        }
+    }
+
+    /// Restores the graph to a [`Tsg::checkpoint`]: nodes and edges added
+    /// since are removed, and the checkpoint's closure snapshot (if any)
+    /// becomes the cached index again — so a patch/rollback cycle never
+    /// pays a closure rebuild.
+    ///
+    /// Only growth is undoable: the graph must not have been through
+    /// [`Tsg::strip_edges`] since the checkpoint (edge ids are renumbered
+    /// there, so the checkpoint no longer describes a prefix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint is newer than the graph (more nodes or
+    /// edges than currently present); debug builds additionally catch a
+    /// checkpoint invalidated by `strip_edges`.
+    pub fn rollback(&mut self, cp: &TsgCheckpoint) {
+        assert!(
+            cp.nodes <= self.nodes.len() && cp.edges <= self.edges.len(),
+            "checkpoint is newer than the graph"
+        );
+        // Edges are append-only between checkpoint and rollback, so each
+        // endpoint's adjacency entries for removed edges form a suffix.
+        for k in (cp.edges..self.edges.len()).rev() {
+            let e = self.edges[k];
+            let out = self.succ[e.from.index()].pop();
+            debug_assert_eq!(out, Some(e.id.0), "graph stripped since checkpoint");
+            let inc = self.pred[e.to.index()].pop();
+            debug_assert_eq!(inc, Some(e.id.0), "graph stripped since checkpoint");
+        }
+        self.edges.truncate(cp.edges);
+        self.nodes.truncate(cp.nodes);
+        self.succ.truncate(cp.nodes);
+        self.pred.truncate(cp.nodes);
+        self.reach = OnceLock::new();
+        if let Some(idx) = &cp.reach {
+            let _ = self.reach.set(idx.clone());
+        }
     }
 
     /// Looks up a node.
@@ -221,14 +302,18 @@ impl Tsg {
         Ok(self.reachability().reaches(from, to))
     }
 
-    /// The graph's transitive closure, built on first use and cached until
-    /// the next mutation ([`Tsg::add_node`], [`Tsg::add_edge`],
-    /// [`Tsg::strip_edges`]).
+    /// The graph's transitive closure, built on first use and then kept
+    /// current by a two-tier cache: [`Tsg::add_edge`] folds the new edge
+    /// into the index in place ([`ReachabilityIndex::insert_edge`]), while
+    /// [`Tsg::add_node`] and [`Tsg::strip_edges`] clear it so the next
+    /// query pays a full rebuild.
     ///
     /// All query APIs ([`Tsg::has_path`], [`Tsg::has_race`],
     /// [`Tsg::races_among`], [`Tsg::all_races`], the security-dependency
     /// analysis) share this one index; matrix-style workloads that ask many
-    /// verdicts of the same graph therefore pay one closure build total.
+    /// verdicts of the same graph therefore pay one closure build total —
+    /// and patch-heavy workloads that *mutate* between verdicts no longer
+    /// pay one rebuild per patch.
     #[must_use]
     pub fn reachability(&self) -> &ReachabilityIndex {
         self.reach.get_or_init(|| ReachabilityIndex::build(self))
@@ -365,6 +450,38 @@ impl Tsg {
         }
         debug_assert_eq!(order.len(), n, "DAG invariant violated");
         order
+    }
+
+    /// A topological ordering with *no* tie-break guarantee: plain Kahn
+    /// over a `Vec` work list, skipping [`Tsg::topological_sort`]'s
+    /// by-id `BinaryHeap`. The closure build only needs *some* valid
+    /// order, and repeated builds in patch-heavy loops were dominated by
+    /// the heap's `O(V log V)` ordering.
+    pub(crate) fn topo_order_unordered(&self) -> Vec<NodeId> {
+        let n = self.nodes.len();
+        let mut indeg: Vec<usize> = (0..n).map(|v| self.pred[v].len()).collect();
+        let mut ready: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = ready.pop() {
+            order.push(NodeId(u));
+            for &ei in &self.succ[u as usize] {
+                let v = self.edges[ei as usize].to;
+                indeg[v.index()] -= 1;
+                if indeg[v.index()] == 0 {
+                    ready.push(v.0);
+                }
+            }
+        }
+        order
+    }
+
+    /// The direct-successor node indices of vertex index `u`, straight off
+    /// the adjacency list (duplicates possible for parallel edges of
+    /// different kinds — harmless for the closure build's ORs).
+    pub(crate) fn successor_indices(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        self.succ[u]
+            .iter()
+            .map(move |&ei| self.edges[ei as usize].to.index())
     }
 
     /// Removes every edge of the given kind, returning how many were removed.
@@ -562,6 +679,66 @@ mod tests {
         assert!(s.contains("4 nodes"));
         assert!(s.contains("4 edges"));
         assert!(s.contains("-[data]->"));
+    }
+
+    #[test]
+    fn add_edge_keeps_cached_closure_live() {
+        let (mut g, a, b, c, d) = diamond();
+        assert!(!g.has_path(b, c).unwrap()); // closure built and cached here
+        g.add_edge(b, c, EdgeKind::Security).unwrap();
+        // The maintained index equals a from-scratch build…
+        assert_eq!(*g.reachability(), ReachabilityIndex::build(&g));
+        // …and answers the new transitive facts.
+        assert!(g.has_path(b, c).unwrap());
+        assert!(g.has_path(a, d).unwrap());
+        assert!(g.add_edge(d, a, EdgeKind::Data).is_err()); // cycle check via index
+    }
+
+    #[test]
+    fn rollback_restores_graph_and_warm_index() {
+        let (mut g, a, b, c, d) = diamond();
+        let _ = g.reachability(); // warm the cache so the checkpoint carries it
+        let cp = g.checkpoint();
+        let before = g.reachability().clone();
+
+        let e = g.add_node("e", NodeKind::Compute);
+        g.add_edge(b, c, EdgeKind::Security).unwrap();
+        g.add_edge(d, e, EdgeKind::Data).unwrap();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 6);
+
+        g.rollback(&cp);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(*g.reachability(), before);
+        assert!(!g.has_path(b, c).unwrap());
+        // Adjacency lists were unwound too: the graph accepts the same
+        // mutations again and behaves identically.
+        g.add_edge(b, c, EdgeKind::Security).unwrap();
+        assert!(g.has_path(a, c).unwrap());
+        assert_eq!(*g.reachability(), ReachabilityIndex::build(&g));
+    }
+
+    #[test]
+    fn rollback_without_cached_index_leaves_cache_cold() {
+        let (mut g, _, b, c, _) = diamond();
+        let cp = g.checkpoint(); // no closure built yet
+        g.add_edge(b, c, EdgeKind::Security).unwrap();
+        g.rollback(&cp);
+        assert_eq!(g.edge_count(), 4);
+        // Queries still work (lazy rebuild) and agree with a fresh build.
+        assert!(!g.has_path(b, c).unwrap());
+        assert_eq!(*g.reachability(), ReachabilityIndex::build(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint is newer")]
+    fn rollback_rejects_newer_checkpoint() {
+        let (mut g, _, b, c, _) = diamond();
+        g.add_edge(b, c, EdgeKind::Security).unwrap();
+        let cp = g.checkpoint();
+        let mut older = diamond().0;
+        older.rollback(&cp);
     }
 
     #[test]

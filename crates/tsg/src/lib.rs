@@ -66,7 +66,7 @@ pub mod text;
 pub use builder::TsgBuilder;
 pub use edge::{Edge, EdgeId, EdgeKind};
 pub use error::TsgError;
-pub use graph::Tsg;
+pub use graph::{Tsg, TsgCheckpoint};
 pub use node::{Node, NodeId, NodeKind, SecretSource};
 pub use race::RacePair;
 pub use reach::{Descendants, ReachabilityIndex};

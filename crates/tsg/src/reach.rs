@@ -1,5 +1,6 @@
 //! The reachability index: a bitset transitive closure answering
-//! "does `u` reach `v`?" in O(1) after one O(V·E/64) build.
+//! "does `u` reach `v`?" in O(1) after one O(V·E/64) build, and kept
+//! *live* across edge insertions via [`ReachabilityIndex::insert_edge`].
 //!
 //! Theorem 1 reduces race detection to reachability, so *every* verdict
 //! this crate produces — [`Tsg::has_race`](crate::Tsg::has_race), all-pairs
@@ -7,7 +8,17 @@
 //! query. The seed implementation paid a fresh DFS per query; campaign
 //! workloads (attack × defense × config matrices) ask thousands of queries
 //! against the same graph, so the closure is computed once per graph and
-//! cached on the [`Tsg`] (invalidated on mutation).
+//! cached on the [`Tsg`].
+//!
+//! Mutation is two-tier. A full [`ReachabilityIndex::build`] is the oracle
+//! and the fallback after structural changes the incremental path does not
+//! cover (node additions, [`Tsg::strip_edges`](crate::Tsg::strip_edges)).
+//! An *edge* insertion into an already-indexed graph — the patch-heavy
+//! campaign case: security-dependency edges applied and rolled back per
+//! candidate defense stack — updates the closure in place instead
+//! (Italiano-style incremental transitive closure): every row that reaches
+//! the edge's source absorbs the target's descendant row, `O(affected
+//! rows · V/64)` word operations per edge instead of a full rebuild.
 //!
 //! Representation: one `u64` row-slice per vertex, `words = ⌈V/64⌉` words
 //! each, row `u` holding the (reflexive) descendant set of `u`. Rows are
@@ -58,33 +69,64 @@ impl ReachabilityIndex {
         let nodes = g.node_count();
         let words = nodes.div_ceil(64);
         let mut bits = vec![0u64; nodes * words];
-        let topo = g.topological_sort();
+        // Any topological order works here (rows only need complete
+        // successors); the unordered Kahn pass skips the public sort's
+        // deterministic-tie-break heap.
+        let topo = g.topo_order_unordered();
         debug_assert_eq!(topo.len(), nodes, "DAG invariant violated");
         for &u in topo.iter().rev() {
             let ui = u.index();
             bits[ui * words + ui / 64] |= 1 << (ui % 64);
-            let succs: Vec<usize> = g
-                .successors(u)
-                .expect("topo node exists")
-                .map(|e| e.to().index())
-                .collect();
-            for s in succs {
+            // Walk the adjacency list by index — no per-node successor
+            // collection; `bits` is local so the shared borrow of `g`
+            // never conflicts.
+            for s in g.successor_indices(ui) {
                 debug_assert_ne!(s, ui, "self-loop in DAG");
-                let (uo, so) = (ui * words, s * words);
-                // Disjoint row slices: OR the successor's complete row in.
-                let (dst, src) = if uo < so {
-                    let (lo, hi) = bits.split_at_mut(so);
-                    (&mut lo[uo..uo + words], &hi[..words])
-                } else {
-                    let (lo, hi) = bits.split_at_mut(uo);
-                    (&mut hi[..words], &lo[so..so + words])
-                };
-                for (d, s) in dst.iter_mut().zip(src) {
+                or_row(&mut bits, words, ui, s);
+            }
+        }
+        ReachabilityIndex { nodes, words, bits }
+    }
+
+    /// Incrementally folds a newly inserted edge `from → to` into the
+    /// closure: every row whose bit `from` is set — and that does not
+    /// already contain `to` (such rows are supersets of `to`'s row by
+    /// transitivity) — absorbs `to`'s descendant row. `O(affected rows ·
+    /// V/64)` word operations; a no-op when `from` already reached `to`.
+    ///
+    /// The caller must have inserted the edge into the graph this index
+    /// describes (or do so atomically with this call, as
+    /// [`Tsg::add_edge`](crate::Tsg::add_edge) does) and guarantee the
+    /// graph stays acyclic — this is checked in debug builds only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is outside the indexed graph or the edge is a
+    /// self-loop.
+    pub fn insert_edge(&mut self, from: NodeId, to: NodeId) {
+        let (u, v) = (from.index(), to.index());
+        assert!(u < self.nodes && v < self.nodes, "node outside index");
+        assert_ne!(u, v, "self-loop in DAG");
+        let words = self.words;
+        debug_assert!(
+            self.bits[v * words + u / 64] & (1 << (u % 64)) == 0,
+            "edge {from} -> {to} would close a cycle"
+        );
+        let (u_word, u_mask) = (u / 64, 1u64 << (u % 64));
+        let (v_word, v_mask) = (v / 64, 1u64 << (v % 64));
+        if self.bits[u * words + v_word] & v_mask != 0 {
+            return; // `from` already reaches `to`: closure unchanged.
+        }
+        // `to`'s row is never itself a destination (that would need
+        // `to` to reach `from` — a cycle), so a copy breaks the alias.
+        let src: Vec<u64> = self.bits[v * words..(v + 1) * words].to_vec();
+        for row in self.bits.chunks_exact_mut(words) {
+            if row[u_word] & u_mask != 0 && row[v_word] & v_mask == 0 {
+                for (d, s) in row.iter_mut().zip(&src) {
                     *d |= s;
                 }
             }
         }
-        ReachabilityIndex { nodes, words, bits }
     }
 
     /// Number of vertices the index covers.
@@ -149,6 +191,23 @@ impl ReachabilityIndex {
             word: 0,
             current: self.bits.get(u * self.words).copied().unwrap_or(0),
         }
+    }
+}
+
+/// ORs row `src` of the row-major closure `bits` into row `dst` (disjoint
+/// row slices carved out via `split_at_mut`).
+fn or_row(bits: &mut [u64], words: usize, dst: usize, src: usize) {
+    debug_assert_ne!(dst, src);
+    let (do_, so) = (dst * words, src * words);
+    let (d, s) = if do_ < so {
+        let (lo, hi) = bits.split_at_mut(so);
+        (&mut lo[do_..do_ + words], &hi[..words])
+    } else {
+        let (lo, hi) = bits.split_at_mut(do_);
+        (&mut hi[..words], &lo[so..so + words])
+    };
+    for (d, s) in d.iter_mut().zip(s) {
+        *d |= s;
     }
 }
 
@@ -293,5 +352,65 @@ mod tests {
         let (g, _) = diamond();
         let idx = ReachabilityIndex::build(&g);
         let _ = idx.reaches(NodeId(7), NodeId(0));
+    }
+
+    #[test]
+    fn insert_edge_matches_full_rebuild() {
+        // Two disconnected chains a→b, c→d; bridge them edge by edge and
+        // compare the maintained closure to a fresh build after each step.
+        let mut g = Tsg::new();
+        let a = g.add_node("a", NodeKind::Compute);
+        let b = g.add_node("b", NodeKind::Compute);
+        let c = g.add_node("c", NodeKind::Compute);
+        let d = g.add_node("d", NodeKind::Compute);
+        g.add_edge(a, b, EdgeKind::Data).unwrap();
+        g.add_edge(c, d, EdgeKind::Data).unwrap();
+        let mut idx = ReachabilityIndex::build(&g);
+        for (from, to) in [(b, c), (a, d)] {
+            g.add_edge(from, to, EdgeKind::Security).unwrap();
+            idx.insert_edge(from, to);
+            assert_eq!(idx, ReachabilityIndex::build(&g), "after {from}->{to}");
+        }
+        assert!(idx.reaches(a, d));
+        assert!(!idx.reaches(d, a));
+    }
+
+    #[test]
+    fn insert_edge_already_reachable_is_a_noop() {
+        let (g, ids) = diamond();
+        let mut idx = ReachabilityIndex::build(&g);
+        let before = idx.clone();
+        idx.insert_edge(ids[0], ids[3]); // a already reaches d
+        assert_eq!(idx, before);
+    }
+
+    #[test]
+    fn insert_edge_updates_rows_across_word_boundaries() {
+        // 130-node chain missing its middle link; inserting it must update
+        // all 65 upstream rows, whose tails live in later words.
+        let mut g = Tsg::new();
+        let ids: Vec<NodeId> = (0..130)
+            .map(|i| g.add_node(format!("n{i}"), NodeKind::Compute))
+            .collect();
+        for w in ids.windows(2) {
+            if w[0] != ids[64] {
+                g.add_edge(w[0], w[1], EdgeKind::Data).unwrap();
+            }
+        }
+        let mut idx = ReachabilityIndex::build(&g);
+        assert!(!idx.reaches(ids[0], ids[129]));
+        g.add_edge(ids[64], ids[65], EdgeKind::Data).unwrap();
+        idx.insert_edge(ids[64], ids[65]);
+        assert_eq!(idx, ReachabilityIndex::build(&g));
+        assert!(idx.reaches(ids[0], ids[129]));
+        assert_eq!(idx.descendant_count(ids[0]), 130);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn insert_edge_rejects_self_loop() {
+        let (g, ids) = diamond();
+        let mut idx = ReachabilityIndex::build(&g);
+        idx.insert_edge(ids[0], ids[0]);
     }
 }

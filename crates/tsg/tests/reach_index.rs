@@ -4,11 +4,17 @@
 //! these tests pin it (and the DFS baseline `has_race_dfs`) to
 //! `has_race_by_enumeration` — the literal "two valid orderings disagree"
 //! definition — on randomized DAGs of up to 10 nodes, and verify that
-//! mutation invalidates the cache rather than serving stale reachability.
+//! mutation keeps the cache *correct*: edge insertions maintain the index
+//! in place ([`ReachabilityIndex::insert_edge`]), and the property tests
+//! below prove the incrementally maintained index equal (`==`) to a fresh
+//! [`ReachabilityIndex::build`] after **every** step of random valid
+//! edge-insertion sequences, with every query agreeing with the DFS
+//! baseline.
 
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tsg::{EdgeKind, NodeId, NodeKind, Tsg};
+use tsg::{EdgeKind, NodeId, NodeKind, ReachabilityIndex, Tsg};
 
 /// A random DAG of `n` nodes built from forward edges only (acyclic by
 /// construction), each present with probability `p`. Seeded [`StdRng`],
@@ -86,6 +92,112 @@ fn add_edge_after_query_must_not_serve_stale_reachability() {
                 assert_eq!(g.has_race(u, v).unwrap(), g.has_race_dfs(u, v).unwrap());
             }
         }
+    }
+}
+
+/// One generated case for the incremental-maintenance property: `n`
+/// nodes, every forward pair `(i, j)` (`i < j`, so insertion in any order
+/// stays acyclic) in a random order, split into an initial edge set and an
+/// insertion sequence.
+fn arb_insertion_case(
+    max_nodes: usize,
+) -> impl Strategy<Value = (usize, Vec<(usize, usize)>, usize)> {
+    (2..=max_nodes).prop_flat_map(move |n| {
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .collect();
+        let m = pairs.len();
+        (proptest::collection::vec(any::<u64>(), m), 0..=m).prop_map(move |(keys, split)| {
+            let mut order: Vec<usize> = (0..m).collect();
+            order.sort_by_key(|&k| keys[k]);
+            let shuffled: Vec<(usize, usize)> = order.into_iter().map(|k| pairs[k]).collect();
+            (n, shuffled, split)
+        })
+    })
+}
+
+/// Every pairwise index verdict against the DFS baseline.
+fn assert_queries_match_dfs(g: &Tsg, idx: &ReachabilityIndex, when: &str) {
+    let n = g.node_count();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (u, v) = (NodeId::from_index(i), NodeId::from_index(j));
+            assert_eq!(
+                idx.races(u, v),
+                g.has_race_dfs(u, v).unwrap(),
+                "index disagrees with DFS for ({u}, {v}) {when} on graph:\n{g}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The tentpole equivalence: on random DAGs with random valid
+    /// edge-insertion sequences, the incrementally maintained index (the
+    /// one `Tsg::add_edge` updates in place) is `==` a fresh
+    /// `ReachabilityIndex::build` after **every** insertion, and all its
+    /// query answers match the DFS baseline.
+    #[test]
+    fn incremental_maintenance_equals_full_rebuild_at_every_step(
+        (n, seq, split) in arb_insertion_case(10)
+    ) {
+        let mut g = Tsg::new();
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| g.add_node(format!("v{i}"), NodeKind::Compute))
+            .collect();
+        for &(i, j) in &seq[..split] {
+            g.add_edge(ids[i], ids[j], EdgeKind::Data).unwrap();
+        }
+        // Build and cache the closure; every add_edge below maintains it.
+        let _ = g.reachability();
+        for (step, &(i, j)) in seq[split..].iter().enumerate() {
+            g.add_edge(ids[i], ids[j], EdgeKind::Data).unwrap();
+            let maintained = g.reachability();
+            prop_assert_eq!(
+                maintained,
+                &ReachabilityIndex::build(&g),
+                "maintained index diverged from full rebuild after step {} on graph:\n{}",
+                step,
+                g
+            );
+            assert_queries_match_dfs(&g, maintained, "after incremental insert");
+        }
+    }
+
+    /// Checkpoint/rollback round trip: patching a random subset of racing
+    /// pairs and rolling back restores both the graph and the (warm)
+    /// index, byte for byte.
+    #[test]
+    fn rollback_restores_index_after_random_patches(
+        (n, seq, split) in arb_insertion_case(9)
+    ) {
+        let mut g = Tsg::new();
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| g.add_node(format!("v{i}"), NodeKind::Compute))
+            .collect();
+        for &(i, j) in &seq[..split] {
+            g.add_edge(ids[i], ids[j], EdgeKind::Data).unwrap();
+        }
+        let _ = g.reachability();
+        let cp = g.checkpoint();
+        let before = g.reachability().clone();
+        let (nodes, edges) = (g.node_count(), g.edge_count());
+        // Patch: the remaining sequence plus one fresh node hanging off it.
+        for &(i, j) in &seq[split..] {
+            g.add_edge(ids[i], ids[j], EdgeKind::Security).unwrap();
+        }
+        let extra = g.add_node("extra", NodeKind::Compute);
+        g.add_edge(ids[0], extra, EdgeKind::Program).unwrap();
+        prop_assert!(g.has_path(ids[0], extra).unwrap());
+
+        g.rollback(&cp);
+        prop_assert_eq!(g.node_count(), nodes);
+        prop_assert_eq!(g.edge_count(), edges);
+        prop_assert_eq!(g.reachability(), &before);
+        prop_assert_eq!(g.reachability(), &ReachabilityIndex::build(&g));
+        assert_queries_match_dfs(&g, g.reachability(), "after rollback");
     }
 }
 

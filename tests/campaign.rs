@@ -293,6 +293,58 @@ mod sharding_and_incremental {
     }
 
     #[test]
+    fn knob_grid_campaign_hoists_graph_verdicts_to_attack_stack_pairs() {
+        // Graph verdicts are config-invariant: a full run of an A×S×C
+        // cube must compute exactly A×S strategy-sufficiency verdicts
+        // (one per (attack, stack) pair), not A×S×C — the counter on the
+        // report is the proof.
+        let spec = CampaignSpec::builder(UarchConfig::default())
+            .attacks(attacks::registry().iter().copied().take(4))
+            .defenses(defenses::registry().iter().copied().take(3))
+            .axis(Knob::RobDepth, [16usize, 48])
+            .axis(Knob::CacheWays, [4usize, 8])
+            .build();
+        let (a, d, c) = (spec.attacks.len(), spec.defenses.len(), spec.configs.len());
+        assert_eq!((a, d, c), (4, 3, 4), "grid expands to 4 config slices");
+
+        let (matrix, report) = CampaignMatrix::run_incremental(&spec, None).unwrap();
+        assert_eq!(report.evaluated, spec.total_tasks());
+        assert_eq!(
+            report.graph_verdicts,
+            a * d,
+            "graph verdicts must be per (attack, stack) pair, not per cell"
+        );
+
+        // The hoisted verdict is genuinely shared: every config slice of a
+        // pair carries the identical strategy_sufficient answer, and it
+        // matches the per-pair evaluation path.
+        for attack in &spec.attacks {
+            for defense in &spec.defenses {
+                let expected =
+                    scenario::evaluate_stack(*attack, defense, &spec.configs[0].config).unwrap();
+                for config in 0..c {
+                    let cell = matrix
+                        .cell(attack.info().name, defense.name(), config)
+                        .expect("cell exists");
+                    assert_eq!(
+                        cell.evaluation.strategy_sufficient,
+                        expected.strategy_sufficient,
+                        "{} vs {} @ slice {config}",
+                        defense.name(),
+                        attack.info().name
+                    );
+                }
+            }
+        }
+
+        // An unchanged incremental rerun reuses everything and computes
+        // zero strategy verdicts.
+        let (_, report) = CampaignMatrix::run_incremental(&spec, Some(&matrix)).unwrap();
+        assert_eq!(report.evaluated, 0);
+        assert_eq!(report.graph_verdicts, 0);
+    }
+
+    #[test]
     fn acceptance_incremental_via_json_file_round_trip() {
         let spec = grid_spec();
         let first = CampaignMatrix::run(&spec).unwrap();
