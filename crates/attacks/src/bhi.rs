@@ -20,14 +20,12 @@
 //! The graph is the same Figure-1 shape as Spectre v2: the authorization
 //! is the indirect branch's target resolution.
 
-use crate::common::{
-    finish, machine_with_channel, probe_channel, PROBE_BASE, PROBE_STRIDE, SECRET,
-};
+use crate::common::{finish, probe_channel, PROBE_BASE, PROBE_STRIDE, SECRET};
 use crate::graphs::fig1_branch_attack;
 use crate::{Attack, AttackClass, AttackError, AttackInfo, AttackOutcome};
 use isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
 use tsg::{SecretSource, SecurityAnalysis};
-use uarch::{Machine, UarchConfig};
+use uarch::Machine;
 
 /// Victim-private page whose contents the gadget exfiltrates.
 const VICTIM_SECRET: u64 = 0x60_0000;
@@ -110,9 +108,8 @@ impl Attack for Bhi {
         )
     }
 
-    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
-        let mut m = machine_with_channel(cfg)?;
-        setup_memory(&mut m)?;
+    fn run_in(&self, m: &mut Machine) -> Result<AttackOutcome, AttackError> {
+        setup_memory(m)?;
         let binary = binary()?;
 
         // --- History training: attacker-reachable code drives the *same*
@@ -128,7 +125,7 @@ impl Attack for Bhi {
         }
 
         // The receiver re-establishes the channel after training.
-        probe_channel().prepare(&mut m)?;
+        probe_channel().prepare(m)?;
 
         // --- Victim invocation (still the same context): the legitimate
         // target is restored but resolves slowly (flushed chain); the
@@ -146,13 +143,15 @@ impl Attack for Bhi {
         m.run(&binary)?;
 
         // --- The attacker reloads and times (step 5); no switch needed.
-        finish(&mut m, SECRET, start)
+        finish(m, SECRET, start)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::machine_with_channel;
+    use uarch::UarchConfig;
 
     #[test]
     fn bhi_leaks_on_baseline() {

@@ -1,7 +1,7 @@
 //! Shared plumbing for the attack PoCs: memory layout, the covert-channel
 //! receiver harness, and event accounting.
 
-use crate::{AttackError, AttackOutcome};
+use crate::{Attack, AttackError, AttackOutcome};
 use channels::flush_reload::{FlushReload, SLOT_STRIDE};
 use uarch::{Machine, TraceEvent, UarchConfig};
 
@@ -80,6 +80,19 @@ pub fn finish(
     })
 }
 
+/// Prepares the probe channel (mapped + flushed) on a pristine machine —
+/// fresh from [`Machine::new`] or [`Machine::reset`] — and clears the event
+/// log: the common step-1 setup shared by the per-call and batched paths.
+///
+/// # Errors
+///
+/// Propagates [`AttackError`] from channel preparation.
+pub fn prepare_channel(m: &mut Machine) -> Result<(), AttackError> {
+    probe_channel().prepare(m)?;
+    m.clear_events();
+    Ok(())
+}
+
 /// Creates a machine with the probe channel prepared (mapped + flushed) and
 /// the event log cleared — the common step-1 setup.
 ///
@@ -88,9 +101,50 @@ pub fn finish(
 /// Propagates [`AttackError`] from channel preparation.
 pub fn machine_with_channel(cfg: &UarchConfig) -> Result<Machine, AttackError> {
     let mut m = Machine::new(cfg.clone());
-    probe_channel().prepare(&mut m)?;
-    m.clear_events();
+    prepare_channel(&mut m)?;
     Ok(m)
+}
+
+/// A warm-machine pool of one: runs attacks back-to-back on a single
+/// reusable [`Machine`], resetting (never rebuilding) between runs.
+///
+/// [`BatchRunner::run`] is observationally identical to [`Attack::run`] —
+/// [`Machine::reset`] restores pristine post-`new` state and
+/// [`prepare_channel`] re-establishes the covert channel — but skips every
+/// per-cell heap allocation, which dominates campaign setup cost. Each
+/// campaign worker thread owns one `BatchRunner`.
+#[derive(Debug, Default)]
+pub struct BatchRunner {
+    machine: Option<Machine>,
+}
+
+impl BatchRunner {
+    /// Creates an empty pool; the machine is built lazily on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `attack` under `cfg` on the pooled machine.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Attack::run`].
+    pub fn run(
+        &mut self,
+        attack: &dyn Attack,
+        cfg: &UarchConfig,
+    ) -> Result<AttackOutcome, AttackError> {
+        let m = match self.machine.as_mut() {
+            Some(m) => {
+                m.reset(cfg);
+                m
+            }
+            None => self.machine.insert(Machine::new(cfg.clone())),
+        };
+        prepare_channel(m)?;
+        attack.run_in(m)
+    }
 }
 
 #[cfg(test)]

@@ -4,15 +4,13 @@
 //! using the stale frame bits of the PTE (Figure 4, branch ①→"Read from
 //! Cache").
 
-use crate::common::{
-    finish, machine_with_channel, KERNEL_SECRET, PROBE_BASE, PROBE_STRIDE, SECRET,
-};
+use crate::common::{finish, KERNEL_SECRET, PROBE_BASE, PROBE_STRIDE, SECRET};
 use crate::graphs::fig4_faulting_load;
 use crate::{Attack, AttackClass, AttackError, AttackInfo, AttackOutcome};
 use isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
 use tsg::{SecretSource, SecurityAnalysis};
 use uarch::mmu::PageEntry;
-use uarch::{ExceptionBehavior, Privilege, UarchConfig};
+use uarch::{ExceptionBehavior, Machine, Privilege};
 
 /// Which isolation boundary the terminal fault breaches — the three rows of
 /// Table III this module covers.
@@ -108,8 +106,7 @@ impl Attack for Foreshadow {
         )
     }
 
-    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
-        let mut m = machine_with_channel(cfg)?;
+    fn run_in(&self, m: &mut Machine) -> Result<AttackOutcome, AttackError> {
         // The protected page: PTE exists but the present bit is clear
         // (SGX flavor) or reserved bits are set (NG flavors) — a *terminal*
         // fault whose stale frame bits still address the L1.
@@ -137,13 +134,15 @@ impl Attack for Foreshadow {
         m.clear_events();
         let start = m.cycle();
         m.run(&program)?;
-        finish(&mut m, SECRET, start)
+        finish(m, SECRET, start)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::machine_with_channel;
+    use uarch::UarchConfig;
     use uarch::{TraceEvent, TransientSource};
 
     #[test]

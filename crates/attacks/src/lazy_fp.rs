@@ -3,12 +3,12 @@
 //! ("FPU owner check"), but transiently reads the *previous* context's
 //! physical FP registers.
 
-use crate::common::{finish, machine_with_channel, PROBE_BASE, PROBE_STRIDE, SECRET};
+use crate::common::{finish, PROBE_BASE, PROBE_STRIDE, SECRET};
 use crate::graphs::fig5_special_register;
 use crate::{Attack, AttackClass, AttackError, AttackInfo, AttackOutcome};
 use isa::{AluOp, Cond, FReg, ProgramBuilder, Reg};
 use tsg::{SecretSource, SecurityAnalysis};
-use uarch::{ExceptionBehavior, Privilege, UarchConfig};
+use uarch::{ExceptionBehavior, Machine, Privilege};
 
 /// Lazy FP state leakage.
 #[derive(Debug, Clone, Copy, Default)]
@@ -30,8 +30,7 @@ impl Attack for LazyFp {
         fig5_special_register("Permission Check", "Read from FPU", SecretSource::Fpu)
     }
 
-    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
-        let mut m = machine_with_channel(cfg)?;
+    fn run_in(&self, m: &mut Machine) -> Result<AttackOutcome, AttackError> {
         // The victim computes with the secret in f0…
         let victim = m.current_context();
         m.set_fpu_reg(victim, 0, SECRET);
@@ -55,13 +54,15 @@ impl Attack for LazyFp {
         m.clear_events();
         let start = m.cycle();
         m.run(&program)?;
-        finish(&mut m, SECRET, start)
+        finish(m, SECRET, start)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::machine_with_channel;
+    use uarch::UarchConfig;
 
     #[test]
     fn lazy_fp_leaks_on_baseline() {

@@ -46,11 +46,14 @@ pub mod spectre_v1;
 pub mod spectre_v2;
 pub mod spectre_v4;
 pub mod tsx;
+pub mod zenbleed;
 
 use std::error::Error;
 use std::fmt;
 use tsg::SecurityAnalysis;
-use uarch::UarchConfig;
+use uarch::{Machine, UarchConfig};
+
+pub use common::BatchRunner;
 
 /// Whether authorization and access live in one instruction or two — the
 /// paper's Insight 6, which decides the modeling level (Figure 9).
@@ -220,6 +223,8 @@ pub mod names {
     pub const RETBLEED: &str = "Retbleed";
     /// BHI (same-context branch history injection, no RSB underflow).
     pub const BHI: &str = "BHI";
+    /// Zenbleed (vector-register use-after-free behind a rolled-back branch).
+    pub const ZENBLEED: &str = "Zenbleed";
 }
 
 /// One attack variant: metadata, attack graph, and executable PoC.
@@ -237,15 +242,33 @@ pub trait Attack: fmt::Debug + Send + Sync {
     /// baseline graph.
     fn graph(&self) -> SecurityAnalysis;
 
-    /// Runs the attack end-to-end on a fresh machine with configuration
-    /// `cfg` and reports the outcome.
+    /// Runs the attack on a *prepared* machine: pristine (fresh from
+    /// [`Machine::new`] or [`Machine::reset`]) with the probe channel
+    /// established and the event log cleared — exactly the state
+    /// [`common::machine_with_channel`] and [`BatchRunner`] provide. This is
+    /// the batched entry point: campaign workers reset one warm machine per
+    /// task instead of rebuilding it.
     ///
     /// # Errors
     ///
     /// [`AttackError`] if the simulator rejects the run (cycle limit, bad
     /// mapping) — *not* when the attack merely fails to leak; that is
     /// reported via [`AttackOutcome::leaked`].
-    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError>;
+    fn run_in(&self, m: &mut Machine) -> Result<AttackOutcome, AttackError>;
+
+    /// Runs the attack end-to-end on a fresh machine with configuration
+    /// `cfg` and reports the outcome. Thin wrapper over [`Attack::run_in`]
+    /// that builds (and drops) a machine per call; batch consumers should
+    /// prefer a [`BatchRunner`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Attack::run_in`].
+    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
+        let mut m = Machine::new(cfg.clone());
+        common::prepare_channel(&mut m)?;
+        self.run_in(&mut m)
+    }
 }
 
 /// The one list of Table-III variants, in the paper's order. Every
@@ -274,6 +297,7 @@ macro_rules! with_attack_list {
             tsx::CacheOut,
             retbleed::Retbleed,
             bhi::Bhi,
+            zenbleed::ZenBleed,
         )
     };
 }
@@ -292,7 +316,8 @@ macro_rules! as_boxed_catalog {
 
 /// All 17 attack variants of Table III (18 rows: Foreshadow-NG contributes
 /// OS and VMM flavors) in the paper's order, plus post-paper registry
-/// growth (Retbleed, BHI) appended at the end, as a `'static` registry.
+/// growth (Retbleed, BHI, Zenbleed) appended at the end, as a `'static`
+/// registry.
 ///
 /// This is the canonical iteration surface: the campaign engine, the bench
 /// binaries and the examples all consume this slice, so a new variant
@@ -323,9 +348,9 @@ mod tests {
     #[test]
     fn catalog_covers_table_iii() {
         let c = catalog();
-        // 17 Table-III rows (Foreshadow-NG contributes OS+VMM) + Retbleed
-        // and BHI from post-paper registry growth.
-        assert_eq!(c.len(), 20);
+        // 17 Table-III rows (Foreshadow-NG contributes OS+VMM) + Retbleed,
+        // BHI and Zenbleed from post-paper registry growth.
+        assert_eq!(c.len(), 21);
         let names: Vec<&str> = c.iter().map(|a| a.info().name).collect();
         for expected in [
             "Spectre v1",
@@ -348,6 +373,7 @@ mod tests {
             "CacheOut",
             "Retbleed",
             "BHI",
+            "Zenbleed",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
@@ -422,10 +448,11 @@ mod tests {
             names::CACHEOUT,
             names::RETBLEED,
             names::BHI,
+            names::ZENBLEED,
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
-        assert_eq!(names.len(), 20);
+        assert_eq!(names.len(), 21);
     }
 
     #[test]

@@ -5,14 +5,13 @@
 //! attacker's channel.
 
 use crate::common::{
-    finish, machine_with_channel, KERNEL_SECRET, PROBE_BASE, PROBE_STRIDE, SECRET, UNMAPPED,
-    USER_SCRATCH,
+    finish, KERNEL_SECRET, PROBE_BASE, PROBE_STRIDE, SECRET, UNMAPPED, USER_SCRATCH,
 };
 use crate::graphs::fig7_lvi;
 use crate::{Attack, AttackClass, AttackError, AttackInfo, AttackOutcome};
 use isa::{AluOp, Cond, ProgramBuilder, Reg};
 use tsg::SecurityAnalysis;
-use uarch::{ExceptionBehavior, Privilege, UarchConfig};
+use uarch::{ExceptionBehavior, Machine, Privilege};
 
 /// The index the attacker injects: it steers the victim's table lookup to
 /// the secret's slot.
@@ -42,8 +41,7 @@ impl Attack for Lvi {
         fig7_lvi()
     }
 
-    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
-        let mut m = machine_with_channel(cfg)?;
+    fn run_in(&self, m: &mut Machine) -> Result<AttackOutcome, AttackError> {
         m.clear_leaky_buffers();
 
         // Victim-side data: a table whose slot MALICIOUS_INDEX holds the
@@ -94,13 +92,15 @@ impl Attack for Lvi {
         m.clear_events();
         let start = m.cycle();
         m.run(&victim)?;
-        finish(&mut m, SECRET, start)
+        finish(m, SECRET, start)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::machine_with_channel;
+    use uarch::UarchConfig;
     use uarch::{TraceEvent, TransientSource};
 
     #[test]

@@ -3,14 +3,12 @@
 //! buffer). A *hard-faulting* load aggressively forwards stale data from a
 //! leaky buffer instead of memory (Figure 4, branches ②③④).
 
-use crate::common::{
-    finish, machine_with_channel, KERNEL_SECRET, PROBE_BASE, PROBE_STRIDE, SECRET, UNMAPPED,
-};
+use crate::common::{finish, KERNEL_SECRET, PROBE_BASE, PROBE_STRIDE, SECRET, UNMAPPED};
 use crate::graphs::fig4_faulting_load;
 use crate::{Attack, AttackClass, AttackError, AttackInfo, AttackOutcome};
 use isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
 use tsg::{SecretSource, SecurityAnalysis};
-use uarch::{ExceptionBehavior, Machine, Privilege, UarchConfig};
+use uarch::{ExceptionBehavior, Machine, Privilege};
 
 /// The sampling gadget: a faulting load at an *unmapped* address (`r5`),
 /// then transform & send. The faulting load's "value" is whatever stale
@@ -79,19 +77,18 @@ impl Attack for Ridl {
         )
     }
 
-    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
-        let mut m = machine_with_channel(cfg)?;
+    fn run_in(&self, m: &mut Machine) -> Result<AttackOutcome, AttackError> {
         // Victim's secret is already cached, so its load *hits*: the value
         // transits only the load ports — the RIDL datapath.
         m.map_kernel_page(KERNEL_SECRET)?;
         m.write_u64(KERNEL_SECRET, SECRET)?;
         m.touch(KERNEL_SECRET)?;
         m.clear_leaky_buffers(); // LFB/SB now empty; ports refilled below
-        victim_loads_secret(&mut m)?;
+        victim_loads_secret(m)?;
         m.clear_events();
         let start = m.cycle();
-        run_sampler(&mut m, UNMAPPED)?;
-        finish(&mut m, SECRET, start)
+        run_sampler(m, UNMAPPED)?;
+        finish(m, SECRET, start)
     }
 }
 
@@ -121,17 +118,16 @@ impl Attack for ZombieLoad {
         )
     }
 
-    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
-        let mut m = machine_with_channel(cfg)?;
+    fn run_in(&self, m: &mut Machine) -> Result<AttackOutcome, AttackError> {
         m.clear_leaky_buffers();
         // Victim load *misses*, pulling the secret line through the LFB.
-        victim_loads_secret(&mut m)?;
+        victim_loads_secret(m)?;
         m.clear_events();
         let start = m.cycle();
         // Attacker faults at an address whose line offset matches the
         // secret's (offset 0 here); page offsets differ from any store.
-        run_sampler(&mut m, UNMAPPED)?;
-        finish(&mut m, SECRET, start)
+        run_sampler(m, UNMAPPED)?;
+        finish(m, SECRET, start)
     }
 }
 
@@ -163,8 +159,7 @@ impl Attack for Fallout {
         )
     }
 
-    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
-        let mut m = machine_with_channel(cfg)?;
+    fn run_in(&self, m: &mut Machine) -> Result<AttackOutcome, AttackError> {
         m.clear_leaky_buffers();
         // Victim (kernel) stores the secret at its own address.
         m.map_kernel_page(KERNEL_SECRET)?;
@@ -181,15 +176,17 @@ impl Attack for Fallout {
         // Attacker faults at an unmapped user address with the *same page
         // offset* — the store buffer's partial address match forwards the
         // victim's value.
-        run_sampler(&mut m, UNMAPPED + FALLOUT_OFFSET)?;
-        finish(&mut m, SECRET, start)
+        run_sampler(m, UNMAPPED + FALLOUT_OFFSET)?;
+        finish(m, SECRET, start)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::machine_with_channel;
     use crate::common::USER_SCRATCH;
+    use uarch::UarchConfig;
     use uarch::{TraceEvent, TransientSource};
 
     fn forwarded_from(m_events: &[TraceEvent], src: TransientSource) -> bool {

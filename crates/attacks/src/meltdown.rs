@@ -3,14 +3,12 @@
 //! (privilege check) and the access are micro-ops of the *same*
 //! instruction.
 
-use crate::common::{
-    finish, machine_with_channel, KERNEL_SECRET, PROBE_BASE, PROBE_STRIDE, SECRET,
-};
+use crate::common::{finish, KERNEL_SECRET, PROBE_BASE, PROBE_STRIDE, SECRET};
 use crate::graphs::{fig4_faulting_load, fig5_special_register};
 use crate::{Attack, AttackClass, AttackError, AttackInfo, AttackOutcome};
 use isa::{AluOp, Cond, Msr, Program, ProgramBuilder, Reg};
 use tsg::{SecretSource, SecurityAnalysis};
-use uarch::{ExceptionBehavior, Privilege, UarchConfig};
+use uarch::{ExceptionBehavior, Machine, Privilege};
 
 /// The MSR number whose content Spectre v3a steals.
 const TARGET_MSR: Msr = Msr(0x10);
@@ -56,8 +54,7 @@ impl Attack for Meltdown {
         )
     }
 
-    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
-        let mut m = machine_with_channel(cfg)?;
+    fn run_in(&self, m: &mut Machine) -> Result<AttackOutcome, AttackError> {
         m.map_kernel_page(KERNEL_SECRET)?;
         // Plant the kernel secret. Under KPTI the page has no user-visible
         // PTE, so the secret lives in physical memory only — write it
@@ -82,7 +79,7 @@ impl Attack for Meltdown {
         m.clear_events();
         let start = m.cycle();
         m.run(&program)?;
-        finish(&mut m, SECRET, start)
+        finish(m, SECRET, start)
     }
 }
 
@@ -111,8 +108,7 @@ impl Attack for SpectreV3a {
         )
     }
 
-    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
-        let mut m = machine_with_channel(cfg)?;
+    fn run_in(&self, m: &mut Machine) -> Result<AttackOutcome, AttackError> {
         m.set_msr(TARGET_MSR.0, SECRET);
         m.set_privilege(Privilege::User);
         let program = Ok::<_, AttackError>(
@@ -135,13 +131,15 @@ impl Attack for SpectreV3a {
         m.clear_events();
         let start = m.cycle();
         m.run(&program)?;
-        finish(&mut m, SECRET, start)
+        finish(m, SECRET, start)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::machine_with_channel;
+    use uarch::UarchConfig;
 
     #[test]
     fn meltdown_leaks_on_baseline() {

@@ -3,14 +3,12 @@
 //! entries in the shared RSB; the victim's `ret` transiently "returns" into
 //! an attacker-chosen gadget.
 
-use crate::common::{
-    finish, machine_with_channel, probe_channel, PROBE_BASE, PROBE_STRIDE, SECRET,
-};
+use crate::common::{finish, probe_channel, PROBE_BASE, PROBE_STRIDE, SECRET};
 use crate::graphs::fig1_branch_attack;
 use crate::{Attack, AttackClass, AttackError, AttackInfo, AttackOutcome};
 use isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
 use tsg::{SecretSource, SecurityAnalysis};
-use uarch::{ExceptionBehavior, Privilege, UarchConfig};
+use uarch::{ExceptionBehavior, Machine, Privilege};
 
 /// Victim-private secret page.
 const VICTIM_SECRET: u64 = 0x5A_0000;
@@ -85,8 +83,7 @@ impl Attack for SpectreRsb {
         )
     }
 
-    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
-        let mut m = machine_with_channel(cfg)?;
+    fn run_in(&self, m: &mut Machine) -> Result<AttackOutcome, AttackError> {
         m.map_user_page(VICTIM_SECRET)?;
         m.map_user_page(DELAY_CELL)?;
         m.write_u64(VICTIM_SECRET, SECRET)?;
@@ -94,7 +91,7 @@ impl Attack for SpectreRsb {
 
         // --- Attacker pollutes the RSB, establishes the channel, yields.
         m.run(&attacker_binary()?)?;
-        probe_channel().prepare(&mut m)?;
+        probe_channel().prepare(m)?;
         let attacker = m.current_context();
 
         // --- Context switch to the victim (strategy-④ defenses and RSB
@@ -111,13 +108,14 @@ impl Attack for SpectreRsb {
 
         // --- Back to the attacker, who reloads and times (step 5).
         m.switch_context(attacker)?;
-        finish(&mut m, SECRET, start)
+        finish(m, SECRET, start)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use uarch::UarchConfig;
 
     #[test]
     fn rsb_attack_leaks_on_baseline() {

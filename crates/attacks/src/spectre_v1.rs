@@ -3,15 +3,15 @@
 //! Figure 1 and Listing 1 of the paper.
 
 use crate::common::{
-    finish, machine_with_channel, probe_channel, BOUND_CELL, BOUND_PTR, PROBE_BASE, PROBE_STRIDE,
-    SECRET, USER_SCRATCH, VICTIM_ARRAY,
+    finish, probe_channel, BOUND_CELL, BOUND_PTR, PROBE_BASE, PROBE_STRIDE, SECRET, USER_SCRATCH,
+    VICTIM_ARRAY,
 };
 use crate::graphs::fig1_branch_attack;
 use crate::{Attack, AttackClass, AttackError, AttackInfo, AttackOutcome};
 use isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
 use tsg::{SecretSource, SecurityAnalysis};
 use uarch::mmu::PageEntry;
-use uarch::{Machine, UarchConfig};
+use uarch::Machine;
 
 /// In-bounds length of the victim array (in 8-byte words).
 const BOUND: u64 = 8;
@@ -133,14 +133,13 @@ impl Attack for SpectreV1 {
         )
     }
 
-    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
-        let mut m = machine_with_channel(cfg)?;
-        setup_victim_memory(&mut m)?;
+    fn run_in(&self, m: &mut Machine) -> Result<AttackOutcome, AttackError> {
+        setup_victim_memory(m)?;
         let program = Self::program()?;
-        train_branch(&mut m, &program)?;
+        train_branch(m, &program)?;
         let start = m.cycle();
-        attack_run(&mut m, &program)?;
-        finish(&mut m, SECRET, start)
+        attack_run(m, &program)?;
+        finish(m, SECRET, start)
     }
 }
 
@@ -192,14 +191,13 @@ impl Attack for SpectreV1_1 {
         )
     }
 
-    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
-        let mut m = machine_with_channel(cfg)?;
-        setup_victim_memory(&mut m)?;
+    fn run_in(&self, m: &mut Machine) -> Result<AttackOutcome, AttackError> {
+        setup_victim_memory(m)?;
         let program = Self::program()?;
-        train_branch(&mut m, &program)?;
+        train_branch(m, &program)?;
         let start = m.cycle();
-        attack_run(&mut m, &program)?;
-        let mut out = finish(&mut m, INJECTED, start)?;
+        attack_run(m, &program)?;
+        let mut out = finish(m, INJECTED, start)?;
         // Success = the *injected* value crossed the channel; the planted
         // OOB word must meanwhile be architecturally unmodified.
         let intact = m.read_u64(VICTIM_ARRAY + OOB_INDEX * 8)? == SECRET;
@@ -250,9 +248,8 @@ impl Attack for SpectreV1_2 {
         )
     }
 
-    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
-        let mut m = machine_with_channel(cfg)?;
-        setup_victim_memory(&mut m)?;
+    fn run_in(&self, m: &mut Machine) -> Result<AttackOutcome, AttackError> {
+        setup_victim_memory(m)?;
         // A read-only page the transient store will violate.
         let ro_page = USER_SCRATCH;
         m.map_page(
@@ -267,11 +264,11 @@ impl Attack for SpectreV1_2 {
         // Train with the write target pointed at a harmless writable word;
         // only the attack run aims it at the read-only page.
         m.set_reg(Reg::R10, BOUND_PTR + 64);
-        train_branch(&mut m, &program)?;
+        train_branch(m, &program)?;
         m.set_reg(Reg::R10, ro_page);
         let start = m.cycle();
-        attack_run(&mut m, &program)?;
-        let mut out = finish(&mut m, INJECTED, start)?;
+        attack_run(m, &program)?;
+        let mut out = finish(m, INJECTED, start)?;
         // The read-only word must be architecturally untouched.
         let intact = m.read_u64(ro_page)? == 0;
         out.leaked = out.leaked && intact;
@@ -282,7 +279,9 @@ impl Attack for SpectreV1_2 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::machine_with_channel;
     use uarch::TraceEvent;
+    use uarch::UarchConfig;
 
     #[test]
     fn v1_leaks_on_baseline() {

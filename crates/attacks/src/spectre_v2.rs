@@ -2,14 +2,12 @@
 //! branch): the attacker mis-trains the shared BTB so the victim's indirect
 //! jump transiently executes an attacker-chosen gadget.
 
-use crate::common::{
-    finish, machine_with_channel, probe_channel, PROBE_BASE, PROBE_STRIDE, SECRET,
-};
+use crate::common::{finish, probe_channel, PROBE_BASE, PROBE_STRIDE, SECRET};
 use crate::graphs::fig1_branch_attack;
 use crate::{Attack, AttackClass, AttackError, AttackInfo, AttackOutcome};
 use isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
 use tsg::{SecretSource, SecurityAnalysis};
-use uarch::{ExceptionBehavior, Machine, Privilege, UarchConfig};
+use uarch::{ExceptionBehavior, Machine, Privilege};
 
 /// Victim-private page whose contents the gadget exfiltrates.
 const VICTIM_SECRET: u64 = 0x50_0000;
@@ -92,9 +90,8 @@ impl Attack for SpectreV2 {
         )
     }
 
-    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
-        let mut m = machine_with_channel(cfg)?;
-        setup_memory(&mut m)?;
+    fn run_in(&self, m: &mut Machine) -> Result<AttackOutcome, AttackError> {
+        setup_memory(m)?;
         let binary = victim_binary()?;
         // (The current context is the attacker.)
         let victim = m.add_context(Privilege::User, ExceptionBehavior::Halt);
@@ -112,7 +109,7 @@ impl Attack for SpectreV2 {
         }
 
         // The receiver (attacker) establishes the channel before yielding.
-        probe_channel().prepare(&mut m)?;
+        probe_channel().prepare(m)?;
         let attacker = m.current_context();
 
         // --- Victim run: the OS switches to the victim (strategy-④
@@ -134,13 +131,15 @@ impl Attack for SpectreV2 {
 
         // --- Back to the attacker, who reloads and times (step 5).
         m.switch_context(attacker)?;
-        finish(&mut m, SECRET, start)
+        finish(m, SECRET, start)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::machine_with_channel;
+    use uarch::UarchConfig;
 
     #[test]
     fn v2_leaks_on_baseline() {

@@ -3,12 +3,12 @@
 //! address is still unresolved, transiently reading *stale* data the store
 //! should have overwritten.
 
-use crate::common::{finish, machine_with_channel, PROBE_BASE, PROBE_STRIDE, SECRET};
+use crate::common::{finish, PROBE_BASE, PROBE_STRIDE, SECRET};
 use crate::graphs::fig6_disambiguation;
 use crate::{Attack, AttackClass, AttackError, AttackInfo, AttackOutcome};
 use isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
 use tsg::SecurityAnalysis;
-use uarch::{Machine, UarchConfig};
+use uarch::Machine;
 
 /// The shared location X: holds the stale secret, about to be overwritten.
 const LOCATION_X: u64 = 0x58_0000;
@@ -71,9 +71,8 @@ impl Attack for SpectreV4 {
         fig6_disambiguation()
     }
 
-    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
-        let mut m = machine_with_channel(cfg)?;
-        setup(&mut m)?;
+    fn run_in(&self, m: &mut Machine) -> Result<AttackOutcome, AttackError> {
+        setup(m)?;
         let p = program()?;
         m.set_reg(Reg::R2, ADDR_CELL);
         m.set_reg(Reg::R10, LOCATION_X);
@@ -83,7 +82,7 @@ impl Attack for SpectreV4 {
         m.clear_events();
         let start = m.cycle();
         m.run(&p)?;
-        let out = finish(&mut m, SECRET, start)?;
+        let out = finish(m, SECRET, start)?;
         Ok(out)
     }
 }
@@ -91,7 +90,9 @@ impl Attack for SpectreV4 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::machine_with_channel;
     use uarch::TraceEvent;
+    use uarch::UarchConfig;
 
     #[test]
     fn v4_leaks_stale_data_on_baseline() {

@@ -3,14 +3,12 @@
 //! role of the delayed authorization, and the in-flight transient window
 //! samples the L1 (TAA) or the line fill buffer (CacheOut).
 
-use crate::common::{
-    finish, machine_with_channel, KERNEL_SECRET, PROBE_BASE, PROBE_STRIDE, SECRET, UNMAPPED,
-};
+use crate::common::{finish, KERNEL_SECRET, PROBE_BASE, PROBE_STRIDE, SECRET, UNMAPPED};
 use crate::graphs::fig4_faulting_load;
 use crate::{Attack, AttackClass, AttackError, AttackInfo, AttackOutcome};
 use isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
 use tsg::{SecretSource, SecurityAnalysis};
-use uarch::{Privilege, UarchConfig};
+use uarch::{Machine, Privilege};
 
 /// The transactional sampling gadget: fault inside the transaction, use and
 /// send before the asynchronous abort completes.
@@ -53,8 +51,7 @@ impl Attack for Taa {
         )
     }
 
-    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
-        let mut m = machine_with_channel(cfg)?;
+    fn run_in(&self, m: &mut Machine) -> Result<AttackOutcome, AttackError> {
         m.map_kernel_page(KERNEL_SECRET)?;
         if m.config().kpti {
             m.map_user_page(KERNEL_SECRET)?;
@@ -72,7 +69,7 @@ impl Attack for Taa {
         m.clear_events();
         let start = m.cycle();
         m.run(&p)?;
-        finish(&mut m, SECRET, start)
+        finish(m, SECRET, start)
     }
 }
 
@@ -101,8 +98,7 @@ impl Attack for CacheOut {
         )
     }
 
-    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
-        let mut m = machine_with_channel(cfg)?;
+    fn run_in(&self, m: &mut Machine) -> Result<AttackOutcome, AttackError> {
         m.clear_leaky_buffers();
         // The victim's secret transits the LFB (evicted then re-read, as in
         // the CacheOut eviction trick; here: a missing load pulls it
@@ -124,13 +120,15 @@ impl Attack for CacheOut {
         m.clear_events();
         let start = m.cycle();
         m.run(&p)?;
-        finish(&mut m, SECRET, start)
+        finish(m, SECRET, start)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::machine_with_channel;
+    use uarch::UarchConfig;
 
     #[test]
     fn taa_leaks_and_suppresses_the_fault() {

@@ -1,0 +1,137 @@
+//! Criterion: warm-machine batched simulation — the guardrail for the
+//! campaign executor's machine pool.
+//!
+//! Three rungs, each with the pre-pool cost model reproduced in-tree so
+//! the speedup is measured honestly:
+//!
+//! 1. `machine_setup`: `Machine::new` per cell vs `Machine::reset` on a
+//!    pooled machine — the raw construction overhead the pool removes.
+//! 2. `attack_cell`: one full attack simulation per cell, cold
+//!    (`Attack::run`, fresh machine each call) vs warm
+//!    (`BatchRunner::run`, reset + channel re-prepare).
+//! 3. `campaign_grid`: the full registry × Figure-8 hardening grid —
+//!    an explicit rebuild-per-cell sweep vs the warm-pool executor
+//!    (`CampaignMatrix::run`), single-threaded for stable numbers.
+
+use attacks::BatchRunner;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use specgraph::campaign::{CampaignMatrix, CampaignSpec, Hardening, Knob};
+use std::hint::black_box;
+use uarch::{Machine, UarchConfig};
+
+/// Machine construction vs reset, nothing else: the setup cost a campaign
+/// pays per cell without a pool.
+fn bench_machine_setup(c: &mut Criterion) {
+    let cfg = UarchConfig::default();
+    let mut group = c.benchmark_group("machine_setup");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("rebuild", |b| {
+        b.iter(|| black_box(Machine::new(black_box(cfg.clone()))).cycle());
+    });
+    let mut pooled = Machine::new(cfg.clone());
+    group.bench_function("warm_reset", |b| {
+        b.iter(|| {
+            pooled.reset(black_box(&cfg));
+            black_box(&pooled).cycle()
+        });
+    });
+    group.finish();
+}
+
+/// One attack evaluation per iteration — the campaign's unit of work —
+/// cold vs warm. Uses Spectre v1 (mid-weight: training loop + attack run)
+/// under the default config.
+fn bench_attack_cell(c: &mut Criterion) {
+    let cfg = UarchConfig::default();
+    let attack = &attacks::spectre_v1::SpectreV1;
+    let mut group = c.benchmark_group("attack_cell");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("cold_rebuild", |b| {
+        b.iter(|| {
+            let out = attacks::Attack::run(attack, black_box(&cfg)).unwrap();
+            assert!(out.leaked);
+            out.cycles
+        });
+    });
+    let mut runner = BatchRunner::new();
+    group.bench_function("warm_reset", |b| {
+        b.iter(|| {
+            let out = runner.run(attack, black_box(&cfg)).unwrap();
+            assert!(out.leaked);
+            out.cycles
+        });
+    });
+    group.finish();
+}
+
+/// The full registry × Figure-8 hardening sweep. The rebuild arm replays
+/// the machine work of every task (baselines + cells) with a fresh
+/// machine per call — the pre-pool executor's cost model; the warm arm is
+/// the real executor with its per-worker pool.
+fn bench_campaign_grid(c: &mut Criterion) {
+    let spec = CampaignSpec::builder(UarchConfig::default())
+        .attacks(attacks::registry().iter().copied())
+        .defenses(defenses::registry().iter().copied())
+        .axis(Knob::Hardening, Hardening::figure8())
+        .threads(1)
+        .build();
+    let expected = CampaignMatrix::run(&spec).unwrap();
+    let tasks = expected.baselines().len() + expected.cells().len();
+
+    let mut group = c.benchmark_group("campaign_grid");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(tasks as u64));
+    group.bench_function("rebuild_per_cell", |b| {
+        b.iter(|| {
+            let mut leaks = 0usize;
+            for cfg in &spec.configs {
+                for attack in &spec.attacks {
+                    leaks += usize::from(attack.run(&cfg.config).unwrap().leaked);
+                    for stack in &spec.defenses {
+                        let v = defenses::verify_stack(stack, *attack, &cfg.config).unwrap();
+                        leaks += usize::from(v == defenses::Verdict::Leaked);
+                    }
+                }
+            }
+            leaks
+        });
+    });
+    // Same bare sweep on one pooled machine — isolates exactly what the
+    // pool buys, with no executor bookkeeping in either arm.
+    group.bench_function("warm_pool", |b| {
+        let mut runner = BatchRunner::new();
+        b.iter(|| {
+            let mut leaks = 0usize;
+            for cfg in &spec.configs {
+                for attack in &spec.attacks {
+                    leaks += usize::from(runner.run(*attack, &cfg.config).unwrap().leaked);
+                    for stack in &spec.defenses {
+                        let v =
+                            defenses::verify_stack_warm(stack, *attack, &cfg.config, &mut runner)
+                                .unwrap();
+                        leaks += usize::from(v == defenses::Verdict::Leaked);
+                    }
+                }
+            }
+            leaks
+        });
+    });
+    // The real executor end to end (graph verdicts, fingerprints, matrix
+    // assembly included) — the wall-clock number ROADMAP tracks.
+    group.bench_function("warm_pool_executor", |b| {
+        b.iter(|| {
+            let matrix = CampaignMatrix::run(black_box(&spec)).unwrap();
+            assert_eq!(matrix.cells().len(), expected.cells().len());
+            matrix.cells().len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_machine_setup,
+    bench_attack_cell,
+    bench_campaign_grid
+);
+criterion_main!(benches);

@@ -100,7 +100,7 @@
 
 use crate::jsonio::{self, Json, JsonError};
 use crate::scenario::Evaluation;
-use attacks::{Attack, AttackError, AttackInfo};
+use attacks::{Attack, AttackError, AttackInfo, BatchRunner};
 use defenses::{Defense, DefenseStack, Strategy, Verdict};
 use std::collections::HashMap;
 use std::error::Error;
@@ -893,6 +893,7 @@ fn run_task(
     graph: &GraphVerdicts,
     digests: &[u64],
     task: usize,
+    runner: &mut BatchRunner,
 ) -> Result<TaskOut, AttackError> {
     let c = spec.configs.len();
     let d = spec.defenses.len();
@@ -900,7 +901,7 @@ fn run_task(
     if task < base_tasks {
         let attack = spec.attacks[task / c];
         let config = task % c;
-        let out = attack.run(&spec.configs[config].config)?;
+        let out = runner.run(attack, &spec.configs[config].config)?;
         let info = attack.info();
         Ok(TaskOut::Base(BaselineCell {
             info,
@@ -920,7 +921,8 @@ fn run_task(
         // config-invariant); only the machine runs per slice.
         let strategy_sufficient =
             graph.pairs[task_pair(spec, task)].expect("pair verdict precomputed");
-        let mechanism = defenses::verify_stack(defense, attack, &spec.configs[config].config)?;
+        let mechanism =
+            defenses::verify_stack_warm(defense, attack, &spec.configs[config].config, runner)?;
         let evaluation = Evaluation {
             attack: attack.info().name,
             stack: defense.clone(),
@@ -1019,17 +1021,21 @@ fn execute(
     let mut slots: Vec<Option<Result<TaskOut, AttackError>>> = Vec::new();
     slots.resize_with(ids.len(), || None);
     if threads <= 1 {
+        let mut runner = BatchRunner::new();
         for (k, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(run_task(spec, graph, digests, ids[k]));
+            *slot = Some(run_task(spec, graph, digests, ids[k], &mut runner));
             observe(ids[k]);
         }
     } else {
         let observe = &observe;
+        // Each worker owns one warm machine for its whole task stripe:
+        // every task resets it instead of rebuilding.
         let worker = move |start: usize| {
+            let mut runner = BatchRunner::new();
             let mut out = Vec::new();
             let mut k = start;
             while k < ids.len() {
-                out.push((k, run_task(spec, graph, digests, ids[k])));
+                out.push((k, run_task(spec, graph, digests, ids[k], &mut runner)));
                 observe(ids[k]);
                 k += threads;
             }
@@ -2717,6 +2723,40 @@ mod tests {
         let parallel = CampaignMatrix::run(&small_spec(4)).unwrap();
         assert_eq!(serial.to_csv(), parallel.to_csv());
         assert_eq!(serial.to_json(), parallel.to_json());
+    }
+
+    #[test]
+    fn warm_pool_matches_per_cell_rebuild() {
+        // The executor runs every task on a worker's pooled, reset machine.
+        // Re-derive each cell with a cold per-cell machine (the pre-pool
+        // semantics) and demand identical observables — leak verdicts,
+        // recovered bytes, *and* cycle counts, the strictest reset ≡ new
+        // witness the campaign can express.
+        let spec = tiny_grid(2);
+        let m = CampaignMatrix::run(&spec).unwrap();
+        for b in m.baselines() {
+            let attack = spec
+                .attacks
+                .iter()
+                .find(|a| a.info().name == b.info.name)
+                .expect("baseline attack registered");
+            let cold = attack.run(&spec.configs[b.config].config).unwrap();
+            assert_eq!(b.leaked, cold.leaked, "{} leak verdict", b.info.name);
+            assert_eq!(b.recovered, cold.recovered, "{} recovery", b.info.name);
+            assert_eq!(b.cycles, cold.cycles, "{} cycle count", b.info.name);
+        }
+        let (d, c) = (spec.defenses.len(), spec.configs.len());
+        for (k, cell) in m.cells().iter().enumerate() {
+            let attack = spec.attacks[k / (d * c)];
+            let stack = &spec.defenses[(k / c) % d];
+            let cold =
+                defenses::verify_stack(stack, attack, &spec.configs[cell.config].config).unwrap();
+            assert_eq!(
+                cell.evaluation.mechanism, cold,
+                "{} × {} verdict",
+                cell.attack, cell.defense
+            );
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@ use attacks::common::{finish, machine_with_channel, KERNEL_SECRET, PROBE_BASE, S
 use attacks::{Attack, AttackError, AttackOutcome};
 use isa::Reg;
 use tsg::{EdgeKind, NodeKind, SecretSource, SecurityAnalysis};
-use uarch::{ExceptionBehavior, Privilege, UarchConfig};
+use uarch::{ExceptionBehavior, Machine, Privilege, UarchConfig};
 
 /// Result of the three-configuration experiment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +37,14 @@ fn run_meltdown_with_residency(
     secret_in_l1: bool,
 ) -> Result<AttackOutcome, AttackError> {
     let mut m = machine_with_channel(cfg)?;
+    run_meltdown_with_residency_in(&mut m, secret_in_l1)
+}
+
+/// [`run_meltdown_with_residency`] on an already-prepared machine.
+fn run_meltdown_with_residency_in(
+    m: &mut Machine,
+    secret_in_l1: bool,
+) -> Result<AttackOutcome, AttackError> {
     m.map_kernel_page(KERNEL_SECRET)?;
     m.write_u64(KERNEL_SECRET, SECRET)?;
     if secret_in_l1 {
@@ -66,7 +74,7 @@ fn run_meltdown_with_residency(
     m.clear_events();
     let start = m.cycle();
     m.run(&program)?;
-    finish(&mut m, SECRET, start)
+    finish(m, SECRET, start)
 }
 
 /// Runs the full four-configuration §V-B experiment.
@@ -147,8 +155,8 @@ impl Attack for MeltdownL1Hit {
         graph_argument().0
     }
 
-    fn run(&self, cfg: &UarchConfig) -> Result<AttackOutcome, AttackError> {
-        run_meltdown_with_residency(cfg, true)
+    fn run_in(&self, m: &mut Machine) -> Result<AttackOutcome, AttackError> {
+        run_meltdown_with_residency_in(m, true)
     }
 }
 

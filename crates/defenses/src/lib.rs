@@ -40,7 +40,7 @@ pub use catalog::{
 pub use overlay::{KnobWrite, Overlay, OverlayKnob};
 pub use session::PatchSession;
 pub use stack::{presets, DefenseStack, StackError};
-pub use verify::{verify, verify_matrix, verify_stack, Verdict};
+pub use verify::{verify, verify_matrix, verify_stack, verify_stack_warm, Verdict};
 
 use std::fmt;
 

@@ -5,7 +5,7 @@
 //! *run* every attack under every modeled defense and report the verdict.
 
 use crate::Defense;
-use attacks::{Attack, AttackError};
+use attacks::{Attack, AttackError, BatchRunner};
 use std::fmt;
 use uarch::UarchConfig;
 
@@ -72,6 +72,31 @@ pub fn verify_stack(
         return Ok(Verdict::GraphOnly);
     };
     let out = attack.run(&cfg)?;
+    Ok(if out.leaked {
+        Verdict::Leaked
+    } else {
+        Verdict::Blocked
+    })
+}
+
+/// [`verify_stack`] on a warm machine: identical verdicts, but the
+/// simulation reuses `runner`'s pooled machine instead of building one per
+/// call. This is the campaign executor's hot path — one runner per worker
+/// thread amortizes machine construction across thousands of cells.
+///
+/// # Errors
+///
+/// Propagates [`AttackError`] if the simulation itself fails.
+pub fn verify_stack_warm(
+    stack: &crate::DefenseStack,
+    attack: &dyn Attack,
+    base: &UarchConfig,
+    runner: &mut BatchRunner,
+) -> Result<Verdict, AttackError> {
+    let Some(cfg) = stack.apply(base) else {
+        return Ok(Verdict::GraphOnly);
+    };
+    let out = runner.run(attack, &cfg)?;
     Ok(if out.leaked {
         Verdict::Leaked
     } else {
@@ -275,6 +300,37 @@ mod tests {
             verify_stack(&software, &attacks::spectre_v1::SpectreV1, &base).unwrap(),
             Verdict::GraphOnly
         );
+    }
+
+    #[test]
+    fn warm_verify_matches_cold_across_stacks_and_attacks() {
+        // One shared runner across heterogeneous (stack, attack) pairs —
+        // the campaign worker shape — must reproduce the cold verdicts,
+        // including the GraphOnly short-circuit (which must not dirty or
+        // depend on the pooled machine).
+        let base = UarchConfig::default();
+        let stacks = [
+            crate::DefenseStack::single(defense("KAISER/KPTI")),
+            crate::presets::linux_default(),
+            crate::DefenseStack::parse("mask-coarse").unwrap(),
+            crate::DefenseStack::single(defense("NDA")),
+        ];
+        let atks: [&dyn Attack; 3] = [
+            &attacks::meltdown::Meltdown,
+            &attacks::spectre_v1::SpectreV1,
+            &attacks::zenbleed::ZenBleed,
+        ];
+        let mut runner = BatchRunner::new();
+        for stack in &stacks {
+            for attack in atks {
+                assert_eq!(
+                    verify_stack_warm(stack, attack, &base, &mut runner).unwrap(),
+                    verify_stack(stack, attack, &base).unwrap(),
+                    "warm verdict diverged for {}",
+                    attack.info().name
+                );
+            }
+        }
     }
 
     #[test]

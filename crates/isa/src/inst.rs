@@ -293,19 +293,27 @@ impl Instruction {
     /// The registers this instruction reads.
     #[must_use]
     pub fn sources(&self) -> Vec<Reg> {
+        let (regs, n) = self.sources_fixed();
+        regs[..n].to_vec()
+    }
+
+    /// The registers this instruction reads, without allocating: a fixed
+    /// two-slot array plus the number of valid leading slots (no instruction
+    /// reads more than two registers). Unused slots hold [`Reg::ZERO`].
+    #[must_use]
+    pub fn sources_fixed(&self) -> ([Reg; 2], usize) {
         match *self {
-            Instruction::Alu { a, b, .. } => {
-                let mut v = vec![a];
-                if let Operand::Reg(r) = b {
-                    v.push(r);
-                }
-                v
+            Instruction::Alu { a, b, .. } => match b {
+                Operand::Reg(r) => ([a, r], 2),
+                Operand::Imm(_) => ([a, Reg::ZERO], 1),
+            },
+            Instruction::Load { base, .. } | Instruction::CacheFlush { base, .. } => {
+                ([base, Reg::ZERO], 1)
             }
-            Instruction::Load { base, .. } | Instruction::CacheFlush { base, .. } => vec![base],
-            Instruction::Store { src, base, .. } => vec![src, base],
-            Instruction::BranchIf { a, b, .. } => vec![a, b],
-            Instruction::JumpIndirect { reg } => vec![reg],
-            _ => Vec::new(),
+            Instruction::Store { src, base, .. } => ([src, base], 2),
+            Instruction::BranchIf { a, b, .. } => ([a, b], 2),
+            Instruction::JumpIndirect { reg } => ([reg, Reg::ZERO], 1),
+            _ => ([Reg::ZERO, Reg::ZERO], 0),
         }
     }
 

@@ -43,6 +43,18 @@ impl LineFillBuffer {
         }
     }
 
+    /// Empties the buffer and adopts a (possibly different) capacity,
+    /// keeping the heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn reset(&mut self, capacity: usize) {
+        assert!(capacity > 0, "LFB capacity must be non-zero");
+        self.entries.clear();
+        self.capacity = capacity;
+    }
+
     /// Records a fill passing through the buffer.
     pub fn record(&mut self, base: u64, data: [u64; WORDS_PER_LINE]) {
         if self.entries.len() == self.capacity {
@@ -121,6 +133,18 @@ impl StoreBuffer {
         }
     }
 
+    /// Empties the buffer and adopts a (possibly different) capacity,
+    /// keeping the heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn reset(&mut self, capacity: usize) {
+        assert!(capacity > 0, "store buffer capacity must be non-zero");
+        self.entries.clear();
+        self.capacity = capacity;
+    }
+
     /// Appends a retired store (oldest evicted on overflow).
     pub fn record(&mut self, paddr: u64, value: u64) {
         if self.entries.len() == self.capacity {
@@ -195,6 +219,18 @@ impl LoadPorts {
             values: VecDeque::new(),
             capacity,
         }
+    }
+
+    /// Empties the residue and adopts a (possibly different) capacity,
+    /// keeping the heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn reset(&mut self, capacity: usize) {
+        assert!(capacity > 0, "load port capacity must be non-zero");
+        self.values.clear();
+        self.capacity = capacity;
     }
 
     /// Records a value passing through a load port.

@@ -81,6 +81,26 @@ impl Cache {
         self.partitioned = partitioned;
     }
 
+    /// Restores the cache to its pristine post-[`new`](Cache::new) state for
+    /// a possibly different geometry, reusing the per-set allocations where
+    /// the set count allows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn reset(&mut self, sets: usize, ways: usize) {
+        assert!(sets > 0 && ways > 0, "cache dimensions must be non-zero");
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.sets.resize_with(sets, Vec::new);
+        self.ways = ways;
+        self.tick = 0;
+        self.stats = CacheStats::default();
+        self.partitioned = false;
+        self.active_domain = 0;
+    }
+
     /// Sets the protection domain performing subsequent accesses.
     pub fn set_active_domain(&mut self, domain: u32) {
         self.active_domain = domain;

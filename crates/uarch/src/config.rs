@@ -30,6 +30,10 @@ pub struct UarchConfig {
     pub load_port_entries: usize,
     /// Return stack buffer depth.
     pub rsb_depth: usize,
+    /// Trace-event log capacity. The log is preallocated once per machine
+    /// (and kept across [`Machine::reset`](crate::Machine::reset)); events
+    /// beyond the capacity are counted as dropped, never recorded.
+    pub max_events: usize,
     /// Safety limit: a run aborts after this many cycles.
     pub max_cycles: u64,
 
@@ -139,6 +143,7 @@ impl Default for UarchConfig {
             store_buffer_entries: 16,
             load_port_entries: 4,
             rsb_depth: 16,
+            max_events: 1 << 16,
             max_cycles: 2_000_000,
             alu_latency: 1,
             mul_latency: 3,
@@ -263,6 +268,10 @@ impl UarchConfigBuilder {
     setter!(
         /// Sets RSB depth.
         rsb_depth: usize
+    );
+    setter!(
+        /// Sets the trace-event log capacity.
+        max_events: usize
     );
     setter!(
         /// Sets the run cycle limit.

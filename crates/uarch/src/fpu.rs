@@ -39,6 +39,14 @@ impl FpuState {
         self.owner
     }
 
+    /// Restores the FPU to its pristine post-[`new`](FpuState::new) state:
+    /// zeroed registers owned by `owner`, no saved register files.
+    pub fn reset(&mut self, owner: ContextId) {
+        self.regs = [0; FP_REG_COUNT];
+        self.owner = owner;
+        self.saved.clear();
+    }
+
     /// Reads the *physical* register — regardless of owner. This is the
     /// transient datapath of Lazy FP.
     ///

@@ -66,6 +66,7 @@ mod mem;
 pub mod mmu;
 pub mod predictor;
 mod result;
+mod smallmap;
 
 pub use config::{UarchConfig, UarchConfigBuilder};
 pub use error::UarchError;
@@ -74,3 +75,4 @@ pub use fpu::FpuState;
 pub use machine::{ContextId, ExceptionBehavior, Machine, Privilege};
 pub use mem::Memory;
 pub use result::{Fault, RunResult};
+pub use smallmap::SmallMap;

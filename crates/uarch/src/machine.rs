@@ -17,8 +17,9 @@ use crate::mem::Memory;
 use crate::mmu::{PageEntry, PageTable, PrivilegeLevel, PAGE_SIZE};
 use crate::predictor::Predictors;
 use crate::result::{Fault, RunResult};
+use crate::smallmap::SmallMap;
 use isa::{Cond, FenceKind, Instruction, Operand, Program, Reg};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Privilege level of a context (re-exported from the MMU).
 pub type Privilege = PrivilegeLevel;
@@ -44,8 +45,9 @@ struct Context {
     regs: [u64; Reg::COUNT],
 }
 
-/// Maximum number of trace events retained per machine.
-const EVENT_CAP: usize = 1 << 16;
+/// Maximum number of source registers any instruction reads
+/// (see [`Instruction::sources_fixed`]).
+const MAX_SRCS: usize = 2;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Src {
@@ -64,12 +66,17 @@ enum EntryState {
 /// data, or `None` when the fill landed in an empty way.
 type EvictedLine = Option<(u64, [u64; WORDS_PER_LINE])>;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Entry {
     seq: u64,
     pc: usize,
     inst: Instruction,
-    srcs: Vec<Src>,
+    /// Source operands, inline (no instruction reads more than
+    /// [`MAX_SRCS`] registers). Unused slots hold a benign `Ready` value so
+    /// whole-array scans are safe.
+    srcs: [Src; MAX_SRCS],
+    /// Number of valid leading slots in `srcs`.
+    nsrcs: u8,
     state: EntryState,
     /// Result value (for register-writing instructions).
     result: u64,
@@ -139,7 +146,7 @@ pub struct Machine {
     load_ports: LoadPorts,
     predictors: Predictors,
     fpu: FpuState,
-    msrs: HashMap<u32, u64>,
+    msrs: SmallMap<u32, u64>,
     contexts: Vec<Context>,
     current: ContextId,
     cycle: u64,
@@ -157,7 +164,12 @@ pub struct Machine {
     /// Architectural (in-order) call stack; updated at retirement.
     arch_stack: Vec<usize>,
     /// Per-TxBegin pc: the pc to resume at on abort.
-    tx_fallback: HashMap<usize, usize>,
+    tx_fallback: SmallMap<usize, usize>,
+    /// Reused scratch for [`Machine::complete`] (kept to avoid a per-cycle
+    /// allocation).
+    scratch_completing: Vec<usize>,
+    /// Reused scratch for the tx-fallback scan at the start of each run.
+    scratch_tx_stack: Vec<usize>,
 }
 
 impl Machine {
@@ -179,11 +191,11 @@ impl Machine {
             load_ports: LoadPorts::new(cfg.load_port_entries),
             predictors: Predictors::new(cfg.rsb_depth),
             fpu: FpuState::new(ContextId(0)),
-            msrs: HashMap::new(),
+            msrs: SmallMap::new(),
             contexts: vec![ctx0],
             current: ContextId(0),
             cycle: 0,
-            events: Vec::new(),
+            events: Vec::with_capacity(cfg.max_events),
             events_dropped: 0,
             rob: VecDeque::new(),
             next_seq: 0,
@@ -192,12 +204,57 @@ impl Machine {
             stalled_on: None,
             tx_depth: 0,
             arch_stack: Vec::new(),
-            tx_fallback: HashMap::new(),
+            tx_fallback: SmallMap::new(),
+            scratch_completing: Vec::new(),
+            scratch_tx_stack: Vec::new(),
             memory: Memory::new(),
             page_table: PageTable::new(),
             kernel_table: PageTable::new(),
             cfg,
         }
+    }
+
+    /// Restores the machine to its pristine post-[`new`](Machine::new) state
+    /// for `cfg` — observationally identical to `Machine::new(cfg.clone())`
+    /// (same events, cycles, faults and leak verdicts for any subsequent
+    /// program) — but *without* releasing heap allocations: cache sets,
+    /// event log, ROB, leaky buffers, predictor tables, page tables and
+    /// memory all keep their capacity. This is the warm-machine fast path
+    /// for batched campaigns, where rebuilding per cell dominates setup.
+    pub fn reset(&mut self, cfg: &UarchConfig) {
+        self.cfg.clone_from(cfg);
+        self.memory.clear();
+        self.page_table.clear();
+        self.kernel_table.clear();
+        self.cache.reset(cfg.cache_sets, cfg.cache_ways);
+        self.cache.set_partitioned(cfg.dawg);
+        self.lfb.reset(cfg.lfb_entries);
+        self.store_buffer.reset(cfg.store_buffer_entries);
+        self.load_ports.reset(cfg.load_port_entries);
+        self.predictors.reset(cfg.rsb_depth);
+        self.fpu.reset(ContextId(0));
+        self.msrs.clear();
+        self.contexts.truncate(1);
+        self.contexts[0] = Context {
+            privilege: Privilege::Kernel,
+            exception: ExceptionBehavior::Halt,
+            regs: [0; Reg::COUNT],
+        };
+        self.current = ContextId(0);
+        self.cycle = 0;
+        self.events.clear();
+        if self.events.capacity() < cfg.max_events {
+            self.events.reserve(cfg.max_events);
+        }
+        self.events_dropped = 0;
+        self.rob.clear();
+        self.next_seq = 0;
+        self.rename = [None; Reg::COUNT];
+        self.fetch_pc = None;
+        self.stalled_on = None;
+        self.tx_depth = 0;
+        self.arch_stack.clear();
+        self.tx_fallback.clear();
     }
 
     // ------------------------------------------------------------------
@@ -493,10 +550,17 @@ impl Machine {
         &self.events
     }
 
-    /// Clears the trace event log.
+    /// Clears the trace event log, keeping its preallocated capacity.
     pub fn clear_events(&mut self) {
         self.events.clear();
         self.events_dropped = 0;
+    }
+
+    /// Number of events discarded because the log was full
+    /// (see [`UarchConfig::max_events`]).
+    #[must_use]
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
     }
 
     /// Debug snapshot of the in-flight pipeline state (entry per line).
@@ -515,14 +579,19 @@ impl Machine {
             let _ = writeln!(
                 out,
                 "  [{i}] seq={} pc={} {:?} srcs={:?} fault={:?} {}",
-                e.seq, e.pc, e.state, e.srcs, e.fault, e.inst
+                e.seq,
+                e.pc,
+                e.state,
+                &e.srcs[..e.nsrcs as usize],
+                e.fault,
+                e.inst
             );
         }
         out
     }
 
     fn record(&mut self, e: TraceEvent) {
-        if self.events.len() < EVENT_CAP {
+        if self.events.len() < self.cfg.max_events {
             self.events.push(e);
         } else {
             self.events_dropped += 1;
@@ -560,7 +629,9 @@ impl Machine {
         self.stalled_on = None;
         self.tx_depth = 0;
         self.arch_stack.clear();
-        self.tx_fallback = compute_tx_fallbacks(program);
+        let mut stack = std::mem::take(&mut self.scratch_tx_stack);
+        compute_tx_fallbacks_into(program, &mut self.tx_fallback, &mut stack);
+        self.scratch_tx_stack = stack;
 
         let mut res = RunResult::default();
         let start_cycle = self.cycle;
@@ -763,11 +834,7 @@ impl Machine {
         // The fallback of the innermost TxBegin whose region covers the
         // faulting pc. With the fetch-time flagging used here, the most
         // recent TxBegin at or before fault_pc is the right one.
-        self.tx_fallback
-            .iter()
-            .filter(|(&begin, _)| begin <= fault_pc)
-            .max_by_key(|(&begin, _)| begin)
-            .map(|(_, &fb)| fb)
+        self.tx_fallback.range_max_le(fault_pc).map(|(_, fb)| fb)
     }
 
     fn redirect_fetch(&mut self, pc: usize) {
@@ -777,10 +844,11 @@ impl Machine {
 
     fn squash_all(&mut self, cause: SquashCause, res: &mut RunResult) {
         let n = self.rob.len();
-        let drained: Vec<Entry> = self.rob.drain(..).collect();
-        for e in &drained {
-            self.undo_speculative_fill(e);
+        for i in 0..n {
+            let filled = self.rob[i].filled_line;
+            self.undo_speculative_fill(filled);
         }
+        self.rob.clear();
         res.squashed += n as u64;
         self.rename = [None; Reg::COUNT];
         self.record(TraceEvent::Squash {
@@ -798,15 +866,17 @@ impl Machine {
             .iter()
             .position(|e| e.seq > seq)
             .unwrap_or(self.rob.len());
-        let drained: Vec<Entry> = self.rob.drain(keep..).collect();
-        for e in &drained {
-            self.undo_speculative_fill(e);
+        let discarded = self.rob.len() - keep;
+        for i in keep..self.rob.len() {
+            let filled = self.rob[i].filled_line;
+            self.undo_speculative_fill(filled);
         }
-        res.squashed += drained.len() as u64;
+        self.rob.truncate(keep);
+        res.squashed += discarded as u64;
         self.record(TraceEvent::Squash {
             cycle: self.cycle,
             cause,
-            discarded: drained.len(),
+            discarded,
         });
         self.rebuild_rename();
         // Restore fetch-time tx depth to the surviving prefix.
@@ -822,11 +892,11 @@ impl Machine {
             .max(0) as usize;
     }
 
-    fn undo_speculative_fill(&mut self, e: &Entry) {
+    fn undo_speculative_fill(&mut self, filled_line: Option<(u64, EvictedLine)>) {
         if !self.cfg.cleanup_spec {
             return;
         }
-        if let Some((line, victim)) = e.filled_line {
+        if let Some((line, victim)) = filled_line {
             self.cache.flush(line);
             if let Some((vbase, vdata)) = victim {
                 self.cache.fill(vbase, vdata);
@@ -835,16 +905,13 @@ impl Machine {
     }
 
     fn rebuild_rename(&mut self) {
-        self.rename = [None; Reg::COUNT];
-        // Collect (dst_index, seq) first to appease the borrow checker.
-        let writes: Vec<(usize, u64)> = self
-            .rob
-            .iter()
-            .filter_map(|e| e.inst.destination().map(|d| (d.index(), e.seq)))
-            .collect();
-        for (d, seq) in writes {
-            if d != Reg::ZERO.index() {
-                self.rename[d] = Some(seq);
+        let Machine { rob, rename, .. } = self;
+        *rename = [None; Reg::COUNT];
+        for e in rob.iter() {
+            if let Some(d) = e.inst.destination() {
+                if !d.is_zero() {
+                    rename[d.index()] = Some(e.seq);
+                }
             }
         }
         // Clear any fetch stall pointing at a squashed instruction.
@@ -859,15 +926,20 @@ impl Machine {
 
     fn complete(&mut self, res: &mut RunResult) {
         let now = self.cycle;
-        // Collect indices completing this cycle (oldest first).
-        let completing: Vec<usize> = self
-            .rob
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| matches!(e.state, EntryState::Executing { done_at } if done_at <= now))
-            .map(|(i, _)| i)
-            .collect();
-        for idx in completing {
+        // Collect indices completing this cycle (oldest first) into reused
+        // scratch storage — this runs every cycle and must not allocate.
+        let mut completing = std::mem::take(&mut self.scratch_completing);
+        completing.clear();
+        completing.extend(
+            self.rob
+                .iter()
+                .enumerate()
+                .filter(
+                    |(_, e)| matches!(e.state, EntryState::Executing { done_at } if done_at <= now),
+                )
+                .map(|(i, _)| i),
+        );
+        for idx in completing.drain(..) {
             // A squash triggered by an older completion may have removed
             // this entry; re-validate.
             if idx >= self.rob.len() {
@@ -894,17 +966,21 @@ impl Machine {
                 _ => {}
             }
         }
+        self.scratch_completing = completing;
     }
 
-    fn src_values(&self, idx: usize) -> Option<Vec<(u64, bool)>> {
-        self.rob[idx]
-            .srcs
-            .iter()
-            .map(|s| match *s {
-                Src::Ready { value, tainted } => Some((value, tainted)),
-                Src::Pending { .. } => None,
-            })
-            .collect()
+    /// All source values of the entry at `idx`, or `None` while any source
+    /// is still pending. Slots beyond the instruction's source count hold
+    /// `(0, false)`.
+    fn src_values(&self, idx: usize) -> Option<[(u64, bool); MAX_SRCS]> {
+        let mut out = [(0u64, false); MAX_SRCS];
+        for (slot, s) in out.iter_mut().zip(self.rob[idx].srcs.iter()) {
+            match *s {
+                Src::Ready { value, tainted } => *slot = (value, tainted),
+                Src::Pending { .. } => return None,
+            }
+        }
+        Some(out)
     }
 
     fn resolve_branch(&mut self, idx: usize, cond: Cond, target: usize, res: &mut RunResult) {
@@ -1527,6 +1603,47 @@ impl Machine {
 
     // ---------------- fetch ----------------
 
+    /// Resolves one source register against the rename table / committed
+    /// register file at fetch time.
+    fn resolve_src(&self, r: Reg) -> Src {
+        if r.is_zero() {
+            return Src::Ready {
+                value: 0,
+                tainted: false,
+            };
+        }
+        match self.rename[r.index()] {
+            Some(producer) => {
+                // If the producer has already broadcast, read its value
+                // directly.
+                if let Some(pi) = self.entry_index(producer) {
+                    let p = &self.rob[pi];
+                    if p.done() && p.broadcast {
+                        return Src::Ready {
+                            value: p.result,
+                            tainted: p.tainted,
+                        };
+                    }
+                } else {
+                    // The rename table never outlives its producer
+                    // (retire/squash both clear it), so a missing producer
+                    // is unreachable; fall back to the committed value
+                    // defensively.
+                    debug_assert!(false, "rename outlived producer {producer}");
+                    return Src::Ready {
+                        value: self.reg(r),
+                        tainted: false,
+                    };
+                }
+                Src::Pending { producer }
+            }
+            None => Src::Ready {
+                value: self.reg(r),
+                tainted: false,
+            },
+        }
+    }
+
     fn fetch(&mut self, program: &Program) {
         for _ in 0..self.cfg.fetch_width {
             if self.stalled_on.is_some() {
@@ -1544,56 +1661,23 @@ impl Machine {
             let seq = self.next_seq;
             self.next_seq += 1;
 
-            // Resolve sources against the rename table / committed regfile.
-            let srcs: Vec<Src> = inst
-                .sources()
-                .iter()
-                .map(|&r| {
-                    if r.is_zero() {
-                        return Src::Ready {
-                            value: 0,
-                            tainted: false,
-                        };
-                    }
-                    match self.rename[r.index()] {
-                        Some(producer) => {
-                            // If the producer has already broadcast, read
-                            // its value directly.
-                            if let Some(pi) = self.entry_index(producer) {
-                                let p = &self.rob[pi];
-                                if p.done() && p.broadcast {
-                                    return Src::Ready {
-                                        value: p.result,
-                                        tainted: p.tainted,
-                                    };
-                                }
-                            } else {
-                                // The rename table never outlives its
-                                // producer (retire/squash both clear it),
-                                // so a missing producer is unreachable;
-                                // fall back to the committed value
-                                // defensively.
-                                debug_assert!(false, "rename outlived producer {producer}");
-                                return Src::Ready {
-                                    value: self.reg(r),
-                                    tainted: false,
-                                };
-                            }
-                            Src::Pending { producer }
-                        }
-                        None => Src::Ready {
-                            value: self.reg(r),
-                            tainted: false,
-                        },
-                    }
-                })
-                .collect();
+            // Resolve sources against the rename table / committed regfile,
+            // into the entry's inline slots (no allocation).
+            let (src_regs, nsrcs) = inst.sources_fixed();
+            let mut srcs = [Src::Ready {
+                value: 0,
+                tainted: false,
+            }; MAX_SRCS];
+            for (slot, &r) in srcs.iter_mut().zip(src_regs.iter()).take(nsrcs) {
+                *slot = self.resolve_src(r);
+            }
 
             let mut entry = Entry {
                 seq,
                 pc,
                 inst,
                 srcs,
+                nsrcs: nsrcs as u8,
                 state: EntryState::Waiting,
                 result: 0,
                 tainted: false,
@@ -1697,10 +1781,15 @@ impl Machine {
 
 /// Computes, for each `TxBegin` pc, the pc to resume at after an abort
 /// (the instruction following the matching `TxEnd`; program end if
-/// unmatched).
-fn compute_tx_fallbacks(program: &Program) -> HashMap<usize, usize> {
-    let mut out = HashMap::new();
-    let mut stack: Vec<usize> = Vec::new();
+/// unmatched). Fills caller-provided storage so per-run invocations reuse
+/// capacity instead of allocating.
+fn compute_tx_fallbacks_into(
+    program: &Program,
+    out: &mut SmallMap<usize, usize>,
+    stack: &mut Vec<usize>,
+) {
+    out.clear();
+    stack.clear();
     for (pc, inst) in program.iter() {
         match inst {
             Instruction::TxBegin => stack.push(pc),
@@ -1712,10 +1801,9 @@ fn compute_tx_fallbacks(program: &Program) -> HashMap<usize, usize> {
             _ => {}
         }
     }
-    for begin in stack {
+    for begin in stack.drain(..) {
         out.insert(begin, program.len());
     }
-    out
 }
 
 #[cfg(test)]
@@ -2070,8 +2158,80 @@ mod tests {
             .nop() // 4
             .build()
             .unwrap();
-        let f = compute_tx_fallbacks(&p);
+        let mut f = SmallMap::new();
+        let mut stack = Vec::new();
+        compute_tx_fallbacks_into(&p, &mut f, &mut stack);
         assert_eq!(f.get(&0), Some(&3));
         assert_eq!(f.get(&3), Some(&5)); // program end
+    }
+
+    #[test]
+    fn reset_equals_new_observationally() {
+        let run_attack_shape = |m: &mut Machine| {
+            m.map_user_page(0x1000).unwrap();
+            m.map_kernel_page(0x2000).unwrap();
+            m.write_u64(0x2000, 0xa7).unwrap();
+            m.set_privilege(Privilege::User);
+            let p = ProgramBuilder::new()
+                .imm(Reg::R0, 0x2000)
+                .load(Reg::R1, Reg::R0, 0)
+                .halt()
+                .build()
+                .unwrap();
+            let r = m.run(&p).unwrap();
+            (
+                r,
+                m.events().to_vec(),
+                m.cycle(),
+                m.cache().resident_lines(),
+            )
+        };
+        let mut fresh = Machine::new(UarchConfig::default());
+        let baseline = run_attack_shape(&mut fresh);
+
+        // Dirty a machine with a different config and program, then reset.
+        let mut warm = Machine::new(UarchConfig::builder().cache_sets(8).nda(true).build());
+        let _ = run_attack_shape(&mut warm);
+        warm.reset(&UarchConfig::default());
+        assert_eq!(warm.cycle(), 0);
+        assert_eq!(warm.events().len(), 0);
+        let again = run_attack_shape(&mut warm);
+        assert_eq!(again, baseline);
+    }
+
+    #[test]
+    fn reset_adopts_new_geometry() {
+        let mut m = Machine::new(UarchConfig::default());
+        m.map_user_page(0x1000).unwrap();
+        m.touch(0x1000).unwrap();
+        let cfg = UarchConfig::builder().cache_sets(4).cache_ways(2).build();
+        m.reset(&cfg);
+        assert_eq!(m.cache().set_count(), 4);
+        assert_eq!(m.cache().way_count(), 2);
+        assert!(m.cache().resident_lines().is_empty());
+        assert_eq!(m.config(), &cfg);
+        // The old mapping is gone.
+        assert!(m.read_u64(0x1000).is_err());
+    }
+
+    #[test]
+    fn event_log_capacity_from_config_and_reset_safe_drop_count() {
+        let mut m = Machine::new(UarchConfig::builder().max_events(2).build());
+        m.map_kernel_page(0x2000).unwrap();
+        m.set_privilege(Privilege::User);
+        let p = ProgramBuilder::new()
+            .imm(Reg::R0, 0x2000)
+            .load(Reg::R1, Reg::R0, 0)
+            .halt()
+            .build()
+            .unwrap();
+        m.run(&p).unwrap();
+        assert_eq!(m.events().len(), 2);
+        assert!(m.events_dropped() > 0);
+        m.clear_events();
+        assert_eq!(m.events_dropped(), 0);
+        m.reset(&UarchConfig::builder().max_events(2).build());
+        assert_eq!(m.events_dropped(), 0);
+        assert!(m.events().is_empty());
     }
 }

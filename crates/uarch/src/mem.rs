@@ -43,6 +43,11 @@ impl Memory {
     pub fn populated_words(&self) -> usize {
         self.words.len()
     }
+
+    /// Zeroes all of memory, keeping the heap capacity.
+    pub fn clear(&mut self) {
+        self.words.clear();
+    }
 }
 
 #[cfg(test)]

@@ -104,6 +104,11 @@ impl PageTable {
         self.entries.remove(&vpn)
     }
 
+    /// Removes every mapping, keeping the table's heap capacity.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// The entry for `vpn`, if mapped.
     #[must_use]
     pub fn entry(&self, vpn: u64) -> Option<&PageEntry> {

@@ -190,6 +190,18 @@ impl ReturnStackBuffer {
         self.stack.clear();
         self.stack.resize(self.depth, benign);
     }
+
+    /// Empties the RSB and adopts a (possibly different) depth, keeping the
+    /// heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn reset(&mut self, depth: usize) {
+        assert!(depth > 0, "RSB depth must be non-zero");
+        self.stack.clear();
+        self.depth = depth;
+    }
 }
 
 /// Store-load memory disambiguation predictor.
@@ -258,6 +270,15 @@ impl Predictors {
         self.pht.clear();
         self.btb.clear();
         self.rsb.clear();
+        self.disambiguation.clear();
+    }
+
+    /// Restores all predictors to their pristine post-[`new`](Predictors::new)
+    /// state for a (possibly different) RSB depth, keeping heap capacity.
+    pub fn reset(&mut self, rsb_depth: usize) {
+        self.pht.clear();
+        self.btb.clear();
+        self.rsb.reset(rsb_depth);
         self.disambiguation.clear();
     }
 }

@@ -1,0 +1,140 @@
+//! A sorted small-vec map for tiny, hot lookup tables.
+//!
+//! [`Machine`](crate::Machine) keeps two such tables — MSR values and
+//! TxBegin→fallback pcs. Both hold at most a handful of entries but sit in
+//! the cycle loop, where a `HashMap` costs hashing on every probe and an
+//! allocation per rebuild. A sorted `Vec<(K, V)>` with binary search is
+//! faster at these sizes, keeps its heap capacity across
+//! [`clear`](SmallMap::clear), and iterates in deterministic key order.
+
+/// A map backed by a key-sorted vector; insertion is `O(n)`, lookup is
+/// `O(log n)`, and `clear` keeps the allocated capacity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SmallMap<K, V> {
+    entries: Vec<(K, V)>,
+}
+
+impl<K: Ord + Copy, V: Copy> SmallMap<K, V> {
+    /// Creates an empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        SmallMap {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Inserts `value` under `key`, replacing and returning any previous
+    /// value for the same key.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        match self.entries.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            Err(i) => {
+                self.entries.insert(i, (key, value));
+                None
+            }
+        }
+    }
+
+    /// The value stored under `key`, if any.
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.entries
+            .binary_search_by_key(key, |&(k, _)| k)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Removes all entries, keeping the allocated capacity.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(key, value)` pairs in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates values in ascending key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    /// The entry with the largest key `<= bound`, if any.
+    #[must_use]
+    pub fn range_max_le(&self, bound: K) -> Option<(K, V)> {
+        let i = self.entries.partition_point(|&(k, _)| k <= bound);
+        (i > 0).then(|| self.entries[i - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_replace() {
+        let mut m = SmallMap::new();
+        assert_eq!(m.insert(5u32, 50u64), None);
+        assert_eq!(m.insert(1, 10), None);
+        assert_eq!(m.insert(3, 30), None);
+        assert_eq!(m.get(&1), Some(&10));
+        assert_eq!(m.get(&3), Some(&30));
+        assert_eq!(m.get(&5), Some(&50));
+        assert_eq!(m.get(&2), None);
+        assert_eq!(m.insert(3, 33), Some(30));
+        assert_eq!(m.get(&3), Some(&33));
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn iteration_is_key_sorted() {
+        let mut m = SmallMap::new();
+        for k in [9usize, 2, 7, 4] {
+            m.insert(k, k * 10);
+        }
+        let keys: Vec<usize> = m.iter().map(|(&k, _)| k).collect();
+        assert_eq!(keys, vec![2, 4, 7, 9]);
+        let vals: Vec<usize> = m.values().copied().collect();
+        assert_eq!(vals, vec![20, 40, 70, 90]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut m = SmallMap::new();
+        for k in 0..16u32 {
+            m.insert(k, k);
+        }
+        let cap = m.entries.capacity();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(&3), None);
+        assert_eq!(m.entries.capacity(), cap);
+        // Reusable after a clear.
+        m.insert(7, 70);
+        assert_eq!(m.get(&7), Some(&70));
+    }
+
+    #[test]
+    fn range_max_le_finds_floor_entry() {
+        let mut m = SmallMap::new();
+        m.insert(2usize, 20usize);
+        m.insert(8, 80);
+        assert_eq!(m.range_max_le(1), None);
+        assert_eq!(m.range_max_le(2), Some((2, 20)));
+        assert_eq!(m.range_max_le(7), Some((2, 20)));
+        assert_eq!(m.range_max_le(8), Some((8, 80)));
+        assert_eq!(m.range_max_le(100), Some((8, 80)));
+    }
+}

@@ -1,0 +1,102 @@
+//! Allocation regression guard for the warm-machine hot path.
+//!
+//! The campaign executor runs thousands of attack simulations on one
+//! pooled machine per worker; the win only holds if the steady-state cycle
+//! loop and [`Machine::reset`] stay heap-allocation-free. This test wraps
+//! the system allocator in a counter and pins both down to **zero**
+//! allocations once the machine is warm (first-touch `HashMap` inserts in
+//! memory and predictor tables are warm-up cost, paid once per machine).
+//!
+//! Kept to a single `#[test]` so concurrent tests in the same binary
+//! cannot perturb the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use isa::{AluOp, Cond, ProgramBuilder, Reg};
+use uarch::{Machine, UarchConfig};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator with an allocation counter bolted on.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn warm_machine_run_and_reset_are_allocation_free() {
+    let cfg = UarchConfig::default();
+    let mut m = Machine::new(cfg.clone());
+    m.map_user_page(0x7000).unwrap();
+    for i in 0..8 {
+        m.write_u64(0x7000 + i * 8, i + 1).unwrap();
+    }
+    // A fault-free program exercising the whole pipeline: ALU, loads,
+    // stores, a (trainable) branch — every steady-state datapath.
+    let program = ProgramBuilder::new()
+        .imm(Reg::R1, 0x7000)
+        .load(Reg::R2, Reg::R1, 0)
+        .alu_imm(AluOp::Add, Reg::R3, Reg::R2, 5)
+        .alu(AluOp::Add, Reg::R4, Reg::R3, Reg::R2)
+        .store(Reg::R4, Reg::R1, 16)
+        .branch_if(Cond::Eq, Reg::R2, Reg::ZERO, "skip")
+        .load(Reg::R5, Reg::R1, 8)
+        .label("skip")
+        .unwrap()
+        .alu_imm(AluOp::Xor, Reg::R6, Reg::R5, 1)
+        .halt()
+        .build()
+        .unwrap();
+
+    // Warm-up: grows the ROB ring, inserts the first-touch memory words
+    // and predictor entries, sizes the tx-fallback scratch.
+    for _ in 0..3 {
+        m.run(&program).unwrap();
+    }
+    m.clear_events();
+
+    // Steady state: the cycle loop must not touch the heap at all.
+    let during_run = allocations_during(|| {
+        let r = m.run(&program).unwrap();
+        assert!(r.halted);
+    });
+    assert_eq!(
+        during_run, 0,
+        "steady-state run allocated {during_run} times"
+    );
+
+    // Reset is clear-and-reuse, never rebuild: also allocation-free.
+    let during_reset = allocations_during(|| m.reset(&cfg));
+    assert_eq!(during_reset, 0, "reset allocated {during_reset} times");
+
+    // And the machine still works after the counted reset.
+    m.map_user_page(0x7000).unwrap();
+    for i in 0..8 {
+        m.write_u64(0x7000 + i * 8, i + 1).unwrap();
+    }
+    let r = m.run(&program).unwrap();
+    assert!(r.halted);
+}
