@@ -147,9 +147,73 @@ impl BatchRunner {
     }
 }
 
+/// A shared checkout/checkin pool of warm [`BatchRunner`]s for callers
+/// whose workers are not long-lived threads — e.g. a verdict-store
+/// simulate-on-miss path where any request thread may need a machine for
+/// one run.
+///
+/// `checkout` hands back an idle warm runner when one exists (its machine
+/// survives from the previous user, so the next [`BatchRunner::run`] is a
+/// reset, not a rebuild) and a cold one otherwise; `checkin` returns the
+/// runner for the next caller. The pool never blocks: contention degrades
+/// to building a fresh runner, never to waiting.
+#[derive(Debug, Default)]
+pub struct RunnerPool {
+    idle: std::sync::Mutex<Vec<BatchRunner>>,
+}
+
+impl RunnerPool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a runner out of the pool — warm if one is idle, freshly
+    /// built otherwise.
+    #[must_use]
+    pub fn checkout(&self) -> BatchRunner {
+        self.idle
+            .lock()
+            .map(|mut idle| idle.pop())
+            .unwrap_or_default()
+            .unwrap_or_default()
+    }
+
+    /// Returns a runner to the pool so its warm machine serves the next
+    /// [`RunnerPool::checkout`].
+    pub fn checkin(&self, runner: BatchRunner) {
+        if let Ok(mut idle) = self.idle.lock() {
+            idle.push(runner);
+        }
+    }
+
+    /// How many warm runners are currently idle in the pool.
+    #[must_use]
+    pub fn idle_runners(&self) -> usize {
+        self.idle.lock().map(|idle| idle.len()).unwrap_or(0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn runner_pool_checkout_checkin_keeps_machines_warm() {
+        let pool = RunnerPool::new();
+        assert_eq!(pool.idle_runners(), 0);
+        let mut r = pool.checkout();
+        let out = r
+            .run(crate::registry()[0], &uarch::UarchConfig::default())
+            .unwrap();
+        assert!(out.cycles > 0);
+        pool.checkin(r);
+        assert_eq!(pool.idle_runners(), 1);
+        // The next checkout reuses the warm runner instead of building one.
+        let _warm = pool.checkout();
+        assert_eq!(pool.idle_runners(), 0);
+    }
 
     #[test]
     fn channel_setup_is_clean() {

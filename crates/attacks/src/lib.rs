@@ -36,6 +36,7 @@ pub mod bhi;
 pub mod common;
 pub mod foreshadow;
 pub mod graphs;
+pub mod inception;
 pub mod lazy_fp;
 pub mod lvi;
 pub mod mds;
@@ -53,7 +54,7 @@ use std::fmt;
 use tsg::SecurityAnalysis;
 use uarch::{Machine, UarchConfig};
 
-pub use common::BatchRunner;
+pub use common::{BatchRunner, RunnerPool};
 
 /// Whether authorization and access live in one instruction or two — the
 /// paper's Insight 6, which decides the modeling level (Figure 9).
@@ -225,6 +226,8 @@ pub mod names {
     pub const BHI: &str = "BHI";
     /// Zenbleed (vector-register use-after-free behind a rolled-back branch).
     pub const ZENBLEED: &str = "Zenbleed";
+    /// Inception (recursive RSB overflow / speculative return stack overflow).
+    pub const INCEPTION: &str = "Inception";
 }
 
 /// One attack variant: metadata, attack graph, and executable PoC.
@@ -298,6 +301,7 @@ macro_rules! with_attack_list {
             retbleed::Retbleed,
             bhi::Bhi,
             zenbleed::ZenBleed,
+            inception::Inception,
         )
     };
 }
@@ -316,8 +320,8 @@ macro_rules! as_boxed_catalog {
 
 /// All 17 attack variants of Table III (18 rows: Foreshadow-NG contributes
 /// OS and VMM flavors) in the paper's order, plus post-paper registry
-/// growth (Retbleed, BHI, Zenbleed) appended at the end, as a `'static`
-/// registry.
+/// growth (Retbleed, BHI, Zenbleed, Inception) appended at the end, as a
+/// `'static` registry.
 ///
 /// This is the canonical iteration surface: the campaign engine, the bench
 /// binaries and the examples all consume this slice, so a new variant
@@ -349,8 +353,8 @@ mod tests {
     fn catalog_covers_table_iii() {
         let c = catalog();
         // 17 Table-III rows (Foreshadow-NG contributes OS+VMM) + Retbleed,
-        // BHI and Zenbleed from post-paper registry growth.
-        assert_eq!(c.len(), 21);
+        // BHI, Zenbleed and Inception from post-paper registry growth.
+        assert_eq!(c.len(), 22);
         let names: Vec<&str> = c.iter().map(|a| a.info().name).collect();
         for expected in [
             "Spectre v1",
@@ -374,6 +378,7 @@ mod tests {
             "Retbleed",
             "BHI",
             "Zenbleed",
+            "Inception",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
@@ -449,10 +454,11 @@ mod tests {
             names::RETBLEED,
             names::BHI,
             names::ZENBLEED,
+            names::INCEPTION,
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
-        assert_eq!(names.len(), 21);
+        assert_eq!(names.len(), 22);
     }
 
     #[test]

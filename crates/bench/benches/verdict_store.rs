@@ -1,0 +1,108 @@
+//! Criterion: the serving layer's hit path — the guardrail for the
+//! verdict store's ≥1M-lookups/sec contract.
+//!
+//! Three rungs:
+//!
+//! 1. `hit_keyed`: [`VerdictStore::get`] with a precomputed cell key —
+//!    the raw indexed probe a batch client with cached keys pays.
+//! 2. `hit_lookup`: [`VerdictStore::lookup`] from (attack, stack,
+//!    config) — key derivation (config digest + FNV fingerprint)
+//!    included, still simulation-free.
+//! 3. `miss_simulate`: one cold [`VerdictStore::query`] miss per
+//!    iteration against a store that never saw the cell — the price the
+//!    memoized hit path amortizes away (orders of magnitude above 1/2).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use specgraph::campaign::{CampaignMatrix, CampaignSpec, Knob};
+use specgraph::defenses::{self, DefenseStack};
+use specgraph::serve::VerdictStore;
+use specgraph::{attacks, uarch::UarchConfig};
+use std::hint::black_box;
+
+/// A small real campaign whose rows seed the store: 4 attacks × 3
+/// defenses × 2 ROB depths (20 baselines + cells per slice).
+fn seeded_store() -> (VerdictStore, CampaignSpec) {
+    let spec = CampaignSpec::builder(UarchConfig::default())
+        .attacks(
+            ["Spectre v1", "Spectre v2", "Meltdown", "Spectre-RSB"]
+                .iter()
+                .map(|n| attacks::find(n).expect("registered")),
+        )
+        .defenses(
+            ["LFENCE", "NDA", "KAISER/KPTI"]
+                .iter()
+                .map(|n| *defenses::find(n).expect("registered")),
+        )
+        .axis(Knob::RobDepth, [16usize, 64])
+        .build();
+    let matrix = CampaignMatrix::run(&spec).expect("campaign runs");
+    let store = VerdictStore::new();
+    store.ingest_matrix(&matrix);
+    (store, spec)
+}
+
+/// The keyed hit path: one indexed probe per iteration over a rotating
+/// set of real keys. Criterion reports elements/sec — the 1M/sec floor
+/// is asserted (much more cheaply) in CI via this same path.
+fn bench_hit_paths(c: &mut Criterion) {
+    let (store, spec) = seeded_store();
+    let mut keys: Vec<u64> = Vec::new();
+    for a in &spec.attacks {
+        let name = a.info().name;
+        for s in &spec.defenses {
+            for nc in &spec.configs {
+                keys.push(VerdictStore::cell_key(name, s, &nc.config));
+            }
+        }
+    }
+    assert!(keys.iter().all(|k| store.get(*k).is_some()));
+
+    let mut group = c.benchmark_group("verdict_store");
+    group.throughput(Throughput::Elements(1));
+    let mut i = 0usize;
+    group.bench_function("hit_keyed", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(store.get(black_box(keys[i])).expect("seeded"))
+        });
+    });
+
+    let stack = &spec.defenses[0];
+    let cfg = &spec.configs[0].config;
+    group.bench_function("hit_lookup", |b| {
+        b.iter(|| {
+            black_box(
+                store
+                    .lookup(black_box("Spectre v1"), Some(black_box(stack)), cfg)
+                    .expect("seeded"),
+            )
+        });
+    });
+    group.finish();
+}
+
+/// One miss-path simulation per iteration: a fresh single-row store each
+/// time so the miss never becomes a hit. This is the cost the memoized
+/// index amortizes — compare against `hit_keyed` for the speedup.
+fn bench_miss_simulation(c: &mut Criterion) {
+    let attack = attacks::find("Meltdown").expect("registered");
+    let stack = DefenseStack::parse("lfence").expect("catalog token");
+    let cfg = UarchConfig::default();
+    let mut group = c.benchmark_group("verdict_store");
+    group.throughput(Throughput::Elements(1));
+    group.sample_size(20);
+    group.bench_function("miss_simulate", |b| {
+        b.iter(|| {
+            let store = VerdictStore::new();
+            let answer = store
+                .query(attack, Some(black_box(&stack)), black_box(&cfg))
+                .expect("simulates");
+            assert_eq!(store.simulations(), 1);
+            black_box(answer)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hit_paths, bench_miss_simulation);
+criterion_main!(benches);

@@ -7,14 +7,22 @@
 //! campaign merge  part0.json part1.json --out matrix.json
 //! campaign render --figure8 matrix.json --csv fig8.csv --svg fig8.svg
 //! campaign run    --axis hardening=figure8 --incremental --prev matrix.json --out matrix.json
+//! campaign serve  --axis hardening=figure8 --workers 4 --checkpoint ckpt/ --out matrix.json
+//! campaign query  matrix.json --queries batch.txt --simulate
 //! ```
 //!
-//! Every subcommand is a thin wrapper over `specgraph::campaign`: `run`
-//! evaluates a whole cube (or one `--shard i/n` slice, written as a
-//! [`CampaignPart`] file), `merge` validates and concatenates part files
-//! into a matrix (spec-fingerprint, shard-index and coverage mismatches
-//! are hard errors), and `render --figure8` regenerates the Figure-8
-//! hardening heatmaps from a *saved* matrix with zero re-simulation.
+//! Every subcommand is a thin wrapper over `specgraph::campaign` (and,
+//! for `serve`/`query`, `specgraph::serve`): `run` evaluates a whole cube
+//! (or one `--shard i/n` slice, written as a [`CampaignPart`] file),
+//! `merge` validates and concatenates part files into a matrix
+//! (spec-fingerprint, shard-index and coverage mismatches are hard
+//! errors), and `render --figure8` regenerates the Figure-8 hardening
+//! heatmaps from a *saved* matrix with zero re-simulation. `serve` runs
+//! the cube on the resumable work-stealing scheduler — kill it mid-run
+//! and the next invocation resumes from the `--checkpoint` directory
+//! without re-simulating a single completed cell. `query` answers point
+//! lookups (`ATTACK | STACK | KNOBS` lines) from saved artifacts through
+//! the memoized [`VerdictStore`], optionally simulating misses.
 //!
 //! Argument parsing is hand-rolled (the workspace builds offline, no
 //! `clap`), and lives here — in the library — so the integration tests
@@ -27,6 +35,7 @@ use specgraph::campaign::{
     Knob, KnobValue, MatrixDiff, MergeError, PredictorFlavor, TaskEvent,
 };
 use specgraph::defenses::{self, presets, DefenseStack};
+use specgraph::serve::{AnswerSource, ChunkEvent, Scheduler, ServeError, VerdictStore};
 use std::error::Error;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -35,7 +44,8 @@ use uarch::UarchConfig;
 
 /// The usage text `campaign --help` (and every usage error) prints.
 pub const USAGE: &str = "\
-campaign — run, shard, merge, render and diff attack×defense-stack×config campaigns
+campaign — run, shard, merge, render, diff, serve and query
+           attack×defense-stack×config campaigns
 
 USAGE:
   campaign run    [SPEC] [--shard I/N] [--out FILE] [--csv FILE] [--progress]
@@ -43,6 +53,9 @@ USAGE:
   campaign merge  PART.json... --out FILE [--csv FILE]
   campaign render --figure8 MATRIX.json [--csv FILE] [--svg FILE]
   campaign diff   OLD.json NEW.json
+  campaign serve  [SPEC] [--workers N] [--chunk T] [--checkpoint DIR]
+                  [--out FILE] [--csv FILE] [--progress]
+  campaign query  ARTIFACT.json... [--queries FILE] [--simulate]
 
 SPEC (must be identical for every shard of one campaign):
   --attacks NAMES    comma-separated attack names (default: full registry)
@@ -69,6 +82,24 @@ SPEC (must be identical for every shard of one campaign):
   the previous matrix are re-simulated. `campaign diff` compares two
   saved matrices: verdict flips, baseline cycle deltas, added/removed
   cells.
+
+  `campaign serve` runs the cube on a resumable work-stealing scheduler:
+  the cube splits into --chunk T-task chunks pulled by --workers threads
+  (idle workers steal straggler chunks; results are deterministic, so
+  duplicated work is harmless). With --checkpoint DIR every finished
+  chunk is written to disk, and a killed run's next invocation resumes
+  from DIR, re-simulating zero completed cells — the final matrix is
+  bit-identical to `campaign run` either way.
+
+  `campaign query` ingests saved matrices/parts/checkpoints into a
+  memoized verdict store and answers one query per line from --queries
+  FILE (or stdin):  ATTACK | STACK | KNOB=V KNOB=V…
+  where STACK is a stack expression, preset, or 'none' (undefended
+  baseline), and the knob tokens are the --axis vocabulary, one value
+  each (empty = default config). Misses report 'miss' unless --simulate
+  is given, which computes the missing cell on a warm machine exactly as
+  the campaign engine would (concurrent identical misses coalesce onto
+  one flight).
 ";
 
 /// What a successfully executed subcommand did (the binary prints this;
@@ -120,6 +151,28 @@ pub enum Outcome {
         /// Whether the matrices are identical.
         identical: bool,
     },
+    /// `serve`: the cube ran on the resumable work-stealing scheduler.
+    Served {
+        /// Chunks the cube was decomposed into.
+        chunks: usize,
+        /// Chunks restored from checkpoint files (zero re-simulation).
+        resumed: usize,
+        /// Chunks simulated by this invocation's workers.
+        executed: usize,
+        /// Straggler chunks speculatively duplicated by idle workers.
+        stolen: usize,
+    },
+    /// `query`: a batch of point queries was answered.
+    Queried {
+        /// Queries answered (hits + simulations + coalesced).
+        answered: usize,
+        /// Answers served from the memoized index.
+        hits: usize,
+        /// Answers computed by a miss-path simulation (`--simulate`).
+        simulated: usize,
+        /// Queries that missed without `--simulate`.
+        misses: usize,
+    },
     /// `--help` was requested; usage was printed.
     Help,
 }
@@ -140,6 +193,8 @@ pub enum CliError {
     },
     /// Part files do not assemble into one campaign.
     Merge(MergeError),
+    /// The serving layer failed (scheduler or verdict store).
+    Serve(ServeError),
     /// Plain file I/O (e.g. writing a CSV) failed.
     Io {
         /// The file involved.
@@ -158,6 +213,7 @@ impl fmt::Display for CliError {
                 write!(f, "{}: {source}", path.display())
             }
             CliError::Merge(e) => write!(f, "cannot merge parts: {e}"),
+            CliError::Serve(e) => write!(f, "serving failed: {e}"),
             CliError::Io { path, source } => {
                 write!(f, "{}: {source}", path.display())
             }
@@ -171,6 +227,7 @@ impl Error for CliError {
             CliError::Attack(e) => Some(e),
             CliError::Artifact { source, .. } => Some(source),
             CliError::Merge(e) => Some(e),
+            CliError::Serve(e) => Some(e),
             CliError::Io { source, .. } => Some(source),
             CliError::Usage(_) => None,
         }
@@ -186,6 +243,12 @@ impl From<AttackError> for CliError {
 impl From<MergeError> for CliError {
     fn from(e: MergeError) -> Self {
         CliError::Merge(e)
+    }
+}
+
+impl From<ServeError> for CliError {
+    fn from(e: ServeError) -> Self {
+        CliError::Serve(e)
     }
 }
 
@@ -208,8 +271,11 @@ pub fn main_with(args: &[String]) -> Result<Outcome, CliError> {
         Some("merge") => cmd_merge(&args[1..]),
         Some("render") => cmd_render(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         Some(other) => Err(CliError::Usage(format!(
-            "unknown subcommand '{other}' (expected run, merge, render or diff)"
+            "unknown subcommand '{other}' (expected run, merge, render, diff, \
+             serve or query)"
         ))),
     }
 }
@@ -828,6 +894,298 @@ fn cmd_render(args: &[String]) -> Result<Outcome, CliError> {
         rows: view.rows.len(),
         configs: view.configs.len(),
     })
+}
+
+fn cmd_serve(args: &[String]) -> Result<Outcome, CliError> {
+    let mut spec_args = SpecArgs::default();
+    let mut workers = 0usize;
+    let mut chunk: Option<usize> = None;
+    let mut checkpoint: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut csv: Option<PathBuf> = None;
+    let mut progress = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = || -> Result<String, CliError> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("flag '{flag}' needs a value")))
+        };
+        let once = |taken: bool| -> Result<(), CliError> {
+            if taken {
+                Err(CliError::Usage(format!("flag '{flag}' given twice")))
+            } else {
+                Ok(())
+            }
+        };
+        match flag {
+            "--workers" => {
+                once(workers != 0)?;
+                let v = value()?;
+                workers = v.parse().ok().filter(|n| *n > 0).ok_or_else(|| {
+                    CliError::Usage(format!("--workers needs a positive number, got '{v}'"))
+                })?;
+            }
+            "--chunk" => {
+                once(chunk.is_some())?;
+                let v = value()?;
+                chunk = Some(v.parse().ok().filter(|n| *n > 0).ok_or_else(|| {
+                    CliError::Usage(format!("--chunk needs a positive task count, got '{v}'"))
+                })?);
+            }
+            "--checkpoint" => {
+                once(checkpoint.is_some())?;
+                checkpoint = Some(PathBuf::from(value()?));
+            }
+            "--out" => {
+                once(out.is_some())?;
+                out = Some(PathBuf::from(value()?));
+            }
+            "--csv" => {
+                once(csv.is_some())?;
+                csv = Some(PathBuf::from(value()?));
+            }
+            "--progress" => progress = true,
+            other => {
+                if !spec_args.take(other, &mut value)? {
+                    return Err(CliError::Usage(format!(
+                        "unknown flag '{other}' for 'campaign serve'"
+                    )));
+                }
+            }
+        }
+        i += 1;
+    }
+    let spec = spec_args.build()?;
+    let mut scheduler = Scheduler::new(&spec);
+    if workers != 0 {
+        scheduler = scheduler.workers(workers);
+    }
+    if let Some(tasks) = chunk {
+        scheduler = scheduler.chunk_tasks(tasks);
+    }
+    if let Some(dir) = &checkpoint {
+        scheduler = scheduler.checkpoint(dir);
+    }
+    let observer = |event: ChunkEvent| {
+        eprintln!(
+            "campaign: chunk {} done ({}/{} chunk(s))",
+            event.index, event.completed, event.of
+        );
+    };
+    let (matrix, report) =
+        scheduler.run_observed(None, progress.then_some(&observer as ChunkObserverRef))?;
+    emit(out.as_deref(), &matrix.to_json())?;
+    if let Some(path) = &csv {
+        write_file(path, &matrix.to_csv())?;
+    }
+    eprintln!(
+        "campaign: served {} task(s) in {} chunk(s) — resumed {} chunk(s) \
+         ({} task(s), 0 re-simulated), executed {}, stole {}",
+        spec.total_tasks(),
+        report.chunks,
+        report.resumed,
+        report.resumed_tasks,
+        report.executed,
+        report.stolen,
+    );
+    Ok(Outcome::Served {
+        chunks: report.chunks,
+        resumed: report.resumed,
+        executed: report.executed,
+        stolen: report.stolen,
+    })
+}
+
+/// The observer coercion target for [`Scheduler::run_observed`].
+type ChunkObserverRef<'a> = &'a (dyn Fn(ChunkEvent) + Sync);
+
+fn cmd_query(args: &[String]) -> Result<Outcome, CliError> {
+    let mut artifacts: Vec<PathBuf> = Vec::new();
+    let mut queries: Option<PathBuf> = None;
+    let mut simulate = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--queries" => {
+                i += 1;
+                queries = Some(PathBuf::from(args.get(i).ok_or_else(|| {
+                    CliError::Usage("flag '--queries' needs a value".to_owned())
+                })?));
+            }
+            "--simulate" => simulate = true,
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!(
+                    "unknown flag '{flag}' for 'campaign query'"
+                )))
+            }
+            path => artifacts.push(PathBuf::from(path)),
+        }
+        i += 1;
+    }
+    let store = VerdictStore::new();
+    for path in &artifacts {
+        ingest_artifact(&store, path)?;
+    }
+    let text = match &queries {
+        Some(path) if path.as_os_str() != "-" => {
+            std::fs::read_to_string(path).map_err(|source| CliError::Io {
+                path: path.clone(),
+                source,
+            })?
+        }
+        _ => {
+            use std::io::Read as _;
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|source| CliError::Io {
+                    path: PathBuf::from("<stdin>"),
+                    source,
+                })?;
+            buf
+        }
+    };
+    let mut answered = 0;
+    let mut hits = 0;
+    let mut simulated = 0;
+    let mut misses = 0;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let q = parse_query_line(line)
+            .map_err(|msg| CliError::Usage(format!("query line {}: {msg}", lineno + 1)))?;
+        let answer = if simulate {
+            Some(store.query(q.attack, q.stack.as_ref(), &q.config)?)
+        } else {
+            store.lookup(q.attack.info().name, q.stack.as_ref(), &q.config)
+        };
+        match answer {
+            Some(a) => {
+                answered += 1;
+                match a.source {
+                    AnswerSource::Hit => hits += 1,
+                    AnswerSource::Simulated | AnswerSource::Coalesced => simulated += 1,
+                }
+                let graph = a.graph.map_or("-".to_owned(), |g| g.to_string());
+                let cycles = a.cycles.map_or("-".to_owned(), |c| c.to_string());
+                write_stdout(&format!(
+                    "{} {} graph={graph} cycles={cycles}\t{line}\n",
+                    source_token(a.source),
+                    a.verdict,
+                ))?;
+            }
+            None => {
+                misses += 1;
+                write_stdout(&format!("miss - graph=- cycles=-\t{line}\n"))?;
+            }
+        }
+    }
+    eprintln!(
+        "campaign: {answered} answer(s) from {} stored row(s) — {hits} hit(s), \
+         {simulated} simulated, {misses} miss(es)",
+        store.len(),
+    );
+    Ok(Outcome::Queried {
+        answered,
+        hits,
+        simulated,
+        misses,
+    })
+}
+
+fn source_token(source: AnswerSource) -> &'static str {
+    match source {
+        AnswerSource::Hit => "hit",
+        AnswerSource::Simulated => "simulated",
+        AnswerSource::Coalesced => "coalesced",
+    }
+}
+
+/// One parsed `ATTACK | STACK | KNOBS` query line.
+struct Query {
+    attack: &'static dyn Attack,
+    stack: Option<DefenseStack>,
+    config: UarchConfig,
+}
+
+/// Parses one query line: `ATTACK | STACK | KNOB=V KNOB=V…`. The third
+/// field may be empty or absent (default config); `STACK` may be `none`
+/// for the undefended baseline.
+fn parse_query_line(line: &str) -> Result<Query, String> {
+    let mut fields = line.splitn(3, '|').map(str::trim);
+    let attack_name = fields
+        .next()
+        .filter(|s| !s.is_empty())
+        .ok_or("empty attack field (want ATTACK | STACK | KNOBS)")?;
+    let stack_expr = fields
+        .next()
+        .ok_or("missing stack field (want ATTACK | STACK | KNOBS; STACK may be 'none')")?;
+    let knobs = fields.next().unwrap_or("");
+    let attack =
+        attacks::find(attack_name).ok_or_else(|| format!("unknown attack '{attack_name}'"))?;
+    let stack = if stack_expr == "none" {
+        None
+    } else {
+        Some(resolve_stack(stack_expr).map_err(|e| e.to_string())?)
+    };
+    Ok(Query {
+        attack,
+        stack,
+        config: config_from_tokens(knobs)?,
+    })
+}
+
+/// Builds a [`UarchConfig`] from whitespace-separated `KNOB=V` tokens in
+/// the `--axis` vocabulary, each with exactly one value, applied to the
+/// default config. The token list may be empty.
+fn config_from_tokens(tokens: &str) -> Result<UarchConfig, String> {
+    // Reuse the axis grammar and the spec builder's knob application: a
+    // throwaway single-point spec's lone config slice *is* the requested
+    // configuration (and the guarantee it matches what a campaign over
+    // the same axes simulated falls out for free).
+    let mut builder = CampaignSpec::builder(UarchConfig::default()).defense_stacks([]);
+    let mut seen: Vec<Knob> = Vec::new();
+    for token in tokens.split_whitespace() {
+        let (knob, values) = parse_axis(token).map_err(|e| e.to_string())?;
+        let [value] = values.as_slice() else {
+            return Err(format!("token '{token}' must pin exactly one value"));
+        };
+        if seen.contains(&knob) {
+            return Err(format!("knob '{}' given twice", knob_token(knob)));
+        }
+        seen.push(knob);
+        builder = builder.axis(knob, [*value]);
+    }
+    let spec = builder.build();
+    let [config] = spec.configs.as_slice() else {
+        return Err("internal: single-point spec expanded to multiple configs".to_owned());
+    };
+    Ok(config.config.clone())
+}
+
+/// Loads one `campaign query` artifact — a saved matrix, part, or
+/// scheduler checkpoint, distinguished by its `kind` — into the store.
+fn ingest_artifact(store: &VerdictStore, path: &Path) -> Result<usize, CliError> {
+    let artifact = |source| CliError::Artifact {
+        path: path.to_path_buf(),
+        source,
+    };
+    match CampaignMatrix::load_json(path) {
+        Ok(matrix) => Ok(store.ingest_matrix(&matrix)),
+        Err(CampaignIoError::Kind { .. }) => match CampaignPart::load_json(path) {
+            Ok(part) => Ok(store.ingest_part(&part)),
+            Err(CampaignIoError::Kind { .. }) => CampaignPart::load_checkpoint_json(path)
+                .map(|part| store.ingest_part(&part))
+                .map_err(artifact),
+            Err(e) => Err(artifact(e)),
+        },
+        Err(e) => Err(artifact(e)),
+    }
 }
 
 // ---------------------------------------------------------------------------

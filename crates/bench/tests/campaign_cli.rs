@@ -497,6 +497,204 @@ fn diff_compares_saved_matrices() {
 }
 
 #[test]
+fn serve_is_bit_identical_and_resumes_from_checkpoints() {
+    let expected = CampaignMatrix::run(&oracle_spec()).unwrap().to_json();
+    let dir = tempdir("serve");
+    let ckpt = dir.join("ckpt");
+    let served = dir.join("served.json");
+    let serve_to = |path: &PathBuf| -> Outcome {
+        run(&with_spec(&[
+            "serve",
+            "--workers",
+            "3",
+            "--chunk",
+            "3",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--out",
+            path.to_str().unwrap(),
+        ]))
+        .expect("serve")
+    };
+    // Fresh scheduled run: nothing to resume, output bit-identical to the
+    // in-process single-shot oracle.
+    let outcome = serve_to(&served);
+    let Outcome::Served {
+        chunks,
+        resumed: 0,
+        executed,
+        ..
+    } = outcome
+    else {
+        panic!("unexpected outcome {outcome:?}");
+    };
+    assert_eq!(executed, chunks);
+    assert!(chunks >= 4, "the cube must split into several chunks");
+    assert_eq!(fs::read_to_string(&served).unwrap(), expected);
+
+    // Simulate a mid-run kill: drop one chunk file, leaving the rest.
+    fs::remove_file(ckpt.join("chunk-00001.json")).expect("checkpoint file exists");
+    let resumed_out = dir.join("resumed.json");
+    let outcome = serve_to(&resumed_out);
+    // `stolen` is scheduling-dependent (an idle worker may legally
+    // duplicate the one remaining chunk) — everything else is pinned.
+    assert!(
+        matches!(
+            outcome,
+            Outcome::Served {
+                chunks: c,
+                resumed: r,
+                executed: 1,
+                ..
+            } if c == chunks && r == chunks - 1
+        ),
+        "unexpected outcome {outcome:?}"
+    );
+    assert_eq!(fs::read_to_string(&resumed_out).unwrap(), expected);
+
+    // Everything checkpointed now: a third run re-simulates nothing.
+    let third = dir.join("third.json");
+    let outcome = serve_to(&third);
+    assert_eq!(
+        outcome,
+        Outcome::Served {
+            chunks,
+            resumed: chunks,
+            executed: 0,
+            stolen: 0
+        }
+    );
+    assert_eq!(fs::read_to_string(&third).unwrap(), expected);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn query_serves_hits_reports_misses_and_simulates_on_request() {
+    let dir = tempdir("query");
+    let matrix = dir.join("matrix.json");
+    run(&with_spec(&["run", "--out", matrix.to_str().unwrap()])).expect("full run");
+
+    // Two hits (a cell and a baseline), one cell outside the matrix's
+    // knob grid, plus a comment and a blank line.
+    let batch = dir.join("batch.txt");
+    fs::write(
+        &batch,
+        "# verdict batch\n\
+         Meltdown | NDA | rob=16\n\
+         \n\
+         Meltdown | none | rob=64\n\
+         Meltdown | LFENCE | rob=32\n",
+    )
+    .unwrap();
+
+    // Without --simulate the out-of-grid cell is a reported miss.
+    let outcome = run(&[
+        "query",
+        matrix.to_str().unwrap(),
+        "--queries",
+        batch.to_str().unwrap(),
+    ])
+    .expect("query");
+    assert_eq!(
+        outcome,
+        Outcome::Queried {
+            answered: 2,
+            hits: 2,
+            simulated: 0,
+            misses: 1
+        }
+    );
+
+    // With --simulate the miss is computed on a warm machine and the
+    // other answers still come from the index.
+    let outcome = run(&[
+        "query",
+        matrix.to_str().unwrap(),
+        "--queries",
+        batch.to_str().unwrap(),
+        "--simulate",
+    ])
+    .expect("query --simulate");
+    assert_eq!(
+        outcome,
+        Outcome::Queried {
+            answered: 3,
+            hits: 2,
+            simulated: 1,
+            misses: 0
+        }
+    );
+
+    // Part files ingest too: a half-cube artifact still answers its rows.
+    let part = dir.join("part.json");
+    run(&with_spec(&[
+        "run",
+        "--shard",
+        "0/2",
+        "--out",
+        part.to_str().unwrap(),
+    ]))
+    .expect("shard");
+    let one = dir.join("one.txt");
+    fs::write(&one, "Meltdown | NDA | rob=16\n").unwrap();
+    match run(&[
+        "query",
+        part.to_str().unwrap(),
+        "--queries",
+        one.to_str().unwrap(),
+    ])
+    .expect("query part")
+    {
+        Outcome::Queried { answered, .. } => assert!(answered <= 1),
+        other => panic!("expected Queried, got {other:?}"),
+    }
+
+    // A malformed query line is a usage error naming the line.
+    let bad = dir.join("bad.txt");
+    fs::write(&bad, "Meltdown\n").unwrap();
+    match run(&[
+        "query",
+        matrix.to_str().unwrap(),
+        "--queries",
+        bad.to_str().unwrap(),
+    ]) {
+        Err(CliError::Usage(msg)) => {
+            assert!(msg.contains("query line 1"), "{msg}");
+            assert!(msg.contains("stack field"), "{msg}");
+        }
+        other => panic!("expected a usage error, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_and_query_usage_errors_are_actionable() {
+    for (args, needle) in [
+        (vec!["serve", "--workers", "0"], "positive number"),
+        (vec!["serve", "--workers", "lots"], "positive number"),
+        (vec!["serve", "--chunk", "0"], "positive task count"),
+        (vec!["serve", "--nope"], "unknown flag"),
+        (vec!["query", "m.json", "--nope"], "unknown flag"),
+        (vec!["query", "--queries"], "needs a value"),
+    ] {
+        match run(&args) {
+            Err(CliError::Usage(msg)) => {
+                assert!(
+                    msg.contains(needle),
+                    "usage message for {args:?} should mention '{needle}', got: {msg}"
+                );
+            }
+            other => panic!("expected a usage error for {args:?}, got {other:?}"),
+        }
+    }
+    // Querying a missing artifact is a typed artifact error, not a panic.
+    match run(&["query", "no-such.json", "--queries", "also-missing.txt"]) {
+        Err(CliError::Artifact { .. }) => {}
+        other => panic!("expected an artifact error, got {other:?}"),
+    }
+}
+
+#[test]
 fn progress_flag_is_accepted_on_every_run_mode() {
     // --progress must not change any outcome or artifact; the lines go to
     // stderr. (Line formatting is unit-tested in bench::campaign_cli.)

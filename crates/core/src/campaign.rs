@@ -110,15 +110,20 @@ use std::path::Path;
 use std::thread;
 use uarch::UarchConfig;
 
-/// Schema version stamped on every matrix and part document this module
-/// writes (`"version"` plus a `"kind"` discriminator:
-/// `"campaign-matrix"` or `"campaign-part"`). Version 4 generalizes the
-/// defense axis to **stacks** (`"KAISER/KPTI+Retpoline"` entries in the
-/// `defenses` list and cells); a singleton-stack document is
-/// byte-identical to a version-3 one except for the version number, so
-/// version-3 documents (and headerless version-2 matrices) still load.
-/// Any other version is a typed [`CampaignIoError::Version`].
-pub const SCHEMA_VERSION: u64 = 4;
+/// Schema version stamped on every matrix, part, and checkpoint document
+/// this module writes (`"version"` plus a `"kind"` discriminator:
+/// `"campaign-matrix"`, `"campaign-part"`, or `"campaign-checkpoint"`).
+/// Version 5 adds the checkpoint kind — a scheduler chunk written by
+/// [`serve`](crate::serve) for kill/resume — without changing the row
+/// format, so version-4 documents are byte-identical apart from the
+/// version number and still load, as do version-3 single-defense
+/// documents and headerless version-2 matrices. Any other version is a
+/// typed [`CampaignIoError::Version`].
+pub const SCHEMA_VERSION: u64 = 5;
+
+/// The pre-checkpoint schema (stack-valued defense axis, no
+/// `campaign-checkpoint` kind). Accepted on load, never written.
+const STACK_MATRIX_VERSION: u64 = 4;
 
 /// The pre-stack schema: single-defense documents with `kind` headers.
 /// Accepted on load (a single defense name parses as a singleton stack),
@@ -735,7 +740,7 @@ pub fn config_digest(cfg: &UarchConfig) -> u64 {
     fnv1a(format!("{cfg:?}").as_bytes(), FNV_OFFSET)
 }
 
-fn baseline_fingerprint(attack: &str, digest: u64) -> u64 {
+pub(crate) fn baseline_fingerprint(attack: &str, digest: u64) -> u64 {
     let h = fnv1a(b"baseline\0", FNV_OFFSET);
     let h = fnv1a(attack.as_bytes(), h);
     fnv1a(&digest.to_le_bytes(), fnv1a(b"\0", h))
@@ -745,7 +750,12 @@ fn baseline_fingerprint(attack: &str, digest: u64) -> u64 {
 /// strategy token, so a singleton stack's fingerprint equals the
 /// pre-stack (schema v3) single-defense fingerprint — saved matrices keep
 /// feeding incremental runs across the schema bump.
-fn cell_fingerprint(attack: &str, defense: &str, strategy_token: &str, digest: u64) -> u64 {
+pub(crate) fn cell_fingerprint(
+    attack: &str,
+    defense: &str,
+    strategy_token: &str,
+    digest: u64,
+) -> u64 {
     let h = fnv1a(b"cell\0", FNV_OFFSET);
     let h = fnv1a(attack.as_bytes(), h);
     let h = fnv1a(defense.as_bytes(), fnv1a(b"\0", h));
@@ -1211,6 +1221,18 @@ impl CampaignPart {
         self.spec_fingerprint
     }
 
+    /// First task index (inclusive) of this part's range.
+    #[must_use]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// One past the last task index of this part's range.
+    #[must_use]
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
     /// Number of tasks (baselines + cells) this part evaluated.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -1239,8 +1261,24 @@ impl CampaignPart {
     /// rows. Round-trips through [`CampaignPart::from_json`].
     #[must_use]
     pub fn to_json(&self) -> String {
+        self.to_json_kind("campaign-part")
+    }
+
+    /// The part as a **checkpoint** document (`"kind":
+    /// "campaign-checkpoint"`, same row format): the unit the
+    /// [`serve`](crate::serve) scheduler writes after each completed chunk
+    /// so a killed run resumes without redoing the range. Round-trips
+    /// through [`CampaignPart::from_checkpoint_json`]; the two kinds do
+    /// not interchange, so a checkpoint directory can never be merged as
+    /// if it were a complete part set by accident.
+    #[must_use]
+    pub fn to_checkpoint_json(&self) -> String {
+        self.to_json_kind("campaign-checkpoint")
+    }
+
+    fn to_json_kind(&self, kind: &str) -> String {
         let mut out = String::from("{\n  \"version\": ");
-        let _ = write!(out, "{SCHEMA_VERSION},\n  \"kind\": \"campaign-part\",");
+        let _ = write!(out, "{SCHEMA_VERSION},\n  \"kind\": \"{kind}\",");
         let _ = write!(
             out,
             "\n  \"spec_fingerprint\": \"{:#018x}\",",
@@ -1284,6 +1322,15 @@ impl CampaignPart {
         std::fs::write(path, self.to_json())
     }
 
+    /// Writes [`CampaignPart::to_checkpoint_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from writing the file.
+    pub fn save_checkpoint_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_checkpoint_json())
+    }
+
     /// Reads a part saved with [`CampaignPart::save_json`].
     ///
     /// # Errors
@@ -1292,6 +1339,20 @@ impl CampaignPart {
     /// version/kind, or names that no longer resolve in the registries.
     pub fn load_json(path: impl AsRef<Path>) -> Result<Self, CampaignIoError> {
         Self::from_json(&std::fs::read_to_string(path)?)
+    }
+
+    /// Reads a checkpoint saved with
+    /// [`CampaignPart::save_checkpoint_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignIoError`] on I/O failure, malformed or truncated JSON
+    /// (a worker killed mid-write leaves a
+    /// [`Truncated`](jsonio::JsonErrorKind::Truncated) prefix, which the
+    /// scheduler treats as "chunk not done"), a wrong version/kind, or
+    /// names that no longer resolve in the registries.
+    pub fn load_checkpoint_json(path: impl AsRef<Path>) -> Result<Self, CampaignIoError> {
+        Self::from_checkpoint_json(&std::fs::read_to_string(path)?)
     }
 
     /// Parses a part from its [`CampaignPart::to_json`] document.
@@ -1308,8 +1369,24 @@ impl CampaignPart {
     /// (e.g. a *matrix* document — parts and matrices do not
     /// interchange), unknown names/tokens, or an inconsistent header.
     pub fn from_json(text: &str) -> Result<Self, CampaignIoError> {
+        Self::from_json_kind(text, "campaign-part")
+    }
+
+    /// Parses a checkpoint from its [`CampaignPart::to_checkpoint_json`]
+    /// document. Identical validation to [`CampaignPart::from_json`],
+    /// keyed on the `"campaign-checkpoint"` kind.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignIoError`] on malformed JSON, a wrong version or kind,
+    /// unknown names/tokens, or an inconsistent header.
+    pub fn from_checkpoint_json(text: &str) -> Result<Self, CampaignIoError> {
+        Self::from_json_kind(text, "campaign-checkpoint")
+    }
+
+    fn from_json_kind(text: &str, kind: &'static str) -> Result<Self, CampaignIoError> {
         let doc = jsonio::parse(text)?;
-        check_version_and_kind(&doc, "campaign-part", false)?;
+        check_version_and_kind(&doc, kind, false)?;
         let spec_fingerprint = header_fingerprint(&doc)?;
         let shard = doc
             .get("shard")
@@ -2248,7 +2325,7 @@ fn check_version_and_kind(
 ) -> Result<(), CampaignIoError> {
     let version = doc.get("version").and_then(Json::as_u64);
     match version {
-        Some(SCHEMA_VERSION | SINGLE_DEFENSE_VERSION) => {}
+        Some(SCHEMA_VERSION | STACK_MATRIX_VERSION | SINGLE_DEFENSE_VERSION) => {}
         Some(LEGACY_MATRIX_VERSION) if allow_legacy && doc.get("kind").is_none() => {
             return Ok(());
         }
@@ -2557,8 +2634,8 @@ impl fmt::Display for CampaignIoError {
             CampaignIoError::Version { found: Some(v) } => write!(
                 f,
                 "unsupported schema version {v} (this build reads versions \
-                 {LEGACY_MATRIX_VERSION}, {SINGLE_DEFENSE_VERSION} and \
-                 {SCHEMA_VERSION})"
+                 {LEGACY_MATRIX_VERSION}, {SINGLE_DEFENSE_VERSION}, \
+                 {STACK_MATRIX_VERSION} and {SCHEMA_VERSION})"
             ),
             CampaignIoError::Version { found: None } => {
                 f.write_str("missing schema version header")
@@ -3039,12 +3116,12 @@ mod tests {
     fn legacy_version2_matrices_still_load() {
         let m = CampaignMatrix::run(&small_spec(0)).unwrap();
         let legacy = m.to_json().replacen(
-            "\"version\": 4,\n  \"kind\": \"campaign-matrix\",",
+            "\"version\": 5,\n  \"kind\": \"campaign-matrix\",",
             "\"version\": 2,",
             1,
         );
         let loaded = CampaignMatrix::from_json(&legacy).unwrap();
-        // Loading upgrades: the re-serialized document is version 4.
+        // Loading upgrades: the re-serialized document is version 5.
         assert_eq!(loaded.to_json(), m.to_json());
     }
 
@@ -3054,21 +3131,63 @@ mod tests {
         // pre-stack schema, so rewriting the version header alone yields
         // exactly what a version-3 build produced — and it must load.
         let m = CampaignMatrix::run(&small_spec(0)).unwrap();
-        let v3 = m.to_json().replacen("\"version\": 4", "\"version\": 3", 1);
+        let v3 = m.to_json().replacen("\"version\": 5", "\"version\": 3", 1);
         let loaded = CampaignMatrix::from_json(&v3).unwrap();
         assert_eq!(loaded.to_json(), m.to_json());
         // The same holds for shard parts.
         let part = small_spec(0).shards(2)[0].run().unwrap();
         let v3 = part
             .to_json()
-            .replacen("\"version\": 4", "\"version\": 3", 1);
+            .replacen("\"version\": 5", "\"version\": 3", 1);
         let loaded = CampaignPart::from_json(&v3).unwrap();
         assert_eq!(loaded.to_json(), part.to_json());
         // And a v3 matrix feeds incremental reuse without re-simulation.
-        let v3 = m.to_json().replacen("\"version\": 4", "\"version\": 3", 1);
+        let v3 = m.to_json().replacen("\"version\": 5", "\"version\": 3", 1);
         let prev = CampaignMatrix::from_json(&v3).unwrap();
         let (_, report) = CampaignMatrix::run_incremental(&small_spec(0), Some(&prev)).unwrap();
         assert_eq!(report.evaluated, 0);
+    }
+
+    #[test]
+    fn version4_stack_matrices_still_load() {
+        // Version 5 only adds the checkpoint document kind; matrix and
+        // part rows are unchanged, so a version-4 header must keep
+        // loading (and re-serialize at version 5).
+        let m = CampaignMatrix::run(&small_spec(0)).unwrap();
+        let v4 = m.to_json().replacen("\"version\": 5", "\"version\": 4", 1);
+        let loaded = CampaignMatrix::from_json(&v4).unwrap();
+        assert_eq!(loaded.to_json(), m.to_json());
+        let part = small_spec(0).shards(2)[1].run().unwrap();
+        let v4 = part
+            .to_json()
+            .replacen("\"version\": 5", "\"version\": 4", 1);
+        let loaded = CampaignPart::from_json(&v4).unwrap();
+        assert_eq!(loaded.to_json(), part.to_json());
+    }
+
+    #[test]
+    fn checkpoint_documents_round_trip_but_do_not_interchange() {
+        let part = small_spec(0).shards(3)[1].run().unwrap();
+        let doc = part.to_checkpoint_json();
+        assert!(doc.contains("\"kind\": \"campaign-checkpoint\""));
+        let loaded = CampaignPart::from_checkpoint_json(&doc).unwrap();
+        assert_eq!(loaded.to_json(), part.to_json());
+        assert_eq!((loaded.start(), loaded.end()), (part.start(), part.end()));
+        // A checkpoint is not a part and vice versa.
+        assert!(matches!(
+            CampaignPart::from_json(&doc),
+            Err(CampaignIoError::Kind {
+                expected: "campaign-part",
+                ..
+            })
+        ));
+        assert!(matches!(
+            CampaignPart::from_checkpoint_json(&part.to_json()),
+            Err(CampaignIoError::Kind {
+                expected: "campaign-checkpoint",
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -3078,15 +3197,20 @@ mod tests {
             Err(CampaignIoError::Version { found: None })
         ));
         let m = CampaignMatrix::run(&small_spec(0)).unwrap();
-        let doc = m.to_json().replacen("\"version\": 4", "\"version\": 99", 1);
+        let doc = m.to_json().replacen("\"version\": 5", "\"version\": 99", 1);
         assert!(matches!(
             CampaignMatrix::from_json(&doc),
             Err(CampaignIoError::Version { found: Some(99) })
         ));
-        // Truncation surfaces the JSON layer's typed error with an offset.
+        // Truncation surfaces the JSON layer's typed error with an offset,
+        // and it is distinguishable from a syntax error — the scheduler
+        // relies on this to treat a half-written checkpoint as "not done".
         let whole = m.to_json();
         match CampaignMatrix::from_json(&whole[..whole.len() / 2]) {
-            Err(CampaignIoError::Json(e)) => assert!(e.offset() <= whole.len() / 2),
+            Err(CampaignIoError::Json(e)) => {
+                assert!(e.offset() <= whole.len() / 2);
+                assert!(e.is_truncated());
+            }
             other => panic!("expected a Json error, got {other:?}"),
         }
     }
@@ -3169,7 +3293,7 @@ mod tests {
         assert!(csv.starts_with("attack,defense,config,"));
         let json = m.to_json();
         assert!(json.contains("\"cells\""));
-        assert!(json.contains("\"version\": 4"));
+        assert!(json.contains("\"version\": 5"));
         assert!(json.contains("\"kind\": \"campaign-matrix\""));
         assert_eq!(json.matches("{\"attack\"").count(), 12 + 4);
         // Escaping: a quote in a config name must not break the document.

@@ -14,6 +14,11 @@
 //!
 //! * every malformed input returns a typed [`JsonError`] carrying the byte
 //!   offset of the problem — parsing never panics;
+//! * input that simply *ends early* — the signature of a checkpoint or
+//!   part file a killed worker left half-written — is distinguished from
+//!   malformed bytes by [`JsonErrorKind::Truncated`]
+//!   ([`JsonError::is_truncated`]), so resume logic can safely redo a
+//!   partially written range without masking real corruption;
 //! * nesting depth is capped at [`MAX_DEPTH`], so a pathological
 //!   `[[[[…` document errors out instead of overflowing the stack;
 //! * numbers that do not fit `u64` are an error, not a wrap-around.
@@ -106,11 +111,32 @@ impl Json {
     }
 }
 
-/// A JSON syntax error: what went wrong and the byte offset where.
+/// What class of problem a [`JsonError`] reports.
+///
+/// The distinction matters operationally: a checkpoint or part file that a
+/// killed worker left half-written parses to [`Truncated`](Self::Truncated)
+/// — the document was well-formed up to the point where the input simply
+/// stopped — and resume logic can safely re-run that range, while
+/// [`Syntax`](Self::Syntax) means the bytes themselves are wrong (corrupt
+/// or hand-edited) and should be surfaced, not silently redone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum JsonErrorKind {
+    /// The input contains bytes that can never start/continue valid JSON.
+    Syntax,
+    /// The input ended while a value, string, container, or literal was
+    /// still open — the signature of a partially written file.
+    Truncated,
+}
+
+/// A JSON syntax error: what went wrong, the byte offset where, and
+/// whether the input was malformed or merely cut short
+/// ([`JsonErrorKind`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
     offset: usize,
     message: String,
+    kind: JsonErrorKind,
 }
 
 impl JsonError {
@@ -118,6 +144,15 @@ impl JsonError {
         JsonError {
             offset,
             message: message.into(),
+            kind: JsonErrorKind::Syntax,
+        }
+    }
+
+    fn truncated(offset: usize, message: impl Into<String>) -> Self {
+        JsonError {
+            offset,
+            message: message.into(),
+            kind: JsonErrorKind::Truncated,
         }
     }
 
@@ -132,11 +167,33 @@ impl JsonError {
     pub fn message(&self) -> &str {
         &self.message
     }
+
+    /// Whether the input was malformed or merely ended early.
+    #[must_use]
+    pub fn kind(&self) -> JsonErrorKind {
+        self.kind
+    }
+
+    /// `true` when the input ended mid-document (a partially written
+    /// file), as opposed to containing malformed bytes.
+    #[must_use]
+    pub fn is_truncated(&self) -> bool {
+        self.kind == JsonErrorKind::Truncated
+    }
 }
 
 impl fmt::Display for JsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at byte {}", self.message, self.offset)
+        match self.kind {
+            JsonErrorKind::Syntax => write!(f, "{} at byte {}", self.message, self.offset),
+            JsonErrorKind::Truncated => {
+                write!(
+                    f,
+                    "truncated input at byte {}: {}",
+                    self.offset, self.message
+                )
+            }
+        }
     }
 }
 
@@ -167,14 +224,19 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
 }
 
 fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), JsonError> {
-    if *pos < b.len() && b[*pos] == ch {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(JsonError::new(
+    match b.get(*pos) {
+        Some(&c) if c == ch => {
+            *pos += 1;
+            Ok(())
+        }
+        Some(_) => Err(JsonError::new(
             *pos,
             format!("expected '{}'", char::from(ch)),
-        ))
+        )),
+        None => Err(JsonError::truncated(
+            *pos,
+            format!("expected '{}'", char::from(ch)),
+        )),
     }
 }
 
@@ -187,7 +249,7 @@ fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonErro
     }
     skip_ws(b, pos);
     match b.get(*pos) {
-        None => Err(JsonError::new(*pos, "unexpected end of input")),
+        None => Err(JsonError::truncated(*pos, "unexpected end of input")),
         Some(b'{') => parse_object(b, pos, depth),
         Some(b'[') => parse_array(b, pos, depth),
         Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
@@ -203,9 +265,13 @@ fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonErro
 }
 
 fn parse_literal(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, JsonError> {
-    if b[*pos..].starts_with(lit.as_bytes()) {
+    let rest = &b[*pos..];
+    if rest.starts_with(lit.as_bytes()) {
         *pos += lit.len();
         Ok(value)
+    } else if lit.as_bytes().starts_with(rest) {
+        // A proper prefix of the literal, cut off by end of input.
+        Err(JsonError::truncated(*pos, "bad literal"))
     } else {
         Err(JsonError::new(*pos, "bad literal"))
     }
@@ -234,7 +300,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     let mut out = Vec::new();
     loop {
         match b.get(*pos) {
-            None => return Err(JsonError::new(*pos, "unterminated string")),
+            None => return Err(JsonError::truncated(*pos, "unterminated string")),
             Some(b'"') => {
                 *pos += 1;
                 return String::from_utf8(out).map_err(|e| JsonError::new(*pos, e.to_string()));
@@ -243,7 +309,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 *pos += 1;
                 let esc = *b
                     .get(*pos)
-                    .ok_or_else(|| JsonError::new(*pos, "unterminated escape"))?;
+                    .ok_or_else(|| JsonError::truncated(*pos, "unterminated escape"))?;
                 *pos += 1;
                 match esc {
                     b'"' => out.push(b'"'),
@@ -257,7 +323,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                     b'u' => {
                         let hex = b
                             .get(*pos..*pos + 4)
-                            .ok_or_else(|| JsonError::new(*pos, "truncated \\u escape"))?;
+                            .ok_or_else(|| JsonError::truncated(*pos, "truncated \\u escape"))?;
                         *pos += 4;
                         let code = u32::from_str_radix(
                             std::str::from_utf8(hex)
@@ -304,7 +370,8 @@ fn parse_array(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonErro
                 *pos += 1;
                 return Ok(Json::Arr(items));
             }
-            _ => return Err(JsonError::new(*pos, "expected ',' or ']'")),
+            Some(_) => return Err(JsonError::new(*pos, "expected ',' or ']'")),
+            None => return Err(JsonError::truncated(*pos, "expected ',' or ']'")),
         }
     }
 }
@@ -331,7 +398,8 @@ fn parse_object(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonErr
                 *pos += 1;
                 return Ok(Json::Obj(map));
             }
-            _ => return Err(JsonError::new(*pos, "expected ',' or '}'")),
+            Some(_) => return Err(JsonError::new(*pos, "expected ',' or '}'")),
+            None => return Err(JsonError::truncated(*pos, "expected ',' or '}'")),
         }
     }
 }
@@ -399,7 +467,41 @@ mod tests {
             "\"abc\\u00",
             "tru",
         ] {
-            assert!(parse(doc).is_err(), "truncated {doc:?} must error");
+            let err = parse(doc).unwrap_err();
+            assert!(
+                err.is_truncated(),
+                "truncated {doc:?} must report Truncated, got {err}"
+            );
+            assert_eq!(err.kind(), JsonErrorKind::Truncated);
+            assert!(err.offset() <= doc.len());
+            assert!(err.to_string().starts_with("truncated input at byte"));
+        }
+    }
+
+    #[test]
+    fn every_prefix_of_a_document_reports_truncated() {
+        // The resume path's contract: however far into a document the
+        // write got before the worker died, the reader answers Truncated
+        // (never Syntax, never success — except prefixes that happen to
+        // close the top-level object, which only full length does).
+        let doc = r#"{"version": 5, "cells": [{"a": "x,\"yA"}, null, true], "n": 12}"#;
+        for cut in 0..doc.len() {
+            let err = parse(&doc[..cut]).unwrap_err();
+            assert!(
+                err.is_truncated(),
+                "prefix of {cut} bytes gave {err} (kind {:?})",
+                err.kind()
+            );
+        }
+        assert!(parse(doc).is_ok());
+    }
+
+    #[test]
+    fn malformed_bytes_are_syntax_not_truncated() {
+        for doc in ["[1, x]", "{\"a\"}", "[1,]", "1.5", "-1", r#""\q""#, "nope"] {
+            let err = parse(doc).unwrap_err();
+            assert_eq!(err.kind(), JsonErrorKind::Syntax, "{doc:?} gave {err}");
+            assert!(!err.is_truncated());
         }
     }
 

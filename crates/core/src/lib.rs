@@ -10,7 +10,7 @@
 //! | [`isa`] | the architectural substrate: a small ISA with branches, faulting loads, fences, `clflush`/`rdtsc`, MSRs, FP and TSX |
 //! | [`uarch`] | a speculative out-of-order machine with trainable predictors, delayed authorization checks, leaky buffers and every defense knob of Figure 8 |
 //! | [`channels`] | the four cache-timing channel classes of §II-C |
-//! | [`attacks`] | all 17 Table-III variants: executable PoC + attack graph + catalog row |
+//! | [`attacks`] | the Table-III catalog and its descendants (22 registry rows): executable PoC + attack graph + catalog row each |
 //! | [`defenses`] | the four defense strategies of Figure 8 and the full Table-II/§V-B defense catalog, verified by execution |
 //! | [`analyzer`] | the Figure-9 tool: graph construction, race finding, fence/mask patching |
 //!
@@ -45,6 +45,7 @@ pub mod discovery;
 pub mod insufficiency;
 pub mod jsonio;
 pub mod scenario;
+pub mod serve;
 
 pub use analyzer;
 pub use attacks;
@@ -63,6 +64,10 @@ pub mod prelude {
     };
     pub use crate::discovery::{self, AttackPoint, Channel, DelayMechanism, SecretSourceDim};
     pub use crate::scenario::{self, Evaluation};
+    pub use crate::serve::{
+        self, Answer, AnswerSource, ChunkEvent, ScheduleReport, Scheduler, ServeError,
+        StoredVerdict, VerdictStore,
+    };
     pub use analyzer::{AnalysisConfig, Analyzer};
     pub use attacks::{self, Attack, AttackClass, AttackOutcome};
     pub use channels::flush_reload::FlushReload;

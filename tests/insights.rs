@@ -126,8 +126,8 @@ fn insight6_modeling_level_split() {
         .iter()
         .filter(|a| a.info().class == AttackClass::Meltdown)
         .count();
-    // v1, v1.1, v1.2, v2, v4, RSB, Retbleed, BHI, Zenbleed
-    assert_eq!(spectre_count, 9);
+    // v1, v1.1, v1.2, v2, v4, RSB, Retbleed, BHI, Zenbleed, Inception
+    assert_eq!(spectre_count, 10);
     assert_eq!(meltdown_count, 12);
 
     // The tool keeps Spectre-type inputs at the instruction level (node
