@@ -133,6 +133,23 @@ impl Analyzer {
     }
 }
 
+/// Lifts `program` to its attack graph: gadget detection plus graph
+/// construction, *without* computing the vulnerability report.
+///
+/// This is the entry point for callers that run their own verdict over
+/// the graph — e.g. the fuzzing pipeline, which fingerprints the lifted
+/// shape and asks `defenses::PatchSession` for the Theorem-1 race
+/// verdict on thousands of generated candidates.
+///
+/// # Errors
+///
+/// [`AnalyzerError`] if graph construction fails (cannot happen for
+/// valid programs; kept for robustness).
+pub fn lift(program: &Program, config: &AnalysisConfig) -> Result<SecurityAnalysis, AnalyzerError> {
+    let gadgets = gadget::find_gadgets(program, config);
+    graph_gen::build_graph(program, &gadgets, config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

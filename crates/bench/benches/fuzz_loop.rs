@@ -1,0 +1,65 @@
+//! Criterion: the synthesized-scenario discovery loop.
+//!
+//! Three rungs, from the loop's inner costs outward:
+//!
+//! 1. `generate`: [`Scenario::generate`] alone — the seeded draw over
+//!    (source × delay × channel) plus mutation splicing. Pure CPU, no
+//!    simulation; this is the per-candidate overhead the fuzzer adds on
+//!    top of the oracles.
+//! 2. `classify`: one [`DualOracle::classify`] per iteration over a
+//!    rotating window of generated candidates — lift + Theorem 1 on the
+//!    warm patch session, plus a full batched simulation on the warm
+//!    pooled machine. The dominant cost of every fuzzing campaign.
+//! 3. `fuzz_budget_32`: an end-to-end [`fuzz`] run (generate, classify,
+//!    dedup, rediscover, shrink) at a small fixed budget — the number a
+//!    `campaign fuzz` user actually experiences per 32 candidates.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use specgraph::discovery::fuzz::{fuzz, DualOracle, FuzzConfig, Scenario};
+use std::hint::black_box;
+
+fn bench_generate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fuzz_loop");
+    g.throughput(Throughput::Elements(1));
+    let mut index = 0u64;
+    g.bench_function("generate", |b| {
+        b.iter(|| {
+            index = index.wrapping_add(1);
+            black_box(Scenario::generate(42, black_box(index)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fuzz_loop");
+    g.throughput(Throughput::Elements(1));
+    let candidates: Vec<Scenario> = (0..32).map(|i| Scenario::generate(42, i)).collect();
+    let mut oracle = DualOracle::new();
+    let mut i = 0usize;
+    g.bench_function("classify", |b| {
+        b.iter(|| {
+            i = (i + 1) % candidates.len();
+            black_box(oracle.classify(&candidates[i]).expect("classifies"))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fuzz_budget(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fuzz_loop");
+    g.sample_size(10);
+    let cfg = FuzzConfig {
+        seed: 42,
+        budget: 32,
+        minimize: true,
+        threads: 1,
+    };
+    g.bench_function("fuzz_budget_32", |b| {
+        b.iter(|| black_box(fuzz(&cfg, None).expect("fuzzes")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generate, bench_classify, bench_fuzz_budget);
+criterion_main!(benches);

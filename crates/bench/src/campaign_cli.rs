@@ -9,6 +9,8 @@
 //! campaign run    --axis hardening=figure8 --incremental --prev matrix.json --out matrix.json
 //! campaign serve  --axis hardening=figure8 --workers 4 --checkpoint ckpt/ --out matrix.json
 //! campaign query  matrix.json --queries batch.txt --simulate
+//! campaign fuzz   --seed 42 --budget 512 --corpus corpus/ --registry-out found.json
+//! campaign run    --synthesized found.json --axis hardening=figure8 --out matrix.json
 //! ```
 //!
 //! Every subcommand is a thin wrapper over `specgraph::campaign` (and,
@@ -22,7 +24,12 @@
 //! and the next invocation resumes from the `--checkpoint` directory
 //! without re-simulating a single completed cell. `query` answers point
 //! lookups (`ATTACK | STACK | KNOBS` lines) from saved artifacts through
-//! the memoized [`VerdictStore`], optionally simulating misses.
+//! the memoized [`VerdictStore`], optionally simulating misses. `fuzz`
+//! runs the §V-A discovery loop (`specgraph::discovery::fuzz`): a seeded
+//! generator over the design-space dimensions, the differential
+//! Theorem-1-vs-simulation oracle, and the shrinking minimizer; novel
+//! leaking shapes land in a [`SynthesizedRegistry`] file that
+//! `--synthesized` feeds back into any campaign as extra attack rows.
 //!
 //! Argument parsing is hand-rolled (the workspace builds offline, no
 //! `clap`), and lives here — in the library — so the integration tests
@@ -35,6 +42,7 @@ use specgraph::campaign::{
     Knob, KnobValue, MatrixDiff, MergeError, PredictorFlavor, TaskEvent,
 };
 use specgraph::defenses::{self, presets, DefenseStack};
+use specgraph::discovery::fuzz::{self, CorpusError, FuzzConfig, FuzzError, SynthesizedRegistry};
 use specgraph::serve::{AnswerSource, ChunkEvent, Scheduler, ServeError, VerdictStore};
 use std::error::Error;
 use std::fmt;
@@ -44,7 +52,7 @@ use uarch::UarchConfig;
 
 /// The usage text `campaign --help` (and every usage error) prints.
 pub const USAGE: &str = "\
-campaign — run, shard, merge, render, diff, serve and query
+campaign — run, shard, merge, render, diff, serve, query and fuzz
            attack×defense-stack×config campaigns
 
 USAGE:
@@ -56,6 +64,8 @@ USAGE:
   campaign serve  [SPEC] [--workers N] [--chunk T] [--checkpoint DIR]
                   [--out FILE] [--csv FILE] [--progress]
   campaign query  ARTIFACT.json... [--queries FILE] [--simulate]
+  campaign fuzz   [--seed N] [--budget N] [--corpus DIR] [--threads N]
+                  [--minimize|--no-minimize] [--registry-out FILE]
 
 SPEC (must be identical for every shard of one campaign):
   --attacks NAMES    comma-separated attack names (default: full registry)
@@ -65,6 +75,9 @@ SPEC (must be identical for every shard of one campaign):
                      token or full name: kpti+retpoline+ibpb. Preset
                      bundles: linux-default, microcode-only, academic-stt,
                      academic-invisible.
+  --synthesized F    add the attacks of a fuzz-grown registry file
+                     (written by `campaign fuzz --registry-out`) to the
+                     attack axis, after the named/registry rows
   --axis KNOB=V,V..  add a config axis (repeatable; axes multiply):
                      numeric: rob fetch issue sets ways lfb stbuf rsb
                               hitlat misslat permlat
@@ -100,6 +113,17 @@ SPEC (must be identical for every shard of one campaign):
   is given, which computes the missing cell on a warm machine exactly as
   the campaign engine would (concurrent identical misses coalesce onto
   one flight).
+
+  `campaign fuzz` grows the attack catalog automatically: a seeded
+  generator walks the paper's (secret source × delay × channel) design
+  space with biased mutations, every candidate is classified by BOTH
+  Theorem 1 on the lifted graph and a batched simulation, divergences
+  are recorded as first-class findings, and novel leaking shapes —
+  deduplicated by graph fingerprint, shrunk to 1-minimal — are saved.
+  The loop is deterministic for a given --seed (independent of
+  --threads); with --corpus DIR the corpus persists and a re-run with a
+  larger --budget resumes where the last one stopped. --registry-out
+  writes the findings as a registry file for `run --synthesized`.
 ";
 
 /// What a successfully executed subcommand did (the binary prints this;
@@ -173,6 +197,20 @@ pub enum Outcome {
         /// Queries that missed without `--simulate`.
         misses: usize,
     },
+    /// `fuzz`: the discovery loop classified a corpus of synthesized
+    /// scenarios.
+    Fuzzed {
+        /// Candidates classified in total (including resumed ones).
+        classified: u64,
+        /// Candidates classified by this invocation.
+        newly_classified: u64,
+        /// Oracle divergences recorded (all causally explained).
+        divergences: usize,
+        /// Known catalog attacks rediscovered from scratch.
+        rediscovered: usize,
+        /// Novel 1-minimal leaking shapes in the corpus.
+        findings: usize,
+    },
     /// `--help` was requested; usage was printed.
     Help,
 }
@@ -195,6 +233,15 @@ pub enum CliError {
     Merge(MergeError),
     /// The serving layer failed (scheduler or verdict store).
     Serve(ServeError),
+    /// The fuzzing loop failed (oracle, corpus I/O, or resume mismatch).
+    Fuzz(FuzzError),
+    /// A synthesized-registry file could not be read or re-assembled.
+    Registry {
+        /// The file involved.
+        path: PathBuf,
+        /// What went wrong.
+        source: CorpusError,
+    },
     /// Plain file I/O (e.g. writing a CSV) failed.
     Io {
         /// The file involved.
@@ -214,6 +261,10 @@ impl fmt::Display for CliError {
             }
             CliError::Merge(e) => write!(f, "cannot merge parts: {e}"),
             CliError::Serve(e) => write!(f, "serving failed: {e}"),
+            CliError::Fuzz(e) => write!(f, "fuzzing failed: {e}"),
+            CliError::Registry { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
             CliError::Io { path, source } => {
                 write!(f, "{}: {source}", path.display())
             }
@@ -228,6 +279,8 @@ impl Error for CliError {
             CliError::Artifact { source, .. } => Some(source),
             CliError::Merge(e) => Some(e),
             CliError::Serve(e) => Some(e),
+            CliError::Fuzz(e) => Some(e),
+            CliError::Registry { source, .. } => Some(source),
             CliError::Io { source, .. } => Some(source),
             CliError::Usage(_) => None,
         }
@@ -252,6 +305,12 @@ impl From<ServeError> for CliError {
     }
 }
 
+impl From<FuzzError> for CliError {
+    fn from(e: FuzzError) -> Self {
+        CliError::Fuzz(e)
+    }
+}
+
 /// Parses and executes one `campaign` invocation (everything after the
 /// program name). This is the exact entry point the binary calls.
 ///
@@ -273,9 +332,10 @@ pub fn main_with(args: &[String]) -> Result<Outcome, CliError> {
         Some("diff") => cmd_diff(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         Some(other) => Err(CliError::Usage(format!(
             "unknown subcommand '{other}' (expected run, merge, render, diff, \
-             serve or query)"
+             serve, query or fuzz)"
         ))),
     }
 }
@@ -290,6 +350,7 @@ pub fn main_with(args: &[String]) -> Result<Outcome, CliError> {
 #[derive(Debug, Default)]
 struct SpecArgs {
     attacks: Option<Vec<String>>,
+    synthesized: Option<PathBuf>,
     defenses: Option<Vec<String>>,
     axes: Vec<(Knob, Vec<KnobValue>)>,
     threads: usize,
@@ -317,6 +378,10 @@ impl SpecArgs {
             "--attacks" => {
                 once(self.attacks.is_some())?;
                 self.attacks = Some(split_list(&value()?));
+            }
+            "--synthesized" => {
+                once(self.synthesized.is_some())?;
+                self.synthesized = Some(PathBuf::from(value()?));
             }
             "--defenses" => {
                 once(self.defenses.is_some())?;
@@ -354,9 +419,13 @@ impl SpecArgs {
     /// into a usage error first.
     fn build(self) -> Result<CampaignSpec, CliError> {
         let mut builder = CampaignSpec::builder(UarchConfig::default());
-        if let Some(names) = &self.attacks {
-            let mut list: Vec<&'static dyn Attack> = Vec::new();
-            for name in names {
+        if self.attacks.is_some() || self.synthesized.is_some() {
+            let mut list: Vec<&'static dyn Attack> = match &self.attacks {
+                // `--synthesized` alone extends the default full registry.
+                None => attacks::registry().to_vec(),
+                Some(names) => Vec::with_capacity(names.len()),
+            };
+            for name in self.attacks.as_deref().unwrap_or_default() {
                 list.push(attacks::find(name).ok_or_else(|| {
                     CliError::Usage(format!(
                         "unknown attack '{name}'; the registry has: {}",
@@ -366,6 +435,21 @@ impl SpecArgs {
                             .collect::<Vec<_>>()
                             .join(", ")
                     ))
+                })?);
+            }
+            if let Some(path) = &self.synthesized {
+                let text = std::fs::read_to_string(path).map_err(|source| CliError::Io {
+                    path: path.clone(),
+                    source,
+                })?;
+                let registry =
+                    SynthesizedRegistry::from_json(&text).map_err(|source| CliError::Registry {
+                        path: path.clone(),
+                        source,
+                    })?;
+                list.extend(registry.attacks().map_err(|source| CliError::Registry {
+                    path: path.clone(),
+                    source,
                 })?);
             }
             builder = builder.attacks(list);
@@ -1186,6 +1270,129 @@ fn ingest_artifact(store: &VerdictStore, path: &Path) -> Result<usize, CliError>
         },
         Err(e) => Err(artifact(e)),
     }
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<Outcome, CliError> {
+    let mut cfg = FuzzConfig::default();
+    let mut seed_set = false;
+    let mut budget_set = false;
+    let mut minimize_set = false;
+    let mut corpus_dir: Option<PathBuf> = None;
+    let mut registry_out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = || -> Result<String, CliError> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("flag '{flag}' needs a value")))
+        };
+        let once = |taken: bool| -> Result<(), CliError> {
+            if taken {
+                Err(CliError::Usage(format!("flag '{flag}' given twice")))
+            } else {
+                Ok(())
+            }
+        };
+        match flag {
+            "--seed" => {
+                once(seed_set)?;
+                seed_set = true;
+                let v = value()?;
+                cfg.seed = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("--seed needs a number, got '{v}'")))?;
+            }
+            "--budget" => {
+                once(budget_set)?;
+                budget_set = true;
+                let v = value()?;
+                cfg.budget = v.parse().ok().filter(|n| *n > 0).ok_or_else(|| {
+                    CliError::Usage(format!("--budget needs a positive count, got '{v}'"))
+                })?;
+            }
+            "--threads" => {
+                once(cfg.threads != 0)?;
+                let v = value()?;
+                cfg.threads = v.parse().ok().filter(|n| *n > 0).ok_or_else(|| {
+                    CliError::Usage(format!("--threads needs a positive number, got '{v}'"))
+                })?;
+            }
+            "--minimize" | "--no-minimize" => {
+                once(minimize_set)?;
+                minimize_set = true;
+                cfg.minimize = flag == "--minimize";
+            }
+            "--corpus" => {
+                once(corpus_dir.is_some())?;
+                corpus_dir = Some(PathBuf::from(value()?));
+            }
+            "--registry-out" => {
+                once(registry_out.is_some())?;
+                registry_out = Some(PathBuf::from(value()?));
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown flag '{other}' for 'campaign fuzz'"
+                )))
+            }
+        }
+        i += 1;
+    }
+    let report = fuzz::fuzz(&cfg, corpus_dir.as_deref())?;
+    let corpus = &report.corpus;
+    for r in &corpus.rediscovered {
+        eprintln!(
+            "campaign: rediscovered {} (candidate #{}, fingerprint {:016x})",
+            r.name, r.index, r.fingerprint
+        );
+    }
+    for f in &corpus.findings {
+        eprintln!(
+            "campaign: NEW {} — {} [{}]{}",
+            f.name(),
+            f.combo,
+            f.mutations
+                .iter()
+                .map(|m| m.tag())
+                .collect::<Vec<_>>()
+                .join(", "),
+            if f.removed > 0 {
+                format!(", {} instruction(s) shrunk away", f.removed)
+            } else {
+                String::new()
+            },
+        );
+    }
+    eprintln!(
+        "campaign: fuzzed {} candidate(s) ({} new) — {} agree-leak, {} \
+         agree-safe, {} divergence(s) ({} unexplained), {} known attack(s) \
+         rediscovered, {} novel finding(s)",
+        corpus.classified,
+        report.newly_classified,
+        corpus.agree_leak,
+        corpus.agree_safe,
+        corpus.divergences.len(),
+        corpus.unexplained().len(),
+        corpus.rediscovered.len(),
+        corpus.findings.len(),
+    );
+    if let Some(path) = &registry_out {
+        write_file(path, &corpus.registry().to_json())?;
+    }
+    // Without a corpus directory nothing persists on its own — emit the
+    // corpus to stdout so the run is still inspectable/pipeable.
+    if corpus_dir.is_none() {
+        write_stdout(&corpus.to_json())?;
+    }
+    Ok(Outcome::Fuzzed {
+        classified: corpus.classified,
+        newly_classified: report.newly_classified,
+        divergences: corpus.divergences.len(),
+        rediscovered: corpus.rediscovered.len(),
+        findings: corpus.findings.len(),
+    })
 }
 
 // ---------------------------------------------------------------------------

@@ -727,3 +727,100 @@ fn progress_flag_is_accepted_on_every_run_mode() {
     .expect("progress shard");
     fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn fuzz_cli_discovers_deterministically_resumes_and_feeds_campaigns() {
+    use specgraph::discovery::fuzz::CORPUS_FILE;
+    let dir = tempdir("fuzz");
+    let (c1, c2) = (dir.join("c1"), dir.join("c2"));
+    let registry = dir.join("registry.json");
+    let flags = |corpus: &PathBuf| {
+        vec![
+            "fuzz".to_owned(),
+            "--seed".to_owned(),
+            "42".to_owned(),
+            "--budget".to_owned(),
+            "64".to_owned(),
+            "--corpus".to_owned(),
+            corpus.to_str().unwrap().to_owned(),
+        ]
+    };
+    let mut first = flags(&c1);
+    first.extend([
+        "--registry-out".to_owned(),
+        registry.to_str().unwrap().to_owned(),
+    ]);
+    let outcome = main_with(&first).expect("fuzz run");
+    let Outcome::Fuzzed {
+        classified,
+        newly_classified,
+        rediscovered,
+        findings,
+        ..
+    } = outcome
+    else {
+        panic!("expected Fuzzed, got {outcome:?}");
+    };
+    assert_eq!(classified, 64);
+    assert_eq!(newly_classified, 64);
+    assert!(rediscovered >= 1, "no known attack rediscovered");
+    assert!(findings >= 1, "no novel finding in 64 candidates");
+
+    // A second run with the same seed and budget into a fresh directory
+    // produces a byte-identical corpus file (the acceptance `cmp`).
+    main_with(&flags(&c2)).expect("second fuzz run");
+    assert_eq!(
+        fs::read(c1.join(CORPUS_FILE)).unwrap(),
+        fs::read(c2.join(CORPUS_FILE)).unwrap(),
+        "fuzz corpus is not deterministic"
+    );
+
+    // Resuming at the same budget re-classifies nothing and leaves the
+    // corpus untouched.
+    let before = fs::read(c1.join(CORPUS_FILE)).unwrap();
+    let resumed = main_with(&flags(&c1)).expect("resume");
+    assert!(
+        matches!(
+            resumed,
+            Outcome::Fuzzed {
+                newly_classified: 0,
+                ..
+            }
+        ),
+        "{resumed:?}"
+    );
+    assert_eq!(before, fs::read(c1.join(CORPUS_FILE)).unwrap());
+
+    // The grown registry feeds straight back into a campaign run as extra
+    // attack rows.
+    let matrix_path = dir.join("matrix.json");
+    run(&[
+        "run",
+        "--attacks",
+        "Spectre v1",
+        "--synthesized",
+        registry.to_str().unwrap(),
+        "--defenses",
+        "none",
+        "--out",
+        matrix_path.to_str().unwrap(),
+    ])
+    .expect("synthesized campaign run");
+    let matrix = fs::read_to_string(&matrix_path).expect("saved matrix");
+    assert!(
+        matrix.contains("synth-"),
+        "synthesized rows missing from the campaign"
+    );
+
+    // Usage errors are actionable.
+    let err = run(&["fuzz", "--seed", "not-a-number"]).unwrap_err();
+    assert!(err.to_string().contains("--seed"), "{err}");
+    let err = run(&["fuzz", "--frobnicate"]).unwrap_err();
+    assert!(err.to_string().contains("campaign fuzz"), "{err}");
+    // A mismatched resume is refused rather than silently rebuilt.
+    let mut mismatch = flags(&c1);
+    mismatch[2] = "43".to_owned();
+    let err = main_with(&mismatch).unwrap_err();
+    assert!(matches!(err, CliError::Fuzz(_)), "{err:?}");
+    fs::remove_dir_all(&dir).ok();
+}

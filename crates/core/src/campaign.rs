@@ -2720,7 +2720,7 @@ fn csv_field(s: &str) -> String {
     }
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for ch in s.chars() {
@@ -2740,7 +2740,7 @@ fn json_str(s: &str) -> String {
     out
 }
 
-fn push_json_list<'a>(out: &mut String, items: impl Iterator<Item = &'a str>) {
+pub(crate) fn push_json_list<'a>(out: &mut String, items: impl Iterator<Item = &'a str>) {
     for (i, item) in items.enumerate() {
         if i > 0 {
             out.push_str(", ");

@@ -1,0 +1,653 @@
+//! The resumable on-disk corpus (schema v6) and the synthesized attack
+//! registry it exports.
+//!
+//! A [`Corpus`] records everything a fuzzing run has established — how
+//! many candidates are classified, every divergence with its explanation,
+//! every rediscovered catalog attack, every novel minimized leaker, and
+//! the full set of raw fingerprints already seen — so a later run with
+//! the same seed resumes *after* the classified prefix instead of redoing
+//! it, with bit-identical results to an uninterrupted run.
+//!
+//! Programs are serialized as assembler text ([`isa::asm::disassemble`])
+//! and re-parsed with the workspace's own assembler, so the corpus stays
+//! readable in a diff and needs no bespoke instruction encoding. The
+//! JSON itself follows the campaign writers' conventions and is read
+//! back by [`crate::jsonio`].
+
+use super::gen::{Combo, Mutation, Scenario};
+use crate::campaign::{json_str, push_json_list};
+use crate::jsonio::{self, Json};
+use attacks::{Attack, AttackInfo, AttackOutcome};
+use isa::asm;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use tsg::SecurityAnalysis;
+use uarch::Machine;
+
+/// Corpus / synthesized-registry schema version. Bumped past the
+/// campaign writers' v5 because the fuzzing artifacts introduce new
+/// document kinds.
+pub const FUZZ_SCHEMA_VERSION: u64 = 6;
+
+/// Corpus file name inside a `--corpus` directory.
+pub const CORPUS_FILE: &str = "fuzz-corpus.json";
+
+/// A corpus read/write problem.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The file is not valid JSON.
+    Json(jsonio::JsonError),
+    /// The document parsed but violates the schema.
+    Schema(String),
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Io(e) => write!(f, "corpus io error: {e}"),
+            CorpusError::Json(e) => write!(f, "corpus parse error: {e}"),
+            CorpusError::Schema(m) => write!(f, "corpus schema error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+impl From<io::Error> for CorpusError {
+    fn from(e: io::Error) -> Self {
+        CorpusError::Io(e)
+    }
+}
+
+impl From<jsonio::JsonError> for CorpusError {
+    fn from(e: jsonio::JsonError) -> Self {
+        CorpusError::Json(e)
+    }
+}
+
+/// One Theorem-1-vs-simulation disagreement, with its explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DivergenceRecord {
+    /// Candidate index under the corpus seed.
+    pub index: u64,
+    /// The candidate's design-space point ([`Combo::label`]).
+    pub combo: String,
+    /// The candidate's mutation tags.
+    pub mutations: Vec<Mutation>,
+    /// The classified bucket ([`super::Agreement::tag`]).
+    pub agreement: String,
+}
+
+/// A candidate whose fingerprint matched a catalog attack's lifted shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rediscovery {
+    /// The catalog attack's canonical name.
+    pub name: String,
+    /// Candidate index that rediscovered it.
+    pub index: u64,
+    /// The shared fingerprint.
+    pub fingerprint: u64,
+}
+
+/// A novel leaking scenario: leaks under both oracles, fingerprint seen
+/// in neither the catalog nor earlier in this corpus, minimized to
+/// 1-minimality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Candidate index that produced it.
+    pub index: u64,
+    /// Design-space point ([`Combo::label`]).
+    pub combo: String,
+    /// Mutation tags of the originating candidate.
+    pub mutations: Vec<Mutation>,
+    /// Fingerprint of the as-generated (raw) lifted graph.
+    pub raw_fingerprint: u64,
+    /// Fingerprint after minimization.
+    pub minimized_fingerprint: u64,
+    /// The minimized program, as assembler text.
+    pub program: String,
+    /// `access_pc` of the minimized scenario.
+    pub access_pc: u64,
+    /// `gadget_pc` of the minimized scenario.
+    pub gadget_pc: u64,
+    /// `benign_pc` of the minimized scenario.
+    pub benign_pc: u64,
+    /// Instructions the shrinker deleted.
+    pub removed: u64,
+}
+
+impl Finding {
+    /// Rebuilds the runnable minimized scenario.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Schema`] if the stored program or combo label does
+    /// not parse — a hand-edited or corrupt corpus.
+    pub fn scenario(&self) -> Result<Scenario, CorpusError> {
+        let combo = Combo::from_label(&self.combo)
+            .ok_or_else(|| CorpusError::Schema(format!("bad combo label {:?}", self.combo)))?;
+        let program = asm::assemble(&self.program)
+            .map_err(|e| CorpusError::Schema(format!("bad finding program: {e}")))?;
+        Ok(Scenario {
+            combo,
+            mutations: self.mutations.clone(),
+            program,
+            access_pc: self.access_pc as usize,
+            gadget_pc: self.gadget_pc as usize,
+            benign_pc: self.benign_pc as usize,
+        })
+    }
+
+    /// The finding's stable registry name, derived from its minimized
+    /// fingerprint.
+    #[must_use]
+    pub fn name(&self) -> String {
+        format!("synth-{:016x}", self.minimized_fingerprint)
+    }
+}
+
+/// The resumable fuzzing corpus: classification counters plus every
+/// first-class artifact the run produced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Corpus {
+    /// The seed the whole corpus is derived from.
+    pub seed: u64,
+    /// Whether findings were minimized (resume requires a match).
+    pub minimize: bool,
+    /// Candidates classified so far: resume starts at this index.
+    pub classified: u64,
+    /// Candidates where both oracles said "leak".
+    pub agree_leak: u64,
+    /// Candidates where both oracles said "safe".
+    pub agree_safe: u64,
+    /// Every divergence, in candidate order.
+    pub divergences: Vec<DivergenceRecord>,
+    /// Every rediscovered catalog attack, in candidate order.
+    pub rediscovered: Vec<Rediscovery>,
+    /// Every distinct raw fingerprint seen, in first-seen order.
+    pub raw_seen: Vec<u64>,
+    /// Novel minimized leakers, in discovery order.
+    pub findings: Vec<Finding>,
+}
+
+impl Corpus {
+    /// An empty corpus for `seed`.
+    #[must_use]
+    pub fn new(seed: u64, minimize: bool) -> Self {
+        Corpus {
+            seed,
+            minimize,
+            ..Corpus::default()
+        }
+    }
+
+    /// Unexplained divergences — the suite asserts this is empty.
+    #[must_use]
+    pub fn unexplained(&self) -> Vec<&DivergenceRecord> {
+        self.divergences
+            .iter()
+            .filter(|d| d.agreement.ends_with("/unexplained"))
+            .collect()
+    }
+
+    /// Serializes to the v6 `fuzz-corpus` document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(1024);
+        let _ = write!(
+            out,
+            "{{\n  \"version\": {FUZZ_SCHEMA_VERSION},\n  \"kind\": \"fuzz-corpus\",\n  \
+             \"seed\": {},\n  \"minimize\": {},\n  \"classified\": {},\n  \
+             \"agree_leak\": {},\n  \"agree_safe\": {},",
+            self.seed, self.minimize, self.classified, self.agree_leak, self.agree_safe
+        );
+        out.push_str("\n  \"divergences\": [");
+        for (i, d) in self.divergences.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "    {{\"index\": {}, \"combo\": {}, \"mutations\": [",
+                d.index,
+                json_str(&d.combo)
+            );
+            push_json_list(&mut out, d.mutations.iter().map(|m| m.tag()));
+            let _ = write!(out, "], \"agreement\": {}}}", json_str(&d.agreement));
+        }
+        out.push_str("\n  ],\n  \"rediscovered\": [");
+        for (i, r) in self.rediscovered.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "    {{\"name\": {}, \"index\": {}, \"fingerprint\": {}}}",
+                json_str(&r.name),
+                r.index,
+                r.fingerprint
+            );
+        }
+        out.push_str("\n  ],\n  \"raw_seen\": [");
+        for (i, fp) in self.raw_seen.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{fp}");
+        }
+        out.push_str("],\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "    {{\"index\": {}, \"combo\": {}, \"mutations\": [",
+                f.index,
+                json_str(&f.combo)
+            );
+            push_json_list(&mut out, f.mutations.iter().map(|m| m.tag()));
+            let _ = write!(
+                out,
+                "], \"raw_fingerprint\": {}, \"minimized_fingerprint\": {}, \
+                 \"program\": {}, \"access_pc\": {}, \"gadget_pc\": {}, \
+                 \"benign_pc\": {}, \"removed\": {}}}",
+                f.raw_fingerprint,
+                f.minimized_fingerprint,
+                json_str(&f.program),
+                f.access_pc,
+                f.gadget_pc,
+                f.benign_pc,
+                f.removed
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses a v6 `fuzz-corpus` document.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError`] on JSON problems or schema violations (wrong
+    /// version/kind, missing fields, bad tags).
+    pub fn from_json(text: &str) -> Result<Self, CorpusError> {
+        let doc = jsonio::parse(text)?;
+        expect_header(&doc, "fuzz-corpus")?;
+        let mut corpus = Corpus {
+            seed: req_u64(&doc, "seed")?,
+            minimize: req_bool(&doc, "minimize")?,
+            classified: req_u64(&doc, "classified")?,
+            agree_leak: req_u64(&doc, "agree_leak")?,
+            agree_safe: req_u64(&doc, "agree_safe")?,
+            ..Corpus::default()
+        };
+        for d in req_arr(&doc, "divergences")? {
+            corpus.divergences.push(DivergenceRecord {
+                index: req_u64(d, "index")?,
+                combo: req_str(d, "combo")?,
+                mutations: mutations_of(d)?,
+                agreement: req_str(d, "agreement")?,
+            });
+        }
+        for r in req_arr(&doc, "rediscovered")? {
+            corpus.rediscovered.push(Rediscovery {
+                name: req_str(r, "name")?,
+                index: req_u64(r, "index")?,
+                fingerprint: req_u64(r, "fingerprint")?,
+            });
+        }
+        for fp in req_arr(&doc, "raw_seen")? {
+            corpus.raw_seen.push(
+                fp.as_u64().ok_or_else(|| {
+                    CorpusError::Schema("raw_seen entries must be numbers".into())
+                })?,
+            );
+        }
+        for f in req_arr(&doc, "findings")? {
+            corpus.findings.push(Finding {
+                index: req_u64(f, "index")?,
+                combo: req_str(f, "combo")?,
+                mutations: mutations_of(f)?,
+                raw_fingerprint: req_u64(f, "raw_fingerprint")?,
+                minimized_fingerprint: req_u64(f, "minimized_fingerprint")?,
+                program: req_str(f, "program")?,
+                access_pc: req_u64(f, "access_pc")?,
+                gadget_pc: req_u64(f, "gadget_pc")?,
+                benign_pc: req_u64(f, "benign_pc")?,
+                removed: req_u64(f, "removed")?,
+            });
+        }
+        Ok(corpus)
+    }
+
+    /// The corpus file path inside `dir`.
+    #[must_use]
+    pub fn path_in(dir: &Path) -> PathBuf {
+        dir.join(CORPUS_FILE)
+    }
+
+    /// Writes the corpus into `dir` (created if missing), atomically via
+    /// a rename so a killed run never leaves a half-written corpus.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Io`] on filesystem failure.
+    pub fn save(&self, dir: &Path) -> Result<(), CorpusError> {
+        fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!("{CORPUS_FILE}.tmp"));
+        fs::write(&tmp, self.to_json())?;
+        fs::rename(&tmp, Self::path_in(dir))?;
+        Ok(())
+    }
+
+    /// Loads the corpus from `dir`; `Ok(None)` when no corpus exists yet.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError`] on filesystem or parse failure.
+    pub fn load(dir: &Path) -> Result<Option<Self>, CorpusError> {
+        let path = Self::path_in(dir);
+        if !path.exists() {
+            return Ok(None);
+        }
+        Ok(Some(Self::from_json(&fs::read_to_string(path)?)?))
+    }
+
+    /// Exports the findings as a versioned [`SynthesizedRegistry`].
+    #[must_use]
+    pub fn registry(&self) -> SynthesizedRegistry {
+        SynthesizedRegistry {
+            findings: self.findings.clone(),
+        }
+    }
+}
+
+/// The fuzzer-grown attack catalog: novel minimized leakers packaged as
+/// first-class [`Attack`]s, pluggable into a campaign's attack axis next
+/// to the hand-built registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SynthesizedRegistry {
+    /// The findings, in discovery order.
+    pub findings: Vec<Finding>,
+}
+
+impl SynthesizedRegistry {
+    /// Serializes to the v6 `synthesized-registry` document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(512);
+        let _ = write!(
+            out,
+            "{{\n  \"version\": {FUZZ_SCHEMA_VERSION},\n  \
+             \"kind\": \"synthesized-registry\",\n  \"findings\": ["
+        );
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "    {{\"index\": {}, \"combo\": {}, \"mutations\": [",
+                f.index,
+                json_str(&f.combo)
+            );
+            push_json_list(&mut out, f.mutations.iter().map(|m| m.tag()));
+            let _ = write!(
+                out,
+                "], \"raw_fingerprint\": {}, \"minimized_fingerprint\": {}, \
+                 \"program\": {}, \"access_pc\": {}, \"gadget_pc\": {}, \
+                 \"benign_pc\": {}, \"removed\": {}}}",
+                f.raw_fingerprint,
+                f.minimized_fingerprint,
+                json_str(&f.program),
+                f.access_pc,
+                f.gadget_pc,
+                f.benign_pc,
+                f.removed
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses a v6 `synthesized-registry` document.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError`] on JSON problems or schema violations.
+    pub fn from_json(text: &str) -> Result<Self, CorpusError> {
+        let doc = jsonio::parse(text)?;
+        expect_header(&doc, "synthesized-registry")?;
+        let mut reg = SynthesizedRegistry::default();
+        for f in req_arr(&doc, "findings")? {
+            reg.findings.push(Finding {
+                index: req_u64(f, "index")?,
+                combo: req_str(f, "combo")?,
+                mutations: mutations_of(f)?,
+                raw_fingerprint: req_u64(f, "raw_fingerprint")?,
+                minimized_fingerprint: req_u64(f, "minimized_fingerprint")?,
+                program: req_str(f, "program")?,
+                access_pc: req_u64(f, "access_pc")?,
+                gadget_pc: req_u64(f, "gadget_pc")?,
+                benign_pc: req_u64(f, "benign_pc")?,
+                removed: req_u64(f, "removed")?,
+            });
+        }
+        Ok(reg)
+    }
+
+    /// Materializes the findings as `'static` [`Attack`]s for a campaign
+    /// attack axis (`CampaignSpec::attacks`). Each call **leaks** the
+    /// scenarios (the campaign API requires `&'static dyn Attack`); call
+    /// once per process, not per iteration.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Schema`] if a stored finding no longer parses.
+    pub fn attacks(&self) -> Result<Vec<&'static dyn Attack>, CorpusError> {
+        self.findings
+            .iter()
+            .map(|f| {
+                let named = NamedScenario {
+                    name: Box::leak(f.name().into_boxed_str()),
+                    scenario: f.scenario()?,
+                };
+                Ok(Box::leak(Box::new(named)) as &'static dyn Attack)
+            })
+            .collect()
+    }
+}
+
+/// A synthesized scenario with its registry name — the `'static` attack
+/// the campaign axis holds.
+#[derive(Debug)]
+struct NamedScenario {
+    name: &'static str,
+    scenario: Scenario,
+}
+
+impl Attack for NamedScenario {
+    fn info(&self) -> AttackInfo {
+        AttackInfo {
+            name: self.name,
+            ..self.scenario.info()
+        }
+    }
+
+    fn graph(&self) -> SecurityAnalysis {
+        self.scenario.graph()
+    }
+
+    fn run_in(&self, m: &mut Machine) -> Result<AttackOutcome, attacks::AttackError> {
+        self.scenario.run_in(m)
+    }
+}
+
+fn expect_header(doc: &Json, kind: &str) -> Result<(), CorpusError> {
+    match doc.get("version").and_then(Json::as_u64) {
+        Some(FUZZ_SCHEMA_VERSION) => {}
+        Some(v) => {
+            return Err(CorpusError::Schema(format!(
+                "unsupported version {v} (expected {FUZZ_SCHEMA_VERSION})"
+            )))
+        }
+        None => return Err(CorpusError::Schema("missing version".into())),
+    }
+    match doc.get("kind").and_then(Json::as_str) {
+        Some(k) if k == kind => Ok(()),
+        Some(k) => Err(CorpusError::Schema(format!(
+            "kind {k:?} is not a {kind:?} document"
+        ))),
+        None => Err(CorpusError::Schema("missing kind".into())),
+    }
+}
+
+fn req_u64(obj: &Json, key: &str) -> Result<u64, CorpusError> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| CorpusError::Schema(format!("missing number {key:?}")))
+}
+
+fn req_bool(obj: &Json, key: &str) -> Result<bool, CorpusError> {
+    obj.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| CorpusError::Schema(format!("missing bool {key:?}")))
+}
+
+fn req_str(obj: &Json, key: &str) -> Result<String, CorpusError> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| CorpusError::Schema(format!("missing string {key:?}")))
+}
+
+fn req_arr<'a>(obj: &'a Json, key: &str) -> Result<&'a [Json], CorpusError> {
+    obj.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| CorpusError::Schema(format!("missing array {key:?}")))
+}
+
+fn mutations_of(obj: &Json) -> Result<Vec<Mutation>, CorpusError> {
+    req_arr(obj, "mutations")?
+        .iter()
+        .map(|m| {
+            m.as_str()
+                .and_then(Mutation::from_tag)
+                .ok_or_else(|| CorpusError::Schema(format!("bad mutation tag {m:?}")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::gen::{ChannelDim, DelayDim, SourceDim};
+    use super::*;
+
+    fn sample_corpus() -> Corpus {
+        let combo = Combo {
+            source: SourceDim::KernelMemory,
+            delay: DelayDim::ConditionalBranch,
+            channel: ChannelDim::FlushReload,
+        };
+        let s = Scenario::template(combo);
+        let mut c = Corpus::new(42, true);
+        c.classified = 100;
+        c.agree_leak = 60;
+        c.agree_safe = 30;
+        c.divergences.push(DivergenceRecord {
+            index: 7,
+            combo: combo.label(),
+            mutations: vec![Mutation::DeadValue],
+            agreement: "missed-leak/dead-value".into(),
+        });
+        c.rediscovered.push(Rediscovery {
+            name: attacks::names::SPECTRE_V1.into(),
+            index: 3,
+            fingerprint: 0xdead,
+        });
+        c.raw_seen = vec![1, 2, 3];
+        c.findings.push(Finding {
+            index: 11,
+            combo: combo.label(),
+            mutations: vec![Mutation::Launder],
+            raw_fingerprint: 5,
+            minimized_fingerprint: 6,
+            program: asm::disassemble(&s.program),
+            access_pc: s.access_pc as u64,
+            gadget_pc: s.gadget_pc as u64,
+            benign_pc: s.benign_pc as u64,
+            removed: 2,
+        });
+        c
+    }
+
+    #[test]
+    fn corpus_round_trips_through_json() {
+        let c = sample_corpus();
+        let parsed = Corpus::from_json(&c.to_json()).unwrap();
+        assert_eq!(parsed, c);
+        // And the serialization itself is a fixed point.
+        assert_eq!(parsed.to_json(), c.to_json());
+    }
+
+    #[test]
+    fn finding_scenarios_rebuild_runnable_programs() {
+        let c = sample_corpus();
+        let s = c.findings[0].scenario().unwrap();
+        assert_eq!(s.program.label("out"), Some(s.program.len() - 1));
+        assert_eq!(s.access_pc, c.findings[0].access_pc as usize);
+    }
+
+    #[test]
+    fn registry_round_trips_and_materializes_attacks() {
+        let reg = sample_corpus().registry();
+        let parsed = SynthesizedRegistry::from_json(&reg.to_json()).unwrap();
+        assert_eq!(parsed, reg);
+        let attacks = parsed.attacks().unwrap();
+        assert_eq!(attacks.len(), 1);
+        assert_eq!(attacks[0].info().name, reg.findings[0].name());
+        // The lifted graph is non-trivial.
+        assert!(attacks[0].graph().graph().node_count() > 0);
+    }
+
+    #[test]
+    fn save_and_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("fuzz-corpus-test-{}", std::process::id()));
+        let c = sample_corpus();
+        c.save(&dir).unwrap();
+        let loaded = Corpus::load(&dir).unwrap().unwrap();
+        assert_eq!(loaded, c);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_version_and_kind_are_schema_errors() {
+        let good = sample_corpus().to_json();
+        let wrong_version = good.replacen("\"version\": 6", "\"version\": 5", 1);
+        assert!(matches!(
+            Corpus::from_json(&wrong_version),
+            Err(CorpusError::Schema(_))
+        ));
+        let wrong_kind = good.replacen("fuzz-corpus", "campaign-matrix", 1);
+        assert!(matches!(
+            Corpus::from_json(&wrong_kind),
+            Err(CorpusError::Schema(_))
+        ));
+        assert!(matches!(
+            SynthesizedRegistry::from_json(&good),
+            Err(CorpusError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn unexplained_filter_finds_only_unexplained() {
+        let mut c = sample_corpus();
+        assert!(c.unexplained().is_empty());
+        c.divergences.push(DivergenceRecord {
+            index: 9,
+            combo: c.divergences[0].combo.clone(),
+            mutations: vec![],
+            agreement: "false-sense/unexplained".into(),
+        });
+        assert_eq!(c.unexplained().len(), 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! The minimizer: instruction-deletion passes replayed against *both*
+//! oracles until the leaking scenario is 1-minimal.
+//!
+//! A deletion is accepted only when the shrunk program still leaks under
+//! Theorem 1 **and** under simulation — a candidate that degrades into an
+//! architectural leak (no squashes) or loses the graph race is rejected,
+//! so minimized scenarios stay genuine transient attacks. The outer loop
+//! repeats full passes until one completes with no accepted deletion,
+//! which is exactly the 1-minimality condition: removing any single
+//! remaining instruction breaks the leak.
+
+use super::gen::Scenario;
+use super::oracle::DualOracle;
+
+/// Statistics from one minimization.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Instructions deleted from the original program.
+    pub removed: usize,
+    /// Oracle evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Whether both oracles still call the scenario a leak. Errors (a shrink
+/// candidate can break program invariants the driver relies on) reject.
+fn still_leaks(oracle: &mut DualOracle, s: &Scenario) -> bool {
+    oracle
+        .classify(s)
+        .map(|v| v.graph_leak && v.sim_leak)
+        .unwrap_or(false)
+}
+
+/// Minimizes a both-oracle leaker to 1-minimality by repeated deletion
+/// passes. The input must leak under both oracles; the result does too.
+#[must_use]
+pub fn minimize(oracle: &mut DualOracle, scenario: &Scenario) -> (Scenario, ShrinkStats) {
+    let mut current = scenario.clone();
+    let mut stats = ShrinkStats::default();
+    loop {
+        let mut accepted_this_pass = false;
+        let mut pc = 0;
+        while pc < current.program.len() {
+            match current.with_removed(pc) {
+                Some(candidate) => {
+                    stats.evaluations += 1;
+                    if still_leaks(oracle, &candidate) {
+                        current = candidate;
+                        stats.removed += 1;
+                        accepted_this_pass = true;
+                        // Stay at `pc`: the next instruction shifted in.
+                    } else {
+                        pc += 1;
+                    }
+                }
+                // Deletion left the program invalid (dangling target).
+                None => pc += 1,
+            }
+        }
+        if !accepted_this_pass {
+            return (current, stats);
+        }
+    }
+}
+
+/// Checks 1-minimality: every single-instruction deletion either breaks
+/// the program or breaks the leak. Used by the test suite to pin the
+/// shrinker's contract.
+#[must_use]
+pub fn is_one_minimal(oracle: &mut DualOracle, scenario: &Scenario) -> bool {
+    (0..scenario.program.len()).all(|pc| match scenario.with_removed(pc) {
+        Some(candidate) => !still_leaks(oracle, &candidate),
+        None => true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::gen::{ChannelDim, Combo, DelayDim, Mutation, Scenario, SourceDim};
+    use super::*;
+
+    #[test]
+    fn minimizing_a_padded_leaker_strips_the_padding() {
+        let combo = Combo {
+            source: SourceDim::KernelMemory,
+            delay: DelayDim::DelayedException,
+            channel: ChannelDim::FlushReload,
+        };
+        let padded = Scenario::compose(combo, vec![Mutation::NopPad, Mutation::NopPad]);
+        let mut oracle = DualOracle::new();
+        let (min, stats) = minimize(&mut oracle, &padded);
+        assert!(stats.removed >= 2, "{stats:?}");
+        assert!(min.program.len() <= padded.program.len() - 2);
+        assert!(still_leaks(&mut oracle, &min));
+        assert!(is_one_minimal(&mut oracle, &min));
+    }
+}

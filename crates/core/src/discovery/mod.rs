@@ -8,6 +8,8 @@
 //! which points correspond to the published variants (everything else is a
 //! candidate *new* attack).
 
+pub mod fuzz;
+
 use std::fmt;
 use tsg::{EdgeKind, NodeKind, SecretSource, SecurityAnalysis};
 

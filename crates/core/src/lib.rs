@@ -62,6 +62,10 @@ pub mod prelude {
         Hardening, IncrementalReport, Knob, KnobValue, MatrixDiff, MergeError, NamedConfig,
         PredictorFlavor, TaskEvent,
     };
+    pub use crate::discovery::fuzz::{
+        self, Agreement, Combo, Corpus, DualOracle, FuzzConfig, FuzzError, FuzzReport, Scenario,
+        SynthesizedRegistry,
+    };
     pub use crate::discovery::{self, AttackPoint, Channel, DelayMechanism, SecretSourceDim};
     pub use crate::scenario::{self, Evaluation};
     pub use crate::serve::{

@@ -100,6 +100,14 @@ pub fn disassemble(p: &Program) -> String {
             }
         }
     }
+    // Trailing labels (bound one-past-the-last-instruction, e.g. a shrunk
+    // program whose final `halt` was deleted) still round-trip: emit them
+    // after the last instruction so `assemble` re-binds them to `len`.
+    for (pc, name) in &label_for {
+        if *pc >= p.len() {
+            let _ = writeln!(out, "{name}:");
+        }
+    }
     out
 }
 
@@ -538,6 +546,20 @@ mod tests {
         let text = disassemble(&p);
         let p2 = assemble(&text).unwrap();
         assert_eq!(p.instructions(), p2.instructions());
+    }
+
+    #[test]
+    fn trailing_label_roundtrips() {
+        // A label bound one-past-the-end (the shape a shrunk program takes
+        // after its final `halt` is deleted) must survive the round trip:
+        // exception handlers resolve `label("out")`, so dropping it would
+        // change the rebuilt program's behavior.
+        let p = assemble("nop\nload r1, [r2]\nout:").unwrap();
+        assert_eq!(p.label("out"), Some(2));
+        let text = disassemble(&p);
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p.instructions(), p2.instructions());
+        assert_eq!(p2.label("out"), Some(2));
     }
 
     #[test]

@@ -86,6 +86,104 @@ impl Program {
         v.sort_by_key(|&(_, t)| t);
         v
     }
+
+    /// A copy of this program with the instruction at `pc` deleted.
+    ///
+    /// Branch/jump/call targets and labels after `pc` shift down by one;
+    /// a target or label *at* `pc` stays put, pointing at the deleted
+    /// instruction's successor. Used by mutation and shrinking passes.
+    ///
+    /// # Errors
+    ///
+    /// [`IsaError::TargetOutOfRange`] if `pc` is out of range, or if the
+    /// deletion leaves some control-flow target dangling past the end
+    /// (e.g. a branch to the deleted final instruction).
+    pub fn with_removed(&self, pc: usize) -> Result<Self, IsaError> {
+        if pc >= self.insts.len() {
+            return Err(IsaError::TargetOutOfRange {
+                target: pc,
+                len: self.insts.len(),
+            });
+        }
+        let remap = |t: usize| if t > pc { t - 1 } else { t };
+        let insts = self
+            .insts
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != pc)
+            .map(|(_, inst)| retarget(inst, remap))
+            .collect();
+        let mut p = Program::from_instructions(insts)?;
+        p.labels = self
+            .labels
+            .iter()
+            .map(|(k, &t)| (k.clone(), remap(t)))
+            .collect();
+        Ok(p)
+    }
+
+    /// A copy of this program with `inst` inserted before the instruction
+    /// at `pc` (`pc == len` appends). Targets and labels at or after `pc`
+    /// shift up by one, so a branch that used to reach `pc` now reaches
+    /// the inserted instruction and falls through to the old target.
+    /// Any target carried by `inst` itself is taken in post-insertion
+    /// coordinates.
+    ///
+    /// # Errors
+    ///
+    /// [`IsaError::TargetOutOfRange`] if `pc > len` or `inst` carries an
+    /// out-of-range target.
+    pub fn with_inserted(&self, pc: usize, inst: Instruction) -> Result<Self, IsaError> {
+        if pc > self.insts.len() {
+            return Err(IsaError::TargetOutOfRange {
+                target: pc,
+                len: self.insts.len(),
+            });
+        }
+        let remap = |t: usize| if t >= pc { t + 1 } else { t };
+        let mut insts: Vec<Instruction> = self.insts.iter().map(|i| retarget(i, remap)).collect();
+        insts.insert(pc, inst);
+        let mut p = Program::from_instructions(insts)?;
+        p.labels = self
+            .labels
+            .iter()
+            .map(|(k, &t)| (k.clone(), remap(t)))
+            .collect();
+        Ok(p)
+    }
+
+    /// A copy of this program with the instruction at `pc` replaced by
+    /// `inst`. Targets and labels are unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`IsaError::TargetOutOfRange`] if `pc` is out of range or `inst`
+    /// carries an out-of-range target.
+    pub fn with_replaced(&self, pc: usize, inst: Instruction) -> Result<Self, IsaError> {
+        if pc >= self.insts.len() {
+            return Err(IsaError::TargetOutOfRange {
+                target: pc,
+                len: self.insts.len(),
+            });
+        }
+        let mut insts = self.insts.clone();
+        insts[pc] = inst;
+        let mut p = Program::from_instructions(insts)?;
+        p.labels = self.labels.clone();
+        Ok(p)
+    }
+}
+
+/// `inst` with its control-flow target (if any) passed through `remap`.
+fn retarget(inst: &Instruction, remap: impl Fn(usize) -> usize) -> Instruction {
+    let mut out = *inst;
+    match &mut out {
+        Instruction::BranchIf { target, .. }
+        | Instruction::Jump { target }
+        | Instruction::Call { target } => *target = remap(*target),
+        _ => {}
+    }
+    out
 }
 
 impl Index<usize> for Program {
@@ -471,6 +569,90 @@ mod tests {
         let p = ProgramBuilder::new().build().unwrap();
         assert!(p.is_empty());
         assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn with_removed_shifts_targets_and_labels() {
+        let p = ProgramBuilder::new()
+            .imm(Reg::R0, 1) // 0
+            .nop() // 1 — removed
+            .branch_if(Cond::Eq, Reg::R0, Reg::ZERO, "end") // 2
+            .imm(Reg::R1, 2) // 3
+            .label("end")
+            .unwrap()
+            .halt() // 4
+            .build()
+            .unwrap();
+        let q = p.with_removed(1).unwrap();
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.label("end"), Some(3));
+        match q[1] {
+            Instruction::BranchIf { target, .. } => assert_eq!(target, 3),
+            ref other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn with_removed_target_at_pc_points_at_successor() {
+        // jump 2; halt; nop — removing pc 2's predecessor keeps jump valid,
+        // and removing the *target* makes the jump land on its successor.
+        let p = Program::from_instructions(vec![
+            Instruction::Jump { target: 1 },
+            Instruction::Nop,
+            Instruction::Halt,
+        ])
+        .unwrap();
+        let q = p.with_removed(1).unwrap();
+        assert_eq!(q[0], Instruction::Jump { target: 1 });
+        assert_eq!(q[1], Instruction::Halt);
+    }
+
+    #[test]
+    fn with_removed_dangling_final_target_errors() {
+        let p =
+            Program::from_instructions(vec![Instruction::Jump { target: 1 }, Instruction::Halt])
+                .unwrap();
+        // Removing the halt leaves the jump aimed one past the end.
+        assert!(matches!(
+            p.with_removed(1),
+            Err(IsaError::TargetOutOfRange { .. })
+        ));
+        assert!(matches!(
+            p.with_removed(7),
+            Err(IsaError::TargetOutOfRange { target: 7, len: 2 })
+        ));
+    }
+
+    #[test]
+    fn with_inserted_shifts_targets_and_labels() {
+        let p = ProgramBuilder::new()
+            .branch_if(Cond::Eq, Reg::R0, Reg::ZERO, "end") // 0
+            .imm(Reg::R1, 2) // 1
+            .label("end")
+            .unwrap()
+            .halt() // 2
+            .build()
+            .unwrap();
+        let q = p.with_inserted(1, Instruction::Nop).unwrap();
+        assert_eq!(q.len(), 4);
+        assert_eq!(q[1], Instruction::Nop);
+        assert_eq!(q.label("end"), Some(3));
+        match q[0] {
+            Instruction::BranchIf { target, .. } => assert_eq!(target, 3),
+            ref other => panic!("unexpected {other}"),
+        }
+        // Appending works; past-end insertion errors.
+        assert_eq!(p.with_inserted(3, Instruction::Nop).unwrap().len(), 4);
+        assert!(p.with_inserted(4, Instruction::Nop).is_err());
+    }
+
+    #[test]
+    fn with_replaced_validates_target() {
+        let p = ProgramBuilder::new().nop().halt().build().unwrap();
+        let q = p.with_replaced(0, Instruction::Jump { target: 1 }).unwrap();
+        assert_eq!(q[0], Instruction::Jump { target: 1 });
+        assert!(p.with_replaced(0, Instruction::Jump { target: 9 }).is_err());
+        assert!(p.with_replaced(5, Instruction::Nop).is_err());
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Canonical graph-shape fingerprinting for TSGs.
+//!
+//! [`shape_fingerprint`] hashes a graph's *structure* — node kinds, edge
+//! kinds, and the wiring between them — into a single `u64` that is
+//! invariant under node relabeling and node/edge insertion order. Two
+//! graphs that are isomorphic as kind-labeled DAGs hash identically; the
+//! fuzzing pipeline uses this to dedup synthesized attack scenarios whose
+//! lifted graphs share a shape with a known catalog entry.
+//!
+//! The hash is a Weisfeiler–Leman color refinement: every node starts
+//! with a color derived from its [`NodeKind`], then each round folds the
+//! multiset of (edge kind, direction, neighbor color) pairs into a new
+//! color. After enough rounds to propagate information across the longest
+//! path, the sorted multiset of final colors — plus the node and edge
+//! counts — is folded into the fingerprint.
+
+use crate::edge::EdgeKind;
+use crate::graph::Tsg;
+use crate::node::NodeKind;
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer.
+const fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Order-independent fold of a sorted slice of colors.
+fn fold_sorted(tag: u64, colors: &mut [u64]) -> u64 {
+    colors.sort_unstable();
+    let mut acc = mix(tag);
+    for &c in colors.iter() {
+        acc = mix(acc.wrapping_add(c).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    }
+    acc
+}
+
+/// Initial color of a node: its kind, including the secret source for
+/// [`NodeKind::SecretAccess`]. Labels are deliberately ignored — they
+/// carry program counters and disassembly text that vary between
+/// otherwise identical scenarios.
+fn kind_color(kind: NodeKind) -> u64 {
+    let tag = match kind {
+        NodeKind::Authorization => 1,
+        NodeKind::SecretAccess(src) => 0x100 + src as u64,
+        NodeKind::UseSecret => 2,
+        NodeKind::Send => 3,
+        NodeKind::Receive => 4,
+        NodeKind::Setup => 5,
+        NodeKind::Resolution => 6,
+        NodeKind::Compute => 7,
+    };
+    mix(0xf1e2_d3c4_b5a6_9788 ^ tag)
+}
+
+const fn edge_tag(kind: EdgeKind) -> u64 {
+    match kind {
+        EdgeKind::Data => 1,
+        EdgeKind::Control => 2,
+        EdgeKind::Address => 3,
+        EdgeKind::Fence => 4,
+        EdgeKind::Security => 5,
+        EdgeKind::Program => 6,
+    }
+}
+
+/// Canonical shape hash of `g`: invariant under node relabeling and
+/// insertion-order permutation, sensitive to node kinds, edge kinds, and
+/// connectivity.
+///
+/// The empty graph hashes to a fixed value; adding any node or edge
+/// changes the fingerprint.
+#[must_use]
+pub fn shape_fingerprint(g: &Tsg) -> u64 {
+    let n = g.node_count();
+    let mut colors: Vec<u64> = g.nodes().map(|node| kind_color(node.kind())).collect();
+
+    // Enough rounds for color information to cross the longest possible
+    // simple path, capped so pathological graphs stay cheap.
+    let rounds = n.min(24);
+    let mut next = vec![0u64; n];
+    let mut neigh: Vec<u64> = Vec::new();
+    for _ in 0..rounds {
+        for node in g.nodes() {
+            let id = node.id();
+            neigh.clear();
+            if let Ok(succs) = g.successors(id) {
+                for e in succs {
+                    let t = edge_tag(e.kind()) | 0x100;
+                    neigh.push(mix(t).wrapping_add(colors[e.to().index()]));
+                }
+            }
+            if let Ok(preds) = g.predecessors(id) {
+                for e in preds {
+                    let t = edge_tag(e.kind()) | 0x200;
+                    neigh.push(mix(t).wrapping_add(colors[e.from().index()]));
+                }
+            }
+            let own = colors[id.index()];
+            next[id.index()] = mix(own ^ fold_sorted(own, &mut neigh));
+        }
+        std::mem::swap(&mut colors, &mut next);
+    }
+
+    let base = 0x7365_6375_7265_2121 ^ mix(n as u64) ^ mix((g.edge_count() as u64) << 32);
+    fold_sorted(base, &mut colors)
+}
+
+impl Tsg {
+    /// Canonical shape hash of this graph — see [`shape_fingerprint`].
+    #[must_use]
+    pub fn shape_fingerprint(&self) -> u64 {
+        shape_fingerprint(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::SecretSource;
+
+    #[test]
+    fn empty_graph_has_stable_fingerprint() {
+        assert_eq!(
+            Tsg::new().shape_fingerprint(),
+            Tsg::new().shape_fingerprint()
+        );
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let mut a = Tsg::new();
+        let x = a.add_node("x", NodeKind::Authorization);
+        let y = a.add_node(
+            "y",
+            NodeKind::SecretAccess(SecretSource::ArchitecturalMemory),
+        );
+        a.add_edge(x, y, EdgeKind::Data).unwrap();
+
+        let mut b = Tsg::new();
+        let y2 = b.add_node(
+            "anything",
+            NodeKind::SecretAccess(SecretSource::ArchitecturalMemory),
+        );
+        let x2 = b.add_node("else", NodeKind::Authorization);
+        b.add_edge(x2, y2, EdgeKind::Data).unwrap();
+
+        assert_eq!(a.shape_fingerprint(), b.shape_fingerprint());
+    }
+
+    #[test]
+    fn node_kind_matters() {
+        let mut a = Tsg::new();
+        a.add_node("n", NodeKind::Authorization);
+        let mut b = Tsg::new();
+        b.add_node("n", NodeKind::Send);
+        assert_ne!(a.shape_fingerprint(), b.shape_fingerprint());
+    }
+
+    #[test]
+    fn secret_source_matters() {
+        let mut a = Tsg::new();
+        a.add_node("n", NodeKind::SecretAccess(SecretSource::Memory));
+        let mut b = Tsg::new();
+        b.add_node("n", NodeKind::SecretAccess(SecretSource::Fpu));
+        assert_ne!(a.shape_fingerprint(), b.shape_fingerprint());
+    }
+
+    #[test]
+    fn edge_kind_and_direction_matter() {
+        let mut base = Tsg::new();
+        let x = base.add_node("x", NodeKind::Compute);
+        let y = base.add_node("y", NodeKind::Compute);
+        let mut data = base.clone();
+        data.add_edge(x, y, EdgeKind::Data).unwrap();
+        let mut ctrl = base.clone();
+        ctrl.add_edge(x, y, EdgeKind::Control).unwrap();
+        assert_ne!(data.shape_fingerprint(), ctrl.shape_fingerprint());
+        assert_ne!(base.shape_fingerprint(), data.shape_fingerprint());
+    }
+
+    #[test]
+    fn path_direction_distinguishes_asymmetric_kinds() {
+        // auth -> access vs access -> auth are different shapes.
+        let mut a = Tsg::new();
+        let x = a.add_node("x", NodeKind::Authorization);
+        let y = a.add_node("y", NodeKind::SecretAccess(SecretSource::Memory));
+        a.add_edge(x, y, EdgeKind::Security).unwrap();
+
+        let mut b = Tsg::new();
+        let y2 = b.add_node("y", NodeKind::SecretAccess(SecretSource::Memory));
+        let x2 = b.add_node("x", NodeKind::Authorization);
+        b.add_edge(y2, x2, EdgeKind::Security).unwrap();
+
+        assert_ne!(a.shape_fingerprint(), b.shape_fingerprint());
+    }
+}

@@ -56,6 +56,7 @@ pub mod dot;
 mod edge;
 mod error;
 pub mod examples;
+mod fingerprint;
 mod graph;
 mod node;
 pub mod ordering;
@@ -66,6 +67,7 @@ pub mod text;
 pub use builder::TsgBuilder;
 pub use edge::{Edge, EdgeId, EdgeKind};
 pub use error::TsgError;
+pub use fingerprint::shape_fingerprint;
 pub use graph::{Tsg, TsgCheckpoint};
 pub use node::{Node, NodeId, NodeKind, SecretSource};
 pub use race::RacePair;

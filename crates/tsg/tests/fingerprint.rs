@@ -1,0 +1,183 @@
+//! Properties of the canonical graph-shape fingerprint.
+//!
+//! The fuzzing pipeline dedups synthesized scenarios by
+//! [`tsg::shape_fingerprint`], so the hash must be *canonical*: invariant
+//! under node relabeling and node/edge insertion order (isomorphic
+//! kind-labeled DAGs hash identically), while structurally distinct
+//! graphs hash distinctly with overwhelming probability. These property
+//! tests pin both directions on randomized DAGs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsg::{EdgeKind, NodeId, NodeKind, SecretSource, Tsg};
+
+const KINDS: [NodeKind; 6] = [
+    NodeKind::Authorization,
+    NodeKind::SecretAccess(SecretSource::ArchitecturalMemory),
+    NodeKind::UseSecret,
+    NodeKind::Send,
+    NodeKind::Compute,
+    NodeKind::Resolution,
+];
+
+const EDGE_KINDS: [EdgeKind; 4] = [
+    EdgeKind::Data,
+    EdgeKind::Control,
+    EdgeKind::Address,
+    EdgeKind::Program,
+];
+
+/// A random kind-labeled DAG description: node kinds plus forward edges
+/// `(i, j, kind)` with `i < j`, acyclic under any insertion permutation.
+struct DagSpec {
+    kinds: Vec<NodeKind>,
+    edges: Vec<(usize, usize, EdgeKind)>,
+}
+
+fn pick(rng: &mut StdRng, len: usize) -> usize {
+    rng.gen_range(0..len as u64) as usize
+}
+
+fn random_spec(n: usize, p: f64, rng: &mut StdRng) -> DagSpec {
+    let kinds = (0..n).map(|_| KINDS[pick(rng, KINDS.len())]).collect();
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p) {
+                edges.push((i, j, EDGE_KINDS[pick(rng, EDGE_KINDS.len())]));
+            }
+        }
+    }
+    DagSpec { kinds, edges }
+}
+
+/// Builds the spec with nodes inserted in `node_order` (a permutation of
+/// `0..n`) and edges inserted in `edge_order`, with per-build labels.
+/// Structure is identical regardless of the orders; only IDs and labels
+/// differ.
+fn build_permuted(spec: &DagSpec, node_order: &[usize], edge_order: &[usize], tag: &str) -> Tsg {
+    let n = spec.kinds.len();
+    let mut g = Tsg::new();
+    // ids[original index] = NodeId in this build.
+    let mut ids = vec![NodeId::from_index(0); n];
+    for &orig in node_order {
+        ids[orig] = g.add_node(format!("{tag}-{orig}"), spec.kinds[orig]);
+    }
+    for &e in edge_order {
+        let (i, j, kind) = spec.edges[e];
+        g.add_edge(ids[i], ids[j], kind)
+            .expect("forward edge cannot cycle");
+    }
+    g
+}
+
+fn identity_build(spec: &DagSpec) -> Tsg {
+    let n = spec.kinds.len();
+    let node_order: Vec<usize> = (0..n).collect();
+    let edge_order: Vec<usize> = (0..spec.edges.len()).collect();
+    build_permuted(spec, &node_order, &edge_order, "id")
+}
+
+fn shuffled(len: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..len).collect();
+    for i in (1..len).rev() {
+        v.swap(i, pick(rng, i + 1));
+    }
+    v
+}
+
+#[test]
+fn isomorphic_relabelings_hash_identically() {
+    let mut rng = StdRng::seed_from_u64(0x5ec5);
+    for round in 0..200 {
+        let n = 1 + (round % 12);
+        let spec = random_spec(n, 0.4, &mut rng);
+        let reference = identity_build(&spec).shape_fingerprint();
+        for _ in 0..4 {
+            let node_order = shuffled(n, &mut rng);
+            let edge_order = shuffled(spec.edges.len(), &mut rng);
+            let permuted = build_permuted(&spec, &node_order, &edge_order, "perm");
+            assert_eq!(
+                permuted.shape_fingerprint(),
+                reference,
+                "insertion-order permutation changed the fingerprint on:\n{permuted}"
+            );
+        }
+    }
+}
+
+#[test]
+fn structural_edits_change_the_hash() {
+    let mut rng = StdRng::seed_from_u64(0xfee1);
+    for round in 0..100 {
+        let n = 2 + (round % 10);
+        let spec = random_spec(n, 0.35, &mut rng);
+        let g = identity_build(&spec);
+        let reference = g.shape_fingerprint();
+
+        // Adding a node changes the shape.
+        let mut plus_node = g.clone();
+        plus_node.add_node("extra", NodeKind::Compute);
+        assert_ne!(plus_node.shape_fingerprint(), reference);
+
+        // Adding a previously absent forward edge changes the shape.
+        let absent = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .find(|&(i, j)| !spec.edges.iter().any(|&(a, b, _)| (a, b) == (i, j)));
+        if let Some((i, j)) = absent {
+            let mut plus_edge = g.clone();
+            plus_edge
+                .add_edge(NodeId::from_index(i), NodeId::from_index(j), EdgeKind::Data)
+                .unwrap();
+            assert_ne!(
+                plus_edge.shape_fingerprint(),
+                reference,
+                "adding edge {i}->{j} left the fingerprint unchanged on:\n{g}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Relabeling invariance, proptest-driven: the identity build and a
+    /// permuted build of the same random spec always agree.
+    #[test]
+    fn permutation_invariance_holds(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 1 + (seed % 10) as usize;
+        let spec = random_spec(n, 0.45, &mut rng);
+        let node_order = shuffled(n, &mut rng);
+        let edge_order = shuffled(spec.edges.len(), &mut rng);
+        prop_assert_eq!(
+            identity_build(&spec).shape_fingerprint(),
+            build_permuted(&spec, &node_order, &edge_order, "p").shape_fingerprint()
+        );
+    }
+
+    /// Changing one node's kind changes the hash (kinds are part of the
+    /// canonical shape).
+    #[test]
+    fn kind_flip_changes_hash(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 1 + (seed % 8) as usize;
+        let spec = random_spec(n, 0.4, &mut rng);
+        let victim = pick(&mut rng, n);
+        let mut flipped_kinds = spec.kinds.clone();
+        let old = flipped_kinds[victim];
+        flipped_kinds[victim] = if old == NodeKind::Send {
+            NodeKind::Receive
+        } else {
+            NodeKind::Send
+        };
+        let flipped = DagSpec { kinds: flipped_kinds, edges: spec.edges.clone() };
+        prop_assert!(
+            identity_build(&spec).shape_fingerprint()
+                != identity_build(&flipped).shape_fingerprint(),
+            "kind flip at node {} left the fingerprint unchanged",
+            victim
+        );
+    }
+}
