@@ -54,6 +54,7 @@ fn bench_fuzz_budget(c: &mut Criterion) {
         budget: 32,
         minimize: true,
         threads: 1,
+        checkpoint_every: 0,
     };
     g.bench_function("fuzz_budget_32", |b| {
         b.iter(|| black_box(fuzz(&cfg, None).expect("fuzzes")))

@@ -42,7 +42,10 @@ use specgraph::campaign::{
     Knob, KnobValue, MatrixDiff, MergeError, PredictorFlavor, TaskEvent,
 };
 use specgraph::defenses::{self, presets, DefenseStack};
-use specgraph::discovery::fuzz::{self, CorpusError, FuzzConfig, FuzzError, SynthesizedRegistry};
+use specgraph::discovery::fuzz::{
+    self, Corpus, CorpusError, FuzzConfig, FuzzError, SynthesizedRegistry,
+};
+use specgraph::fault::{self, PanickingAttack};
 use specgraph::serve::{AnswerSource, ChunkEvent, Scheduler, ServeError, VerdictStore};
 use std::error::Error;
 use std::fmt;
@@ -52,8 +55,8 @@ use uarch::UarchConfig;
 
 /// The usage text `campaign --help` (and every usage error) prints.
 pub const USAGE: &str = "\
-campaign — run, shard, merge, render, diff, serve, query and fuzz
-           attack×defense-stack×config campaigns
+campaign — run, shard, merge, render, diff, serve, query, fuzz and
+           fault-test attack×defense-stack×config campaigns
 
 USAGE:
   campaign run    [SPEC] [--shard I/N] [--out FILE] [--csv FILE] [--progress]
@@ -65,7 +68,10 @@ USAGE:
                   [--out FILE] [--csv FILE] [--progress]
   campaign query  ARTIFACT.json... [--queries FILE] [--simulate]
   campaign fuzz   [--seed N] [--budget N] [--corpus DIR] [--threads N]
-                  [--minimize|--no-minimize] [--registry-out FILE]
+                  [--checkpoint-every N] [--minimize|--no-minimize]
+                  [--registry-out FILE]
+  campaign fault  sweep|sweep-fuzz|quarantine --dir DIR [--seed N]
+                  [--retries N]
 
 SPEC (must be identical for every shard of one campaign):
   --attacks NAMES    comma-separated attack names (default: full registry)
@@ -86,6 +92,12 @@ SPEC (must be identical for every shard of one campaign):
                                delay-on-miss|invisispec|cleanup-spec|
                                flush-predictors|figure8|all
   --threads N        worker threads (default: all cores)
+  --retries N        retry a cell whose simulation panics N times (with
+                     backoff) before quarantining it as a typed degraded
+                     row instead of aborting the campaign (default: 0)
+  --max-cell-cycles N  per-cell cycle budget: a simulation exceeding it
+                     degrades to a typed timed-out row (graph verdicts
+                     kept) instead of failing the run
   --progress         print per-slice completed/total + ETA lines to stderr
 
   `campaign run --shard I/N` writes shard I of N as a part file; run all
@@ -124,6 +136,17 @@ SPEC (must be identical for every shard of one campaign):
   --threads); with --corpus DIR the corpus persists and a re-run with a
   larger --budget resumes where the last one stopped. --registry-out
   writes the findings as a registry file for `run --synthesized`.
+
+  `campaign fault` self-tests the pipeline's failure model inside --dir
+  (a scratch workspace it wipes). `sweep` runs a seeded crash sweep over
+  a small checkpointed serve grid: every write index k in the run's
+  write sequence gets one pass with an injected fault (crash, torn
+  write, ENOSPC, failed rename — chosen by --seed) at write #k, and the
+  resumed output must be bit-identical to a fault-free run with zero
+  completed cells re-simulated. `sweep-fuzz` proves the same for the
+  fuzz corpus checkpoint cadence. `quarantine` injects a panicking cell
+  and shows --retries exhausting into a typed quarantined row, then the
+  incremental re-run healing it.
 ";
 
 /// What a successfully executed subcommand did (the binary prints this;
@@ -211,6 +234,13 @@ pub enum Outcome {
         /// Novel 1-minimal leaking shapes in the corpus.
         findings: usize,
     },
+    /// `fault`: a fault-injection self-test ran to completion.
+    FaultTested {
+        /// Which mode ran: `sweep`, `sweep-fuzz` or `quarantine`.
+        mode: &'static str,
+        /// Sweep cases proven (write points) or cells quarantined.
+        cases: usize,
+    },
     /// `--help` was requested; usage was printed.
     Help,
 }
@@ -249,6 +279,8 @@ pub enum CliError {
         /// What went wrong.
         source: std::io::Error,
     },
+    /// A `campaign fault` self-test found the pipeline not crash-safe.
+    Fault(String),
 }
 
 impl fmt::Display for CliError {
@@ -268,6 +300,7 @@ impl fmt::Display for CliError {
             CliError::Io { path, source } => {
                 write!(f, "{}: {source}", path.display())
             }
+            CliError::Fault(msg) => write!(f, "fault self-test failed: {msg}"),
         }
     }
 }
@@ -282,7 +315,7 @@ impl Error for CliError {
             CliError::Fuzz(e) => Some(e),
             CliError::Registry { source, .. } => Some(source),
             CliError::Io { source, .. } => Some(source),
-            CliError::Usage(_) => None,
+            CliError::Usage(_) | CliError::Fault(_) => None,
         }
     }
 }
@@ -333,9 +366,10 @@ pub fn main_with(args: &[String]) -> Result<Outcome, CliError> {
         Some("serve") => cmd_serve(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("fault") => cmd_fault(&args[1..]),
         Some(other) => Err(CliError::Usage(format!(
             "unknown subcommand '{other}' (expected run, merge, render, diff, \
-             serve, query or fuzz)"
+             serve, query, fuzz or fault)"
         ))),
     }
 }
@@ -354,6 +388,8 @@ struct SpecArgs {
     defenses: Option<Vec<String>>,
     axes: Vec<(Knob, Vec<KnobValue>)>,
     threads: usize,
+    retries: Option<u32>,
+    max_cell_cycles: Option<u64>,
 }
 
 impl SpecArgs {
@@ -410,6 +446,23 @@ impl SpecArgs {
                     .parse()
                     .map_err(|_| CliError::Usage(format!("--threads needs a number, got '{v}'")))?;
             }
+            "--retries" => {
+                once(self.retries.is_some())?;
+                let v = value()?;
+                self.retries = Some(v.parse().map_err(|_| {
+                    CliError::Usage(format!("--retries needs a number, got '{v}'"))
+                })?);
+            }
+            "--max-cell-cycles" => {
+                once(self.max_cell_cycles.is_some())?;
+                let v = value()?;
+                self.max_cell_cycles =
+                    Some(v.parse().ok().filter(|n| *n > 0).ok_or_else(|| {
+                        CliError::Usage(format!(
+                            "--max-cell-cycles needs a positive cycle count, got '{v}'"
+                        ))
+                    })?);
+            }
             _ => return Ok(false),
         }
         Ok(true)
@@ -418,7 +471,11 @@ impl SpecArgs {
     /// Expands the flags into a spec, with every builder panic turned
     /// into a usage error first.
     fn build(self) -> Result<CampaignSpec, CliError> {
-        let mut builder = CampaignSpec::builder(UarchConfig::default());
+        let mut base = UarchConfig::default();
+        if let Some(budget) = self.max_cell_cycles {
+            base.max_cycles = budget;
+        }
+        let mut builder = CampaignSpec::builder(base);
         if self.attacks.is_some() || self.synthesized.is_some() {
             let mut list: Vec<&'static dyn Attack> = match &self.attacks {
                 // `--synthesized` alone extends the default full registry.
@@ -477,7 +534,14 @@ impl SpecArgs {
         for (knob, values) in self.axes {
             builder = builder.axis(knob, values);
         }
-        Ok(builder.threads(self.threads).build())
+        let mut spec = builder.threads(self.threads).build();
+        if let Some(retries) = self.retries {
+            spec.resilience.retries = retries;
+        }
+        // An explicit budget means the user wants runaway cells degraded,
+        // not the whole campaign failed.
+        spec.resilience.degrade_timeouts = self.max_cell_cycles.is_some();
+        Ok(spec)
     }
 }
 
@@ -734,6 +798,7 @@ fn cmd_run(args: &[String]) -> Result<Outcome, CliError> {
             write_file(path, &matrix.to_csv())?;
         }
         describe_report(report);
+        describe_degraded(&matrix);
         Ok(Outcome::Ran {
             evaluated: report.evaluated,
             reused: report.reused,
@@ -1065,6 +1130,14 @@ fn cmd_serve(args: &[String]) -> Result<Outcome, CliError> {
     if let Some(path) = &csv {
         write_file(path, &matrix.to_csv())?;
     }
+    for repair in &report.repaired {
+        eprintln!(
+            "campaign: checkpoint {} was unusable ({}) — re-ran chunk {}",
+            repair.path.display(),
+            repair.reason,
+            repair.index,
+        );
+    }
     eprintln!(
         "campaign: served {} task(s) in {} chunk(s) — resumed {} chunk(s) \
          ({} task(s), 0 re-simulated), executed {}, stole {}",
@@ -1075,6 +1148,7 @@ fn cmd_serve(args: &[String]) -> Result<Outcome, CliError> {
         report.executed,
         report.stolen,
     );
+    describe_degraded(&matrix);
     Ok(Outcome::Served {
         chunks: report.chunks,
         resumed: report.resumed,
@@ -1319,6 +1393,15 @@ fn cmd_fuzz(args: &[String]) -> Result<Outcome, CliError> {
                     CliError::Usage(format!("--threads needs a positive number, got '{v}'"))
                 })?;
             }
+            "--checkpoint-every" => {
+                once(cfg.checkpoint_every != 0)?;
+                let v = value()?;
+                cfg.checkpoint_every = v.parse().ok().filter(|n| *n > 0).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "--checkpoint-every needs a positive count, got '{v}'"
+                    ))
+                })?;
+            }
             "--minimize" | "--no-minimize" => {
                 once(minimize_set)?;
                 minimize_set = true;
@@ -1342,6 +1425,12 @@ fn cmd_fuzz(args: &[String]) -> Result<Outcome, CliError> {
     }
     let report = fuzz::fuzz(&cfg, corpus_dir.as_deref())?;
     let corpus = &report.corpus;
+    if let Some(why) = &report.recovered {
+        eprintln!(
+            "campaign: corpus was damaged but recoverable ({why}) — \
+             re-classified from budget 0"
+        );
+    }
     for r in &corpus.rediscovered {
         eprintln!(
             "campaign: rediscovered {} (candidate #{}, fingerprint {:016x})",
@@ -1396,6 +1485,291 @@ fn cmd_fuzz(args: &[String]) -> Result<Outcome, CliError> {
 }
 
 // ---------------------------------------------------------------------------
+// Fault self-tests
+// ---------------------------------------------------------------------------
+
+fn cmd_fault(args: &[String]) -> Result<Outcome, CliError> {
+    let mut mode: Option<String> = None;
+    let mut seed: u64 = 0xFA17;
+    let mut dir: Option<PathBuf> = None;
+    let mut retries: u32 = 2;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = || -> Result<String, CliError> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("flag '{flag}' needs a value")))
+        };
+        match flag {
+            "--seed" => {
+                let v = value()?;
+                seed = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("--seed needs a number, got '{v}'")))?;
+            }
+            "--dir" => {
+                dir = Some(PathBuf::from(value()?));
+            }
+            "--retries" => {
+                let v = value()?;
+                retries = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("--retries needs a number, got '{v}'")))?;
+            }
+            other if other.starts_with("--") => {
+                return Err(CliError::Usage(format!(
+                    "unknown flag '{other}' for 'campaign fault'"
+                )));
+            }
+            positional => {
+                if mode.is_some() {
+                    return Err(CliError::Usage(format!(
+                        "campaign fault takes one mode, got '{positional}' too"
+                    )));
+                }
+                mode = Some(positional.to_owned());
+            }
+        }
+        i += 1;
+    }
+    let mode = mode.ok_or_else(|| {
+        CliError::Usage("campaign fault needs a mode: sweep, sweep-fuzz or quarantine".to_owned())
+    })?;
+    match mode.as_str() {
+        "quarantine" => return fault_quarantine(retries),
+        "sweep" | "sweep-fuzz" => {}
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown fault mode '{other}' (expected sweep, sweep-fuzz or quarantine)"
+            )))
+        }
+    }
+    let dir = dir.ok_or_else(|| {
+        CliError::Usage(
+            "campaign fault sweeps need --dir DIR (a scratch workspace they wipe)".to_owned(),
+        )
+    })?;
+    match mode.as_str() {
+        "sweep" => fault_sweep_scheduler(seed, &dir),
+        _ => fault_sweep_fuzz(seed, &dir),
+    }
+}
+
+/// The small serve grid every scheduler crash-sweep runs: 2 attacks ×
+/// 1 defense × 2 ROB depths = 8 tasks, chunked 2 per checkpoint file.
+fn sweep_spec() -> CampaignSpec {
+    CampaignSpec::builder(UarchConfig::default())
+        .attacks([
+            attacks::find(attacks::names::MELTDOWN).expect("Meltdown is in the registry"),
+            attacks::find(attacks::names::RETBLEED).expect("Retbleed is in the registry"),
+        ])
+        .defenses([*defenses::find("NDA").expect("NDA is in the catalog")])
+        .axis(Knob::RobDepth, [16usize, 64])
+        .threads(1)
+        .build()
+}
+
+/// Wipes and recreates a sweep workspace directory.
+fn wipe_dir(dir: &Path) -> Result<(), CliError> {
+    let io = |source| CliError::Io {
+        path: dir.to_path_buf(),
+        source,
+    };
+    if dir.exists() {
+        std::fs::remove_dir_all(dir).map_err(io)?;
+    }
+    std::fs::create_dir_all(dir).map_err(io)
+}
+
+/// Counts checkpoint files in `ckpt` that still load as valid chunks —
+/// the resume report must reuse exactly these, never fewer.
+fn intact_chunks(ckpt: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(ckpt) else {
+        return 0;
+    };
+    entries
+        .flatten()
+        .filter(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            name.starts_with("chunk-")
+                && name.ends_with(".json")
+                && CampaignPart::load_checkpoint_json(e.path()).is_ok()
+        })
+        .count()
+}
+
+fn fault_sweep_scheduler(seed: u64, dir: &Path) -> Result<Outcome, CliError> {
+    let spec = sweep_spec();
+    let ckpt = dir.join("ckpt");
+    let out = dir.join("matrix.json");
+    let run = |spec: &CampaignSpec| {
+        Scheduler::new(spec)
+            .workers(1)
+            .chunk_tasks(2)
+            .checkpoint(&ckpt)
+            .run()
+    };
+    let read_out = || {
+        std::fs::read(&out).map_err(|source| CliError::Io {
+            path: out.clone(),
+            source,
+        })
+    };
+    let report = fault::crash_sweep(
+        seed,
+        || wipe_dir(dir),
+        || {
+            let (matrix, _) = run(&spec)?;
+            write_file(&out, &matrix.to_json())?;
+            read_out()
+        },
+        |k| {
+            let intact = intact_chunks(&ckpt);
+            let (matrix, rep) = run(&spec)?;
+            if rep.resumed < intact {
+                return Err(CliError::Fault(format!(
+                    "resume after write #{k} reused {} chunk(s) but {intact} \
+                     checkpoint(s) were intact — completed cells were re-simulated",
+                    rep.resumed,
+                )));
+            }
+            if rep.resumed + rep.executed != rep.chunks {
+                return Err(CliError::Fault(format!(
+                    "resume after write #{k} covered {} of {} chunk(s)",
+                    rep.resumed + rep.executed,
+                    rep.chunks,
+                )));
+            }
+            write_file(&out, &matrix.to_json())?;
+            read_out()
+        },
+    )
+    .map_err(CliError::Fault)?;
+    eprintln!(
+        "campaign: fault sweep (scheduler) passed — {} write point(s), {} \
+         fault(s) fired, every resume bit-identical with 0 completed cell(s) \
+         re-simulated",
+        report.writes, report.fired,
+    );
+    Ok(Outcome::FaultTested {
+        mode: "sweep",
+        cases: report.writes,
+    })
+}
+
+fn fault_sweep_fuzz(seed: u64, dir: &Path) -> Result<Outcome, CliError> {
+    let cfg = FuzzConfig {
+        seed,
+        budget: 48,
+        checkpoint_every: 16,
+        threads: 1,
+        ..FuzzConfig::default()
+    };
+    let read_out = || {
+        let path = Corpus::path_in(dir);
+        std::fs::read(&path).map_err(|source| CliError::Io { path, source })
+    };
+    let report = fault::crash_sweep(
+        seed,
+        || wipe_dir(dir),
+        || {
+            fuzz::fuzz(&cfg, Some(dir))?;
+            read_out()
+        },
+        |k| {
+            // How far the surviving corpus actually got: a torn or missing
+            // file recovers from zero, an intact checkpoint from its budget.
+            let on_disk = match Corpus::load(dir) {
+                Ok(Some(corpus)) => corpus.classified,
+                Ok(None) => 0,
+                Err(e) if e.is_recoverable() => 0,
+                Err(e) => {
+                    return Err(CliError::Fault(format!(
+                        "corpus after write #{k} is unrecoverable: {e}"
+                    )))
+                }
+            };
+            let resumed = fuzz::fuzz(&cfg, Some(dir))?;
+            if resumed.newly_classified != cfg.budget - on_disk {
+                return Err(CliError::Fault(format!(
+                    "resume after write #{k} re-classified {} candidate(s), \
+                     expected {} (the corpus on disk already had {on_disk})",
+                    resumed.newly_classified,
+                    cfg.budget - on_disk,
+                )));
+            }
+            read_out()
+        },
+    )
+    .map_err(CliError::Fault)?;
+    eprintln!(
+        "campaign: fault sweep (fuzz corpus) passed — {} write point(s), {} \
+         fault(s) fired, every resume bit-identical with 0 completed \
+         candidate(s) re-classified",
+        report.writes, report.fired,
+    );
+    Ok(Outcome::FaultTested {
+        mode: "sweep-fuzz",
+        cases: report.writes,
+    })
+}
+
+fn fault_quarantine(retries: u32) -> Result<Outcome, CliError> {
+    let panicking = PanickingAttack::wrap(
+        attacks::find(attacks::names::MELTDOWN).expect("Meltdown is in the registry"),
+    );
+    let mut spec = CampaignSpec::builder(UarchConfig::default())
+        .attacks([
+            panicking as &'static dyn Attack,
+            attacks::find(attacks::names::RETBLEED).expect("Retbleed is in the registry"),
+        ])
+        .defenses([*defenses::find("NDA").expect("NDA is in the catalog")])
+        .axis(Knob::RobDepth, [16usize, 64])
+        .threads(1)
+        .build();
+    spec.resilience.retries = retries;
+    let matrix = CampaignMatrix::run(&spec)?;
+    let quarantined = matrix.quarantined();
+    if quarantined == 0 {
+        return Err(CliError::Fault(
+            "injected panicking cell produced no quarantined rows".to_owned(),
+        ));
+    }
+    eprintln!(
+        "campaign: quarantined {quarantined} cell(s) after {retries} \
+         retry(ies) each — the campaign still completed all {} task(s)",
+        spec.total_tasks(),
+    );
+    panicking.disarm();
+    let (healed, report) = CampaignMatrix::run_incremental_observed(&spec, Some(&matrix), None)?;
+    if healed.quarantined() != 0 {
+        return Err(CliError::Fault(format!(
+            "{} cell(s) still quarantined after the fault was removed",
+            healed.quarantined(),
+        )));
+    }
+    if report.evaluated != quarantined {
+        return Err(CliError::Fault(format!(
+            "healing run re-evaluated {} task(s), expected exactly the \
+             {quarantined} quarantined one(s)",
+            report.evaluated,
+        )));
+    }
+    eprintln!(
+        "campaign: re-run with the fault removed healed all {quarantined} \
+         quarantined cell(s) incrementally ({} task(s) reused)",
+        report.reused,
+    );
+    Ok(Outcome::FaultTested {
+        mode: "quarantine",
+        cases: quarantined,
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Small helpers
 // ---------------------------------------------------------------------------
 
@@ -1416,8 +1790,11 @@ fn load_matrix(path: &Path) -> Result<CampaignMatrix, CliError> {
     })
 }
 
+/// Writes through the fault-injectable atomic layer (tmp + rename), so
+/// every CLI artifact — CSV, SVG, registry — is crash-consistent and
+/// covered by `campaign fault` sweeps.
 fn write_file(path: &Path, content: &str) -> Result<(), CliError> {
-    std::fs::write(path, content).map_err(|source| CliError::Io {
+    fault::write_atomic(path, content).map_err(|source| CliError::Io {
         path: path.to_path_buf(),
         source,
     })
@@ -1451,6 +1828,20 @@ fn describe_report(report: IncrementalReport) {
         "campaign: evaluated {} task(s), reused {} from the previous matrix",
         report.evaluated, report.reused
     );
+}
+
+/// One stderr line when a matrix carries degraded rows, so a scripted
+/// campaign can grep for partial results.
+fn describe_degraded(matrix: &CampaignMatrix) {
+    let quarantined = matrix.quarantined();
+    let timed_out = matrix.timed_out();
+    if quarantined > 0 || timed_out > 0 {
+        eprintln!(
+            "campaign: quarantined {quarantined} cell(s), timed out \
+             {timed_out} — degraded rows keep their graph verdicts and \
+             re-simulate on the next run"
+        );
+    }
 }
 
 #[cfg(test)]

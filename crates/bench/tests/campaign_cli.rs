@@ -824,3 +824,39 @@ fn fuzz_cli_discovers_deterministically_resumes_and_feeds_campaigns() {
     assert!(matches!(err, CliError::Fuzz(_)), "{err:?}");
     fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------------
+// Fault self-tests
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fault_quarantine_mode_degrades_and_heals() {
+    let outcome = run(&["fault", "quarantine", "--retries", "1"]).expect("quarantine self-test");
+    assert_eq!(
+        outcome,
+        Outcome::FaultTested {
+            mode: "quarantine",
+            cases: 4
+        }
+    );
+}
+
+#[test]
+fn fault_usage_errors_are_actionable() {
+    let err = run(&["fault"]).unwrap_err();
+    assert!(err.to_string().contains("mode"), "{err}");
+    let err = run(&["fault", "meltdown-everything"]).unwrap_err();
+    assert!(err.to_string().contains("sweep"), "{err}");
+    let err = run(&["fault", "sweep"]).unwrap_err();
+    assert!(err.to_string().contains("--dir"), "{err}");
+    let err = run(&["fault", "sweep", "--frobnicate"]).unwrap_err();
+    assert!(err.to_string().contains("campaign fault"), "{err}");
+}
+
+#[test]
+fn resilience_flags_parse_and_reject_garbage() {
+    let err = run(&with_spec(&["run", "--retries", "many"])).unwrap_err();
+    assert!(err.to_string().contains("--retries"), "{err}");
+    let err = run(&with_spec(&["run", "--max-cell-cycles", "0"])).unwrap_err();
+    assert!(err.to_string().contains("--max-cell-cycles"), "{err}");
+}

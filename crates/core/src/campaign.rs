@@ -113,13 +113,21 @@ use uarch::UarchConfig;
 /// Schema version stamped on every matrix, part, and checkpoint document
 /// this module writes (`"version"` plus a `"kind"` discriminator:
 /// `"campaign-matrix"`, `"campaign-part"`, or `"campaign-checkpoint"`).
-/// Version 5 adds the checkpoint kind — a scheduler chunk written by
-/// [`serve`](crate::serve) for kill/resume — without changing the row
-/// format, so version-4 documents are byte-identical apart from the
-/// version number and still load, as do version-3 single-defense
-/// documents and headerless version-2 matrices. Any other version is a
-/// typed [`CampaignIoError::Version`].
-pub const SCHEMA_VERSION: u64 = 5;
+/// Version 7 adds degraded-cell outcomes: rows whose simulation was
+/// quarantined after a panic or timed out against the cycle budget carry
+/// a typed [`CellOutcome`] (`"mechanism": "quarantined"`/`"timed_out"`
+/// plus a reason/budget field) instead of aborting the producing run.
+/// Fault-free rows are byte-identical to version 5 apart from the
+/// version number, so version-5 documents still load, as do version-4
+/// stack matrices, version-3 single-defense documents and headerless
+/// version-2 matrices. Any other version is a typed
+/// [`CampaignIoError::Version`]. (Version 6 is skipped: the fuzz corpus
+/// namespace owns it.)
+pub const SCHEMA_VERSION: u64 = 7;
+
+/// The pre-outcome schema (no degraded rows, `campaign-checkpoint` kind
+/// present). Accepted on load, never written.
+const PRE_OUTCOME_VERSION: u64 = 5;
 
 /// The pre-checkpoint schema (stack-valued defense axis, no
 /// `campaign-checkpoint` kind). Accepted on load, never written.
@@ -477,6 +485,70 @@ pub struct CampaignSpec {
     pub configs: Vec<NamedConfig>,
     /// Worker threads; `0` means "all available parallelism".
     pub threads: usize,
+    /// Worker-failure policy: panic retries, backoff, and timeout
+    /// degradation. Like [`threads`](Self::threads), excluded from
+    /// [`fingerprint`](Self::fingerprint) — it changes how failures are
+    /// handled, never what a successful cell evaluates to.
+    pub resilience: Resilience,
+}
+
+/// How the campaign engine handles failing workers — the LHCb-on-HPC
+/// posture: workers are *expected* to fail; the campaign completes anyway
+/// with typed, degraded rows rather than aborting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resilience {
+    /// How many times a panicking cell is retried (on a fresh machine)
+    /// before it is quarantined as [`CellOutcome::Quarantined`]. `0`
+    /// quarantines on the first panic.
+    pub retries: u32,
+    /// Sleep between panic retries, scaled linearly by attempt number.
+    pub backoff: std::time::Duration,
+    /// When set, a cell that exhausts its [`UarchConfig::max_cycles`]
+    /// budget degrades to [`CellOutcome::TimedOut`] instead of failing the
+    /// run — the runaway-cell watchdog.
+    pub degrade_timeouts: bool,
+}
+
+impl Default for Resilience {
+    fn default() -> Self {
+        Resilience {
+            retries: 0,
+            backoff: std::time::Duration::from_millis(10),
+            degrade_timeouts: false,
+        }
+    }
+}
+
+/// How a cell's simulation concluded. `Ok` rows carry machine truth;
+/// degraded rows keep their (config-invariant) graph verdicts but report
+/// the mechanism column as `"quarantined"`/`"timed_out"` so downstream
+/// consumers can tell degraded data from real verdicts. Degraded rows are
+/// never reused by incremental runs — a re-run with the fault gone heals
+/// them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// The simulation ran to completion; verdicts are machine truth.
+    #[default]
+    Ok,
+    /// The runaway-cell watchdog fired: the simulation exceeded its cycle
+    /// budget and was degraded so the campaign terminates.
+    TimedOut {
+        /// The [`UarchConfig::max_cycles`] budget that was exhausted.
+        limit: u64,
+    },
+    /// The cell panicked through every retry and was quarantined.
+    Quarantined {
+        /// The (truncated) panic payload.
+        reason: String,
+    },
+}
+
+impl CellOutcome {
+    /// Whether this is a completed, machine-truth outcome.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellOutcome::Ok)
+    }
 }
 
 impl Default for CampaignSpec {
@@ -513,8 +585,8 @@ impl CampaignSpec {
     /// A stable 64-bit digest of the spec's *contents*: attack names,
     /// defense names + strategies, and config names + full config
     /// contents ([`config_digest`]), all in axis order. The worker-thread
-    /// count is deliberately excluded — it changes scheduling, never
-    /// results.
+    /// count and the [`Resilience`] policy are deliberately excluded —
+    /// they change scheduling and failure handling, never results.
     ///
     /// Every [`CampaignPart`] records its producing spec's fingerprint,
     /// and [`CampaignMatrix::merge`] refuses to combine parts whose
@@ -709,6 +781,7 @@ impl CampaignSpecBuilder {
             defenses: self.defenses,
             configs,
             threads: self.threads,
+            resilience: Resilience::default(),
         }
     }
 }
@@ -788,6 +861,9 @@ pub struct BaselineCell {
     /// Content fingerprint (attack name + config contents) keying
     /// incremental reuse.
     pub fingerprint: u64,
+    /// How the simulation concluded. Degraded outcomes zero the machine
+    /// fields (`leaked`/`recovered`/`cycles`) but keep `graph_race`.
+    pub outcome: CellOutcome,
 }
 
 /// One (attack, defense stack, configuration) evaluation.
@@ -806,6 +882,10 @@ pub struct MatrixCell {
     /// Content fingerprint (attack + stack name/strategies + config
     /// contents) keying incremental reuse.
     pub fingerprint: u64,
+    /// How the simulation concluded. Degraded outcomes report the
+    /// mechanism as [`Verdict::GraphOnly`] but keep the (config-invariant)
+    /// `strategy_sufficient` graph verdict.
+    pub outcome: CellOutcome,
 }
 
 impl MatrixCell {
@@ -813,6 +893,18 @@ impl MatrixCell {
     #[must_use]
     pub fn false_sense_of_security(&self) -> bool {
         self.evaluation.false_sense_of_security()
+    }
+
+    /// The token written to the CSV/JSON mechanism column: the verdict
+    /// token for completed cells, `"quarantined"`/`"timed_out"` for
+    /// degraded ones.
+    #[must_use]
+    pub fn mechanism_token(&self) -> &'static str {
+        match self.outcome {
+            CellOutcome::Ok => verdict_token(self.evaluation.mechanism),
+            CellOutcome::TimedOut { .. } => "timed_out",
+            CellOutcome::Quarantined { .. } => "quarantined",
+        }
     }
 }
 
@@ -914,13 +1006,14 @@ fn run_task(
         let out = runner.run(attack, &spec.configs[config].config)?;
         let info = attack.info();
         Ok(TaskOut::Base(BaselineCell {
-            info,
             config,
             leaked: out.leaked,
             recovered: out.recovered,
             cycles: out.cycles,
             graph_race: graph.races[task / c],
             fingerprint: baseline_fingerprint(info.name, digests[config]),
+            info,
+            outcome: CellOutcome::Ok,
         }))
     } else {
         let j = task - base_tasks;
@@ -951,7 +1044,138 @@ fn run_task(
             config,
             evaluation,
             fingerprint,
+            outcome: CellOutcome::Ok,
         }))
+    }
+}
+
+/// Builds the degraded row for a task whose simulation could not complete:
+/// machine fields are zeroed, the mechanism is [`Verdict::GraphOnly`], and
+/// the hoisted graph verdicts (`graph_race`, `strategy_sufficient`) are
+/// kept — they never needed the machine. Fingerprints are computed as
+/// usual so an incremental re-run recognises (and, because degraded rows
+/// are never reused, re-evaluates) the cell.
+fn degraded_task(
+    spec: &CampaignSpec,
+    graph: &GraphVerdicts,
+    digests: &[u64],
+    task: usize,
+    outcome: CellOutcome,
+) -> TaskOut {
+    let c = spec.configs.len();
+    let d = spec.defenses.len();
+    let base_tasks = spec.attacks.len() * c;
+    if task < base_tasks {
+        let attack = spec.attacks[task / c];
+        let config = task % c;
+        let info = attack.info();
+        TaskOut::Base(BaselineCell {
+            fingerprint: baseline_fingerprint(info.name, digests[config]),
+            info,
+            config,
+            leaked: false,
+            recovered: None,
+            cycles: 0,
+            graph_race: graph.races[task / c],
+            outcome,
+        })
+    } else {
+        let j = task - base_tasks;
+        let attack = spec.attacks[j / (d * c)];
+        let defense = &spec.defenses[(j / c) % d];
+        let config = j % c;
+        let strategy_sufficient =
+            graph.pairs[task_pair(spec, task)].expect("pair verdict precomputed");
+        let evaluation = Evaluation {
+            attack: attack.info().name,
+            stack: defense.clone(),
+            strategy_sufficient,
+            mechanism: Verdict::GraphOnly,
+        };
+        let fingerprint = cell_fingerprint(
+            evaluation.attack,
+            defense.name(),
+            &defense.strategy_token(),
+            digests[config],
+        );
+        TaskOut::Cell(MatrixCell {
+            attack: evaluation.attack,
+            defense: defense.name().to_owned(),
+            config,
+            evaluation,
+            fingerprint,
+            outcome,
+        })
+    }
+}
+
+/// Renders a panic payload into a quarantine reason, truncated so a
+/// pathological payload cannot bloat the matrix document.
+fn panic_reason(payload: &dyn std::any::Any) -> String {
+    let msg = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("worker panicked (non-string payload)");
+    const MAX: usize = 200;
+    let mut reason = String::with_capacity(msg.len().min(MAX));
+    reason.extend(msg.chars().take(MAX));
+    reason
+}
+
+/// [`run_task`] hardened by the spec's [`Resilience`] policy: panics are
+/// caught and retried with backoff on a fresh machine (the old one may be
+/// poisoned mid-simulation), then quarantined; cycle-budget exhaustion
+/// degrades to [`CellOutcome::TimedOut`] when the watchdog is enabled.
+/// Non-timeout simulator errors keep their existing fail-the-run
+/// semantics — they indicate a broken spec, not a flaky worker.
+fn run_task_resilient(
+    spec: &CampaignSpec,
+    graph: &GraphVerdicts,
+    digests: &[u64],
+    task: usize,
+    runner: &mut BatchRunner,
+) -> Result<TaskOut, AttackError> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let policy = &spec.resilience;
+    let mut attempt = 0u32;
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| {
+            run_task(spec, graph, digests, task, runner)
+        })) {
+            Ok(Ok(out)) => return Ok(out),
+            Ok(Err(AttackError::Uarch(e))) if e.is_cycle_limit() && policy.degrade_timeouts => {
+                let uarch::UarchError::CycleLimitExceeded { limit } = e else {
+                    unreachable!("is_cycle_limit");
+                };
+                return Ok(degraded_task(
+                    spec,
+                    graph,
+                    digests,
+                    task,
+                    CellOutcome::TimedOut { limit },
+                ));
+            }
+            Ok(Err(e)) => return Err(e),
+            Err(payload) => {
+                *runner = BatchRunner::new();
+                if attempt >= policy.retries {
+                    return Ok(degraded_task(
+                        spec,
+                        graph,
+                        digests,
+                        task,
+                        CellOutcome::Quarantined {
+                            reason: panic_reason(payload.as_ref()),
+                        },
+                    ));
+                }
+                attempt += 1;
+                if !policy.backoff.is_zero() {
+                    thread::sleep(policy.backoff * attempt);
+                }
+            }
+        }
     }
 }
 
@@ -1033,7 +1257,13 @@ fn execute(
     if threads <= 1 {
         let mut runner = BatchRunner::new();
         for (k, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(run_task(spec, graph, digests, ids[k], &mut runner));
+            *slot = Some(run_task_resilient(
+                spec,
+                graph,
+                digests,
+                ids[k],
+                &mut runner,
+            ));
             observe(ids[k]);
         }
     } else {
@@ -1045,7 +1275,10 @@ fn execute(
             let mut out = Vec::new();
             let mut k = start;
             while k < ids.len() {
-                out.push((k, run_task(spec, graph, digests, ids[k], &mut runner)));
+                out.push((
+                    k,
+                    run_task_resilient(spec, graph, digests, ids[k], &mut runner),
+                ));
                 observe(ids[k]);
                 k += threads;
             }
@@ -1319,16 +1552,18 @@ impl CampaignPart {
     ///
     /// Any I/O error from writing the file.
     pub fn save_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+        crate::fault::write_atomic(path, &self.to_json())
     }
 
-    /// Writes [`CampaignPart::to_checkpoint_json`] to `path`.
+    /// Writes [`CampaignPart::to_checkpoint_json`] to `path`, atomically
+    /// (tmp + rename via [`crate::fault::write_atomic`]) so a crash never
+    /// leaves a torn checkpoint behind.
     ///
     /// # Errors
     ///
     /// Any I/O error from writing the file.
     pub fn save_checkpoint_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.to_checkpoint_json())
+        crate::fault::write_atomic(path, &self.to_checkpoint_json())
     }
 
     /// Reads a part saved with [`CampaignPart::save_json`].
@@ -1669,10 +1904,13 @@ impl CampaignMatrix {
         let mut prev_bases: HashMap<u64, &BaselineCell> = HashMap::new();
         let mut prev_cells: HashMap<u64, &MatrixCell> = HashMap::new();
         if let Some(p) = prev {
-            for b in &p.baselines {
+            // Degraded rows (quarantined / timed-out) are deliberately not
+            // reusable: a re-run with the fault gone must re-evaluate and
+            // heal them.
+            for b in p.baselines.iter().filter(|b| b.outcome.is_ok()) {
                 prev_bases.insert(b.fingerprint, b);
             }
-            for cell in &p.cells {
+            for cell in p.cells.iter().filter(|cell| cell.outcome.is_ok()) {
                 prev_cells.insert(cell.fingerprint, cell);
             }
         }
@@ -1923,7 +2161,7 @@ impl CampaignMatrix {
                 e.stack.strategy_token(),
                 e.strategy_sufficient
                     .map_or("n/a", |b| if b { "yes" } else { "no" }),
-                verdict_token(e.mechanism),
+                cell.mechanism_token(),
                 cell.false_sense_of_security(),
             );
         }
@@ -1961,13 +2199,44 @@ impl CampaignMatrix {
         out
     }
 
-    /// Writes [`CampaignMatrix::to_json`] to `path`.
+    /// Writes [`CampaignMatrix::to_json`] to `path`, atomically (tmp +
+    /// rename via [`crate::fault::write_atomic`]).
     ///
     /// # Errors
     ///
     /// Any I/O error from writing the file.
     pub fn save_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+        crate::fault::write_atomic(path, &self.to_json())
+    }
+
+    /// How many rows (baselines + cells) were quarantined after exhausting
+    /// panic retries.
+    #[must_use]
+    pub fn quarantined(&self) -> usize {
+        self.baselines
+            .iter()
+            .filter(|b| matches!(b.outcome, CellOutcome::Quarantined { .. }))
+            .count()
+            + self
+                .cells
+                .iter()
+                .filter(|cell| matches!(cell.outcome, CellOutcome::Quarantined { .. }))
+                .count()
+    }
+
+    /// How many rows (baselines + cells) were degraded by the runaway-cell
+    /// watchdog.
+    #[must_use]
+    pub fn timed_out(&self) -> usize {
+        self.baselines
+            .iter()
+            .filter(|b| matches!(b.outcome, CellOutcome::TimedOut { .. }))
+            .count()
+            + self
+                .cells
+                .iter()
+                .filter(|cell| matches!(cell.outcome, CellOutcome::TimedOut { .. }))
+                .count()
     }
 
     /// Reads a matrix saved with [`CampaignMatrix::save_json`].
@@ -2325,7 +2594,9 @@ fn check_version_and_kind(
 ) -> Result<(), CampaignIoError> {
     let version = doc.get("version").and_then(Json::as_u64);
     match version {
-        Some(SCHEMA_VERSION | STACK_MATRIX_VERSION | SINGLE_DEFENSE_VERSION) => {}
+        Some(
+            SCHEMA_VERSION | PRE_OUTCOME_VERSION | STACK_MATRIX_VERSION | SINGLE_DEFENSE_VERSION,
+        ) => {}
         Some(LEGACY_MATRIX_VERSION) if allow_legacy && doc.get("kind").is_none() => {
             return Ok(());
         }
@@ -2460,6 +2731,7 @@ fn parse_rows(
                 cycles: field_u64(row, "cycles")?,
                 graph_race: field_bool(row, "graph_race")?,
                 fingerprint: field_fingerprint(row)?,
+                outcome: baseline_outcome(row)?,
             });
         } else {
             let j = task - base_tasks;
@@ -2495,11 +2767,28 @@ fn parse_rows(
                     defense.strategy_token()
                 )));
             }
-            let mechanism = verdict_from_token(field_str(row, "mechanism")?).ok_or_else(|| {
-                CampaignIoError::UnknownToken(
-                    field_str(row, "mechanism").unwrap_or_default().to_owned(),
-                )
-            })?;
+            // Degraded outcome tokens ride in the mechanism column; a
+            // degraded cell has no machine verdict, only the graph one.
+            let mech_token = field_str(row, "mechanism")?;
+            let (mechanism, outcome) = match mech_token {
+                "timed_out" => (
+                    Verdict::GraphOnly,
+                    CellOutcome::TimedOut {
+                        limit: field_u64(row, "budget")?,
+                    },
+                ),
+                "quarantined" => (
+                    Verdict::GraphOnly,
+                    CellOutcome::Quarantined {
+                        reason: field_str(row, "quarantine_reason")?.to_owned(),
+                    },
+                ),
+                token => (
+                    verdict_from_token(token)
+                        .ok_or_else(|| CampaignIoError::UnknownToken(token.to_owned()))?,
+                    CellOutcome::Ok,
+                ),
+            };
             let strategy_sufficient = match row.get("strategy_sufficient") {
                 Some(Json::Null) | None => None,
                 Some(v) => Some(v.as_bool().ok_or_else(|| {
@@ -2517,6 +2806,7 @@ fn parse_rows(
                     mechanism,
                 },
                 fingerprint: field_fingerprint(row)?,
+                outcome,
             });
         }
     }
@@ -2524,10 +2814,12 @@ fn parse_rows(
 }
 
 /// Writes one baseline row in the shared matrix/part JSON row format.
+/// Fault-free rows are byte-identical to the version-5 format; degraded
+/// rows append an `"outcome"` token plus its reason/budget field.
 fn write_baseline_row(out: &mut String, b: &BaselineCell, configs: &[String]) {
     let _ = write!(
         out,
-        "\n    {{\"attack\": {}, \"config\": {}, \"leaked\": {}, \"recovered\": {}, \"cycles\": {}, \"graph_race\": {}, \"fingerprint\": \"{:#018x}\"}}",
+        "\n    {{\"attack\": {}, \"config\": {}, \"leaked\": {}, \"recovered\": {}, \"cycles\": {}, \"graph_race\": {}, \"fingerprint\": \"{:#018x}\"",
         json_str(b.info.name),
         json_str(&configs[b.config]),
         b.leaked,
@@ -2537,24 +2829,71 @@ fn write_baseline_row(out: &mut String, b: &BaselineCell, configs: &[String]) {
         b.graph_race,
         b.fingerprint,
     );
+    match &b.outcome {
+        CellOutcome::Ok => {}
+        CellOutcome::TimedOut { limit } => {
+            let _ = write!(out, ", \"outcome\": \"timed_out\", \"budget\": {limit}");
+        }
+        CellOutcome::Quarantined { reason } => {
+            let _ = write!(
+                out,
+                ", \"outcome\": \"quarantined\", \"quarantine_reason\": {}",
+                json_str(reason)
+            );
+        }
+    }
+    out.push('}');
 }
 
 /// Writes one matrix-cell row in the shared matrix/part JSON row format.
+/// A degraded cell's outcome token rides in the mechanism column
+/// (`"quarantined"`/`"timed_out"`), followed by its reason/budget field;
+/// fault-free rows are byte-identical to the version-5 format.
 fn write_cell_row(out: &mut String, cell: &MatrixCell, configs: &[String]) {
     let e = &cell.evaluation;
     let _ = write!(
         out,
-        "\n    {{\"attack\": {}, \"defense\": {}, \"config\": {}, \"strategy\": {}, \"strategy_sufficient\": {}, \"mechanism\": {}, \"false_sense\": {}, \"fingerprint\": \"{:#018x}\"}}",
+        "\n    {{\"attack\": {}, \"defense\": {}, \"config\": {}, \"strategy\": {}, \"strategy_sufficient\": {}, \"mechanism\": {}, \"false_sense\": {}, \"fingerprint\": \"{:#018x}\"",
         json_str(cell.attack),
         json_str(&cell.defense),
         json_str(&configs[cell.config]),
         json_str(&e.stack.strategy_token()),
         e.strategy_sufficient
             .map_or_else(|| "null".to_owned(), |b| b.to_string()),
-        json_str(verdict_token(e.mechanism)),
+        json_str(cell.mechanism_token()),
         cell.false_sense_of_security(),
         cell.fingerprint,
     );
+    match &cell.outcome {
+        CellOutcome::Ok => {}
+        CellOutcome::TimedOut { limit } => {
+            let _ = write!(out, ", \"budget\": {limit}");
+        }
+        CellOutcome::Quarantined { reason } => {
+            let _ = write!(out, ", \"quarantine_reason\": {}", json_str(reason));
+        }
+    }
+    out.push('}');
+}
+
+/// Parses a baseline row's optional `"outcome"` token (absent in
+/// version ≤ 5 documents and in fault-free version-7 rows).
+fn baseline_outcome(row: &Json) -> Result<CellOutcome, CampaignIoError> {
+    let Some(value) = row.get("outcome") else {
+        return Ok(CellOutcome::Ok);
+    };
+    match value.as_str() {
+        Some("timed_out") => Ok(CellOutcome::TimedOut {
+            limit: field_u64(row, "budget")?,
+        }),
+        Some("quarantined") => Ok(CellOutcome::Quarantined {
+            reason: field_str(row, "quarantine_reason")?.to_owned(),
+        }),
+        Some(other) => Err(CampaignIoError::UnknownToken(other.to_owned())),
+        None => Err(CampaignIoError::Parse(
+            "non-string 'outcome' field".to_owned(),
+        )),
+    }
 }
 
 fn field_str<'a>(row: &'a Json, key: &str) -> Result<&'a str, CampaignIoError> {
@@ -2635,7 +2974,8 @@ impl fmt::Display for CampaignIoError {
                 f,
                 "unsupported schema version {v} (this build reads versions \
                  {LEGACY_MATRIX_VERSION}, {SINGLE_DEFENSE_VERSION}, \
-                 {STACK_MATRIX_VERSION} and {SCHEMA_VERSION})"
+                 {STACK_MATRIX_VERSION}, {PRE_OUTCOME_VERSION} and \
+                 {SCHEMA_VERSION})"
             ),
             CampaignIoError::Version { found: None } => {
                 f.write_str("missing schema version header")
@@ -3116,12 +3456,12 @@ mod tests {
     fn legacy_version2_matrices_still_load() {
         let m = CampaignMatrix::run(&small_spec(0)).unwrap();
         let legacy = m.to_json().replacen(
-            "\"version\": 5,\n  \"kind\": \"campaign-matrix\",",
+            "\"version\": 7,\n  \"kind\": \"campaign-matrix\",",
             "\"version\": 2,",
             1,
         );
         let loaded = CampaignMatrix::from_json(&legacy).unwrap();
-        // Loading upgrades: the re-serialized document is version 5.
+        // Loading upgrades: the re-serialized document is version 7.
         assert_eq!(loaded.to_json(), m.to_json());
     }
 
@@ -3131,18 +3471,18 @@ mod tests {
         // pre-stack schema, so rewriting the version header alone yields
         // exactly what a version-3 build produced — and it must load.
         let m = CampaignMatrix::run(&small_spec(0)).unwrap();
-        let v3 = m.to_json().replacen("\"version\": 5", "\"version\": 3", 1);
+        let v3 = m.to_json().replacen("\"version\": 7", "\"version\": 3", 1);
         let loaded = CampaignMatrix::from_json(&v3).unwrap();
         assert_eq!(loaded.to_json(), m.to_json());
         // The same holds for shard parts.
         let part = small_spec(0).shards(2)[0].run().unwrap();
         let v3 = part
             .to_json()
-            .replacen("\"version\": 5", "\"version\": 3", 1);
+            .replacen("\"version\": 7", "\"version\": 3", 1);
         let loaded = CampaignPart::from_json(&v3).unwrap();
         assert_eq!(loaded.to_json(), part.to_json());
         // And a v3 matrix feeds incremental reuse without re-simulation.
-        let v3 = m.to_json().replacen("\"version\": 5", "\"version\": 3", 1);
+        let v3 = m.to_json().replacen("\"version\": 7", "\"version\": 3", 1);
         let prev = CampaignMatrix::from_json(&v3).unwrap();
         let (_, report) = CampaignMatrix::run_incremental(&small_spec(0), Some(&prev)).unwrap();
         assert_eq!(report.evaluated, 0);
@@ -3150,17 +3490,18 @@ mod tests {
 
     #[test]
     fn version4_stack_matrices_still_load() {
-        // Version 5 only adds the checkpoint document kind; matrix and
-        // part rows are unchanged, so a version-4 header must keep
-        // loading (and re-serialize at version 5).
+        // Versions 5 and 7 only add the checkpoint document kind and the
+        // degraded-outcome fields; fault-free matrix and part rows are
+        // unchanged, so a version-4 header must keep loading (and
+        // re-serialize at version 7).
         let m = CampaignMatrix::run(&small_spec(0)).unwrap();
-        let v4 = m.to_json().replacen("\"version\": 5", "\"version\": 4", 1);
+        let v4 = m.to_json().replacen("\"version\": 7", "\"version\": 4", 1);
         let loaded = CampaignMatrix::from_json(&v4).unwrap();
         assert_eq!(loaded.to_json(), m.to_json());
         let part = small_spec(0).shards(2)[1].run().unwrap();
         let v4 = part
             .to_json()
-            .replacen("\"version\": 5", "\"version\": 4", 1);
+            .replacen("\"version\": 7", "\"version\": 4", 1);
         let loaded = CampaignPart::from_json(&v4).unwrap();
         assert_eq!(loaded.to_json(), part.to_json());
     }
@@ -3197,7 +3538,7 @@ mod tests {
             Err(CampaignIoError::Version { found: None })
         ));
         let m = CampaignMatrix::run(&small_spec(0)).unwrap();
-        let doc = m.to_json().replacen("\"version\": 5", "\"version\": 99", 1);
+        let doc = m.to_json().replacen("\"version\": 7", "\"version\": 99", 1);
         assert!(matches!(
             CampaignMatrix::from_json(&doc),
             Err(CampaignIoError::Version { found: Some(99) })
@@ -3293,7 +3634,7 @@ mod tests {
         assert!(csv.starts_with("attack,defense,config,"));
         let json = m.to_json();
         assert!(json.contains("\"cells\""));
-        assert!(json.contains("\"version\": 5"));
+        assert!(json.contains("\"version\": 7"));
         assert!(json.contains("\"kind\": \"campaign-matrix\""));
         assert_eq!(json.matches("{\"attack\"").count(), 12 + 4);
         // Escaping: a quote in a config name must not break the document.

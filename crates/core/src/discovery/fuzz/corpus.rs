@@ -55,6 +55,18 @@ impl fmt::Display for CorpusError {
     }
 }
 
+impl CorpusError {
+    /// Whether this error means "a corpus existed but was cut short on
+    /// disk" — the typed [`Truncated`](jsonio::JsonErrorKind::Truncated)
+    /// signature of a writer killed mid-save. Recoverable: the fuzzer can
+    /// discard the damaged file and re-classify from the last good budget
+    /// instead of failing with a generic parse error.
+    #[must_use]
+    pub fn is_recoverable(&self) -> bool {
+        matches!(self, CorpusError::Json(e) if e.is_truncated())
+    }
+}
+
 impl std::error::Error for CorpusError {}
 
 impl From<io::Error> for CorpusError {
@@ -334,9 +346,7 @@ impl Corpus {
     /// [`CorpusError::Io`] on filesystem failure.
     pub fn save(&self, dir: &Path) -> Result<(), CorpusError> {
         fs::create_dir_all(dir)?;
-        let tmp = dir.join(format!("{CORPUS_FILE}.tmp"));
-        fs::write(&tmp, self.to_json())?;
-        fs::rename(&tmp, Self::path_in(dir))?;
+        crate::fault::write_atomic(Self::path_in(dir), &self.to_json())?;
         Ok(())
     }
 

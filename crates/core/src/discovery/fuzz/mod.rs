@@ -110,6 +110,11 @@ pub struct FuzzConfig {
     /// Classification worker threads; `0` means all available
     /// parallelism. Results are identical for every value.
     pub threads: usize,
+    /// Checkpoint the corpus to disk every this many classified
+    /// candidates (`0`, the default, saves only at the end). A killed run
+    /// resumes from the last checkpoint instead of budget 0; the final
+    /// corpus is bit-identical for every value.
+    pub checkpoint_every: u64,
 }
 
 impl Default for FuzzConfig {
@@ -119,6 +124,7 @@ impl Default for FuzzConfig {
             budget: 512,
             minimize: true,
             threads: 0,
+            checkpoint_every: 0,
         }
     }
 }
@@ -132,6 +138,11 @@ pub struct FuzzReport {
     /// How many candidates this call classified (0 on a fully resumed
     /// corpus — the satellite CI check pins this).
     pub newly_classified: u64,
+    /// When the on-disk corpus was damaged but recoverable (typed
+    /// truncation — a writer killed mid-save), the reason it was
+    /// discarded; classification restarted from the last good budget
+    /// (budget 0 when no complete corpus survived).
+    pub recovered: Option<String>,
 }
 
 /// The catalog the fuzzer measures novelty against: the hand-built
@@ -195,9 +206,10 @@ fn minimized_fingerprint(oracle: &mut DualOracle, s: &Scenario) -> Result<u64, F
 /// not an expected outcome), on corpus persistence failure, or when the
 /// on-disk corpus was produced with a different seed or minimize flag.
 pub fn fuzz(config: &FuzzConfig, corpus_dir: Option<&Path>) -> Result<FuzzReport, FuzzError> {
+    let mut recovered = None;
     let mut corpus = match corpus_dir {
-        Some(dir) => match Corpus::load(dir)? {
-            Some(existing) => {
+        Some(dir) => match Corpus::load(dir) {
+            Ok(Some(existing)) => {
                 if existing.seed != config.seed {
                     return Err(FuzzError::Resume(format!(
                         "corpus seed {} != requested seed {}",
@@ -211,7 +223,16 @@ pub fn fuzz(config: &FuzzConfig, corpus_dir: Option<&Path>) -> Result<FuzzReport
                 }
                 existing
             }
-            None => Corpus::new(config.seed, config.minimize),
+            Ok(None) => Corpus::new(config.seed, config.minimize),
+            // A half-written corpus (writer killed mid-save) is typed
+            // truncation, not a fatal parse error: discard it, report the
+            // recovery, and re-classify from the last good budget — here
+            // budget 0, since no complete corpus survived.
+            Err(e) if e.is_recoverable() => {
+                recovered = Some(e.to_string());
+                Corpus::new(config.seed, config.minimize)
+            }
+            Err(e) => return Err(e.into()),
         },
         None => Corpus::new(config.seed, config.minimize),
     };
@@ -221,7 +242,6 @@ pub fn fuzz(config: &FuzzConfig, corpus_dir: Option<&Path>) -> Result<FuzzReport
     let newly_classified = end - start;
     if newly_classified > 0 {
         let catalog = KnownCatalog::build(config.minimize)?;
-        let classified = classify_range(config, start, end)?;
         let mut oracle = DualOracle::new();
         let mut seen: HashSet<u64> = corpus.raw_seen.iter().copied().collect();
         let mut found: HashSet<u64> = corpus
@@ -229,6 +249,63 @@ pub fn fuzz(config: &FuzzConfig, corpus_dir: Option<&Path>) -> Result<FuzzReport
             .iter()
             .map(|f| f.minimized_fingerprint)
             .collect();
+        // Classification proceeds in checkpoint-sized batches (one batch
+        // when checkpointing is off); per-candidate work is identical
+        // either way, so the final corpus is bit-identical for every
+        // checkpoint cadence.
+        let step = match config.checkpoint_every {
+            0 => newly_classified,
+            every => every,
+        };
+        let mut next = start;
+        while next < end {
+            let stop = end.min(next + step);
+            classify_batch(
+                config,
+                &catalog,
+                &mut oracle,
+                &mut seen,
+                &mut found,
+                &mut corpus,
+                next,
+                stop,
+            )?;
+            next = stop;
+            if next < end {
+                if let Some(dir) = corpus_dir {
+                    corpus.save(dir)?;
+                }
+            }
+        }
+    }
+
+    if let Some(dir) = corpus_dir {
+        corpus.save(dir)?;
+    }
+    Ok(FuzzReport {
+        corpus,
+        newly_classified,
+        recovered,
+    })
+}
+
+/// Classifies candidates `[start, stop)` into `corpus`, sequentially in
+/// index order (the classification itself fans out across workers). One
+/// batch of [`fuzz`]'s loop — split out so checkpointed and single-shot
+/// runs share one code path.
+#[allow(clippy::too_many_arguments)]
+fn classify_batch(
+    config: &FuzzConfig,
+    catalog: &KnownCatalog,
+    oracle: &mut DualOracle,
+    seen: &mut HashSet<u64>,
+    found: &mut HashSet<u64>,
+    corpus: &mut Corpus,
+    start: u64,
+    stop: u64,
+) -> Result<(), FuzzError> {
+    {
+        let classified = classify_range(config, start, stop)?;
         for (index, scenario, verdicts) in classified {
             let agreement = verdicts.agreement(&scenario);
             match agreement {
@@ -263,7 +340,7 @@ pub fn fuzz(config: &FuzzConfig, corpus_dir: Option<&Path>) -> Result<FuzzReport
             }
             // A novel leaking shape: minimize and register.
             let (minimized_fingerprint, min, removed) = if config.minimize {
-                let (min, stats) = shrink::minimize(&mut oracle, &scenario);
+                let (min, stats) = shrink::minimize(oracle, &scenario);
                 let fp = analyzer::lift(&min.program, &min.lift_config())?
                     .graph()
                     .shape_fingerprint();
@@ -289,16 +366,9 @@ pub fn fuzz(config: &FuzzConfig, corpus_dir: Option<&Path>) -> Result<FuzzReport
                 removed: removed as u64,
             });
         }
-        corpus.classified = end;
+        corpus.classified = stop;
     }
-
-    if let Some(dir) = corpus_dir {
-        corpus.save(dir)?;
-    }
-    Ok(FuzzReport {
-        corpus,
-        newly_classified,
-    })
+    Ok(())
 }
 
 /// Classifies candidates `[start, end)` and returns them in index order.
@@ -390,6 +460,7 @@ mod tests {
             budget: 24,
             minimize: false,
             threads: 1,
+            checkpoint_every: 0,
         };
         let a = fuzz(&base, None).unwrap();
         let b = fuzz(
@@ -414,6 +485,7 @@ mod tests {
             budget: 12,
             minimize: false,
             threads: 1,
+            checkpoint_every: 0,
         };
         let first = fuzz(&cfg, Some(&dir)).unwrap();
         assert_eq!(first.newly_classified, 12);

@@ -42,6 +42,7 @@
 
 pub mod campaign;
 pub mod discovery;
+pub mod fault;
 pub mod insufficiency;
 pub mod jsonio;
 pub mod scenario;
@@ -59,17 +60,18 @@ pub use uarch;
 pub mod prelude {
     pub use crate::campaign::{
         self, CampaignIoError, CampaignMatrix, CampaignPart, CampaignShard, CampaignSpec,
-        Hardening, IncrementalReport, Knob, KnobValue, MatrixDiff, MergeError, NamedConfig,
-        PredictorFlavor, TaskEvent,
+        CellOutcome, Hardening, IncrementalReport, Knob, KnobValue, MatrixDiff, MergeError,
+        NamedConfig, PredictorFlavor, Resilience, TaskEvent,
     };
     pub use crate::discovery::fuzz::{
         self, Agreement, Combo, Corpus, DualOracle, FuzzConfig, FuzzError, FuzzReport, Scenario,
         SynthesizedRegistry,
     };
     pub use crate::discovery::{self, AttackPoint, Channel, DelayMechanism, SecretSourceDim};
+    pub use crate::fault::{self, ArmedFault, FaultKind, FaultPlan, PanickingAttack, SweepReport};
     pub use crate::scenario::{self, Evaluation};
     pub use crate::serve::{
-        self, Answer, AnswerSource, ChunkEvent, ScheduleReport, Scheduler, ServeError,
+        self, Answer, AnswerSource, ChunkEvent, ChunkRepair, ScheduleReport, Scheduler, ServeError,
         StoredVerdict, VerdictStore,
     };
     pub use analyzer::{AnalysisConfig, Analyzer};

@@ -268,7 +268,11 @@ impl VerdictStore {
             return 0;
         };
         rows.reserve(baselines.len() + cells.len());
-        for b in baselines {
+        let mut ingested = 0;
+        // Degraded rows (quarantined / timed-out) never enter the store:
+        // a memoized verdict must be machine truth, and skipping them lets
+        // a later fault-free run heal the store incrementally.
+        for b in baselines.iter().filter(|b| b.outcome.is_ok()) {
             rows.insert(
                 b.fingerprint,
                 StoredVerdict::Baseline {
@@ -277,8 +281,9 @@ impl VerdictStore {
                     graph_race: b.graph_race,
                 },
             );
+            ingested += 1;
         }
-        for c in cells {
+        for c in cells.iter().filter(|c| c.outcome.is_ok()) {
             rows.insert(
                 c.fingerprint,
                 StoredVerdict::Cell {
@@ -286,8 +291,9 @@ impl VerdictStore {
                     strategy_sufficient: c.evaluation.strategy_sufficient,
                 },
             );
+            ingested += 1;
         }
-        baselines.len() + cells.len()
+        ingested
     }
 
     /// The index key for an undefended baseline row. Key construction
@@ -532,8 +538,23 @@ pub struct ChunkEvent {
 /// possibly concurrently from worker threads.
 pub type ChunkObserver<'a> = &'a (dyn Fn(ChunkEvent) + Sync);
 
+/// A checkpoint file that existed on disk but could not be used for
+/// resume — zero-length, torn mid-write, or otherwise unreadable — and
+/// whose chunk was therefore re-run. Surfaced in
+/// [`ScheduleReport::repaired`] so a damaged checkpoint is never silently
+/// swallowed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkRepair {
+    /// Index of the chunk that was re-run.
+    pub index: usize,
+    /// The unusable checkpoint file.
+    pub path: PathBuf,
+    /// Why it could not be loaded (e.g. a typed truncation offset).
+    pub reason: String,
+}
+
 /// What a scheduled run did, alongside the merged matrix.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ScheduleReport {
     /// Chunks the cube was decomposed into.
     pub chunks: usize,
@@ -547,6 +568,21 @@ pub struct ScheduleReport {
     pub stolen: usize,
     /// Tasks (baselines + cells) restored from checkpoints.
     pub resumed_tasks: usize,
+    /// Checkpoint files that existed but were unusable (zero-length,
+    /// truncated, unreadable); their chunks were re-run and their
+    /// checkpoints rewritten.
+    pub repaired: Vec<ChunkRepair>,
+}
+
+/// What [`Scheduler::load_chunk`] found on disk for one chunk.
+enum ChunkLoad {
+    /// No checkpoint file; the chunk simply runs.
+    Missing,
+    /// A file exists but cannot be used for resume; the chunk re-runs and
+    /// the repair is reported.
+    Damaged { path: PathBuf, reason: String },
+    /// A verified checkpoint: adopted with zero re-simulation.
+    Loaded(CampaignPart),
 }
 
 /// Per-chunk claim state on the shared board.
@@ -573,10 +609,11 @@ struct Board {
 /// duplicate execution — results are deterministic, the first finisher
 /// publishes). With a checkpoint directory every finished chunk is
 /// written as a `campaign-checkpoint` document, and the next run resumes:
-/// completed chunks load from disk (zero re-simulation), half-written
-/// ones surface as typed [`Truncated`](crate::jsonio::JsonErrorKind)
-/// errors and are re-run, and chunks from a *different* campaign are a
-/// hard [`ServeError::CheckpointMismatch`].
+/// completed chunks load from disk (zero re-simulation), half-written or
+/// zero-length ones surface as typed
+/// [`Truncated`](crate::jsonio::JsonErrorKind) errors, are re-run, and
+/// are reported in [`ScheduleReport::repaired`], and chunks from a
+/// *different* campaign are a hard [`ServeError::CheckpointMismatch`].
 #[derive(Debug, Clone)]
 pub struct Scheduler {
     spec: CampaignSpec,
@@ -677,7 +714,7 @@ impl Scheduler {
         for index in 0..chunks {
             let range = (index * total / chunks, (index + 1) * total / chunks);
             match self.load_chunk(index, chunks, range, fingerprint)? {
-                Some(part) => {
+                ChunkLoad::Loaded(part) => {
                     report.resumed += 1;
                     report.resumed_tasks += part.len();
                     if let Some(store) = store {
@@ -685,7 +722,15 @@ impl Scheduler {
                     }
                     states.push(ChunkState::Done(part));
                 }
-                None => states.push(ChunkState::Pending),
+                ChunkLoad::Damaged { path, reason } => {
+                    report.repaired.push(ChunkRepair {
+                        index,
+                        path,
+                        reason,
+                    });
+                    states.push(ChunkState::Pending);
+                }
+                ChunkLoad::Missing => states.push(ChunkState::Pending),
             }
         }
         let completed = report.resumed;
@@ -865,22 +910,25 @@ impl Scheduler {
     }
 
     /// Loads chunk `index` from the checkpoint directory, if present and
-    /// usable. A truncated file (worker killed mid-write) is "not done"
-    /// and re-runs; a cleanly-loading chunk from a different spec — or
-    /// with foreign shard geometry — is a hard mismatch.
+    /// usable. A damaged file (zero-length, truncated mid-write, or
+    /// otherwise unreadable) is "not done" — the chunk re-runs — but the
+    /// file and the reason are surfaced ([`ChunkLoad::Damaged`] →
+    /// [`ScheduleReport::repaired`]) instead of being silently swallowed.
+    /// A cleanly-loading chunk from a different spec — or with foreign
+    /// shard geometry — is a hard mismatch.
     fn load_chunk(
         &self,
         index: usize,
         of: usize,
         range: (usize, usize),
         fingerprint: u64,
-    ) -> Result<Option<CampaignPart>, ServeError> {
+    ) -> Result<ChunkLoad, ServeError> {
         let Some(dir) = &self.checkpoint else {
-            return Ok(None);
+            return Ok(ChunkLoad::Missing);
         };
         let path = Self::chunk_path(dir, index);
         if !path.exists() {
-            return Ok(None);
+            return Ok(ChunkLoad::Missing);
         }
         match CampaignPart::load_checkpoint_json(&path) {
             Ok(part) => {
@@ -893,10 +941,12 @@ impl Scheduler {
                         found: part.spec_fingerprint(),
                     });
                 }
-                Ok(Some(part))
+                Ok(ChunkLoad::Loaded(part))
             }
-            // Truncated or otherwise unparseable: re-run the chunk.
-            Err(_) => Ok(None),
+            Err(e) => Ok(ChunkLoad::Damaged {
+                path,
+                reason: e.to_string(),
+            }),
         }
     }
 

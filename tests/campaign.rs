@@ -206,7 +206,7 @@ mod defense_stacks {
         // v3 → v5 round trip: rewriting the version header yields exactly
         // what a pre-stack build wrote for singleton campaigns, and it
         // loads, re-serializes as v5, and feeds incremental reuse.
-        let v3 = a.to_json().replacen("\"version\": 5", "\"version\": 3", 1);
+        let v3 = a.to_json().replacen("\"version\": 7", "\"version\": 3", 1);
         let loaded = CampaignMatrix::from_json(&v3).expect("v3 loads");
         assert_eq!(loaded.to_json(), a.to_json());
         let (_, report) = CampaignMatrix::run_incremental(&legacy, Some(&loaded)).unwrap();

@@ -154,6 +154,7 @@ fn checked_in_seed_corpus_manifest_is_reproduced() {
             budget: 64,
             minimize: true,
             threads: 0,
+            checkpoint_every: 0,
         },
         None,
     )
@@ -176,6 +177,7 @@ fn fuzz_loop_is_bit_identical_across_runs_and_thread_counts() {
         budget: 96,
         minimize: true,
         threads: 1,
+        checkpoint_every: 0,
     };
     let single = fuzz(&cfg, None).unwrap().corpus.to_json();
     let again = fuzz(&cfg, None).unwrap().corpus.to_json();
@@ -204,6 +206,7 @@ fn save_resume_split_matches_the_uninterrupted_run() {
             budget: 80,
             minimize: true,
             threads: 0,
+            checkpoint_every: 0,
         },
         None,
     )
@@ -215,6 +218,7 @@ fn save_resume_split_matches_the_uninterrupted_run() {
         budget: 30,
         minimize: true,
         threads: 0,
+        checkpoint_every: 0,
     };
     fuzz(&half, Some(&dir)).unwrap();
     let resumed = fuzz(&FuzzConfig { budget: 80, ..half }, Some(&dir)).unwrap();
@@ -235,6 +239,7 @@ fn mismatched_resume_parameters_are_refused() {
         budget: 8,
         minimize: true,
         threads: 1,
+        checkpoint_every: 0,
     };
     fuzz(&cfg, Some(&dir)).unwrap();
     let seed_err = fuzz(

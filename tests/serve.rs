@@ -275,6 +275,21 @@ fn killed_run_resumes_from_checkpoints_without_resimulating() {
     assert_eq!(report.executed, 2);
     assert_eq!(second.to_json(), single.to_json());
     assert_eq!(second.to_csv(), single.to_csv());
+    // The half-written checkpoint is surfaced, not silently re-run; the
+    // cleanly deleted one is an ordinary miss, so it is not "repaired".
+    let [repair] = report.repaired.as_slice() else {
+        panic!(
+            "expected exactly one repaired checkpoint, got {:?}",
+            report.repaired
+        );
+    };
+    assert_eq!(repair.index, 2);
+    assert_eq!(repair.path, half);
+    assert!(
+        repair.reason.contains("truncated"),
+        "reason should surface the typed truncation: {}",
+        repair.reason
+    );
 
     // A third run resumes everything: zero cells re-simulated.
     let (third, report) = Scheduler::new(&spec)
@@ -284,6 +299,7 @@ fn killed_run_resumes_from_checkpoints_without_resimulating() {
         .unwrap();
     assert_eq!(report.executed, 0);
     assert_eq!(report.resumed, chunks);
+    assert!(report.repaired.is_empty());
     assert_eq!(third.to_json(), single.to_json());
     let _ = fs::remove_dir_all(&dir);
 }
